@@ -1,0 +1,85 @@
+#ifndef CQLOPT_BENCH_BENCH_UTIL_H_
+#define CQLOPT_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark harnesses. Each bench binary first
+// prints the paper artifact it regenerates (table rows / fact counts /
+// derivation traces), then runs google-benchmark timings of the underlying
+// computation. EXPERIMENTS.md records paper-vs-measured for each binary.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "core/equivalence.h"
+#include "core/workload.h"
+#include "eval/seminaive.h"
+#include "transform/pipeline.h"
+
+namespace cqlopt {
+namespace bench {
+
+struct ParsedInput {
+  Program program;
+  Query query;
+};
+
+inline ParsedInput ParseWithQueryOrDie(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    std::abort();
+  }
+  if (parsed->queries.size() != 1) {
+    std::fprintf(stderr, "expected exactly one query\n");
+    std::abort();
+  }
+  return ParsedInput{parsed->program, parsed->queries[0]};
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// The paper's Example 1.1 / 4.3 flights program.
+inline const char* FlightsProgram() {
+  return "r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.\n"
+         "r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.\n"
+         "r3: flight(S, D, T, C) :- singleleg(S, D, T, C), C > 0, T > 0.\n"
+         "r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), "
+         "flight(D1, D, T2, C2), T = T1 + T2 + 30, C = C1 + C2.\n"
+         "?- cheaporshort(a5, a9, Time, Cost).\n";
+}
+
+/// The paper's Example 1.2 backward-Fibonacci program.
+inline const char* FibProgram() {
+  return "r1: fib(0, 1).\n"
+         "r2: fib(1, 1).\n"
+         "r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).\n"
+         "?- fib(N, 5).\n";
+}
+
+/// Runs a rewritten pipeline on a database and returns the evaluation.
+inline EvalResult RunPipeline(const ParsedInput& in, const Database& db,
+                              const char* spec,
+                              const PipelineOptions& options = {},
+                              int max_iterations = 256) {
+  auto steps = ValueOrDie(ParseSteps(spec), "steps");
+  auto rewritten =
+      ValueOrDie(ApplyPipeline(in.program, in.query, steps, options), spec);
+  EvalOptions eval;
+  eval.max_iterations = max_iterations;
+  return ValueOrDie(Evaluate(rewritten.program, db, eval), spec);
+}
+
+}  // namespace bench
+}  // namespace cqlopt
+
+#endif  // CQLOPT_BENCH_BENCH_UTIL_H_

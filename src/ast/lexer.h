@@ -1,0 +1,46 @@
+#ifndef CQLOPT_AST_LEXER_H_
+#define CQLOPT_AST_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cqlopt {
+
+/// Token kinds of the rule language (see parser.h for the grammar).
+enum class TokenKind {
+  kIdent,     // lowercase-initial: predicate or symbolic constant
+  kVariable,  // uppercase- or underscore-initial
+  kNumber,    // decimal literal, possibly with a fractional part
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kColon,
+  kImplies,   // :-
+  kQuery,     // ?-
+  kLe,        // <=
+  kLt,        // <
+  kGe,        // >=
+  kGt,        // >
+  kEq,        // =
+  kPlus,
+  kMinus,
+  kStar,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+  int column;
+};
+
+/// Tokenizes `input`. `%` and `//` start line comments.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_AST_LEXER_H_

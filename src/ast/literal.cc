@@ -1,0 +1,23 @@
+#include "ast/literal.h"
+
+#include <algorithm>
+
+namespace cqlopt {
+
+std::vector<VarId> Literal::Vars() const {
+  std::vector<VarId> out = args;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Literal Literal::Rename(const std::map<VarId, VarId>& mapping) const {
+  Literal out = *this;
+  for (VarId& v : out.args) {
+    auto it = mapping.find(v);
+    if (it != mapping.end()) v = it->second;
+  }
+  return out;
+}
+
+}  // namespace cqlopt

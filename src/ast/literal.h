@@ -1,0 +1,40 @@
+#ifndef CQLOPT_AST_LITERAL_H_
+#define CQLOPT_AST_LITERAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/symbol_table.h"
+#include "constraint/variable.h"
+
+namespace cqlopt {
+
+/// A predicate literal `p(X1, ..., Xn)` in normalized form: every argument
+/// is a variable (constants and arithmetic live in the rule's constraint
+/// conjunction). Variables may repeat, expressing equality joins.
+struct Literal {
+  Literal() : pred(SymbolTable::kNoPred) {}
+  Literal(PredId pred_in, std::vector<VarId> args_in)
+      : pred(pred_in), args(std::move(args_in)) {}
+
+  int arity() const { return static_cast<int>(args.size()); }
+
+  /// Sorted, deduplicated argument variables.
+  std::vector<VarId> Vars() const;
+
+  /// Applies a variable mapping to the arguments.
+  Literal Rename(const std::map<VarId, VarId>& mapping) const;
+
+  bool operator==(const Literal& other) const {
+    return pred == other.pred && args == other.args;
+  }
+  bool operator!=(const Literal& other) const { return !(*this == other); }
+
+  PredId pred;
+  std::vector<VarId> args;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_AST_LITERAL_H_

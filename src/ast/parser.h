@@ -1,0 +1,47 @@
+#ifndef CQLOPT_AST_PARSER_H_
+#define CQLOPT_AST_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace cqlopt {
+
+/// Parse result: the program's rules plus any `?- ...` queries that appeared
+/// in the text.
+struct ParseResult {
+  Program program;
+  std::vector<Query> queries;
+};
+
+/// Parses a program in the paper's surface syntax:
+///
+///   r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+///   r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+///                             T = T1 + T2 + 30, C = C1 + C2.
+///   fib(0, 1).
+///   fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+///   ?- cheaporshort(madison, seattle, Time, Cost).
+///
+/// Lowercase-initial identifiers are predicates (before `(`) or symbolic
+/// constants; uppercase/underscore-initial are variables; rule labels
+/// (`r1:`) are optional. Literal arguments may be variables, numbers,
+/// symbolic constants, or linear arithmetic expressions — normalization to
+/// variable-only arguments (with the bindings moved into the rule's
+/// constraint conjunction) happens during parsing.
+Result<ParseResult> ParseProgram(const std::string& text);
+
+/// Same, interning into an existing symbol table (so several programs can
+/// share predicate ids).
+Result<ParseResult> ParseProgram(const std::string& text,
+                                 std::shared_ptr<SymbolTable> symbols);
+
+/// Parses a single `?- ...` query against an existing program (predicates
+/// are interned into the program's table and arities checked).
+Result<Query> ParseQueryText(const std::string& text, Program* program);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_AST_PARSER_H_

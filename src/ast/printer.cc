@@ -1,0 +1,162 @@
+#include "ast/printer.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+namespace cqlopt {
+namespace {
+
+std::string RenderLinearExpr(const LinearExpr& expr, const VarNameFn& name) {
+  std::string out;
+  for (const auto& [v, c] : expr.coefficients()) {
+    if (out.empty()) {
+      if (c == Rational(1)) {
+        out += name(v);
+      } else if (c == Rational(-1)) {
+        out += "-" + name(v);
+      } else {
+        out += c.ToString() + "*" + name(v);
+      }
+    } else {
+      Rational abs = c.Abs();
+      out += c.is_negative() ? " - " : " + ";
+      if (abs != Rational(1)) out += abs.ToString() + "*";
+      out += name(v);
+    }
+  }
+  if (out.empty()) return expr.constant().ToString();
+  if (!expr.constant().is_zero()) {
+    out += expr.constant().is_negative() ? " - " : " + ";
+    out += expr.constant().Abs().ToString();
+  }
+  return out;
+}
+
+std::string RenderLinearConstraint(const LinearConstraint& atom,
+                                   const VarNameFn& name) {
+  LinearExpr lhs = atom.expr();
+  bool flip = atom.op() != CmpOp::kEq && !lhs.coefficients().empty();
+  for (const auto& [v, c] : lhs.coefficients()) {
+    if (!c.is_negative()) flip = false;
+  }
+  const char* op_name = CmpOpName(atom.op());
+  if (flip) {
+    lhs = -lhs;
+    op_name = atom.op() == CmpOp::kLe ? ">=" : ">";
+  }
+  Rational rhs = -lhs.constant();
+  lhs.AddConstant(rhs);
+  return RenderLinearExpr(lhs, name) + " " + op_name + " " + rhs.ToString();
+}
+
+}  // namespace
+
+std::string RenderConjunction(const Conjunction& conj,
+                              const SymbolTable& symbols,
+                              const VarNameFn& name) {
+  if (conj.known_unsat()) return "false";
+  std::vector<std::string> pieces;
+  for (const auto& [member, root] : conj.EqualityPairs()) {
+    pieces.push_back(name(member) + " = " + name(root));
+  }
+  for (const auto& [root, symbol] : conj.SymbolBindings()) {
+    pieces.push_back(name(root) + " = " + symbols.SymbolName(symbol));
+  }
+  for (const LinearConstraint& atom : conj.linear()) {
+    pieces.push_back(RenderLinearConstraint(atom, name));
+  }
+  if (pieces.empty()) return "true";
+  std::sort(pieces.begin(), pieces.end());
+  std::string out = pieces[0];
+  for (size_t i = 1; i < pieces.size(); ++i) out += ", " + pieces[i];
+  return out;
+}
+
+std::string RenderConstraintSet(const ConstraintSet& set,
+                                const SymbolTable& symbols,
+                                const VarNameFn& name) {
+  if (set.is_false()) return "false";
+  std::vector<std::string> parts;
+  for (const Conjunction& d : set.disjuncts()) {
+    parts.push_back("(" + RenderConjunction(d, symbols, name) + ")");
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) out += " | " + parts[i];
+  return out;
+}
+
+std::string RenderLiteral(const Literal& lit, const SymbolTable& symbols,
+                          const VarNameFn& name) {
+  std::string out = symbols.PredicateName(lit.pred) + "(";
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += name(lit.args[i]);
+  }
+  return out + ")";
+}
+
+VarNameFn RuleVarNames(const Rule& rule) {
+  // Copy the name map so the function outlives the rule reference, and
+  // disambiguate: rules produced by unfolding can merge variables from two
+  // source rules that carried the same surface name.
+  auto names = std::make_shared<std::map<VarId, std::string>>();
+  std::map<std::string, int> used;
+  for (VarId v : rule.Vars()) {
+    auto it = rule.var_names.find(v);
+    std::string base =
+        it != rule.var_names.end() ? it->second : "V" + std::to_string(v);
+    int n = ++used[base];
+    (*names)[v] = n == 1 ? base : base + "_" + std::to_string(n);
+  }
+  return [names](VarId v) {
+    auto it = names->find(v);
+    if (it != names->end()) return it->second;
+    return "V" + std::to_string(v);
+  };
+}
+
+VarNameFn DollarNames() {
+  return [](VarId v) { return "$" + std::to_string(v); };
+}
+
+std::string RenderRule(const Rule& rule, const SymbolTable& symbols) {
+  VarNameFn name = RuleVarNames(rule);
+  std::string out;
+  if (!rule.label.empty()) out += rule.label + ": ";
+  out += RenderLiteral(rule.head, symbols, name);
+  std::string constraint_str = RenderConjunction(rule.constraints, symbols, name);
+  bool has_constraints = constraint_str != "true";
+  if (!rule.body.empty() || has_constraints) {
+    out += " :- ";
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RenderLiteral(rule.body[i], symbols, name);
+    }
+    if (has_constraints) {
+      if (!rule.body.empty()) out += ", ";
+      out += constraint_str;
+    }
+  }
+  return out + ".";
+}
+
+std::string RenderProgram(const Program& program) {
+  std::string out;
+  for (const Rule& rule : program.rules) {
+    out += RenderRule(rule, *program.symbols);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string RenderQuery(const Query& query, const SymbolTable& symbols) {
+  VarNameFn name = [](VarId v) { return "V" + std::to_string(v); };
+  std::string out = "?- " + RenderLiteral(query.literal, symbols, name);
+  std::string cs = RenderConjunction(query.constraints, symbols, name);
+  if (cs != "true") out += ", " + cs;
+  return out + ".";
+}
+
+}  // namespace cqlopt

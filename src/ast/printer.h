@@ -1,0 +1,51 @@
+#ifndef CQLOPT_AST_PRINTER_H_
+#define CQLOPT_AST_PRINTER_H_
+
+#include <functional>
+#include <string>
+
+#include "ast/program.h"
+#include "constraint/constraint_set.h"
+
+namespace cqlopt {
+
+/// Function mapping a variable id to its display name.
+using VarNameFn = std::function<std::string(VarId)>;
+
+/// Renders a conjunction with caller-chosen variable names and symbol names
+/// resolved via `symbols` — the layer-polite version of
+/// Conjunction::ToString (which only knows numeric ids).
+std::string RenderConjunction(const Conjunction& conj,
+                              const SymbolTable& symbols,
+                              const VarNameFn& name);
+
+/// Renders a constraint set, disjuncts parenthesized and '|'-joined.
+std::string RenderConstraintSet(const ConstraintSet& set,
+                                const SymbolTable& symbols,
+                                const VarNameFn& name);
+
+/// Renders a literal: `pred(X, Y, Z)`.
+std::string RenderLiteral(const Literal& lit, const SymbolTable& symbols,
+                          const VarNameFn& name);
+
+/// Renders a rule in the surface syntax, e.g.
+/// `r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.`
+/// Constraint atoms print after the body literals.
+std::string RenderRule(const Rule& rule, const SymbolTable& symbols);
+
+/// Renders all rules, one per line.
+std::string RenderProgram(const Program& program);
+
+/// Renders a query: `?- q(X, Y), X <= 4.`
+std::string RenderQuery(const Query& query, const SymbolTable& symbols);
+
+/// Name function for a rule: uses the rule's var_names, falling back to
+/// `V<id>`.
+VarNameFn RuleVarNames(const Rule& rule);
+
+/// Name function rendering argument positions as `$i`.
+VarNameFn DollarNames();
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_AST_PRINTER_H_

@@ -1,0 +1,88 @@
+#include "ast/program.h"
+
+#include <algorithm>
+
+namespace cqlopt {
+
+bool Program::IsDerived(PredId pred) const {
+  for (const Rule& r : rules) {
+    if (r.head.pred == pred) return true;
+  }
+  return false;
+}
+
+std::vector<PredId> Program::DerivedPredicates() const {
+  std::set<PredId> preds;
+  for (const Rule& r : rules) preds.insert(r.head.pred);
+  return std::vector<PredId>(preds.begin(), preds.end());
+}
+
+std::vector<PredId> Program::DatabasePredicates() const {
+  std::set<PredId> heads;
+  for (const Rule& r : rules) heads.insert(r.head.pred);
+  std::set<PredId> out;
+  for (const Rule& r : rules) {
+    for (const Literal& lit : r.body) {
+      if (heads.count(lit.pred) == 0) out.insert(lit.pred);
+    }
+  }
+  return std::vector<PredId>(out.begin(), out.end());
+}
+
+std::vector<size_t> Program::RuleIndexesFor(PredId pred) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].head.pred == pred) out.push_back(i);
+  }
+  return out;
+}
+
+int Program::Arity(PredId pred) const {
+  auto it = arities.find(pred);
+  return it == arities.end() ? -1 : it->second;
+}
+
+Status Program::DeclareArity(PredId pred, int arity) {
+  auto [it, inserted] = arities.emplace(pred, arity);
+  if (!inserted && it->second != arity) {
+    return Status::InvalidArgument(
+        "predicate " + symbols->PredicateName(pred) + " used with arity " +
+        std::to_string(arity) + " and " + std::to_string(it->second));
+  }
+  return Status::OK();
+}
+
+int Program::RemoveUnreachable(PredId query_pred) {
+  // Predicates reachable from the query via "head depends on body" edges.
+  std::set<PredId> reachable = {query_pred};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : rules) {
+      if (reachable.count(r.head.pred) == 0) continue;
+      for (const Literal& lit : r.body) {
+        if (reachable.insert(lit.pred).second) changed = true;
+      }
+    }
+  }
+  int removed = 0;
+  std::vector<Rule> kept;
+  kept.reserve(rules.size());
+  for (Rule& r : rules) {
+    if (reachable.count(r.head.pred) > 0) {
+      kept.push_back(std::move(r));
+    } else {
+      ++removed;
+    }
+  }
+  rules = std::move(kept);
+  return removed;
+}
+
+VarId Program::MaxVar() const {
+  VarId max_var = 1024;
+  for (const Rule& r : rules) max_var = std::max(max_var, r.MaxVar());
+  return max_var;
+}
+
+}  // namespace cqlopt

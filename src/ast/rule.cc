@@ -1,0 +1,44 @@
+#include "ast/rule.h"
+
+#include <algorithm>
+
+namespace cqlopt {
+
+std::vector<VarId> Rule::Vars() const {
+  std::vector<VarId> out = head.args;
+  for (const Literal& lit : body) {
+    out.insert(out.end(), lit.args.begin(), lit.args.end());
+  }
+  std::vector<VarId> cvars = constraints.Vars();
+  out.insert(out.end(), cvars.begin(), cvars.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+VarId Rule::MaxVar() const {
+  std::vector<VarId> vars = Vars();
+  return vars.empty() ? 0 : vars.back();
+}
+
+Rule Rule::RenameApart(VarAllocator* alloc) const {
+  std::map<VarId, VarId> mapping;
+  for (VarId v : Vars()) mapping[v] = alloc->Fresh();
+  return Rename(mapping);
+}
+
+Rule Rule::Rename(const std::map<VarId, VarId>& mapping) const {
+  Rule out;
+  out.label = label;
+  out.head = head.Rename(mapping);
+  out.body.reserve(body.size());
+  for (const Literal& lit : body) out.body.push_back(lit.Rename(mapping));
+  out.constraints = constraints.Rename(mapping);
+  for (const auto& [v, name] : var_names) {
+    auto it = mapping.find(v);
+    out.var_names[it == mapping.end() ? v : it->second] = name;
+  }
+  return out;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,53 @@
+#ifndef CQLOPT_AST_RULE_H_
+#define CQLOPT_AST_RULE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/literal.h"
+#include "constraint/conjunction.h"
+
+namespace cqlopt {
+
+/// A normalized rule `p(X̄) :- C, p1(X̄1), ..., pn(X̄n).` (Section 2):
+/// a head literal, body literals, and a conjunction of constraints over the
+/// rule's variables. A rule with an empty body is a *constraint fact*
+/// `p(X̄; C)` — the finite representation of the possibly infinite set of
+/// ground facts satisfying C.
+///
+/// Rule variables use ids >= 1024 so they never collide with the
+/// argument-position ids 1..arity used by facts and predicate constraints
+/// (see constraint/variable.h).
+struct Rule {
+  /// Optional source label ("r1"); carried through transformations with
+  /// suffixes so evaluation traces can cite the deriving rule as the paper's
+  /// tables do.
+  std::string label;
+  Literal head;
+  std::vector<Literal> body;
+  Conjunction constraints;
+  /// Original names of rule variables, for printing; fresh variables
+  /// introduced by transformations get generated names.
+  std::map<VarId, std::string> var_names;
+
+  bool IsConstraintFact() const { return body.empty(); }
+
+  /// All variables in head, body, and constraints, sorted.
+  std::vector<VarId> Vars() const;
+
+  /// Largest variable id used (0 if none).
+  VarId MaxVar() const;
+
+  /// A copy of the rule with every variable replaced by a fresh one from
+  /// `alloc` (standardization apart, used by unfold/resolution and rule
+  /// instantiation).
+  Rule RenameApart(VarAllocator* alloc) const;
+
+  /// Applies a variable mapping to head, body, constraints, and names.
+  Rule Rename(const std::map<VarId, VarId>& mapping) const;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_AST_RULE_H_

@@ -1,0 +1,44 @@
+#include "ast/symbol_table.h"
+
+namespace cqlopt {
+
+PredId SymbolTable::InternPredicate(const std::string& name) {
+  auto [it, inserted] =
+      pred_ids_.emplace(name, static_cast<PredId>(pred_names_.size()));
+  if (inserted) pred_names_.push_back(name);
+  return it->second;
+}
+
+PredId SymbolTable::LookupPredicate(const std::string& name) const {
+  auto it = pred_ids_.find(name);
+  return it == pred_ids_.end() ? kNoPred : it->second;
+}
+
+const std::string& SymbolTable::PredicateName(PredId id) const {
+  return pred_names_.at(static_cast<size_t>(id));
+}
+
+bool SymbolTable::HasPredicate(const std::string& name) const {
+  return pred_ids_.count(name) > 0;
+}
+
+PredId SymbolTable::FreshPredicate(const std::string& base) {
+  if (!HasPredicate(base)) return InternPredicate(base);
+  for (int i = 2;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (!HasPredicate(candidate)) return InternPredicate(candidate);
+  }
+}
+
+SymbolId SymbolTable::InternSymbol(const std::string& name) {
+  auto [it, inserted] =
+      symbol_ids_.emplace(name, static_cast<SymbolId>(symbol_names_.size()));
+  if (inserted) symbol_names_.push_back(name);
+  return it->second;
+}
+
+const std::string& SymbolTable::SymbolName(SymbolId id) const {
+  return symbol_names_.at(static_cast<size_t>(id));
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,56 @@
+#ifndef CQLOPT_AST_SYMBOL_TABLE_H_
+#define CQLOPT_AST_SYMBOL_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraint/conjunction.h"
+
+namespace cqlopt {
+
+/// Identifier of an interned predicate name.
+using PredId = int;
+
+/// Interner for predicate names and symbolic constants.
+///
+/// One table is shared by a program and everything derived from it
+/// (adorned programs, magic programs, rewritten programs), so transformation
+/// outputs can introduce new predicates (`m_flight`, `flight'`, `s_1_p`)
+/// without name clashes.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for a predicate name, interning it if new.
+  PredId InternPredicate(const std::string& name);
+  /// Returns the id of an existing predicate, or kNoPred.
+  PredId LookupPredicate(const std::string& name) const;
+  const std::string& PredicateName(PredId id) const;
+  bool HasPredicate(const std::string& name) const;
+
+  /// Interns `base` if unused, else `base`, `base_2`, `base_3`, ... —
+  /// used by transformations that must mint fresh predicates.
+  PredId FreshPredicate(const std::string& base);
+
+  /// Returns the id for a symbolic constant, interning it if new.
+  SymbolId InternSymbol(const std::string& name);
+  const std::string& SymbolName(SymbolId id) const;
+
+  int num_predicates() const { return static_cast<int>(pred_names_.size()); }
+
+  static constexpr PredId kNoPred = -1;
+
+ private:
+  std::map<std::string, PredId> pred_ids_;
+  std::vector<std::string> pred_names_;
+  std::map<std::string, SymbolId> symbol_ids_;
+  std::vector<std::string> symbol_names_;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_AST_SYMBOL_TABLE_H_

@@ -1,0 +1,14 @@
+#include "ast/term.h"
+
+namespace cqlopt {
+
+VarId ParsedTerm::AsPlainVar() const {
+  if (kind != Kind::kLinear) return kNoVar;
+  if (!linear.constant().is_zero()) return kNoVar;
+  const auto& coeffs = linear.coefficients();
+  if (coeffs.size() != 1) return kNoVar;
+  if (coeffs.begin()->second != Rational(1)) return kNoVar;
+  return coeffs.begin()->first;
+}
+
+}  // namespace cqlopt

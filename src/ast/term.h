@@ -1,0 +1,48 @@
+#ifndef CQLOPT_AST_TERM_H_
+#define CQLOPT_AST_TERM_H_
+
+#include <string>
+
+#include "constraint/linear_expr.h"
+#include "ast/symbol_table.h"
+
+namespace cqlopt {
+
+/// A parsed term: either a linear arithmetic expression over rule variables
+/// (covering plain variables, numbers, and arithmetic like `N-1` or
+/// `X1+X2`), or a symbolic constant like `madison`.
+///
+/// Terms exist only at parse level. Rule normalization (ast/normalize.h)
+/// flattens every literal argument to a bare variable, pushing numbers,
+/// symbols, repeated variables and arithmetic into the rule's constraint
+/// conjunction — e.g. `fib(N-1, X1)` becomes `fib(V, X1)` with `V = N - 1`.
+/// The paper performs the same normalization implicitly when it treats
+/// constraints as separate body conjuncts.
+struct ParsedTerm {
+  enum class Kind { kLinear, kSymbol };
+
+  static ParsedTerm Linear(LinearExpr expr) {
+    ParsedTerm t;
+    t.kind = Kind::kLinear;
+    t.linear = std::move(expr);
+    return t;
+  }
+  static ParsedTerm Symbol(SymbolId symbol) {
+    ParsedTerm t;
+    t.kind = Kind::kSymbol;
+    t.symbol = symbol;
+    return t;
+  }
+
+  /// If the term is exactly one variable (coefficient 1, no constant),
+  /// returns it; else kNoVar.
+  VarId AsPlainVar() const;
+
+  Kind kind = Kind::kLinear;
+  LinearExpr linear;
+  SymbolId symbol = -1;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_AST_TERM_H_

@@ -1,0 +1,57 @@
+#include "constraint/disjoint.h"
+
+namespace cqlopt {
+
+Result<ConstraintSet> MakeDisjoint(const ConstraintSet& set) {
+  for (const Conjunction& d : set.disjuncts()) {
+    if (!d.SymbolBindings().empty()) {
+      return Status::Unimplemented(
+          "MakeDisjoint over symbolic atoms: symbol equality has no "
+          "negation in the constraint language");
+    }
+  }
+  // result holds pairwise-disjoint conjunctions. For each new disjunct d we
+  // subtract every member r of result: d \ r expands to the disjoint pieces
+  //   d ∧ ¬t1, d ∧ t1 ∧ ¬t2, ..., d ∧ t1 ∧ ... ∧ t(k-1) ∧ ¬tk
+  // over r's atoms t1..tk, each ¬ti itself splitting into its negation
+  // pieces (two for equalities). Pieces of the same subtraction are disjoint
+  // by construction, and all are disjoint from r.
+  std::vector<Conjunction> result;
+  for (const Conjunction& d : set.disjuncts()) {
+    if (!d.IsSatisfiable()) continue;
+    std::vector<Conjunction> pieces = {d};
+    for (const Conjunction& r : result) {
+      std::vector<LinearConstraint> atoms = r.LinearWithEqualities();
+      std::vector<Conjunction> next;
+      for (const Conjunction& piece : pieces) {
+        Conjunction prefix = piece;  // piece ∧ t1 ∧ ... ∧ t(i-1)
+        for (size_t i = 0; i < atoms.size(); ++i) {
+          for (const LinearConstraint& neg : atoms[i].Negations()) {
+            Conjunction split = prefix;
+            CQLOPT_RETURN_IF_ERROR(split.AddLinear(neg));
+            if (split.IsSatisfiable()) next.push_back(std::move(split));
+          }
+          CQLOPT_RETURN_IF_ERROR(prefix.AddLinear(atoms[i]));
+          if (!prefix.IsSatisfiable()) break;
+        }
+        // The residue prefix == piece ∧ r is intentionally dropped: it is
+        // already covered by r.
+      }
+      pieces = std::move(next);
+      if (pieces.empty()) break;
+    }
+    for (Conjunction& piece : pieces) {
+      piece.Simplify();
+      result.push_back(std::move(piece));
+    }
+  }
+  ConstraintSet out;
+  for (Conjunction& c : result) {
+    // Do not use AddDisjunct's subsumption pruning here: the pieces are
+    // disjoint, so no piece implies another unless empty.
+    if (c.IsSatisfiable()) out.AddDisjunct(c);
+  }
+  return out;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,27 @@
+#ifndef CQLOPT_CONSTRAINT_DISJOINT_H_
+#define CQLOPT_CONSTRAINT_DISJOINT_H_
+
+#include "constraint/constraint_set.h"
+#include "util/status.h"
+
+namespace cqlopt {
+
+/// Rewrites `set` into an equivalent constraint set in which no two
+/// disjuncts have a satisfiable intersection (Section 4.6's first remedy for
+/// the multiple-derivations problem, per the paper's reference [13]).
+///
+/// When the propagated QRP constraint has pairwise-disjoint disjuncts,
+/// Theorem 4.4's third clause applies: the rewritten program makes a
+/// *subset* of the original program's derivations instead of potentially
+/// duplicating them. The price is a possibly exponential increase in the
+/// number of disjuncts (and hence rewritten rules), which
+/// bench_disjunct_tradeoff measures.
+///
+/// Only purely linear disjuncts are supported; symbolic atoms have no
+/// expressible negation in the constraint language, so their presence yields
+/// kUnimplemented.
+Result<ConstraintSet> MakeDisjoint(const ConstraintSet& set);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CONSTRAINT_DISJOINT_H_

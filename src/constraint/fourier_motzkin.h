@@ -1,0 +1,46 @@
+#ifndef CQLOPT_CONSTRAINT_FOURIER_MOTZKIN_H_
+#define CQLOPT_CONSTRAINT_FOURIER_MOTZKIN_H_
+
+#include <vector>
+
+#include "constraint/linear_constraint.h"
+
+namespace cqlopt {
+namespace fm {
+
+/// Exact quantifier elimination and satisfiability for conjunctions of
+/// linear arithmetic constraints over the rationals/reals, via
+/// Fourier–Motzkin elimination (the paper's reference [8], Lassez & Maher).
+///
+/// The paper's correctness proofs (Theorems 4.2, 4.5, 4.7) all hinge on
+/// "projection of linear arithmetic constraint sets can be done exactly";
+/// this module is that primitive.
+
+/// Decides satisfiability of the conjunction. Equalities are first removed
+/// by Gaussian substitution; remaining variables are eliminated by FM; the
+/// resulting variable-free constraints are evaluated.
+bool IsSatisfiable(const std::vector<LinearConstraint>& constraints);
+
+/// Projects the conjunction onto the complement of `eliminate`: the result
+/// mentions none of the eliminated variables and has exactly the solutions
+/// of `exists eliminate. constraints` (over the reals). The result may
+/// contain a trivially-false ground constraint when the input is
+/// unsatisfiable.
+std::vector<LinearConstraint> Eliminate(
+    std::vector<LinearConstraint> constraints,
+    const std::vector<VarId>& eliminate);
+
+/// Removes constraints implied by the remaining ones (including trivially
+/// true atoms). If the conjunction is unsatisfiable, returns a single
+/// trivially-false constraint. Result is sorted canonically.
+std::vector<LinearConstraint> RemoveRedundant(
+    std::vector<LinearConstraint> constraints);
+
+/// True iff `constraints` (conjoined) imply `atom`. Exact.
+bool ImpliesAtom(const std::vector<LinearConstraint>& constraints,
+                 const LinearConstraint& atom);
+
+}  // namespace fm
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CONSTRAINT_FOURIER_MOTZKIN_H_

@@ -1,0 +1,109 @@
+#include "constraint/implication.h"
+
+#include "constraint/fourier_motzkin.h"
+
+namespace cqlopt {
+namespace {
+
+/// True iff `a` entails the variable equality u = v, either through its
+/// union–find or through its linear store.
+bool EntailsEquality(const Conjunction& a,
+                     const std::vector<LinearConstraint>& a_atoms, VarId u,
+                     VarId v) {
+  if (a.Find(u) == a.Find(v)) return true;
+  LinearExpr diff = LinearExpr::Var(u) - LinearExpr::Var(v);
+  return fm::ImpliesAtom(a_atoms, LinearConstraint(diff, CmpOp::kEq));
+}
+
+/// True iff any disjunct contains a symbolic atom (binding or equality whose
+/// class is symbol-bound).
+bool HasSymbolicAtoms(const Conjunction& c) {
+  return !c.SymbolBindings().empty();
+}
+
+/// Recursive case split deciding unsatisfiability of
+///   base ∧ ¬disjuncts[idx] ∧ ... ∧ ¬disjuncts.back().
+/// Each ¬d expands into one branch per negation piece of each atom of d;
+/// the conjunction is unsatisfiable iff *every* branch is.
+bool RefuteAll(std::vector<LinearConstraint> base,
+               const std::vector<std::vector<LinearConstraint>>& disjuncts,
+               size_t idx) {
+  if (!fm::IsSatisfiable(base)) return true;
+  if (idx == disjuncts.size()) return false;
+  for (const LinearConstraint& atom : disjuncts[idx]) {
+    for (const LinearConstraint& piece : atom.Negations()) {
+      std::vector<LinearConstraint> branch = base;
+      branch.push_back(piece);
+      if (!RefuteAll(std::move(branch), disjuncts, idx + 1)) return false;
+    }
+  }
+  // A disjunct with no atoms is `true`; ¬true has no branches, so the
+  // conjunction base ∧ false is vacuously unsatisfiable — but only because
+  // the disjunct covers everything.
+  if (disjuncts[idx].empty()) return true;
+  return true;
+}
+
+}  // namespace
+
+bool Implies(const Conjunction& a, const Conjunction& b) {
+  if (!a.IsSatisfiable()) return true;
+  if (b.known_unsat()) return false;
+  std::vector<LinearConstraint> a_atoms = a.LinearWithEqualities();
+  // Symbol bindings of b must be entailed syntactically.
+  for (const auto& [root, symbol] : b.SymbolBindings()) {
+    auto bound = a.GetSymbol(root);
+    if (!bound.has_value() || *bound != symbol) return false;
+  }
+  // Variable equalities of b.
+  for (const auto& [member, root] : b.EqualityPairs()) {
+    // If the class is symbol-bound in b, entailment must be via symbols.
+    if (b.GetSymbol(root).has_value()) {
+      auto sa = a.GetSymbol(member);
+      auto sb = a.GetSymbol(root);
+      if (a.Find(member) == a.Find(root)) continue;
+      if (sa.has_value() && sb.has_value() && *sa == *sb) continue;
+      return false;
+    }
+    if (!EntailsEquality(a, a_atoms, member, root)) return false;
+  }
+  // Linear atoms of b.
+  for (const LinearConstraint& atom : b.linear()) {
+    if (!fm::ImpliesAtom(a_atoms, atom)) return false;
+  }
+  return true;
+}
+
+bool ImpliesDisjunction(const Conjunction& a,
+                        const std::vector<Conjunction>& disjuncts) {
+  if (!a.IsSatisfiable()) return true;
+  std::vector<const Conjunction*> live;
+  for (const Conjunction& d : disjuncts) {
+    if (d.IsSatisfiable()) live.push_back(&d);
+  }
+  if (live.empty()) return false;
+  // Fast path / fallback for symbolic content: per-disjunct implication.
+  for (const Conjunction* d : live) {
+    if (Implies(a, *d)) return true;
+  }
+  for (const Conjunction* d : live) {
+    if (HasSymbolicAtoms(*d)) return false;  // Conservative (see header).
+  }
+  if (!a.SymbolBindings().empty()) {
+    // Sound to ignore a's symbolic atoms: they only restrict a further.
+    // Fall through and decide on the linear parts (may be conservative in
+    // principle, but symbols cannot satisfy linear atoms anyway).
+  }
+  std::vector<std::vector<LinearConstraint>> negatable;
+  negatable.reserve(live.size());
+  for (const Conjunction* d : live) {
+    negatable.push_back(d->LinearWithEqualities());
+  }
+  return RefuteAll(a.LinearWithEqualities(), negatable, 0);
+}
+
+bool Equivalent(const Conjunction& a, const Conjunction& b) {
+  return Implies(a, b) && Implies(b, a);
+}
+
+}  // namespace cqlopt

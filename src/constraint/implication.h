@@ -1,0 +1,35 @@
+#ifndef CQLOPT_CONSTRAINT_IMPLICATION_H_
+#define CQLOPT_CONSTRAINT_IMPLICATION_H_
+
+#include <vector>
+
+#include "constraint/conjunction.h"
+
+namespace cqlopt {
+
+/// Implication checking between constraint sets (Definition 2.3's ⊐
+/// relation), the primitive behind subsumption of constraint facts,
+/// redundant-disjunct elimination, and the fixpoint tests of procedures
+/// Gen_predicate_constraints and Gen_QRP_constraints.
+///
+/// For purely linear constraints the checks are exact (via Fourier–Motzkin,
+/// per the paper's reference [13]). Symbolic atoms (X = madison) carry no
+/// arithmetic theory; for them entailment is decided syntactically, which is
+/// exact for the fragment the language can express (there are no symbol
+/// disequalities). When a *disjunction* on the right-hand side contains
+/// symbolic atoms, the check degrades to per-disjunct implication — sound
+/// (never claims implication that does not hold) but not complete.
+
+/// True iff every solution of `a` is a solution of `b`.
+bool Implies(const Conjunction& a, const Conjunction& b);
+
+/// True iff every solution of `a` satisfies some disjunct.
+bool ImpliesDisjunction(const Conjunction& a,
+                        const std::vector<Conjunction>& disjuncts);
+
+/// True iff `a` and `b` have the same solutions.
+bool Equivalent(const Conjunction& a, const Conjunction& b);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CONSTRAINT_IMPLICATION_H_

@@ -1,0 +1,137 @@
+#include "constraint/linear_constraint.h"
+
+namespace cqlopt {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+LinearConstraint::LinearConstraint(LinearExpr expr, CmpOp op)
+    : expr_(std::move(expr)), op_(op) {
+  Canonicalize();
+}
+
+LinearConstraint LinearConstraint::Make(const LinearExpr& lhs,
+                                        const std::string& op,
+                                        const LinearExpr& rhs) {
+  if (op == "<=") return LinearConstraint(lhs - rhs, CmpOp::kLe);
+  if (op == "<") return LinearConstraint(lhs - rhs, CmpOp::kLt);
+  if (op == ">=") return LinearConstraint(rhs - lhs, CmpOp::kLe);
+  if (op == ">") return LinearConstraint(rhs - lhs, CmpOp::kLt);
+  return LinearConstraint(lhs - rhs, CmpOp::kEq);
+}
+
+void LinearConstraint::Canonicalize() {
+  if (expr_.coefficients().empty()) return;
+  // Scale so all coefficients and the constant become integers with gcd 1.
+  BigInt den_lcm(1);
+  for (const auto& [v, c] : expr_.coefficients()) {
+    BigInt g = BigInt::Gcd(den_lcm, c.denominator());
+    den_lcm = den_lcm / g * c.denominator();
+  }
+  {
+    BigInt g = BigInt::Gcd(den_lcm, expr_.constant().denominator());
+    den_lcm = den_lcm / g * expr_.constant().denominator();
+  }
+  LinearExpr scaled = expr_.Scale(Rational(den_lcm, BigInt(1)));
+  BigInt num_gcd(0);
+  for (const auto& [v, c] : scaled.coefficients()) {
+    num_gcd = BigInt::Gcd(num_gcd, c.numerator());
+  }
+  num_gcd = BigInt::Gcd(num_gcd, scaled.constant().numerator());
+  if (!num_gcd.is_zero() && num_gcd != BigInt(1)) {
+    scaled = scaled.Scale(Rational(BigInt(1), num_gcd));
+  }
+  // For equalities, pick the orientation with a positive leading coefficient.
+  if (op_ == CmpOp::kEq) {
+    const auto& coeffs = scaled.coefficients();
+    if (!coeffs.empty() && coeffs.begin()->second.is_negative()) {
+      scaled = -scaled;
+    }
+  }
+  expr_ = std::move(scaled);
+}
+
+bool LinearConstraint::GroundValue() const {
+  int sign = expr_.constant().sign();
+  switch (op_) {
+    case CmpOp::kLe:
+      return sign <= 0;
+    case CmpOp::kLt:
+      return sign < 0;
+    case CmpOp::kEq:
+      return sign == 0;
+  }
+  return false;
+}
+
+LinearConstraint LinearConstraint::Substitute(
+    VarId v, const LinearExpr& replacement) const {
+  return LinearConstraint(expr_.Substitute(v, replacement), op_);
+}
+
+LinearConstraint LinearConstraint::Rename(
+    const std::map<VarId, VarId>& mapping) const {
+  return LinearConstraint(expr_.Rename(mapping), op_);
+}
+
+std::vector<LinearConstraint> LinearConstraint::Negations() const {
+  switch (op_) {
+    case CmpOp::kLe:
+      return {LinearConstraint(-expr_, CmpOp::kLt)};
+    case CmpOp::kLt:
+      return {LinearConstraint(-expr_, CmpOp::kLe)};
+    case CmpOp::kEq:
+      return {LinearConstraint(expr_, CmpOp::kLt),
+              LinearConstraint(-expr_, CmpOp::kLt)};
+  }
+  return {};
+}
+
+bool LinearConstraint::operator<(const LinearConstraint& other) const {
+  if (op_ != other.op_) return op_ < other.op_;
+  const auto& a = expr_.coefficients();
+  const auto& b = other.expr_.coefficients();
+  if (a.size() != b.size()) return a.size() < b.size();
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    if (ita->first != itb->first) return ita->first < itb->first;
+    int cmp = ita->second.Compare(itb->second);
+    if (cmp != 0) return cmp < 0;
+  }
+  return expr_.constant() < other.expr_.constant();
+}
+
+std::string LinearConstraint::ToString() const {
+  return expr_.ToString() + " " + CmpOpName(op_) + " 0";
+}
+
+std::string LinearConstraint::ToPrettyString() const {
+  // Move the constant to the right-hand side: expr' op -constant. When every
+  // variable coefficient is negative, flip the whole inequality so e.g.
+  // `-X < 0` prints as `X > 0`.
+  LinearExpr lhs = expr_;
+  bool flip = op_ != CmpOp::kEq && !lhs.coefficients().empty();
+  for (const auto& [v, c] : lhs.coefficients()) {
+    if (!c.is_negative()) flip = false;
+  }
+  const char* op_name = CmpOpName(op_);
+  if (flip) {
+    lhs = -lhs;
+    op_name = op_ == CmpOp::kLe ? ">=" : ">";
+  }
+  Rational rhs = -lhs.constant();
+  lhs.AddConstant(rhs);  // Zero out the constant term.
+  return lhs.ToString() + " " + op_name + " " + rhs.ToString();
+}
+
+}  // namespace cqlopt

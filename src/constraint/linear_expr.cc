@@ -1,0 +1,114 @@
+#include "constraint/linear_expr.h"
+
+namespace cqlopt {
+
+LinearExpr LinearExpr::Var(VarId v) {
+  LinearExpr expr;
+  expr.Add(v, Rational(1));
+  return expr;
+}
+
+Rational LinearExpr::CoefficientOf(VarId v) const {
+  auto it = coeffs_.find(v);
+  return it == coeffs_.end() ? Rational(0) : it->second;
+}
+
+void LinearExpr::Add(VarId v, const Rational& coeff) {
+  if (coeff.is_zero()) return;
+  auto [it, inserted] = coeffs_.emplace(v, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second.is_zero()) coeffs_.erase(it);
+  }
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr& other) const {
+  LinearExpr out = *this;
+  for (const auto& [v, c] : other.coeffs_) out.Add(v, c);
+  out.constant_ += other.constant_;
+  return out;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr& other) const {
+  LinearExpr out = *this;
+  for (const auto& [v, c] : other.coeffs_) out.Add(v, -c);
+  out.constant_ -= other.constant_;
+  return out;
+}
+
+LinearExpr LinearExpr::operator-() const {
+  LinearExpr out;
+  for (const auto& [v, c] : coeffs_) out.coeffs_.emplace(v, -c);
+  out.constant_ = -constant_;
+  return out;
+}
+
+LinearExpr LinearExpr::Scale(const Rational& factor) const {
+  LinearExpr out;
+  if (factor.is_zero()) return out;
+  for (const auto& [v, c] : coeffs_) out.coeffs_.emplace(v, c * factor);
+  out.constant_ = constant_ * factor;
+  return out;
+}
+
+LinearExpr LinearExpr::Substitute(VarId v, const LinearExpr& replacement) const {
+  auto it = coeffs_.find(v);
+  if (it == coeffs_.end()) return *this;
+  Rational coeff = it->second;
+  LinearExpr out = *this;
+  out.coeffs_.erase(v);
+  return out + replacement.Scale(coeff);
+}
+
+LinearExpr LinearExpr::Rename(const std::map<VarId, VarId>& mapping) const {
+  LinearExpr out;
+  out.constant_ = constant_;
+  for (const auto& [v, c] : coeffs_) {
+    auto it = mapping.find(v);
+    out.Add(it == mapping.end() ? v : it->second, c);
+  }
+  return out;
+}
+
+std::vector<VarId> LinearExpr::Vars() const {
+  std::vector<VarId> out;
+  out.reserve(coeffs_.size());
+  for (const auto& [v, c] : coeffs_) out.push_back(v);
+  return out;
+}
+
+std::string LinearExpr::ToString() const {
+  std::string out;
+  for (const auto& [v, c] : coeffs_) {
+    if (out.empty()) {
+      if (c == Rational(1)) {
+        out += VarName(v);
+      } else if (c == Rational(-1)) {
+        out += "-" + VarName(v);
+      } else {
+        out += c.ToString() + "*" + VarName(v);
+      }
+    } else {
+      if (c.is_negative()) {
+        Rational abs = c.Abs();
+        out += " - ";
+        if (abs != Rational(1)) out += abs.ToString() + "*";
+      } else {
+        out += " + ";
+        if (c != Rational(1)) out += c.ToString() + "*";
+      }
+      out += VarName(v);
+    }
+  }
+  if (out.empty()) return constant_.ToString();
+  if (!constant_.is_zero()) {
+    if (constant_.is_negative()) {
+      out += " - " + constant_.Abs().ToString();
+    } else {
+      out += " + " + constant_.ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,73 @@
+#ifndef CQLOPT_CONSTRAINT_LINEAR_EXPR_H_
+#define CQLOPT_CONSTRAINT_LINEAR_EXPR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraint/variable.h"
+#include "util/rational.h"
+
+namespace cqlopt {
+
+/// A linear expression `a1*X1 + ... + an*Xn + c` with exact rational
+/// coefficients (Definition 2.1 allows exactly this form on either side of a
+/// comparison operator).
+///
+/// Stored as an ordered map VarId -> coefficient (zero coefficients are never
+/// stored) plus a constant, so expressions have a canonical representation
+/// and compare structurally.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  explicit LinearExpr(Rational constant) : constant_(std::move(constant)) {}
+
+  /// The expression `1*v`.
+  static LinearExpr Var(VarId v);
+  /// The expression `c`.
+  static LinearExpr Constant(Rational c) { return LinearExpr(std::move(c)); }
+
+  const std::map<VarId, Rational>& coefficients() const { return coeffs_; }
+  const Rational& constant() const { return constant_; }
+
+  /// Coefficient of `v` (zero if absent).
+  Rational CoefficientOf(VarId v) const;
+
+  bool is_constant() const { return coeffs_.empty(); }
+
+  /// Adds `coeff * v`; erases the entry if the result is zero.
+  void Add(VarId v, const Rational& coeff);
+  void AddConstant(const Rational& c) { constant_ += c; }
+
+  LinearExpr operator+(const LinearExpr& other) const;
+  LinearExpr operator-(const LinearExpr& other) const;
+  LinearExpr operator-() const;
+  /// Scales every coefficient and the constant by `factor`.
+  LinearExpr Scale(const Rational& factor) const;
+
+  /// Replaces `v` by `replacement` (used by Gaussian elimination of
+  /// equalities and by substitution during rule instantiation).
+  LinearExpr Substitute(VarId v, const LinearExpr& replacement) const;
+
+  /// Renames variables via `mapping`; ids absent from the map are unchanged.
+  LinearExpr Rename(const std::map<VarId, VarId>& mapping) const;
+
+  /// Sorted list of variables with nonzero coefficients.
+  std::vector<VarId> Vars() const;
+
+  bool operator==(const LinearExpr& other) const {
+    return constant_ == other.constant_ && coeffs_ == other.coeffs_;
+  }
+  bool operator!=(const LinearExpr& other) const { return !(*this == other); }
+
+  /// E.g. "2*$1 - $3 + 5".
+  std::string ToString() const;
+
+ private:
+  std::map<VarId, Rational> coeffs_;
+  Rational constant_;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CONSTRAINT_LINEAR_EXPR_H_

@@ -1,0 +1,21 @@
+#include "constraint/variable.h"
+
+#include <algorithm>
+
+namespace cqlopt {
+
+std::string VarName(VarId v) {
+  if (v >= 1 && v < 1024) return "$" + std::to_string(v);
+  return "v" + std::to_string(v);
+}
+
+std::vector<VarId> VarUnion(const std::vector<VarId>& a,
+                            const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace cqlopt

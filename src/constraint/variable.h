@@ -1,0 +1,51 @@
+#ifndef CQLOPT_CONSTRAINT_VARIABLE_H_
+#define CQLOPT_CONSTRAINT_VARIABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cqlopt {
+
+/// Identifier of a constraint variable.
+///
+/// The constraint layer does not interpret variable identities; callers
+/// choose the id space. Two conventions are used above this layer:
+///  - *argument-position form* (the paper's `$i` notation): a constraint on
+///    the arguments of an arity-n predicate uses VarIds 1..n;
+///  - *rule form*: each rule's variables are interned per-rule (see
+///    ast/rule.h) and mapped into fresh ids during evaluation.
+using VarId = int;
+
+/// Sentinel for "no variable".
+inline constexpr VarId kNoVar = -1;
+
+/// Allocates fresh, never-reused variable ids, starting above a floor so
+/// fresh ids never collide with argument-position ids.
+class VarAllocator {
+ public:
+  explicit VarAllocator(VarId floor = 1024) : next_(floor) {}
+
+  VarId Fresh() { return next_++; }
+
+  /// Allocates `n` consecutive fresh ids and returns the first.
+  VarId FreshBlock(int n) {
+    VarId first = next_;
+    next_ += n;
+    return first;
+  }
+
+ private:
+  VarId next_;
+};
+
+/// Renders a variable id for diagnostics: argument positions as `$i`,
+/// other ids as `v<i>`.
+std::string VarName(VarId v);
+
+/// Sorted, deduplicated union of two sorted VarId vectors.
+std::vector<VarId> VarUnion(const std::vector<VarId>& a,
+                            const std::vector<VarId>& b);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CONSTRAINT_VARIABLE_H_

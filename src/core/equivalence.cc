@@ -1,0 +1,38 @@
+#include "core/equivalence.h"
+
+#include "ast/arg_map.h"
+#include "constraint/implication.h"
+
+namespace cqlopt {
+
+Result<std::vector<Fact>> QueryAnswers(const EvalResult& result,
+                                       const Query& query) {
+  std::vector<Fact> answers;
+  const Relation* rel = result.db.Find(query.literal.pred);
+  if (rel == nullptr) return answers;
+  CQLOPT_ASSIGN_OR_RETURN(Conjunction filter,
+                          LtopConjunction(query.literal, query.constraints));
+  for (const Relation::Entry& entry : rel->entries()) {
+    Fact answer = entry.fact;
+    CQLOPT_RETURN_IF_ERROR(answer.constraint.AddConjunction(filter));
+    if (!answer.constraint.IsSatisfiable()) continue;
+    answer.constraint.Simplify();
+    answers.push_back(std::move(answer));
+  }
+  return answers;
+}
+
+bool SameAnswers(const std::vector<Fact>& a, const std::vector<Fact>& b) {
+  auto covered = [](const std::vector<Fact>& xs, const std::vector<Fact>& ys) {
+    std::vector<Conjunction> ys_c;
+    ys_c.reserve(ys.size());
+    for (const Fact& y : ys) ys_c.push_back(y.constraint);
+    for (const Fact& x : xs) {
+      if (!ImpliesDisjunction(x.constraint, ys_c)) return false;
+    }
+    return true;
+  };
+  return covered(a, b) && covered(b, a);
+}
+
+}  // namespace cqlopt

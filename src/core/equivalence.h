@@ -1,0 +1,25 @@
+#ifndef CQLOPT_CORE_EQUIVALENCE_H_
+#define CQLOPT_CORE_EQUIVALENCE_H_
+
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/seminaive.h"
+
+namespace cqlopt {
+
+/// Extracts the answers to `query` from an evaluation result: the facts of
+/// the query's predicate conjoined with the query's constraints
+/// (unsatisfiable combinations dropped).
+Result<std::vector<Fact>> QueryAnswers(const EvalResult& result,
+                                       const Query& query);
+
+/// True iff two answer sets denote the same set of ground facts: every fact
+/// of `a` is covered by the disjunction of `b`'s facts and vice versa. This
+/// is how the paper's query-equivalence statements (Theorems 4.3, 6.2,
+/// 7.x) are checked empirically across rewritten programs.
+bool SameAnswers(const std::vector<Fact>& a, const std::vector<Fact>& b);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CORE_EQUIVALENCE_H_

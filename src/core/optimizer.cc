@@ -1,0 +1,39 @@
+#include "core/optimizer.h"
+
+#include "ast/parser.h"
+
+namespace cqlopt {
+
+Result<Optimizer> Optimizer::FromText(const std::string& program_text) {
+  CQLOPT_ASSIGN_OR_RETURN(ParseResult parsed, ParseProgram(program_text));
+  Optimizer opt(std::move(parsed.program));
+  opt.queries_ = std::move(parsed.queries);
+  return opt;
+}
+
+Result<Query> Optimizer::ParseQuery(const std::string& query_text) {
+  return ParseQueryText(query_text, &program_);
+}
+
+Result<PipelineResult> Optimizer::Rewrite(const Query& query,
+                                          const std::string& steps,
+                                          const PipelineOptions& options) const {
+  CQLOPT_ASSIGN_OR_RETURN(std::vector<RewriteStep> parsed, ParseSteps(steps));
+  return ApplyPipeline(program_, query, parsed, options);
+}
+
+Result<ConstraintRewriteResult> Optimizer::RewriteForPredicate(
+    PredId query_pred, const ConstraintRewriteOptions& options) const {
+  return ConstraintRewrite(program_, query_pred, options);
+}
+
+Result<GmtResult> Optimizer::Gmt(const Query& query) const {
+  return GmtTransform(program_, query);
+}
+
+Result<EvalResult> Optimizer::Run(const Program& program, const Database& edb,
+                                  const EvalOptions& options) const {
+  return Evaluate(program, edb, options);
+}
+
+}  // namespace cqlopt

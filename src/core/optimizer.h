@@ -1,0 +1,65 @@
+#ifndef CQLOPT_CORE_OPTIMIZER_H_
+#define CQLOPT_CORE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/equivalence.h"
+#include "transform/gmt.h"
+#include "transform/pipeline.h"
+
+namespace cqlopt {
+
+/// The library facade: parse a CQL program, rewrite it with a named
+/// transformation sequence, and evaluate it bottom-up.
+///
+/// Typical use (see examples/quickstart.cc):
+///
+///   CQLOPT_ASSIGN_OR_RETURN(Optimizer opt, Optimizer::FromText(src));
+///   CQLOPT_ASSIGN_OR_RETURN(Query q,
+///       opt.ParseQuery("?- cheaporshort(madison, seattle, T, C)."));
+///   CQLOPT_ASSIGN_OR_RETURN(PipelineResult rewritten,
+///       opt.Rewrite(q, "pred,qrp,mg"));
+///   CQLOPT_ASSIGN_OR_RETURN(EvalResult run,
+///       opt.Run(rewritten.program, edb));
+///   auto answers = QueryAnswers(run, rewritten.query);
+class Optimizer {
+ public:
+  /// Parses `program_text`; inline `?- ...` statements become the default
+  /// queries (retrievable via queries()).
+  static Result<Optimizer> FromText(const std::string& program_text);
+
+  const Program& program() const { return program_; }
+  const std::vector<Query>& queries() const { return queries_; }
+  SymbolTable* symbols() { return program_.symbols.get(); }
+
+  /// Parses a query against this program.
+  Result<Query> ParseQuery(const std::string& query_text);
+
+  /// Applies a Section 7 transformation sequence, e.g. "pred,qrp,mg",
+  /// "mg,qrp", "balbin" (see ParseSteps).
+  Result<PipelineResult> Rewrite(const Query& query, const std::string& steps,
+                                 const PipelineOptions& options = {}) const;
+
+  /// Procedure Constraint_rewrite (Section 4.5) against a query predicate.
+  Result<ConstraintRewriteResult> RewriteForPredicate(
+      PredId query_pred, const ConstraintRewriteOptions& options = {}) const;
+
+  /// The GMT pipeline (Section 6.2).
+  Result<GmtResult> Gmt(const Query& query) const;
+
+  /// Bottom-up evaluation of any program sharing this optimizer's symbol
+  /// table.
+  Result<EvalResult> Run(const Program& program, const Database& edb,
+                         const EvalOptions& options = {}) const;
+
+ private:
+  explicit Optimizer(Program program) : program_(std::move(program)) {}
+
+  Program program_;
+  std::vector<Query> queries_;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CORE_OPTIMIZER_H_

@@ -1,0 +1,73 @@
+#include "core/workload.h"
+
+#include <random>
+#include <utility>
+
+namespace cqlopt {
+
+Status AddFlightNetwork(SymbolTable* symbols, const FlightNetworkSpec& spec,
+                        Database* db) {
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<int> airport(0, spec.airports - 1);
+  std::uniform_int_distribution<int> time(spec.time_min, spec.time_max);
+  std::uniform_int_distribution<int> cost(spec.cost_min, spec.cost_max);
+  for (int i = 0; i < spec.legs; ++i) {
+    int src = airport(rng);
+    int dst = airport(rng);
+    if (dst == src) dst = (dst + 1) % spec.airports;
+    if (spec.acyclic && src > dst) std::swap(src, dst);
+    CQLOPT_RETURN_IF_ERROR(db->AddGroundFact(
+        symbols, "singleleg",
+        {Database::Value::Symbol("a" + std::to_string(src)),
+         Database::Value::Symbol("a" + std::to_string(dst)),
+         Database::Value::Number(Rational(time(rng))),
+         Database::Value::Number(Rational(cost(rng)))}));
+  }
+  return Status::OK();
+}
+
+Status AddBinaryRelation(SymbolTable* symbols, const std::string& pred,
+                         int count, int domain, uint64_t seed, Database* db) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> value(0, domain - 1);
+  for (int i = 0; i < count; ++i) {
+    CQLOPT_RETURN_IF_ERROR(db->AddGroundFact(
+        symbols, pred,
+        {Database::Value::Number(Rational(value(rng))),
+         Database::Value::Number(Rational(value(rng)))}));
+  }
+  return Status::OK();
+}
+
+Status AddUnaryRelation(SymbolTable* symbols, const std::string& pred,
+                        int count, int domain, uint64_t seed, Database* db) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> value(0, domain - 1);
+  for (int i = 0; i < count; ++i) {
+    CQLOPT_RETURN_IF_ERROR(db->AddGroundFact(
+        symbols, pred, {Database::Value::Number(Rational(value(rng)))}));
+  }
+  return Status::OK();
+}
+
+Status AddLayeredGraph(SymbolTable* symbols, const std::string& pred,
+                       int layers, int width, int fanout, uint64_t seed,
+                       Database* db) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, width - 1);
+  for (int layer = 0; layer + 1 < layers; ++layer) {
+    for (int node = 0; node < width; ++node) {
+      int u = layer * width + node;
+      for (int k = 0; k < fanout; ++k) {
+        int v = (layer + 1) * width + pick(rng);
+        CQLOPT_RETURN_IF_ERROR(db->AddGroundFact(
+            symbols, pred,
+            {Database::Value::Number(Rational(u)),
+             Database::Value::Number(Rational(v))}));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,59 @@
+#ifndef CQLOPT_CORE_WORKLOAD_H_
+#define CQLOPT_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "eval/database.h"
+
+namespace cqlopt {
+
+/// Synthetic EDB generators used by the benchmark harnesses (the paper's
+/// examples come with tiny hand EDBs; these scale them so the fact-count
+/// comparisons of Sections 4 and 7 show their shape). All generators are
+/// deterministic in `seed`.
+
+/// Parameters of a random flight network for the Example 1.1/4.3 workload:
+/// `singleleg(src, dst, time, cost)` tuples over `airports` symbolic
+/// airports. Times are uniform in [time_min, time_max] and costs in
+/// [cost_min, cost_max] — spreading well past the query's selections
+/// (time <= 240, cost <= 150) so constraint pushing has facts to prune.
+struct FlightNetworkSpec {
+  int airports = 16;
+  int legs = 48;
+  int time_min = 30;
+  int time_max = 600;
+  int cost_min = 20;
+  int cost_max = 400;
+  uint64_t seed = 42;
+  /// When true (default), legs only go from lower- to higher-numbered
+  /// airports. A cyclic network makes the recursive flight rule derive
+  /// paths of unbounded length (each lap adds time and cost, so every lap
+  /// is a new fact) — the evaluation would only stop at the iteration cap.
+  bool acyclic = true;
+};
+
+/// Appends a random flight network to `db`.
+Status AddFlightNetwork(SymbolTable* symbols, const FlightNetworkSpec& spec,
+                        Database* db);
+
+/// Appends `count` random tuples of a binary relation `pred` over the
+/// integer domain [0, domain): the b1/b2/p EDBs of Examples 4.1, 4.2, 7.1,
+/// and 7.2.
+Status AddBinaryRelation(SymbolTable* symbols, const std::string& pred,
+                         int count, int domain, uint64_t seed, Database* db);
+
+/// Appends `count` random tuples of a unary relation over [0, domain).
+Status AddUnaryRelation(SymbolTable* symbols, const std::string& pred,
+                        int count, int domain, uint64_t seed, Database* db);
+
+/// Appends an `edge(u, v)`-style layered graph useful for transitive
+/// closure workloads: `layers` layers of `width` numeric nodes, every node
+/// connected to `fanout` nodes of the next layer. Node ids are numeric.
+Status AddLayeredGraph(SymbolTable* symbols, const std::string& pred,
+                       int layers, int width, int fanout, uint64_t seed,
+                       Database* db);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CORE_WORKLOAD_H_

@@ -1,0 +1,64 @@
+#ifndef CQLOPT_EVAL_DATABASE_H_
+#define CQLOPT_EVAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/relation.h"
+#include "util/rational.h"
+
+namespace cqlopt {
+
+/// A finite set of relations (Section 2's database). Holds EDB facts given
+/// as input and, during evaluation, the derived facts as well.
+class Database {
+ public:
+  Database() = default;
+
+  /// Inserts a fact; convenience for EDB loading (birth -1, no
+  /// subsumption pruning so the EDB is taken verbatim).
+  InsertOutcome AddFact(Fact fact) {
+    return relations_[fact.pred].Insert(std::move(fact), /*birth=*/-1,
+                                        SubsumptionMode::kNone);
+  }
+
+  InsertOutcome AddFact(Fact fact, int birth, SubsumptionMode mode,
+                        std::string rule_label = "",
+                        std::vector<Relation::FactRef> parents = {}) {
+    return relations_[fact.pred].Insert(std::move(fact), birth, mode,
+                                        std::move(rule_label),
+                                        std::move(parents));
+  }
+
+  /// Builds and inserts a ground fact from argument values, each either a
+  /// number or a symbolic constant name (interned via `symbols`).
+  struct Value {
+    static Value Number(Rational r) { return Value{false, std::move(r), ""}; }
+    static Value Symbol(std::string name) {
+      return Value{true, Rational(0), std::move(name)};
+    }
+    bool is_symbol;
+    Rational number;
+    std::string symbol;
+  };
+  Status AddGroundFact(SymbolTable* symbols, const std::string& pred_name,
+                       const std::vector<Value>& values);
+
+  const Relation* Find(PredId pred) const;
+  Relation* FindMutable(PredId pred) { return &relations_[pred]; }
+  const std::map<PredId, Relation>& relations() const { return relations_; }
+
+  size_t TotalFacts() const;
+  size_t FactsFor(PredId pred) const;
+
+  /// True if every stored fact is ground (Theorem 4.4's property).
+  bool AllGround() const;
+
+ private:
+  std::map<PredId, Relation> relations_;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_EVAL_DATABASE_H_

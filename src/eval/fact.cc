@@ -1,0 +1,43 @@
+#include "eval/fact.h"
+
+namespace cqlopt {
+
+bool Fact::IsGround() const {
+  std::vector<VarId> positions;
+  positions.reserve(static_cast<size_t>(arity));
+  for (int i = 1; i <= arity; ++i) positions.push_back(i);
+  return constraint.IsGroundOver(positions);
+}
+
+std::string Fact::Key() const {
+  return std::to_string(pred) + "/" + std::to_string(arity) + ":" +
+         constraint.ToString();
+}
+
+std::string Fact::ToString(const SymbolTable& symbols) const {
+  std::string out = symbols.PredicateName(pred) + "(";
+  std::vector<VarId> residual;
+  for (int i = 1; i <= arity; ++i) {
+    if (i > 1) out += ", ";
+    auto sym = constraint.GetSymbol(i);
+    if (sym.has_value()) {
+      out += symbols.SymbolName(*sym);
+      continue;
+    }
+    auto value = constraint.GetNumericValue(i);
+    if (value.has_value()) {
+      out += value->ToString();
+      continue;
+    }
+    out += "$" + std::to_string(i);
+    residual.push_back(i);
+  }
+  if (!residual.empty()) {
+    auto projected = constraint.Project(residual);
+    std::string cs = projected.ok() ? projected->ToString() : "?";
+    if (cs != "true") out += "; " + cs;
+  }
+  return out + ")";
+}
+
+}  // namespace cqlopt

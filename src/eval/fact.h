@@ -1,0 +1,41 @@
+#ifndef CQLOPT_EVAL_FACT_H_
+#define CQLOPT_EVAL_FACT_H_
+
+#include <string>
+
+#include "ast/symbol_table.h"
+#include "constraint/conjunction.h"
+
+namespace cqlopt {
+
+/// A constraint fact `p(X̄; C)` (Section 2): a predicate plus a conjunction
+/// of constraints over its argument positions (VarIds 1..arity). It finitely
+/// represents the — possibly infinite — set of ground facts satisfying C.
+/// A *ground* fact is the special case where every position is forced to a
+/// single symbol or number.
+struct Fact {
+  Fact() : pred(SymbolTable::kNoPred), arity(0) {}
+  Fact(PredId pred_in, int arity_in, Conjunction constraint_in)
+      : pred(pred_in), arity(arity_in), constraint(std::move(constraint_in)) {}
+
+  /// True if every argument position has a unique value.
+  bool IsGround() const;
+
+  /// Structural identity key: predicate id + canonical constraint string.
+  /// Structurally distinct but equivalent facts get different keys; the
+  /// subsumption check (relation.h) handles semantic duplicates.
+  std::string Key() const;
+
+  /// Paper-style rendering: `flight(madison, chicago, 50, 100)` for ground
+  /// facts, `m_fib(N1, V1; N1 > 0)` style (with $i shown for unbound
+  /// positions) otherwise.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  PredId pred;
+  int arity;
+  Conjunction constraint;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_EVAL_FACT_H_

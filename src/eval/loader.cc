@@ -1,0 +1,38 @@
+#include "eval/loader.h"
+
+#include "ast/arg_map.h"
+#include "ast/parser.h"
+
+namespace cqlopt {
+
+Result<int> LoadDatabaseText(const std::string& text,
+                             std::shared_ptr<SymbolTable> symbols,
+                             Database* db) {
+  CQLOPT_ASSIGN_OR_RETURN(ParseResult parsed,
+                          ParseProgram(text, std::move(symbols)));
+  if (!parsed.queries.empty()) {
+    return Status::InvalidArgument("database text must not contain queries");
+  }
+  int loaded = 0;
+  for (const Rule& rule : parsed.program.rules) {
+    if (!rule.IsConstraintFact()) {
+      return Status::InvalidArgument(
+          "database text must contain only facts; rule '" + rule.label +
+          "' has a body");
+    }
+    // Convert the head's variable-form constraints to argument-position
+    // form, exactly as a derived fact would be built.
+    CQLOPT_ASSIGN_OR_RETURN(Conjunction over_positions,
+                            LtopConjunction(rule.head, rule.constraints));
+    if (!over_positions.IsSatisfiable()) {
+      return Status::InvalidArgument("unsatisfiable fact in database text");
+    }
+    over_positions.Simplify();
+    db->AddFact(
+        Fact(rule.head.pred, rule.head.arity(), std::move(over_positions)));
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace cqlopt

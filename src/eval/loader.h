@@ -1,0 +1,27 @@
+#ifndef CQLOPT_EVAL_LOADER_H_
+#define CQLOPT_EVAL_LOADER_H_
+
+#include <memory>
+#include <string>
+
+#include "eval/database.h"
+
+namespace cqlopt {
+
+/// Loads an extensional database from text in the program syntax: a
+/// sequence of facts such as
+///
+///   singleleg(msn, ord, 50, 80).
+///   b1(3, 7).
+///
+/// Every statement must be a body-free rule; non-ground constraint facts
+/// (e.g. `m_fib(N, 5).`) are accepted too — they load as constraint facts
+/// with birth -1, exactly like programmatic AddFact. Predicates and symbols
+/// are interned into `symbols`. Returns the number of facts loaded.
+Result<int> LoadDatabaseText(const std::string& text,
+                             std::shared_ptr<SymbolTable> symbols,
+                             Database* db);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_EVAL_LOADER_H_

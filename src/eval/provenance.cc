@@ -1,0 +1,77 @@
+#include "eval/provenance.h"
+
+namespace cqlopt {
+namespace {
+
+Result<const Relation::Entry*> Lookup(const Database& db,
+                                      Relation::FactRef ref) {
+  const Relation* rel = db.Find(ref.pred);
+  if (rel == nullptr || ref.index >= rel->entries().size()) {
+    return Status::NotFound("no such fact: pred " + std::to_string(ref.pred) +
+                            " index " + std::to_string(ref.index));
+  }
+  return &rel->entries()[ref.index];
+}
+
+Status RenderNode(const Database& db, Relation::FactRef ref,
+                  const SymbolTable& symbols, const std::string& prefix,
+                  bool is_last, bool is_root, std::string* out, int depth) {
+  if (depth > 256) {
+    return Status::Internal("derivation tree too deep (cycle?)");
+  }
+  CQLOPT_ASSIGN_OR_RETURN(const Relation::Entry* entry, Lookup(db, ref));
+  if (!is_root) {
+    *out += prefix;
+    *out += is_last ? "`- " : "|- ";
+  }
+  *out += entry->fact.ToString(symbols);
+  if (!entry->rule_label.empty()) *out += "  [" + entry->rule_label + "]";
+  *out += "\n";
+  std::string child_prefix =
+      is_root ? "" : prefix + (is_last ? "   " : "|  ");
+  for (size_t i = 0; i < entry->parents.size(); ++i) {
+    CQLOPT_RETURN_IF_ERROR(RenderNode(db, entry->parents[i], symbols,
+                                      child_prefix,
+                                      i + 1 == entry->parents.size(),
+                                      /*is_root=*/false, out, depth + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> RenderDerivationTree(const Database& db,
+                                         Relation::FactRef ref,
+                                         const SymbolTable& symbols) {
+  std::string out;
+  CQLOPT_RETURN_IF_ERROR(
+      RenderNode(db, ref, symbols, "", /*is_last=*/true, /*is_root=*/true,
+                 &out, /*depth=*/0));
+  return out;
+}
+
+Result<int> DerivationTreeSize(const Database& db, Relation::FactRef ref) {
+  CQLOPT_ASSIGN_OR_RETURN(const Relation::Entry* entry, Lookup(db, ref));
+  int size = 1;
+  for (const Relation::FactRef& parent : entry->parents) {
+    CQLOPT_ASSIGN_OR_RETURN(int child, DerivationTreeSize(db, parent));
+    size += child;
+  }
+  return size;
+}
+
+std::optional<Relation::FactRef> FindFactByText(const Database& db,
+                                                PredId pred,
+                                                const std::string& text,
+                                                const SymbolTable& symbols) {
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) return std::nullopt;
+  for (size_t i = 0; i < rel->entries().size(); ++i) {
+    if (rel->entries()[i].fact.ToString(symbols) == text) {
+      return Relation::FactRef{pred, i};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace cqlopt

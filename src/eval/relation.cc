@@ -1,0 +1,60 @@
+#include "eval/relation.h"
+
+#include "constraint/implication.h"
+
+namespace cqlopt {
+
+InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
+                               std::string rule_label,
+                               std::vector<FactRef> parents) {
+  std::string key = fact.Key();
+  if (keys_.count(key) > 0) return InsertOutcome::kDuplicate;
+  bool ground = fact.IsGround();
+  if (mode == SubsumptionMode::kSingleFact) {
+    for (const Entry& entry : entries_) {
+      // Fast path: a ground fact denotes a single point, so it can subsume
+      // another fact only if they are structurally identical — already
+      // excluded by the key check (facts are kept in canonical simplified
+      // form, see fm::RemoveRedundant's equality merging).
+      if (entry.ground && ground) continue;
+      if (entry.fact.pred != fact.pred || entry.fact.arity != fact.arity) {
+        continue;
+      }
+      if (Implies(fact.constraint, entry.fact.constraint)) {
+        return InsertOutcome::kSubsumed;
+      }
+    }
+  } else if (mode == SubsumptionMode::kSetImplication) {
+    std::vector<Conjunction> existing;
+    existing.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+      if (entry.fact.pred == fact.pred && entry.fact.arity == fact.arity) {
+        existing.push_back(entry.fact.constraint);
+      }
+    }
+    if (!existing.empty() &&
+        ImpliesDisjunction(fact.constraint, existing)) {
+      return InsertOutcome::kSubsumed;
+    }
+  }
+  std::vector<ArgSignature> signature;
+  signature.reserve(static_cast<size_t>(fact.arity));
+  for (int i = 1; i <= fact.arity; ++i) {
+    signature.push_back(ArgSignature{fact.constraint.GetSymbol(i),
+                                     fact.constraint.QuickNumericValue(i)});
+  }
+  keys_.insert(std::move(key));
+  entries_.push_back(Entry{std::move(fact), birth, ground,
+                           std::move(signature), std::move(rule_label),
+                           std::move(parents)});
+  return InsertOutcome::kInserted;
+}
+
+bool Relation::AllGround() const {
+  for (const Entry& entry : entries_) {
+    if (!entry.ground) return false;
+  }
+  return true;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,100 @@
+#ifndef CQLOPT_EVAL_RELATION_H_
+#define CQLOPT_EVAL_RELATION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/fact.h"
+
+namespace cqlopt {
+
+/// Duplicate-elimination policy applied when inserting a freshly derived
+/// fact (the "compared against previously generated p facts to check
+/// whether it is indeed a new fact" step of Section 2).
+enum class SubsumptionMode {
+  /// Only structurally identical facts are duplicates. Constraint facts
+  /// that are semantically subsumed survive — the ablation arm of
+  /// bench_flights; can prevent termination.
+  kNone,
+  /// A new fact is discarded when some single existing fact implies it —
+  /// the check the paper's Tables 1–2 apply (subsumed facts in boldface are
+  /// "discarded, and not used to make new derivations").
+  kSingleFact,
+  /// A new fact is discarded when the *disjunction* of the existing facts
+  /// implies it (exact set containment). Strictly stronger pruning than
+  /// kSingleFact — e.g. p(X; 0<=X<=10) is discarded given p(X; X<=5) and
+  /// p(X; X>=5) — at the cost of an exponential-in-principle case split
+  /// per check (constraint/implication.h). An extension beyond the paper,
+  /// which only discusses the single-fact check.
+  kSetImplication,
+};
+
+/// What happened to an inserted fact.
+enum class InsertOutcome {
+  kInserted,
+  kDuplicate,  // structurally identical fact already present
+  kSubsumed,   // implied by an existing fact (kSingleFact mode)
+};
+
+/// The set of facts of one predicate, each stamped with the iteration that
+/// derived it (EDB facts carry birth -1), supporting the semi-naive
+/// delta discipline.
+class Relation {
+ public:
+  /// Per-position quick values of a fact, computed once at insertion and
+  /// used as a join pre-filter: candidate facts whose directly-bound symbol
+  /// or number clashes with the accumulated join state are skipped without
+  /// touching the constraint machinery.
+  struct ArgSignature {
+    std::optional<SymbolId> symbol;
+    std::optional<Rational> number;
+  };
+
+  /// Reference to a fact in a database: predicate plus entry index.
+  struct FactRef {
+    PredId pred;
+    size_t index;
+  };
+
+  struct Entry {
+    Fact fact;
+    int birth;
+    /// Cached Fact::IsGround(), computed once at insertion: the
+    /// subsumption fast path relies on it (a ground fact cannot subsume a
+    /// distinct fact).
+    bool ground;
+    std::vector<ArgSignature> signature;
+    /// Provenance (Definition 2.2's derivation trees): the rule that
+    /// derived this fact and the body facts used, in body-literal order.
+    /// Empty rule label and parents for EDB facts.
+    std::string rule_label;
+    std::vector<FactRef> parents;
+  };
+
+  /// Attempts to insert; `birth` is the deriving iteration. `rule_label`
+  /// and `parents` record provenance (empty for EDB facts).
+  InsertOutcome Insert(Fact fact, int birth, SubsumptionMode mode,
+                       std::string rule_label = "",
+                       std::vector<FactRef> parents = {});
+
+  /// True if a structurally identical fact is stored.
+  bool ContainsKey(const std::string& key) const {
+    return keys_.count(key) > 0;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// True if every stored fact is ground.
+  bool AllGround() const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::set<std::string> keys_;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_EVAL_RELATION_H_

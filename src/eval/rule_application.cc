@@ -1,0 +1,118 @@
+#include "eval/rule_application.h"
+
+#include "ast/arg_map.h"
+
+namespace cqlopt {
+namespace {
+
+struct JoinContext {
+  const Rule* rule;
+  const Database* db;
+  int max_birth;
+  bool require_delta;
+  const EmitFn* emit;
+};
+
+Status EmitHead(const JoinContext& ctx, const Conjunction& accumulated,
+                const std::vector<Relation::FactRef>& parents) {
+  if (!accumulated.IsSatisfiable()) return Status::OK();
+  CQLOPT_ASSIGN_OR_RETURN(Conjunction head_constraint,
+                          LtopConjunction(ctx.rule->head, accumulated));
+  if (!head_constraint.IsSatisfiable()) return Status::OK();
+  // Canonical, redundancy-free constraints make subsumption checks cheaper
+  // and give facts the minimal rendering the paper's tables use.
+  head_constraint.Simplify();
+  return (*ctx.emit)(Fact(ctx.rule->head.pred, ctx.rule->head.arity(),
+                          std::move(head_constraint)),
+                     parents);
+}
+
+/// Recursion over body literals; `saw_delta` tracks whether any chosen fact
+/// was born exactly at max_birth; `parents` records the chosen facts.
+Status JoinFrom(const JoinContext& ctx, size_t index,
+                const Conjunction& accumulated, bool saw_delta,
+                std::vector<Relation::FactRef>* parents) {
+  if (index == ctx.rule->body.size()) {
+    if (ctx.require_delta && !saw_delta) return Status::OK();
+    return EmitHead(ctx, accumulated, *parents);
+  }
+  const Literal& lit = ctx.rule->body[index];
+  const Relation* rel = ctx.db->Find(lit.pred);
+  if (rel == nullptr) return Status::OK();
+  // Remaining-delta pruning: if no later literal can still contribute a
+  // delta fact, combinations without one so far are useless — but detecting
+  // that cheaply per branch costs more than it saves here; the saw_delta
+  // check at the leaves is sufficient for correctness.
+  std::map<VarId, VarId> to_args;
+  for (int i = 0; i < lit.arity(); ++i) {
+    to_args[i + 1] = lit.args[static_cast<size_t>(i)];
+  }
+  // Pre-compute the accumulated state's quick values per argument, so
+  // candidate facts with a clashing directly-bound symbol or number can be
+  // skipped without copying conjunctions or running satisfiability.
+  std::vector<std::optional<SymbolId>> acc_symbol(
+      static_cast<size_t>(lit.arity()));
+  std::vector<std::optional<Rational>> acc_number(
+      static_cast<size_t>(lit.arity()));
+  for (int i = 0; i < lit.arity(); ++i) {
+    VarId v = lit.args[static_cast<size_t>(i)];
+    acc_symbol[static_cast<size_t>(i)] = accumulated.GetSymbol(v);
+    acc_number[static_cast<size_t>(i)] = accumulated.QuickNumericValue(v);
+  }
+  // Index-based iteration over a size snapshot: emit() appends to this very
+  // relation when the rule is recursive, which may reallocate the entry
+  // vector. Facts appended during this application have birth > max_birth
+  // and would be skipped anyway.
+  size_t snapshot = rel->entries().size();
+  for (size_t i = 0; i < snapshot; ++i) {
+    const Relation::Entry& entry = rel->entries()[i];
+    int birth = entry.birth;
+    if (birth > ctx.max_birth) continue;
+    if (entry.fact.arity != lit.arity()) continue;
+    bool clash = false;
+    for (size_t a = 0; a < entry.signature.size(); ++a) {
+      const Relation::ArgSignature& sig = entry.signature[a];
+      if (acc_symbol[a] && sig.symbol && *acc_symbol[a] != *sig.symbol) {
+        clash = true;
+        break;
+      }
+      if (acc_number[a] && sig.number && *acc_number[a] != *sig.number) {
+        clash = true;
+        break;
+      }
+      // A symbol can never equal a number.
+      if ((acc_symbol[a] && sig.number) || (acc_number[a] && sig.symbol)) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    Conjunction next = accumulated;
+    Status st =
+        next.AddConjunction(rel->entries()[i].fact.constraint.Rename(to_args));
+    if (!st.ok()) return st;
+    if (next.known_unsat() || !next.IsSatisfiable()) continue;
+    parents->push_back(Relation::FactRef{lit.pred, i});
+    CQLOPT_RETURN_IF_ERROR(JoinFrom(ctx, index + 1, next,
+                                    saw_delta || birth == ctx.max_birth,
+                                    parents));
+    parents->pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
+                 bool require_delta, const EmitFn& emit) {
+  JoinContext ctx{&rule, &db, max_birth, require_delta, &emit};
+  if (rule.body.empty()) {
+    return EmitHead(ctx, rule.constraints, {});
+  }
+  if (!rule.constraints.IsSatisfiable()) return Status::OK();
+  std::vector<Relation::FactRef> parents;
+  parents.reserve(rule.body.size());
+  return JoinFrom(ctx, 0, rule.constraints, /*saw_delta=*/false, &parents);
+}
+
+}  // namespace cqlopt

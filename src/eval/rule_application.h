@@ -1,0 +1,33 @@
+#ifndef CQLOPT_EVAL_RULE_APPLICATION_H_
+#define CQLOPT_EVAL_RULE_APPLICATION_H_
+
+#include <functional>
+
+#include "ast/rule.h"
+#include "eval/database.h"
+
+namespace cqlopt {
+
+/// Callback receiving each fact derived by a rule application, along with
+/// the body facts that derived it (in body-literal order) — the provenance
+/// edges of Definition 2.2's derivation trees.
+using EmitFn =
+    std::function<Status(Fact, const std::vector<Relation::FactRef>&)>;
+
+/// One rule application (Section 2's basic evaluation step): enumerates
+/// every combination of body facts, conjoins the rule's constraints with the
+/// facts' constraints, checks satisfiability, eliminates the non-head
+/// variables by projection, and emits the resulting head facts.
+///
+/// Semi-naive discipline: only facts with birth <= `max_birth` participate,
+/// and when `require_delta` is set at least one chosen fact must have birth
+/// == `max_birth` (the facts newly derived in the previous iteration).
+///
+/// Body-free rules (constraint facts in the program) derive their head
+/// directly; callers fire them only in iteration 0.
+Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
+                 bool require_delta, const EmitFn& emit);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_EVAL_RULE_APPLICATION_H_

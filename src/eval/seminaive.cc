@@ -1,0 +1,187 @@
+#include "eval/seminaive.h"
+
+#include <set>
+
+#include "constraint/implication.h"
+#include "eval/rule_application.h"
+
+namespace cqlopt {
+namespace {
+
+/// A derivation buffered during one iteration, reconciled at iteration end.
+struct Pending {
+  std::string rule_label;
+  Fact fact;
+  std::vector<Relation::FactRef> parents;
+  std::string key;
+  bool ground = false;
+  InsertOutcome outcome = InsertOutcome::kInserted;
+};
+
+/// End-of-iteration reconciliation: the derivations of one iteration are
+/// treated as a *set* (the paper's tables discard a fact as subsumed even
+/// when the subsuming fact was derived later in the same iteration, e.g.
+/// Table 1 iteration 3 discards m_fib(0,4) in favour of m_fib(0,V2)).
+void Reconcile(std::vector<Pending>* pending, const Database& db,
+               SubsumptionMode mode) {
+  // Pass 1: structural duplicates, against the database and earlier pending.
+  std::set<std::string> seen;
+  for (Pending& p : *pending) {
+    p.key = p.fact.Key();
+    p.ground = p.fact.IsGround();
+    const Relation* rel = db.Find(p.fact.pred);
+    bool in_db = rel != nullptr && rel->ContainsKey(p.key);
+    if (in_db || !seen.insert(p.key).second) {
+      p.outcome = InsertOutcome::kDuplicate;
+    }
+  }
+  if (mode == SubsumptionMode::kNone) return;
+  if (mode == SubsumptionMode::kSetImplication) {
+    // Disjunction-based subsumption: a derivation is discarded when the
+    // union of the database facts and the other surviving derivations
+    // already covers it. Processed in derivation order, so of two
+    // equivalent covers the earlier one survives.
+    for (size_t i = 0; i < pending->size(); ++i) {
+      Pending& p = (*pending)[i];
+      if (p.outcome != InsertOutcome::kInserted) continue;
+      std::vector<Conjunction> others;
+      const Relation* rel = db.Find(p.fact.pred);
+      if (rel != nullptr) {
+        for (const Relation::Entry& e : rel->entries()) {
+          others.push_back(e.fact.constraint);
+        }
+      }
+      for (size_t j = 0; j < pending->size(); ++j) {
+        if (j == i) continue;
+        const Pending& q = (*pending)[j];
+        if (q.outcome != InsertOutcome::kInserted) continue;
+        if (q.fact.pred != p.fact.pred || q.fact.arity != p.fact.arity) {
+          continue;
+        }
+        others.push_back(q.fact.constraint);
+      }
+      if (!others.empty() && ImpliesDisjunction(p.fact.constraint, others)) {
+        p.outcome = InsertOutcome::kSubsumed;
+      }
+    }
+    return;
+  }
+  // Pass 2: subsumption against existing database facts. Ground-vs-ground
+  // pairs are skipped: a ground fact can only subsume a structurally
+  // identical one (see Relation::Insert).
+  for (Pending& p : *pending) {
+    if (p.outcome != InsertOutcome::kInserted) continue;
+    const Relation* rel = db.Find(p.fact.pred);
+    if (rel == nullptr) continue;
+    for (const Relation::Entry& e : rel->entries()) {
+      if (p.ground && e.ground) continue;
+      if (Implies(p.fact.constraint, e.fact.constraint)) {
+        p.outcome = InsertOutcome::kSubsumed;
+        break;
+      }
+    }
+  }
+  // Pass 3: mutual subsumption within the iteration. Equivalent facts keep
+  // the earliest derivation.
+  for (size_t i = 0; i < pending->size(); ++i) {
+    Pending& p = (*pending)[i];
+    if (p.outcome != InsertOutcome::kInserted) continue;
+    for (size_t j = 0; j < pending->size(); ++j) {
+      if (j == i) continue;
+      const Pending& q = (*pending)[j];
+      if (q.outcome != InsertOutcome::kInserted) continue;
+      if (q.fact.pred != p.fact.pred || q.fact.arity != p.fact.arity) continue;
+      if (p.ground && q.ground) continue;
+      if (!Implies(p.fact.constraint, q.fact.constraint)) continue;
+      if (j > i && Implies(q.fact.constraint, p.fact.constraint)) {
+        continue;  // Equivalent and p came first: p wins.
+      }
+      p.outcome = InsertOutcome::kSubsumed;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<EvalResult> Evaluate(const Program& program, const Database& edb,
+                            const EvalOptions& options) {
+  EvalResult result;
+  result.db = edb;  // EDB facts carry birth -1.
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    std::vector<Pending> pending;
+    bool require_delta =
+        options.strategy == EvalStrategy::kSemiNaive && iteration > 0;
+    for (const Rule& rule : program.rules) {
+      if (rule.IsConstraintFact() && iteration != 0) continue;
+      auto emit = [&](Fact fact,
+                      const std::vector<Relation::FactRef>& parents)
+          -> Status {
+        ++result.stats.derivations;
+        pending.push_back(
+            Pending{rule.label, std::move(fact), parents, "", false,
+                    InsertOutcome::kInserted});
+        return Status::OK();
+      };
+      CQLOPT_RETURN_IF_ERROR(ApplyRule(rule, result.db,
+                                       /*max_birth=*/iteration - 1,
+                                       require_delta, emit));
+    }
+    Reconcile(&pending, result.db, options.subsumption);
+    long inserted_this_iteration = 0;
+    if (options.record_trace) result.trace.emplace_back();
+    for (Pending& p : pending) {
+      if (options.record_trace) {
+        result.trace.back().push_back(Derivation{
+            p.rule_label, p.fact.ToString(*program.symbols), p.outcome});
+      }
+      switch (p.outcome) {
+        case InsertOutcome::kInserted:
+          ++result.stats.inserted;
+          ++inserted_this_iteration;
+          if (!p.fact.IsGround()) result.stats.all_ground = false;
+          result.db.AddFact(std::move(p.fact), iteration,
+                            SubsumptionMode::kNone, p.rule_label,
+                            std::move(p.parents));
+          break;
+        case InsertOutcome::kSubsumed:
+          ++result.stats.subsumed;
+          break;
+        case InsertOutcome::kDuplicate:
+          ++result.stats.duplicates;
+          break;
+      }
+    }
+    result.stats.iterations = iteration + 1;
+    if (inserted_this_iteration == 0) {
+      result.stats.reached_fixpoint = true;
+      break;
+    }
+  }
+
+  for (const auto& [pred, rel] : result.db.relations()) {
+    result.stats.facts_per_pred[pred] = static_cast<long>(rel.size());
+  }
+  return result;
+}
+
+std::string RenderTrace(const std::vector<std::vector<Derivation>>& trace) {
+  std::string out;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    out += "iteration " + std::to_string(i) + ": {";
+    for (size_t j = 0; j < trace[i].size(); ++j) {
+      if (j > 0) out += ", ";
+      const Derivation& d = trace[i][j];
+      bool discarded = d.outcome != InsertOutcome::kInserted;
+      if (!d.rule_label.empty()) out += d.rule_label + ":";
+      if (discarded) out += "*";
+      out += d.fact;
+      if (discarded) out += "*";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,69 @@
+#ifndef CQLOPT_EVAL_SEMINAIVE_H_
+#define CQLOPT_EVAL_SEMINAIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/database.h"
+#include "eval/stats.h"
+
+namespace cqlopt {
+
+/// Fixpoint strategy.
+enum class EvalStrategy {
+  /// Derivations in iteration i use at least one fact first derived in
+  /// iteration i-1 — the evaluation the paper's tables trace.
+  kSemiNaive,
+  /// Every rule is re-applied to all known facts each iteration. Same
+  /// fixpoint, many redundant derivations; kept as a differential-testing
+  /// oracle for the semi-naive delta discipline.
+  kNaive,
+};
+
+/// Options of the bottom-up fixpoint.
+struct EvalOptions {
+  /// Hard cap on iterations — CQL evaluation need not terminate (the
+  /// paper's Table 1 program runs forever); the cap turns divergence into
+  /// an observable `reached_fixpoint == false`.
+  int max_iterations = 256;
+  SubsumptionMode subsumption = SubsumptionMode::kSingleFact;
+  EvalStrategy strategy = EvalStrategy::kSemiNaive;
+  /// Record per-iteration derivation lists (the format of Tables 1 and 2).
+  bool record_trace = false;
+};
+
+/// One derivation event in the trace.
+struct Derivation {
+  std::string rule_label;
+  std::string fact;  // rendered via Fact::ToString
+  InsertOutcome outcome;
+};
+
+struct EvalResult {
+  /// EDB + derived facts.
+  Database db;
+  /// trace[i] lists the derivations made in iteration i (only when
+  /// record_trace was set). Subsumed/duplicate derivations are included,
+  /// marked by their outcome — the paper's boldface rows.
+  std::vector<std::vector<Derivation>> trace;
+  EvalStats stats;
+};
+
+/// Semi-naive bottom-up evaluation of `program` over `edb` (Section 2):
+///  - iteration 0 fires the program's constraint facts (body-free rules)
+///    and rules whose bodies are satisfiable purely from EDB facts;
+///  - iteration i > 0 makes every derivation that uses at least one fact
+///    first derived in iteration i-1, using only facts known at the end of
+///    iteration i-1;
+///  - stops at a fixpoint (an iteration adding no new facts) or at the cap.
+Result<EvalResult> Evaluate(const Program& program, const Database& edb,
+                            const EvalOptions& options);
+
+/// Renders `trace` in the style of Tables 1 and 2: one row per iteration,
+/// subsumed derivations wrapped in `*...*` (the paper's boldface).
+std::string RenderTrace(const std::vector<std::vector<Derivation>>& trace);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_EVAL_SEMINAIVE_H_

@@ -1,0 +1,19 @@
+#include "eval/stats.h"
+
+namespace cqlopt {
+
+std::string EvalStats::ToString(const SymbolTable& symbols) const {
+  std::string out = "derivations=" + std::to_string(derivations) +
+                    " inserted=" + std::to_string(inserted) +
+                    " subsumed=" + std::to_string(subsumed) +
+                    " duplicates=" + std::to_string(duplicates) +
+                    " iterations=" + std::to_string(iterations) +
+                    (reached_fixpoint ? " fixpoint" : " CAPPED") +
+                    (all_ground ? " all-ground" : " CONSTRAINT-FACTS");
+  for (const auto& [pred, count] : facts_per_pred) {
+    out += " " + symbols.PredicateName(pred) + "=" + std::to_string(count);
+  }
+  return out;
+}
+
+}  // namespace cqlopt

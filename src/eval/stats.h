@@ -1,0 +1,37 @@
+#ifndef CQLOPT_EVAL_STATS_H_
+#define CQLOPT_EVAL_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "ast/symbol_table.h"
+
+namespace cqlopt {
+
+/// Counters of one bottom-up evaluation, the quantities the paper's
+/// comparisons are phrased in: "the number of facts computed" and "the
+/// number of derivations made" (Theorem 4.4, Section 4.6).
+struct EvalStats {
+  /// Successful rule firings (satisfiable head facts produced), whether or
+  /// not the fact was new.
+  long derivations = 0;
+  /// Facts actually stored.
+  long inserted = 0;
+  /// Facts discarded because an existing fact subsumed them.
+  long subsumed = 0;
+  /// Facts discarded as structural duplicates.
+  long duplicates = 0;
+  /// Iterations executed (0-based count of the last iteration + 1).
+  int iterations = 0;
+  bool reached_fixpoint = false;
+  /// True if every derived fact was ground (Theorem 4.4's property).
+  bool all_ground = true;
+  /// Stored facts per predicate.
+  std::map<PredId, long> facts_per_pred;
+
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_EVAL_STATS_H_

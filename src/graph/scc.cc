@@ -1,0 +1,100 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace cqlopt {
+namespace {
+
+/// Iterative Tarjan SCC state.
+struct TarjanState {
+  std::map<PredId, int> index;
+  std::map<PredId, int> lowlink;
+  std::map<PredId, bool> on_stack;
+  std::vector<PredId> stack;
+  int next_index = 0;
+};
+
+}  // namespace
+
+SccDecomposition::SccDecomposition(const DependencyGraph& graph) {
+  TarjanState st;
+  // Iterative DFS with an explicit frame stack to avoid recursion depth
+  // limits on pathological programs.
+  struct Frame {
+    PredId node;
+    std::vector<PredId> successors;
+    size_t next = 0;
+  };
+  for (PredId root : graph.nodes()) {
+    if (st.index.count(root) > 0) continue;
+    std::vector<Frame> frames;
+    auto push_node = [&](PredId v) {
+      st.index[v] = st.next_index;
+      st.lowlink[v] = st.next_index;
+      ++st.next_index;
+      st.stack.push_back(v);
+      st.on_stack[v] = true;
+      const auto& succ = graph.SuccessorsOf(v);
+      frames.push_back(Frame{v, {succ.begin(), succ.end()}, 0});
+    };
+    push_node(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      if (frame.next < frame.successors.size()) {
+        PredId w = frame.successors[frame.next++];
+        if (st.index.count(w) == 0) {
+          push_node(w);
+        } else if (st.on_stack[w]) {
+          st.lowlink[frame.node] =
+              std::min(st.lowlink[frame.node], st.index[w]);
+        }
+      } else {
+        PredId v = frame.node;
+        if (st.lowlink[v] == st.index[v]) {
+          std::vector<PredId> component;
+          while (true) {
+            PredId w = st.stack.back();
+            st.stack.pop_back();
+            st.on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          for (PredId w : component) {
+            component_of_[w] = static_cast<int>(components_.size());
+          }
+          components_.push_back(std::move(component));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          Frame& parent = frames.back();
+          st.lowlink[parent.node] =
+              std::min(st.lowlink[parent.node], st.lowlink[v]);
+        }
+      }
+    }
+  }
+}
+
+int SccDecomposition::ComponentOf(PredId pred) const {
+  auto it = component_of_.find(pred);
+  return it == component_of_.end() ? -1 : it->second;
+}
+
+std::vector<std::vector<PredId>> SccDecomposition::TopDownFrom(
+    PredId query_pred, const DependencyGraph& graph) const {
+  std::set<PredId> reachable = graph.ReachableFrom(query_pred);
+  std::vector<std::vector<PredId>> out;
+  // components_ is in reverse topological order; walk backwards and keep
+  // reachable components.
+  for (auto it = components_.rbegin(); it != components_.rend(); ++it) {
+    bool keep = false;
+    for (PredId p : *it) {
+      if (reachable.count(p) > 0) keep = true;
+    }
+    if (keep) out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace cqlopt

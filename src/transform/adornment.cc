@@ -1,0 +1,179 @@
+#include "transform/adornment.h"
+
+#include <deque>
+#include <set>
+
+namespace cqlopt {
+namespace {
+
+/// Classes of `c` that are ground given that the classes of `seed` are:
+/// symbol-bound classes, seed classes, and classes functionally determined
+/// through equality atoms by ground classes (covers `V = N - 1` with N
+/// ground, and `V = 5`). Returns a set of class roots.
+std::set<VarId> GroundClosure(const Conjunction& c,
+                              const std::set<VarId>& seed) {
+  std::set<VarId> ground;
+  for (VarId v : seed) ground.insert(c.Find(v));
+  for (const auto& [root, symbol] : c.SymbolBindings()) ground.insert(root);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const LinearConstraint& atom : c.linear()) {
+      if (atom.op() != CmpOp::kEq) continue;
+      VarId unknown = kNoVar;
+      int unknown_count = 0;
+      for (VarId v : atom.Vars()) {
+        VarId r = c.Find(v);
+        if (ground.count(r) == 0) {
+          unknown = r;
+          ++unknown_count;
+        }
+      }
+      if (unknown_count == 1) {
+        ground.insert(unknown);
+        changed = true;
+      } else if (unknown_count == 0 && atom.Vars().empty()) {
+        // Ground atom; nothing to do.
+      }
+    }
+  }
+  return ground;
+}
+
+bool IsGroundVar(const Conjunction& c, const std::set<VarId>& ground_roots,
+                 VarId v) {
+  return ground_roots.count(c.Find(v)) > 0;
+}
+
+/// bcf 'c' test: v occurs in a constraint atom all of whose other variables
+/// are ground, or v's class was marked constrained (inherited from a 'c'
+/// head position).
+bool IsConstrainedVar(const Conjunction& c, const std::set<VarId>& ground_roots,
+                      const std::set<VarId>& constrained_roots, VarId v) {
+  VarId r = c.Find(v);
+  if (constrained_roots.count(r) > 0) return true;
+  for (const LinearConstraint& atom : c.linear()) {
+    bool mentions = false;
+    bool others_ground = true;
+    for (VarId x : atom.Vars()) {
+      if (c.Find(x) == r) {
+        mentions = true;
+      } else if (ground_roots.count(c.Find(x)) == 0) {
+        others_ground = false;
+      }
+    }
+    if (mentions && others_ground) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<AdornedProgram> Adorn(const Program& program, const Query& query,
+                             SipStrategy strategy) {
+  AdornedProgram out;
+  out.program = Program(program.symbols);
+  out.program.arities = program.arities;
+
+  if (strategy == SipStrategy::kFullLeftToRight) {
+    // Template-passing: no specialization. Adornment is all-'b'.
+    out.program.rules = program.rules;
+    out.program.RemoveUnreachable(query.literal.pred);
+    out.query_pred = query.literal.pred;
+    out.query_adornment = std::string(
+        static_cast<size_t>(query.literal.arity()), 'b');
+    for (PredId p : out.program.DerivedPredicates()) {
+      int arity = program.Arity(p);
+      out.info[p] = AdornInfo{p, std::string(
+          arity < 0 ? 0 : static_cast<size_t>(arity), 'b')};
+    }
+    return out;
+  }
+
+  // kBoundIfGround / kBcf: per-pattern specialization.
+  const bool bcf = strategy == SipStrategy::kBcf;
+  std::set<PredId> derived;
+  for (PredId p : program.DerivedPredicates()) derived.insert(p);
+
+  // Query adornment: positions whose variable the query constraints ground
+  // (and, under bcf, 'c' for independently constrained positions).
+  std::set<VarId> query_ground = GroundClosure(query.constraints, {});
+  std::string query_adornment;
+  for (VarId v : query.literal.args) {
+    if (IsGroundVar(query.constraints, query_ground, v)) {
+      query_adornment += 'b';
+    } else if (bcf && IsConstrainedVar(query.constraints, query_ground, {}, v)) {
+      query_adornment += 'c';
+    } else {
+      query_adornment += 'f';
+    }
+  }
+
+  std::map<std::pair<PredId, std::string>, PredId> adorned_ids;
+  std::deque<std::pair<PredId, std::string>> worklist;
+  auto intern_adorned = [&](PredId base, const std::string& adornment) {
+    auto key = std::make_pair(base, adornment);
+    auto it = adorned_ids.find(key);
+    if (it != adorned_ids.end()) return it->second;
+    PredId id = program.symbols->FreshPredicate(
+        program.symbols->PredicateName(base) + "_" + adornment);
+    adorned_ids[key] = id;
+    out.info[id] = AdornInfo{base, adornment};
+    (void)out.program.DeclareArity(id, program.Arity(base));
+    worklist.emplace_back(base, adornment);
+    return id;
+  };
+
+  out.query_pred = intern_adorned(query.literal.pred, query_adornment);
+  out.query_adornment = query_adornment;
+
+  std::set<std::pair<PredId, std::string>> processed;
+  while (!worklist.empty()) {
+    auto [base, adornment] = worklist.front();
+    worklist.pop_front();
+    if (!processed.insert({base, adornment}).second) continue;
+    PredId adorned_head = adorned_ids.at({base, adornment});
+    for (const Rule& rule : program.rules) {
+      if (rule.head.pred != base) continue;
+      Rule adorned_rule = rule;
+      adorned_rule.head.pred = adorned_head;
+      // Bound variables: head arguments at bound positions, then closed and
+      // extended literal by literal (left-to-right sips). Under bcf, head
+      // 'c' positions seed the constrained set.
+      std::set<VarId> bound_seed;
+      std::set<VarId> constrained_seed;
+      for (size_t i = 0; i < adornment.size() && i < rule.head.args.size();
+           ++i) {
+        if (adornment[i] == 'b') bound_seed.insert(rule.head.args[i]);
+        if (adornment[i] == 'c') constrained_seed.insert(rule.head.args[i]);
+      }
+      for (Literal& lit : adorned_rule.body) {
+        std::set<VarId> ground_roots =
+            GroundClosure(rule.constraints, bound_seed);
+        std::set<VarId> constrained_roots;
+        for (VarId v : constrained_seed) {
+          constrained_roots.insert(rule.constraints.Find(v));
+        }
+        if (derived.count(lit.pred) > 0) {
+          std::string lit_adornment;
+          for (VarId v : lit.args) {
+            if (IsGroundVar(rule.constraints, ground_roots, v)) {
+              lit_adornment += 'b';
+            } else if (bcf && IsConstrainedVar(rule.constraints, ground_roots,
+                                               constrained_roots, v)) {
+              lit_adornment += 'c';
+            } else {
+              lit_adornment += 'f';
+            }
+          }
+          lit.pred = intern_adorned(lit.pred, lit_adornment);
+        }
+        for (VarId v : lit.args) bound_seed.insert(v);
+      }
+      out.program.rules.push_back(std::move(adorned_rule));
+    }
+  }
+  return out;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,67 @@
+#ifndef CQLOPT_TRANSFORM_ADORNMENT_H_
+#define CQLOPT_TRANSFORM_ADORNMENT_H_
+
+#include <map>
+#include <string>
+
+#include "ast/program.h"
+
+namespace cqlopt {
+
+/// Sideways information passing strategies (Appendix B) supported by the
+/// Magic Templates rewriting.
+enum class SipStrategy {
+  /// Complete left-to-right sips passing full templates: every argument of
+  /// every derived literal is passed (possibly non-ground), so predicates
+  /// need no per-pattern specialization and magic predicates keep full
+  /// arity. This is what the paper uses for P_fib^mg (Example 1.2) — and it
+  /// is what makes the magic program compute constraint facts.
+  kFullLeftToRight,
+  /// bf adornments with the bound-if-ground rule (Sections 1, 4.1, 7): an
+  /// argument is bound only if it is bound to a ground term. Under this
+  /// strategy the magic program computes only ground facts when the source
+  /// program does (Proposition 7.1).
+  kBoundIfGround,
+  /// bcf adornments of Mumick et al. (Sections 6.2, 7.7): 'b' for ground
+  /// arguments, 'c' for arguments that are not ground but *independently
+  /// constrained* (they occur in a constraint atom whose other variables
+  /// are ground, or inherit 'c' from the rule head), 'f' otherwise. Used
+  /// by the GMT pipeline; its magic predicates carry both b and c
+  /// arguments, so the magic program may compute constraint facts until the
+  /// grounding step removes them.
+  kBcf,
+};
+
+/// Adornment metadata attached to a rewritten program.
+struct AdornInfo {
+  PredId base_pred;
+  std::string adornment;  // e.g. "bbff"; all-'b' under kFullLeftToRight
+};
+
+/// Result of the adornment phase (Definition B.2).
+struct AdornedProgram {
+  Program program;
+  /// Adorned version of the query predicate.
+  PredId query_pred;
+  std::string query_adornment;
+  /// adorned predicate -> base predicate + adornment string.
+  std::map<PredId, AdornInfo> info;
+};
+
+/// Computes the adorned program for `query` under `strategy`, renaming each
+/// derived predicate p used with binding pattern a to `p_a` and keeping only
+/// rules reachable from the adorned query (Definition B.2 step 3). Database
+/// predicates are never adorned.
+///
+/// Under kBoundIfGround, an argument of a body literal is bound iff its
+/// variable is ground-determined at that point: it is (equated to) a
+/// constant, occurs in a bound head argument or an earlier body literal, or
+/// is functionally determined through equality constraints by such
+/// variables (so `fib(N - 1, X1)` has a bound first argument whenever N is
+/// bound, matching the paper's reading of "bound to a ground term").
+Result<AdornedProgram> Adorn(const Program& program, const Query& query,
+                             SipStrategy strategy);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_ADORNMENT_H_

@@ -1,0 +1,25 @@
+#ifndef CQLOPT_TRANSFORM_BALBIN_C_H_
+#define CQLOPT_TRANSFORM_BALBIN_C_H_
+
+#include "transform/predicate_constraints.h"
+
+namespace cqlopt {
+
+/// The constraint-generation phase of Balbin et al.'s C transformation
+/// (Section 6.1), reconstructed as a *syntactic* variant of
+/// Gen_QRP_constraints: a constraint is passed to a body literal only when
+/// it is an explicit constraining literal over that literal's variables —
+/// constraints are treated "as any other literal", with no semantic
+/// manipulation (no projection, no implication reasoning).
+///
+/// This is the fundamental limitation the paper identifies: in Example 4.1
+/// the conjunction (X + Y <= 6) & (X >= 2) implies Y <= 4, but no explicit
+/// constraining literal mentions only Y, so the C transformation cannot
+/// push anything into p2's definition while Gen_QRP_constraints can.
+/// bench_semantic_vs_syntactic measures the resulting fact-count gap.
+Result<InferenceResult> GenSyntacticQrpConstraints(
+    const Program& program, PredId query_pred, const InferenceOptions& options);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_BALBIN_C_H_

@@ -1,0 +1,86 @@
+#include "transform/constraint_rewrite.h"
+
+#include <set>
+
+#include "ast/normalize.h"
+#include "transform/balbin_c.h"
+
+namespace cqlopt {
+
+Result<ConstraintRewriteResult> ConstraintRewrite(
+    const Program& program, PredId query_pred,
+    const ConstraintRewriteOptions& options) {
+  ConstraintRewriteResult result;
+
+  // Step 1: query wrapper q1(X̄) :- q(X̄).
+  Program wrapped = program;
+  VarAllocator alloc = MakeAllocator(wrapped);
+  int query_arity = wrapped.Arity(query_pred);
+  if (query_arity < 0) {
+    return Status::InvalidArgument("unknown arity for query predicate");
+  }
+  PredId wrapper = wrapped.symbols->FreshPredicate(
+      wrapped.symbols->PredicateName(query_pred) + "_q1");
+  CQLOPT_RETURN_IF_ERROR(wrapped.DeclareArity(wrapper, query_arity));
+  wrapped.rules.push_back(
+      MakeBridgeRule(wrapper, query_pred, query_arity, &alloc, "q1"));
+
+  // Step 2: generate and propagate minimum predicate constraints.
+  Program pred_propagated = wrapped;
+  if (options.apply_predicate_constraints) {
+    InferenceResult inference;
+    CQLOPT_ASSIGN_OR_RETURN(
+        pred_propagated,
+        PropagatePredicateConstraints(wrapped, options.edb_constraints,
+                                      options.inference, &inference));
+    result.predicate_constraints = std::move(inference.constraints);
+    result.predicate_converged = inference.converged;
+  }
+
+  // Step 3: generate and propagate QRP constraints, with the wrapper as
+  // query predicate.
+  CQLOPT_ASSIGN_OR_RETURN(
+      InferenceResult qrp,
+      options.syntactic_generation
+          ? GenSyntacticQrpConstraints(pred_propagated, wrapper,
+                                       options.inference)
+          : GenQrpConstraints(pred_propagated, wrapper, options.inference));
+  result.qrp_constraints = qrp.constraints;
+  result.qrp_converged = qrp.converged;
+  CQLOPT_ASSIGN_OR_RETURN(
+      Program propagated,
+      PropagateQrpConstraints(pred_propagated, wrapper, qrp.constraints,
+                              options.propagate));
+
+  // Step 4: delete the wrapper's rules; the real query predicate takes
+  // over. (The wrapper's QRP constraint was `true`, so the query
+  // predicate's rewritten rules are already in place.)
+  std::vector<Rule> kept;
+  for (Rule& rule : propagated.rules) {
+    if (rule.head.pred != wrapper) kept.push_back(std::move(rule));
+  }
+  propagated.rules = std::move(kept);
+  // The query predicate may have been primed (query_pred'); rename back if
+  // its original name lost all rules.
+  {
+    std::set<PredId> heads;
+    for (const Rule& rule : propagated.rules) heads.insert(rule.head.pred);
+    if (heads.count(query_pred) == 0) {
+      PredId primed = propagated.symbols->LookupPredicate(
+          propagated.symbols->PredicateName(query_pred) + "'");
+      if (primed != SymbolTable::kNoPred && heads.count(primed) > 0) {
+        for (Rule& rule : propagated.rules) {
+          if (rule.head.pred == primed) rule.head.pred = query_pred;
+          for (Literal& lit : rule.body) {
+            if (lit.pred == primed) lit.pred = query_pred;
+          }
+        }
+      }
+    }
+  }
+  propagated.RemoveUnreachable(query_pred);
+  result.program = std::move(propagated);
+  return result;
+}
+
+}  // namespace cqlopt

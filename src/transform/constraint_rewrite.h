@@ -1,0 +1,55 @@
+#ifndef CQLOPT_TRANSFORM_CONSTRAINT_REWRITE_H_
+#define CQLOPT_TRANSFORM_CONSTRAINT_REWRITE_H_
+
+#include "transform/propagate.h"
+#include "transform/qrp_constraints.h"
+
+namespace cqlopt {
+
+/// Options of procedure Constraint_rewrite.
+struct ConstraintRewriteOptions {
+  InferenceOptions inference;
+  PropagateOptions propagate;
+  /// Run Gen_Prop_predicate_constraints first (the full procedure of
+  /// Section 4.5). Disable to study the qrp-only pipeline arm.
+  bool apply_predicate_constraints = true;
+  /// Use Balbin et al.'s syntactic constraint generation (Section 6.1)
+  /// instead of the semantic Gen_QRP_constraints — the baseline of
+  /// bench_semantic_vs_syntactic.
+  bool syntactic_generation = false;
+  /// Minimum predicate constraints of the database predicates; default
+  /// `true` for each.
+  std::map<PredId, ConstraintSet> edb_constraints;
+};
+
+/// Result of procedure Constraint_rewrite.
+struct ConstraintRewriteResult {
+  Program program;
+  /// Minimum predicate constraints of the input program (argument-position
+  /// form), when computed.
+  std::map<PredId, ConstraintSet> predicate_constraints;
+  /// QRP constraints generated for the (predicate-propagated) program —
+  /// minimum QRP constraints when everything converged (Theorem 4.8).
+  std::map<PredId, ConstraintSet> qrp_constraints;
+  bool predicate_converged = true;
+  bool qrp_converged = false;
+};
+
+/// Procedure Constraint_rewrite (Section 4.5, Appendix C):
+///   1. add a fresh query wrapper q1(X̄) :- q(X̄) and treat q1 as the query
+///      predicate (so the real query predicate participates in QRP
+///      inference);
+///   2. generate and propagate minimum predicate constraints
+///      (Gen_Prop_predicate_constraints);
+///   3. generate and propagate QRP constraints
+///      (Gen_Prop_QRP_constraints);
+///   4. delete the wrapper's rules (and anything unreachable).
+/// If both fixpoints converge, the propagated constraints are the minimum
+/// QRP constraints (Theorem 4.8).
+Result<ConstraintRewriteResult> ConstraintRewrite(
+    const Program& program, PredId query_pred,
+    const ConstraintRewriteOptions& options);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_CONSTRAINT_REWRITE_H_

@@ -1,0 +1,223 @@
+#include "transform/fold_unfold.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/arg_map.h"
+#include "constraint/implication.h"
+
+namespace cqlopt {
+namespace {
+
+/// True iff `constraints` entail the variable equality a = b.
+bool EntailsEq(const Conjunction& constraints, VarId a, VarId b) {
+  if (a == b) return true;
+  Conjunction eq;
+  if (!eq.AddEquality(a, b).ok()) return false;
+  return Implies(constraints, eq);
+}
+
+}  // namespace
+
+Rule MakeDefinition(PredId new_pred, PredId base_pred, int arity,
+                    const Conjunction& constraint_over_args,
+                    VarAllocator* alloc, const std::string& label) {
+  Rule rule;
+  rule.label = label;
+  std::vector<VarId> args;
+  args.reserve(static_cast<size_t>(arity));
+  for (int i = 0; i < arity; ++i) {
+    VarId v = alloc->Fresh();
+    rule.var_names[v] = "X" + std::to_string(i + 1);
+    args.push_back(v);
+  }
+  rule.head = Literal(new_pred, args);
+  rule.body.push_back(Literal(base_pred, args));
+  rule.constraints =
+      PtolConjunction(rule.body.back(), constraint_over_args);
+  return rule;
+}
+
+Result<std::vector<Rule>> UnfoldLiteral(const Program& defs, const Rule& rule,
+                                        size_t body_index,
+                                        VarAllocator* alloc) {
+  if (body_index >= rule.body.size()) {
+    return Status::InvalidArgument("unfold index out of range");
+  }
+  const Literal& lit = rule.body[body_index];
+  std::vector<Rule> out;
+  for (const Rule& def : defs.rules) {
+    if (def.head.pred != lit.pred) continue;
+    if (def.head.arity() != lit.arity()) continue;
+    Rule rd = def.RenameApart(alloc);
+    // Head-argument unification: rd's head variables map onto lit's
+    // arguments; a repeated head variable meeting two different arguments
+    // induces an equality between those arguments.
+    std::map<VarId, VarId> theta;
+    std::vector<std::pair<VarId, VarId>> induced;
+    for (int i = 0; i < lit.arity(); ++i) {
+      VarId dv = rd.head.args[static_cast<size_t>(i)];
+      VarId rv = lit.args[static_cast<size_t>(i)];
+      auto [it, inserted] = theta.emplace(dv, rv);
+      if (!inserted && it->second != rv) induced.emplace_back(it->second, rv);
+    }
+    Rule resolved;
+    // Definition rules (labels starting "def_") are transient scaffolding;
+    // rules unfolded through them inherit the source rule's label primed,
+    // so Example 4.3's r4 prints as r3' etc.
+    if (rule.label.rfind("def_", 0) == 0) {
+      resolved.label = def.label.empty() ? "" : def.label + "'";
+    } else {
+      resolved.label = rule.label;
+    }
+    resolved.head = rule.head;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i == body_index) {
+        for (const Literal& dlit : rd.body) {
+          resolved.body.push_back(dlit.Rename(theta));
+        }
+      } else {
+        resolved.body.push_back(rule.body[i]);
+      }
+    }
+    resolved.constraints = rule.constraints;
+    Status st = resolved.constraints.AddConjunction(rd.constraints.Rename(theta));
+    if (!st.ok()) return st;
+    for (const auto& [a, b] : induced) {
+      CQLOPT_RETURN_IF_ERROR(resolved.constraints.AddEquality(a, b));
+    }
+    if (!resolved.constraints.IsSatisfiable()) continue;
+    resolved.var_names = rule.var_names;
+    for (const auto& [v, name] : rd.var_names) {
+      auto it = theta.find(v);
+      if (it == theta.end()) resolved.var_names.emplace(v, name);
+    }
+    out.push_back(std::move(resolved));
+  }
+  return out;
+}
+
+namespace {
+
+/// Backtracking matcher for TryFold: assigns def body literal `j` onwards to
+/// distinct rule body positions, extending `theta` consistently.
+bool MatchFrom(const Rule& rule, const Rule& def, size_t j,
+               std::map<VarId, VarId>* theta, std::vector<size_t>* chosen,
+               std::vector<bool>* used) {
+  if (j == def.body.size()) return true;
+  const Literal& dlit = def.body[j];
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if ((*used)[i]) continue;
+    const Literal& rlit = rule.body[i];
+    if (rlit.pred != dlit.pred || rlit.arity() != dlit.arity()) continue;
+    // Tentatively extend theta.
+    std::map<VarId, VarId> saved = *theta;
+    bool ok = true;
+    for (int a = 0; a < dlit.arity(); ++a) {
+      VarId dv = dlit.args[static_cast<size_t>(a)];
+      VarId rv = rlit.args[static_cast<size_t>(a)];
+      auto [it, inserted] = theta->emplace(dv, rv);
+      if (!inserted && it->second != rv &&
+          !EntailsEq(rule.constraints, it->second, rv)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      (*used)[i] = true;
+      chosen->push_back(i);
+      if (MatchFrom(rule, def, j + 1, theta, chosen, used)) return true;
+      chosen->pop_back();
+      (*used)[i] = false;
+    }
+    *theta = std::move(saved);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<Rule> TryFold(const Rule& rule, const Rule& def,
+                            int anchor_index) {
+  if (def.body.empty()) return std::nullopt;
+  std::map<VarId, VarId> theta;
+  std::vector<size_t> chosen;
+  std::vector<bool> used(rule.body.size(), false);
+  // If an anchor is requested, match it against def's body literals first by
+  // pinning: try each def literal as the one covering the anchor.
+  if (anchor_index >= 0) {
+    size_t anchor = static_cast<size_t>(anchor_index);
+    if (anchor >= rule.body.size()) return std::nullopt;
+    for (size_t j = 0; j < def.body.size(); ++j) {
+      theta.clear();
+      chosen.clear();
+      std::fill(used.begin(), used.end(), false);
+      const Literal& dlit = def.body[j];
+      const Literal& rlit = rule.body[anchor];
+      if (rlit.pred != dlit.pred || rlit.arity() != dlit.arity()) continue;
+      bool ok = true;
+      for (int a = 0; a < dlit.arity(); ++a) {
+        VarId dv = dlit.args[static_cast<size_t>(a)];
+        VarId rv = rlit.args[static_cast<size_t>(a)];
+        auto [it, inserted] = theta.emplace(dv, rv);
+        if (!inserted && it->second != rv &&
+            !EntailsEq(rule.constraints, it->second, rv)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      used[anchor] = true;
+      // Match remaining def literals (skipping j).
+      std::vector<size_t> order;
+      for (size_t k = 0; k < def.body.size(); ++k) {
+        if (k != j) order.push_back(k);
+      }
+      // Build a temporary def with body reordered so MatchFrom can walk it.
+      Rule reordered = def;
+      reordered.body.clear();
+      for (size_t k : order) reordered.body.push_back(def.body[k]);
+      if (!MatchFrom(rule, reordered, 0, &theta, &chosen, &used)) continue;
+      chosen.push_back(anchor);
+      goto matched;
+    }
+    return std::nullopt;
+  } else {
+    if (!MatchFrom(rule, def, 0, &theta, &chosen, &used)) return std::nullopt;
+  }
+matched:
+  // Every def head variable must be bound by the match.
+  for (VarId v : def.head.args) {
+    if (theta.count(v) == 0) return std::nullopt;
+  }
+  // The instantiated definition constraints must be implied (Appendix A's
+  // folding condition Ci(X̄i) ⊐ C(X̄)θ).
+  if (!Implies(rule.constraints, def.constraints.Rename(theta))) {
+    return std::nullopt;
+  }
+  // Build the folded rule: matched literals replaced by the def head.
+  std::sort(chosen.begin(), chosen.end());
+  Rule folded;
+  folded.label = rule.label;
+  folded.head = rule.head;
+  folded.constraints = rule.constraints;
+  folded.var_names = rule.var_names;
+  size_t insert_at = chosen.front();
+  std::set<size_t> removed(chosen.begin(), chosen.end());
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i == insert_at) folded.body.push_back(def.head.Rename(theta));
+    if (removed.count(i) > 0) continue;
+    folded.body.push_back(rule.body[i]);
+  }
+  // Folding may leave constraint variables that no longer occur in any
+  // literal (their constraints were absorbed into the definition predicate,
+  // e.g. U1 > 10 after folding s_1_p in Example 6.1). They are existential;
+  // project them away, exactly.
+  std::vector<VarId> live = folded.head.Vars();
+  for (const Literal& lit : folded.body) live = VarUnion(live, lit.Vars());
+  auto projected = folded.constraints.Project(live);
+  if (projected.ok()) folded.constraints = std::move(projected).value();
+  return folded;
+}
+
+}  // namespace cqlopt

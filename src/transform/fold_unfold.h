@@ -1,0 +1,49 @@
+#ifndef CQLOPT_TRANSFORM_FOLD_UNFOLD_H_
+#define CQLOPT_TRANSFORM_FOLD_UNFOLD_H_
+
+#include <optional>
+
+#include "ast/program.h"
+
+namespace cqlopt {
+
+/// The Tamaki–Sato fold/unfold steps, restricted as in Appendix A to the
+/// shapes the paper's transformations need. These are the primitive moves
+/// behind Gen_Prop_QRP_constraints (Section 4.3) and the GMT grounding
+/// procedure Ground_Fold_Unfold (Section 6.2); their correctness gives
+/// Theorem 4.3's query equivalence.
+
+/// Definition step (Appendix A): builds the rule
+///   `new_pred(X̄) :- C(X̄), base_pred(X̄).`
+/// over fresh distinct variables, where `constraint_over_args` is given in
+/// argument-position form ($1..arity) and is PTOL-converted onto X̄.
+Rule MakeDefinition(PredId new_pred, PredId base_pred, int arity,
+                    const Conjunction& constraint_over_args,
+                    VarAllocator* alloc, const std::string& label);
+
+/// Unfolding step (Appendix A): resolves `rule.body[body_index]` against
+/// every rule of `defs` whose head predicate matches, returning one resolvent
+/// per (satisfiable) resolution. The resolved rule's variables are renamed
+/// apart via `alloc`. Repeated variables in a definition head induce
+/// equality constraints, as mgu semantics require.
+Result<std::vector<Rule>> UnfoldLiteral(const Program& defs, const Rule& rule,
+                                        size_t body_index, VarAllocator* alloc);
+
+/// Folding step (Appendix A, generalized to multi-literal definitions for
+/// the GMT grounding): if `rule`'s body contains an instance of `def`'s body
+/// literals (a consistent variable matching, with any induced equalities
+/// entailed by `rule`'s constraints) whose instantiated definition
+/// constraints are implied by `rule`'s constraints, replaces those body
+/// literals with the instantiated `def` head and returns the folded rule.
+/// `anchor_index`, when >= 0, requires the match to include that body
+/// literal (used to fold a specific occurrence).
+///
+/// Returns nullopt when no such match exists. The caller is responsible for
+/// avoiding degenerate folds (a rule folded by itself), per Appendix A's
+/// closing remark.
+std::optional<Rule> TryFold(const Rule& rule, const Rule& def,
+                            int anchor_index);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_FOLD_UNFOLD_H_

@@ -1,0 +1,244 @@
+#include "transform/gmt.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/normalize.h"
+#include "graph/scc.h"
+#include "transform/fold_unfold.h"
+
+namespace cqlopt {
+namespace {
+
+/// Index of the first body literal whose predicate is in `preds`, or -1.
+int FindBodyPred(const Rule& rule, const std::set<PredId>& preds) {
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (preds.count(rule.body[i].pred) > 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+Result<GmtResult> GmtTransform(const Program& program, const Query& query) {
+  CQLOPT_ASSIGN_OR_RETURN(AdornedProgram adorned,
+                          Adorn(program, query, SipStrategy::kBcf));
+  MagicOptions magic_options;
+  magic_options.sips = SipStrategy::kBcf;
+  magic_options.constraint_magic = true;  // grounding sips pass conditions
+  CQLOPT_ASSIGN_OR_RETURN(MagicResult magic,
+                          MagicTemplatesOnAdorned(adorned, query, magic_options));
+
+  GmtResult out;
+  out.magic = magic.program;
+  out.query_pred = magic.query_pred;
+  out.query = magic.query;
+
+  // SCC structure of the *adorned* program, processed top-down from the
+  // query's SCC (procedure Ground_Fold_Unfold).
+  DependencyGraph graph(adorned.program);
+  SccDecomposition sccs(graph);
+  std::vector<std::vector<PredId>> order =
+      sccs.TopDownFrom(adorned.query_pred, graph);
+
+  std::shared_ptr<SymbolTable> symbols = program.symbols;
+  std::vector<Rule> work = magic.program.rules;
+  Program grounded(symbols);
+  grounded.arities = magic.program.arities;
+  VarAllocator alloc = MakeAllocator(magic.program);
+  std::set<PredId> derived_adorned;
+  for (PredId p : adorned.program.DerivedPredicates()) {
+    derived_adorned.insert(p);
+  }
+
+  int supp_counter = 0;
+  for (const std::vector<PredId>& component : order) {
+    // Predicates of this SCC whose adornment has a condition argument.
+    std::set<PredId> preds_c;
+    std::set<PredId> scc_preds(component.begin(), component.end());
+    for (PredId p : component) {
+      if (derived_adorned.count(p) == 0) continue;
+      auto it = magic.info.find(p);
+      if (it != magic.info.end() &&
+          it->second.adornment.find('c') != std::string::npos) {
+        preds_c.insert(p);
+      }
+    }
+    if (preds_c.empty()) continue;
+    std::set<PredId> magic_preds;
+    for (PredId p : preds_c) magic_preds.insert(magic.magic_of.at(p));
+
+    // Partition the working rule set.
+    std::vector<Rule> r_p;          // rules defining a c-adorned predicate
+    std::vector<Rule> r_m;          // rules defining its magic predicate
+    std::vector<Rule> lower;        // other rules using the magic predicate
+    std::vector<Rule> rest;
+    for (Rule& rule : work) {
+      if (preds_c.count(rule.head.pred) > 0) {
+        r_p.push_back(std::move(rule));
+      } else if (magic_preds.count(rule.head.pred) > 0) {
+        r_m.push_back(std::move(rule));
+      } else if (FindBodyPred(rule, magic_preds) >= 0) {
+        lower.push_back(std::move(rule));
+      } else {
+        rest.push_back(std::move(rule));
+      }
+    }
+
+    // Definition step: one supplementary predicate s_k_p per rule in R_p,
+    // defined by the magic guard plus the grounding subgoals G_k and the
+    // constraints associated with them.
+    std::vector<Rule> defs;
+    std::vector<Rule> folded_rp;
+    for (const Rule& rule : r_p) {
+      int guard_index = FindBodyPred(rule, magic_preds);
+      if (guard_index != 0) {
+        return Status::Internal("modified rule without leading magic guard: " +
+                                rule.label);
+      }
+      // Head 'c' variables that the grounding subgoals must cover.
+      const std::string& adornment = magic.info.at(rule.head.pred).adornment;
+      std::set<VarId> to_cover;
+      for (size_t i = 0; i < adornment.size() && i < rule.head.args.size();
+           ++i) {
+        if (adornment[i] == 'c') to_cover.insert(rule.head.args[i]);
+      }
+      // Variables already carried by the guard are not in need of coverage
+      // only if ground there — under bcf they are the condition arguments,
+      // so they do need grounding subgoals; keep to_cover as-is.
+      std::vector<Literal> grounding;
+      std::set<VarId> def_vars(rule.body[0].args.begin(),
+                               rule.body[0].args.end());
+      size_t next = 1;
+      auto covered = [&to_cover, &grounding]() {
+        for (VarId v : to_cover) {
+          bool found = false;
+          for (const Literal& lit : grounding) {
+            for (VarId a : lit.args) {
+              if (a == v) found = true;
+            }
+          }
+          if (!found) return false;
+        }
+        return true;
+      };
+      while (!covered() && next < rule.body.size()) {
+        const Literal& lit = rule.body[next];
+        // A grounding subgoal must be ordinary and non-recursive with the
+        // head predicate (Definition 6.1).
+        if (scc_preds.count(lit.pred) > 0 ||
+            magic_preds.count(lit.pred) > 0) {
+          return Status::InvalidArgument(
+              "program not groundable: rule " + rule.label +
+              " needs a recursive literal to ground a condition variable");
+        }
+        grounding.push_back(lit);
+        for (VarId v : lit.args) def_vars.insert(v);
+        ++next;
+      }
+      if (!covered()) {
+        return Status::InvalidArgument(
+            "program not groundable: rule " + rule.label +
+            " has an uncovered condition variable (Definition 6.1)");
+      }
+      // Supplementary head arguments: definition variables still needed by
+      // the rest of the rule (head, later literals, or constraints that
+      // reach outside the definition).
+      std::set<VarId> needed(rule.head.args.begin(), rule.head.args.end());
+      for (size_t i = next; i < rule.body.size(); ++i) {
+        for (VarId v : rule.body[i].args) needed.insert(v);
+      }
+      for (const LinearConstraint& atom : rule.constraints.linear()) {
+        bool outside = false;
+        for (VarId v : atom.Vars()) {
+          if (def_vars.count(v) == 0) outside = true;
+        }
+        if (outside) {
+          for (VarId v : atom.Vars()) needed.insert(v);
+        }
+      }
+      std::vector<VarId> args;
+      for (VarId v : def_vars) {
+        if (needed.count(v) > 0) args.push_back(v);
+      }
+      PredId s_pred = symbols->FreshPredicate(
+          "s_" + std::to_string(++supp_counter) + "_" +
+          symbols->PredicateName(rule.head.pred));
+      out.supplementary.push_back(s_pred);
+      CQLOPT_RETURN_IF_ERROR(
+          grounded.DeclareArity(s_pred, static_cast<int>(args.size())));
+      Rule def;
+      def.label = "s" + std::to_string(supp_counter);
+      def.head = Literal(s_pred, args);
+      def.body.push_back(rule.body[0]);
+      for (const Literal& lit : grounding) def.body.push_back(lit);
+      std::vector<VarId> def_var_list(def_vars.begin(), def_vars.end());
+      CQLOPT_ASSIGN_OR_RETURN(def.constraints,
+                              rule.constraints.Project(def_var_list));
+      def.var_names = rule.var_names;
+      defs.push_back(std::move(def));
+    }
+
+    // Unfold step: resolve the magic literal of every definition rule and
+    // every lower rule against the rules defining the magic predicates.
+    Program magic_defs(symbols);
+    magic_defs.rules = r_m;
+    std::vector<Rule> unfolded_plain;   // no residual magic literal
+    std::vector<Rule> unfolded_magic;   // residual magic literal -> fold
+    auto unfold_into = [&](const Rule& target) -> Status {
+      int idx = FindBodyPred(target, magic_preds);
+      if (idx < 0) {
+        unfolded_plain.push_back(target);
+        return Status::OK();
+      }
+      CQLOPT_ASSIGN_OR_RETURN(
+          std::vector<Rule> results,
+          UnfoldLiteral(magic_defs, target, static_cast<size_t>(idx), &alloc));
+      for (Rule& r : results) {
+        if (FindBodyPred(r, magic_preds) >= 0) {
+          unfolded_magic.push_back(std::move(r));
+        } else {
+          unfolded_plain.push_back(std::move(r));
+        }
+      }
+      return Status::OK();
+    };
+    for (const Rule& def : defs) CQLOPT_RETURN_IF_ERROR(unfold_into(def));
+    for (const Rule& low : lower) CQLOPT_RETURN_IF_ERROR(unfold_into(low));
+
+    // Fold step: replace [guard + grounding subgoals] by the supplementary
+    // literal in the original rules and in the unfolded rules that still
+    // carry a magic literal.
+    auto fold_rule = [&](const Rule& rule) -> Result<Rule> {
+      int anchor = FindBodyPred(rule, magic_preds);
+      for (const Rule& def : defs) {
+        std::optional<Rule> folded = TryFold(rule, def, anchor);
+        if (folded.has_value()) return std::move(*folded);
+      }
+      return Status::Internal("GMT fold failed for rule " + rule.label);
+    };
+    for (const Rule& rule : r_p) {
+      CQLOPT_ASSIGN_OR_RETURN(Rule folded, fold_rule(rule));
+      folded_rp.push_back(std::move(folded));
+    }
+    std::vector<Rule> folded_magic;
+    for (const Rule& rule : unfolded_magic) {
+      CQLOPT_ASSIGN_OR_RETURN(Rule folded, fold_rule(rule));
+      folded_magic.push_back(std::move(folded));
+    }
+
+    // New working set: untouched rules, residual-free unfoldings, and the
+    // folded rules. The magic predicates of this SCC are gone.
+    work = std::move(rest);
+    for (Rule& r : unfolded_plain) work.push_back(std::move(r));
+    for (Rule& r : folded_magic) work.push_back(std::move(r));
+    for (Rule& r : folded_rp) work.push_back(std::move(r));
+  }
+
+  grounded.rules = std::move(work);
+  grounded.RemoveUnreachable(out.query_pred);
+  out.grounded = std::move(grounded);
+  return out;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,36 @@
+#ifndef CQLOPT_TRANSFORM_GMT_H_
+#define CQLOPT_TRANSFORM_GMT_H_
+
+#include "transform/magic.h"
+
+namespace cqlopt {
+
+/// Result of the GMT pipeline (Section 6.2): adorn with bcf, Magic
+/// Templates with grounding sips, then the grounding step — reconstructed,
+/// per the paper's contribution, as procedure Ground_Fold_Unfold: a
+/// sequence of Tamaki–Sato definition/unfold/fold steps over the SCC
+/// structure of the adorned program.
+struct GmtResult {
+  /// P^{ad,mg}: may contain non-range-restricted magic rules (these would
+  /// compute constraint facts).
+  Program magic;
+  /// P^{ad,mg,gr}: range-restricted; computes only ground facts
+  /// (Theorem 6.2).
+  Program grounded;
+  /// Adorned query predicate (where to read answers in both programs).
+  PredId query_pred;
+  /// The query rewritten against the adorned predicate.
+  Query query;
+  /// Supplementary predicates introduced (s_k_p of [MFPR90]).
+  std::vector<PredId> supplementary;
+};
+
+/// Runs the full GMT pipeline on a range-restricted, groundable program
+/// (Definition 6.1). Returns InvalidArgument when some rule defining a
+/// c-adorned predicate has a head 'c' variable not covered by ordinary
+/// non-recursive body literals (not groundable).
+Result<GmtResult> GmtTransform(const Program& program, const Query& query);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_GMT_H_

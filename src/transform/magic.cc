@@ -1,0 +1,134 @@
+#include "transform/magic.h"
+
+#include <memory>
+#include <set>
+
+namespace cqlopt {
+namespace {
+
+/// Keeps only binding information: variable equalities, symbol bindings,
+/// and linear equalities (template arithmetic like V = N - 1). Inequality
+/// selections are dropped — the plain-magic `mrl'` behaviour.
+Conjunction FilterToBindings(const Conjunction& conj) {
+  Conjunction out;
+  if (conj.known_unsat()) return Conjunction::False();
+  for (const auto& [member, root] : conj.EqualityPairs()) {
+    (void)out.AddEquality(member, root);
+  }
+  for (const auto& [root, symbol] : conj.SymbolBindings()) {
+    (void)out.BindSymbol(root, symbol);
+  }
+  for (const LinearConstraint& atom : conj.linear()) {
+    if (atom.op() == CmpOp::kEq) (void)out.AddLinear(atom);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MagicResult> MagicTemplates(const Program& program, const Query& query,
+                                   const MagicOptions& options) {
+  CQLOPT_ASSIGN_OR_RETURN(AdornedProgram adorned,
+                          Adorn(program, query, options.sips));
+  return MagicTemplatesOnAdorned(adorned, query, options);
+}
+
+Result<MagicResult> MagicTemplatesOnAdorned(const AdornedProgram& adorned,
+                                            const Query& query,
+                                            const MagicOptions& options) {
+  (void)options;
+  std::shared_ptr<SymbolTable> symbols = adorned.program.symbols;
+  MagicResult out;
+  out.program = Program(symbols);
+  out.program.arities = adorned.program.arities;
+  out.query_pred = adorned.query_pred;
+  out.info = adorned.info;
+
+  std::set<PredId> derived;
+  for (PredId p : adorned.program.DerivedPredicates()) derived.insert(p);
+
+  // One magic predicate per adorned derived predicate, carrying the bound
+  // argument positions (all positions under full left-to-right sips).
+  std::map<PredId, PredId> magic_of;
+  std::map<PredId, std::vector<int>> bound_positions;
+  auto adornment_of = [&](PredId p) -> std::string {
+    auto it = out.info.find(p);
+    if (it != out.info.end() && !it->second.adornment.empty()) {
+      return it->second.adornment;
+    }
+    int arity = adorned.program.Arity(p);
+    return std::string(arity < 0 ? 0 : static_cast<size_t>(arity), 'b');
+  };
+  for (PredId p : derived) {
+    std::string adornment = adornment_of(p);
+    std::vector<int> bound;
+    for (size_t i = 0; i < adornment.size(); ++i) {
+      // Magic predicates carry bound arguments and, under bcf adornments,
+      // the independently-constrained ones too (Section 6.2: m_p^cf(X)).
+      if (adornment[i] == 'b' || adornment[i] == 'c') {
+        bound.push_back(static_cast<int>(i));
+      }
+    }
+    PredId m = symbols->FreshPredicate("m_" + symbols->PredicateName(p));
+    magic_of[p] = m;
+    bound_positions[p] = bound;
+    CQLOPT_RETURN_IF_ERROR(
+        out.program.DeclareArity(m, static_cast<int>(bound.size())));
+  }
+  auto magic_literal = [&](const Literal& lit) {
+    std::vector<VarId> args;
+    for (int i : bound_positions[lit.pred]) {
+      args.push_back(lit.args[static_cast<size_t>(i)]);
+    }
+    return Literal(magic_of[lit.pred], std::move(args));
+  };
+
+  for (const Rule& rule : adorned.program.rules) {
+    // Magic rules, one per derived body literal (Definition B.3 step 4).
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      const Literal& lit = rule.body[j];
+      if (derived.count(lit.pred) == 0) continue;
+      Rule mr;
+      mr.label = "m" + (rule.label.empty() ? "r" : rule.label) + "_" +
+                 std::to_string(j + 1);
+      mr.head = magic_literal(lit);
+      mr.body.push_back(magic_literal(rule.head));
+      for (size_t k = 0; k < j; ++k) mr.body.push_back(rule.body[k]);
+      // Constraint magic (Section 7.2): carry Π_Ȳ(C_r) where Ȳ are the
+      // magic rule's variables.
+      std::vector<VarId> vars = mr.head.Vars();
+      for (const Literal& b : mr.body) vars = VarUnion(vars, b.Vars());
+      CQLOPT_ASSIGN_OR_RETURN(Conjunction projected,
+                              rule.constraints.Project(vars));
+      mr.constraints = options.constraint_magic ? projected
+                                                : FilterToBindings(projected);
+      mr.var_names = rule.var_names;
+      if (!mr.constraints.IsSatisfiable()) continue;
+      out.program.rules.push_back(std::move(mr));
+    }
+    // Modified rule: magic guard first (Definition B.3 step 3).
+    Rule modified = rule;
+    modified.body.insert(modified.body.begin(), magic_literal(rule.head));
+    out.program.rules.push_back(std::move(modified));
+  }
+
+  // Seed (Definition B.3 step 5): m_q(query bound args) with the query's
+  // constraints projected onto them.
+  Literal adorned_query_lit = query.literal;
+  adorned_query_lit.pred = adorned.query_pred;
+  Rule seed;
+  seed.label = "seed";
+  seed.head = magic_literal(adorned_query_lit);
+  CQLOPT_ASSIGN_OR_RETURN(seed.constraints,
+                          query.constraints.Project(seed.head.Vars()));
+  out.program.rules.push_back(std::move(seed));
+  out.magic_query_pred = magic_of[adorned.query_pred];
+
+  out.query.literal = adorned_query_lit;
+  out.query.constraints = query.constraints;
+  out.magic_of = magic_of;
+  out.carried_positions = bound_positions;
+  return out;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,53 @@
+#ifndef CQLOPT_TRANSFORM_MAGIC_H_
+#define CQLOPT_TRANSFORM_MAGIC_H_
+
+#include "transform/adornment.h"
+
+namespace cqlopt {
+
+/// Options of the Magic Templates rewriting (Appendix B / Section 7.2).
+struct MagicOptions {
+  SipStrategy sips = SipStrategy::kBoundIfGround;
+  /// Constraint magic rewriting (Section 7.2): each magic rule carries the
+  /// projection of its source rule's constraint conjunction onto the magic
+  /// rule's variables, so Π_Ȳ(C_r) = Π_Ȳ(C_mr). When false, magic rules
+  /// keep only binding information (equalities and symbol bindings) — the
+  /// paper's `mrl'` alternative, which passes no inequality selections and
+  /// hence computes more irrelevant facts.
+  bool constraint_magic = true;
+};
+
+/// Result of the Magic Templates rewriting.
+struct MagicResult {
+  Program program;
+  /// The adorned query predicate (what to read answers from).
+  PredId query_pred;
+  /// The magic predicate of the query (its seed rule is in `program`).
+  PredId magic_query_pred;
+  /// The query rewritten against the adorned predicate, for evaluation.
+  Query query;
+  /// Adornment metadata.
+  std::map<PredId, AdornInfo> info;
+  /// adorned derived predicate -> its magic predicate.
+  std::map<PredId, PredId> magic_of;
+  /// adorned predicate -> positions its magic predicate carries.
+  std::map<PredId, std::vector<int>> carried_positions;
+};
+
+/// Magic Templates (Definition B.3 with the constraint handling of Section
+/// 7.2): adorn, create magic predicates carrying the bound arguments,
+/// modify each rule with a magic guard, emit one magic rule per derived
+/// body literal (with full left-to-right information passing), and seed the
+/// magic predicate of the query from the query's constants.
+Result<MagicResult> MagicTemplates(const Program& program, const Query& query,
+                                   const MagicOptions& options);
+
+/// Same, starting from an already-adorned program (used by the GMT pipeline,
+/// which needs the adorned program's SCC structure as well).
+Result<MagicResult> MagicTemplatesOnAdorned(const AdornedProgram& adorned,
+                                            const Query& query,
+                                            const MagicOptions& options);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_MAGIC_H_

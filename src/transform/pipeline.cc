@@ -1,0 +1,130 @@
+#include "transform/pipeline.h"
+
+#include "transform/gmt.h"
+
+namespace cqlopt {
+
+Result<PipelineResult> ApplyPipeline(const Program& program,
+                                     const Query& query,
+                                     const std::vector<RewriteStep>& steps,
+                                     const PipelineOptions& options) {
+  PipelineResult state;
+  state.program = program;
+  state.query = query;
+  state.query_pred = query.literal.pred;
+
+  for (RewriteStep step : steps) {
+    switch (step) {
+      case RewriteStep::kPred: {
+        CQLOPT_ASSIGN_OR_RETURN(
+            Program next,
+            PropagatePredicateConstraints(state.program,
+                                          options.edb_constraints,
+                                          options.inference, nullptr));
+        state.program = std::move(next);
+        break;
+      }
+      case RewriteStep::kQrp:
+      case RewriteStep::kBalbin: {
+        ConstraintRewriteOptions cro;
+        cro.inference = options.inference;
+        cro.propagate = options.propagate;
+        cro.apply_predicate_constraints = false;
+        cro.syntactic_generation = step == RewriteStep::kBalbin;
+        cro.edb_constraints = options.edb_constraints;
+        CQLOPT_ASSIGN_OR_RETURN(
+            ConstraintRewriteResult rewritten,
+            ConstraintRewrite(state.program, state.query_pred, cro));
+        state.program = std::move(rewritten.program);
+        break;
+      }
+      case RewriteStep::kMagic: {
+        if (state.magic_applied) {
+          return Status::InvalidArgument(
+              "magic rewriting applied more than once in a sequence");
+        }
+        CQLOPT_ASSIGN_OR_RETURN(
+            MagicResult magic,
+            MagicTemplates(state.program, state.query, options.magic));
+        state.program = std::move(magic.program);
+        state.query = magic.query;
+        state.query_pred = magic.query_pred;
+        state.magic_applied = true;
+        break;
+      }
+      case RewriteStep::kGmt: {
+        if (state.magic_applied) {
+          return Status::InvalidArgument(
+              "magic/GMT rewriting applied more than once in a sequence");
+        }
+        CQLOPT_ASSIGN_OR_RETURN(GmtResult gmt,
+                                GmtTransform(state.program, state.query));
+        state.program = std::move(gmt.grounded);
+        state.query = gmt.query;
+        state.query_pred = gmt.query_pred;
+        state.magic_applied = true;
+        break;
+      }
+    }
+  }
+  return state;
+}
+
+Result<std::vector<RewriteStep>> ParseSteps(const std::string& spec) {
+  std::vector<RewriteStep> steps;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    std::string token = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    // Trim spaces.
+    while (!token.empty() && token.front() == ' ') token.erase(0, 1);
+    while (!token.empty() && token.back() == ' ') token.pop_back();
+    if (!token.empty()) {
+      if (token == "pred") {
+        steps.push_back(RewriteStep::kPred);
+      } else if (token == "qrp") {
+        steps.push_back(RewriteStep::kQrp);
+      } else if (token == "mg" || token == "magic") {
+        steps.push_back(RewriteStep::kMagic);
+      } else if (token == "balbin" || token == "c") {
+        steps.push_back(RewriteStep::kBalbin);
+      } else if (token == "gmt") {
+        steps.push_back(RewriteStep::kGmt);
+      } else {
+        return Status::InvalidArgument("unknown rewriting step '" + token +
+                                       "'");
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return steps;
+}
+
+std::string StepsName(const std::vector<RewriteStep>& steps) {
+  std::string out;
+  for (RewriteStep step : steps) {
+    if (!out.empty()) out += ",";
+    switch (step) {
+      case RewriteStep::kPred:
+        out += "pred";
+        break;
+      case RewriteStep::kQrp:
+        out += "qrp";
+        break;
+      case RewriteStep::kMagic:
+        out += "mg";
+        break;
+      case RewriteStep::kBalbin:
+        out += "balbin";
+        break;
+      case RewriteStep::kGmt:
+        out += "gmt";
+        break;
+    }
+  }
+  return out.empty() ? "(identity)" : out;
+}
+
+}  // namespace cqlopt

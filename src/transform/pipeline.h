@@ -1,0 +1,56 @@
+#ifndef CQLOPT_TRANSFORM_PIPELINE_H_
+#define CQLOPT_TRANSFORM_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "transform/constraint_rewrite.h"
+#include "transform/magic.h"
+
+namespace cqlopt {
+
+/// One rewriting in a Section 7 transformation sequence.
+enum class RewriteStep {
+  kPred,    // Gen_Prop_predicate_constraints
+  kQrp,     // Gen_Prop_QRP_constraints
+  kMagic,   // constraint magic rewriting (apply at most once)
+  kBalbin,  // Balbin et al.'s C-transformation arm (syntactic qrp)
+  kGmt,     // the GMT pipeline (Section 6.2); like magic, apply at most once
+};
+
+struct PipelineOptions {
+  MagicOptions magic;
+  InferenceOptions inference;
+  PropagateOptions propagate;
+  std::map<PredId, ConstraintSet> edb_constraints;
+};
+
+/// Outcome of a transformation sequence: the rewritten program and the
+/// query against it (adorned once magic has been applied; the seed rule in
+/// the program already carries the query's constants).
+struct PipelineResult {
+  Program program;
+  Query query;
+  PredId query_pred;
+  bool magic_applied = false;
+};
+
+/// Applies a sequence such as {pred, qrp, mg} (Section 7's P^{pred,qrp,mg}
+/// notation). Steps before magic rewrite the program query-independently
+/// against the query *predicate*; the magic step specializes to the actual
+/// query; steps after magic operate on the magic program with the adorned
+/// query predicate (the P^{mg,qrp} arm of Examples 7.1/7.2).
+Result<PipelineResult> ApplyPipeline(const Program& program,
+                                     const Query& query,
+                                     const std::vector<RewriteStep>& steps,
+                                     const PipelineOptions& options);
+
+/// Parses "pred,qrp,mg" / "mg,pred,qrp" / "balbin" / "gmt" etc.
+Result<std::vector<RewriteStep>> ParseSteps(const std::string& spec);
+
+/// Renders a sequence back to its spec string.
+std::string StepsName(const std::vector<RewriteStep>& steps);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_PIPELINE_H_

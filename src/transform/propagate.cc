@@ -1,0 +1,149 @@
+#include "transform/propagate.h"
+
+#include <deque>
+#include <set>
+
+#include "ast/arg_map.h"
+#include "ast/normalize.h"
+#include "transform/fold_unfold.h"
+
+namespace cqlopt {
+namespace {
+
+struct Target {
+  PredId base;
+  PredId primed;
+  std::vector<Rule> defs;               // p'(X̄) :- PTOL(d_i), p(X̄).
+  std::vector<Conjunction> disjuncts;   // the d_i, argument-position form
+};
+
+}  // namespace
+
+Result<Program> PropagateQrpConstraints(
+    const Program& program, PredId query_pred,
+    const std::map<PredId, ConstraintSet>& qrp,
+    const PropagateOptions& options) {
+  VarAllocator alloc = MakeAllocator(program);
+
+  // Step 1: definition steps, one predicate p' per propagated predicate,
+  // one rule per disjunct of its QRP constraint.
+  std::map<PredId, Target> targets;
+  for (PredId p : program.DerivedPredicates()) {
+    if (p == query_pred) continue;
+    auto it = qrp.find(p);
+    if (it == qrp.end()) continue;
+    const ConstraintSet& set = it->second;
+    if (set.is_false() || set.IsTriviallyTrue()) continue;
+    Target target;
+    target.base = p;
+    // Copy: FreshPredicate below may reallocate the name table.
+    const std::string name = program.symbols->PredicateName(p);
+    target.primed = program.symbols->FreshPredicate(name + "'");
+    int arity = program.Arity(p);
+    int k = 0;
+    for (const Conjunction& d : set.disjuncts()) {
+      target.defs.push_back(MakeDefinition(
+          target.primed, p, arity, d, &alloc,
+          "def_" + name + "_" + std::to_string(++k)));
+      target.disjuncts.push_back(d);
+    }
+    targets.emplace(p, std::move(target));
+  }
+  if (targets.empty()) {
+    Program out = program;
+    out.RemoveUnreachable(query_pred);
+    return out;
+  }
+
+  // Step 2: unfold p's definition into each rule defining p'. The unfolded
+  // rules replace p's original rules in the output.
+  Program out(program.symbols);
+  out.arities = program.arities;
+  for (const auto& [p, target] : targets) {
+    CQLOPT_RETURN_IF_ERROR(
+        out.DeclareArity(target.primed, program.Arity(p)));
+  }
+  std::deque<Rule> queue;
+  for (const auto& [p, target] : targets) {
+    for (const Rule& def : target.defs) {
+      CQLOPT_ASSIGN_OR_RETURN(std::vector<Rule> unfolded,
+                              UnfoldLiteral(program, def, 0, &alloc));
+      for (Rule& r : unfolded) queue.push_back(std::move(r));
+    }
+  }
+  for (const Rule& rule : program.rules) {
+    if (targets.count(rule.head.pred) == 0) queue.push_back(rule);
+  }
+
+  // Step 3: fold every body occurrence of a propagated predicate. If the
+  // rule's constraints imply no single disjunct, split the rule into one
+  // copy per disjunct with the disjunct's PTOL conjoined (footnote 4); the
+  // copies then fold directly.
+  while (!queue.empty()) {
+    Rule rule = std::move(queue.front());
+    queue.pop_front();
+    // A rule with unsatisfiable constraints can never fire; dropping it here
+    // also lets the reachability cleanup prune predicates it referenced.
+    if (!rule.constraints.IsSatisfiable()) continue;
+    int occurrence = -1;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (targets.count(rule.body[i].pred) > 0) {
+        occurrence = static_cast<int>(i);
+        break;
+      }
+    }
+    if (occurrence < 0) {
+      out.rules.push_back(std::move(rule));
+      continue;
+    }
+    const Target& target = targets.at(rule.body[static_cast<size_t>(occurrence)].pred);
+    bool folded = false;
+    for (const Rule& def : target.defs) {
+      std::optional<Rule> attempt = TryFold(rule, def, occurrence);
+      if (attempt.has_value()) {
+        queue.push_front(std::move(*attempt));
+        folded = true;
+        break;
+      }
+    }
+    if (folded) continue;
+    // Split per disjunct.
+    const Literal& occ = rule.body[static_cast<size_t>(occurrence)];
+    int copy_index = 0;
+    for (const Conjunction& d : target.disjuncts) {
+      Rule copy = rule;
+      Status st = copy.constraints.AddConjunction(PtolConjunction(occ, d));
+      if (!st.ok()) return st;
+      if (!copy.constraints.IsSatisfiable()) continue;
+      copy.body[static_cast<size_t>(occurrence)].pred = target.primed;
+      if (copy_index > 0) {
+        copy.label = rule.label + "_" + std::to_string(copy_index);
+      }
+      ++copy_index;
+      queue.push_front(std::move(copy));
+    }
+  }
+
+  out.RemoveUnreachable(query_pred);
+  DeduplicateRules(&out);
+
+  if (options.rename_back) {
+    std::set<PredId> remaining_heads;
+    for (const Rule& rule : out.rules) remaining_heads.insert(rule.head.pred);
+    std::map<PredId, PredId> rename;
+    for (const auto& [p, target] : targets) {
+      if (remaining_heads.count(p) == 0) rename[target.primed] = p;
+    }
+    for (Rule& rule : out.rules) {
+      auto fix = [&rename](Literal* lit) {
+        auto it = rename.find(lit->pred);
+        if (it != rename.end()) lit->pred = it->second;
+      };
+      fix(&rule.head);
+      for (Literal& lit : rule.body) fix(&lit);
+    }
+  }
+  return out;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,37 @@
+#ifndef CQLOPT_TRANSFORM_PROPAGATE_H_
+#define CQLOPT_TRANSFORM_PROPAGATE_H_
+
+#include "transform/predicate_constraints.h"
+
+namespace cqlopt {
+
+/// Options of the QRP propagation step.
+struct PropagateOptions {
+  /// After propagation, predicates whose original rules were all deleted
+  /// get their primed replacement renamed back (flight' -> flight), giving
+  /// the presentation of Example 4.3. Purely cosmetic.
+  bool rename_back = false;
+};
+
+/// Procedure Gen_Prop_QRP_constraints' propagation phase (Section 4.3):
+/// given QRP constraints per predicate (in argument-position form), for
+/// every derived predicate p with a nontrivial QRP constraint of m
+/// disjuncts it
+///   1. performs m definition steps creating p'(X̄) :- PTOL(d_i), p(X̄);
+///   2. unfolds p's definition into the new rules;
+///   3. folds the original definitions of p' into every rule with a body
+///      occurrence of p.
+/// When a rule's constraints imply no single disjunct, the rule is split
+/// into one copy per disjunct (footnote 4; the copies' union is equivalent
+/// because the literal constraint implies the disjunction — see DESIGN.md).
+/// Rules unreachable from `query_pred` are deleted afterwards.
+///
+/// Correctness is Theorem 4.3 (query equivalence) and Theorem 4.4 (ground
+/// facts stay ground; fewer facts computed).
+Result<Program> PropagateQrpConstraints(
+    const Program& program, PredId query_pred,
+    const std::map<PredId, ConstraintSet>& qrp, const PropagateOptions& options);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_PROPAGATE_H_

@@ -1,0 +1,27 @@
+#ifndef CQLOPT_TRANSFORM_QRP_CONSTRAINTS_H_
+#define CQLOPT_TRANSFORM_QRP_CONSTRAINTS_H_
+
+#include "transform/predicate_constraints.h"
+
+namespace cqlopt {
+
+/// Procedure Gen_QRP_constraints (Section 4.2, Appendix C): starting from
+/// `true` for the query predicate and `false` for everything else, it
+/// iterates the nonrecursive inference of Proposition 4.1 — the literal
+/// constraint of p_i(X̄i) in rule r with desired head constraint C_p is
+///   C_{pi(X̄i)} = Π_{X̄i}( PTOL(p(X̄), C_p) ∧ C_r(Ȳ) )
+/// — disjoining the LTOPs of the literal constraints of every occurrence of
+/// each predicate, until the approximations stabilize. The result is a QRP
+/// constraint for every predicate (Theorem 4.2); if minimum predicate
+/// constraints were propagated into the program first, it is the *minimum*
+/// QRP constraint (Theorem 4.7).
+///
+/// On cap overrun the result is widened to `true` (the paper's terminating
+/// fallback).
+Result<InferenceResult> GenQrpConstraints(const Program& program,
+                                          PredId query_pred,
+                                          const InferenceOptions& options);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_QRP_CONSTRAINTS_H_

@@ -1,0 +1,185 @@
+#include "transform/widening.h"
+
+#include <algorithm>
+#include <set>
+
+#include "constraint/fourier_motzkin.h"
+#include "constraint/implication.h"
+
+namespace cqlopt {
+namespace {
+
+/// Candidate atoms of a disjunct: its linear atoms with equalities also
+/// contributed as both one-sided relaxations, so the hull can pick up
+/// monotone trends across point facts ({$2=1} ∨ {$2=2} → $2 >= 1).
+std::vector<LinearConstraint> CandidateAtoms(const Conjunction& d) {
+  std::vector<LinearConstraint> out;
+  for (const LinearConstraint& atom : d.LinearWithEqualities()) {
+    if (atom.op() == CmpOp::kEq) {
+      out.emplace_back(atom.expr(), CmpOp::kLe);
+      out.emplace_back(-atom.expr(), CmpOp::kLe);
+    }
+    out.push_back(atom);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Conjunction HullOf(const ConstraintSet& set) {
+  std::vector<const Conjunction*> live;
+  for (const Conjunction& d : set.disjuncts()) {
+    if (d.IsSatisfiable()) live.push_back(&d);
+  }
+  if (live.empty()) return Conjunction::False();
+  // Candidates from every disjunct; keep those implied by all of them.
+  std::vector<LinearConstraint> candidates;
+  for (const Conjunction* d : live) {
+    std::vector<LinearConstraint> atoms = CandidateAtoms(*d);
+    candidates.insert(candidates.end(), atoms.begin(), atoms.end());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<std::vector<LinearConstraint>> disjunct_atoms;
+  disjunct_atoms.reserve(live.size());
+  for (const Conjunction* d : live) {
+    disjunct_atoms.push_back(d->LinearWithEqualities());
+  }
+  Conjunction hull;
+  for (const LinearConstraint& candidate : candidates) {
+    bool everywhere = true;
+    for (const auto& atoms : disjunct_atoms) {
+      if (!fm::ImpliesAtom(atoms, candidate)) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (everywhere) (void)hull.AddLinear(candidate);
+  }
+  // Shared symbol bindings survive the hull too.
+  if (!live.empty()) {
+    for (const auto& [root, symbol] : live[0]->SymbolBindings()) {
+      bool everywhere = true;
+      for (const Conjunction* d : live) {
+        auto bound = d->GetSymbol(root);
+        if (!bound.has_value() || *bound != symbol) everywhere = false;
+      }
+      if (everywhere) (void)hull.BindSymbol(root, symbol);
+    }
+  }
+  hull.Simplify();
+  return hull;
+}
+
+Result<WideningResult> GenPredicateConstraintsWithWidening(
+    const Program& program,
+    const std::map<PredId, ConstraintSet>& edb_constraints,
+    const WideningOptions& options) {
+  WideningResult result;
+  std::vector<PredId> derived = program.DerivedPredicates();
+  std::set<PredId> derived_set(derived.begin(), derived.end());
+
+  std::map<PredId, ConstraintSet> current;  // exact sets during warmup
+  for (PredId p : derived) current[p] = ConstraintSet::False();
+  const ConstraintSet kTrue = ConstraintSet::True();
+  auto constraint_of = [&](PredId p) -> const ConstraintSet& {
+    if (derived_set.count(p) > 0) return current.at(p);
+    auto it = edb_constraints.find(p);
+    return it == edb_constraints.end() ? kTrue : it->second;
+  };
+
+  // Phase 1: exact iteration. If it converges here, the result is the
+  // minimum predicate constraint and no widening is needed.
+  for (int i = 0; i < options.warmup; ++i) {
+    ++result.iterations;
+    CQLOPT_ASSIGN_OR_RETURN(auto inferred,
+                            PredicateSingleStep(program, constraint_of));
+    bool all_marked = true;
+    for (PredId p : derived) {
+      auto it = inferred.find(p);
+      if (it == inferred.end()) continue;
+      if (it->second.Implies(current.at(p))) continue;
+      current[p].UnionWith(it->second);
+      all_marked = false;
+    }
+    if (all_marked) {
+      result.constraints = std::move(current);
+      result.converged = true;
+      result.exact = true;
+      return result;
+    }
+  }
+
+  // Phase 2: collapse to hulls and widen.
+  for (PredId p : derived) current[p] = ConstraintSet::Of(HullOf(current[p]));
+  for (int i = 0; i < options.max_widening_iterations; ++i) {
+    ++result.iterations;
+    CQLOPT_ASSIGN_OR_RETURN(auto inferred,
+                            PredicateSingleStep(program, constraint_of));
+    bool changed = false;
+    for (PredId p : derived) {
+      auto it = inferred.find(p);
+      if (it == inferred.end()) continue;
+      // New approximation: old ∨ inferred, collapsed to its hull.
+      ConstraintSet joined = current.at(p);
+      joined.UnionWith(it->second);
+      Conjunction new_hull = HullOf(joined);
+      if (current.at(p).is_false()) {
+        if (!new_hull.known_unsat()) {
+          current[p] = ConstraintSet::Of(std::move(new_hull));
+          changed = true;
+        }
+        continue;
+      }
+      const Conjunction& old_hull = current.at(p).disjuncts()[0];
+      // Standard widening: keep the old atoms the new approximation still
+      // implies; drop the rest (they were transient).
+      Conjunction widened;
+      for (const LinearConstraint& atom : old_hull.LinearWithEqualities()) {
+        if (fm::ImpliesAtom(new_hull.LinearWithEqualities(), atom)) {
+          (void)widened.AddLinear(atom);
+        }
+      }
+      for (const auto& [root, symbol] : old_hull.SymbolBindings()) {
+        auto bound = new_hull.GetSymbol(root);
+        if (bound.has_value() && *bound == symbol) {
+          (void)widened.BindSymbol(root, symbol);
+        }
+      }
+      widened.Simplify();
+      if (!Equivalent(widened, old_hull)) {
+        current[p] = ConstraintSet::Of(std::move(widened));
+        changed = true;
+      }
+    }
+    if (!changed) {
+      // Candidate post-fixpoint: verify inductiveness — one more step must
+      // stay within the candidate on every predicate.
+      CQLOPT_ASSIGN_OR_RETURN(auto check,
+                              PredicateSingleStep(program, constraint_of));
+      bool inductive = true;
+      for (PredId p : derived) {
+        auto it = check.find(p);
+        if (it == check.end()) continue;
+        if (!it->second.Implies(current.at(p))) inductive = false;
+      }
+      if (inductive) {
+        result.constraints = std::move(current);
+        result.converged = true;
+        return result;
+      }
+      // Not inductive (should not happen with this widening; defensive):
+      // fall through to the fallback below.
+      break;
+    }
+  }
+  // Fallback: `true` everywhere — always a sound predicate constraint.
+  for (PredId p : derived) result.constraints[p] = ConstraintSet::True();
+  result.converged = false;
+  return result;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,66 @@
+#ifndef CQLOPT_TRANSFORM_WIDENING_H_
+#define CQLOPT_TRANSFORM_WIDENING_H_
+
+#include "transform/predicate_constraints.h"
+
+namespace cqlopt {
+
+/// Options of the widening fixpoint (see GenPredicateConstraintsWithWidening).
+struct WideningOptions {
+  InferenceOptions base;
+  /// Exact Single_step iterations before widening kicks in; more warmup
+  /// means tighter invariants (classic delayed-widening).
+  int warmup = 4;
+  /// Cap on widening iterations after warmup.
+  int max_widening_iterations = 16;
+};
+
+/// Result of the widening fixpoint.
+struct WideningResult {
+  /// Per-predicate predicate constraints — a single conjunction each (the
+  /// convex-hull style invariant), sound but not minimum in general.
+  std::map<PredId, ConstraintSet> constraints;
+  /// True when a post-fixpoint was found and verified inductive.
+  bool converged = false;
+  /// True when the exact fixpoint converged during warmup (the result then
+  /// equals GenPredicateConstraints' minimum constraints).
+  bool exact = false;
+  int iterations = 0;
+};
+
+/// **Extension beyond the paper.** Gen_predicate_constraints with
+/// abstract-interpretation widening.
+///
+/// The paper shows (Theorem 3.1) that minimum predicate constraints need
+/// not be finitely representable — its Example 4.4 therefore *hand-picks*
+/// the sound constraint `fib: $2 >= 1` that makes Table 2's evaluation
+/// terminate. This procedure derives such constraints automatically:
+///
+///   1. run the exact Single_step iteration for `warmup` rounds;
+///   2. collapse each predicate's disjunction to its *hull* — the
+///      conjunction of atom relaxations implied by every disjunct
+///      (equalities contribute both inequality directions, so
+///      {$2 = 1} ∨ {$2 = 2} hulls to $2 >= 1);
+///   3. iterate with the standard widening operator — keep only the hull
+///      atoms the next approximation still implies — until nothing drops;
+///   4. verify the candidate is inductive (one more Single_step stays
+///      within it) and return it; on failure, fall back to `true`.
+///
+/// On the backward-Fibonacci program this derives ($1 >= 0 & $2 >= 1),
+/// subsuming the paper's hand-picked constraint; bench_table2's companion
+/// test (tests/test_widening.cc) shows the resulting magic evaluation
+/// terminates with no human input.
+Result<WideningResult> GenPredicateConstraintsWithWidening(
+    const Program& program,
+    const std::map<PredId, ConstraintSet>& edb_constraints,
+    const WideningOptions& options);
+
+/// The hull of a constraint set: the strongest single conjunction of
+/// candidate atoms (the disjuncts' atoms plus relaxations of their
+/// equalities) implied by every disjunct; Conjunction::False() for the
+/// empty set. Exposed for tests.
+Conjunction HullOf(const ConstraintSet& set);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TRANSFORM_WIDENING_H_

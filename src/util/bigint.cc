@@ -1,0 +1,261 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cqlopt {
+
+namespace {
+constexpr uint64_t kBase = uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t value) : negative_(value < 0) {
+  // Avoid UB on INT64_MIN by working in uint64.
+  uint64_t magnitude =
+      value < 0 ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<uint32_t>(magnitude & 0xffffffffu));
+    magnitude >>= 32;
+  }
+  Normalize();
+}
+
+bool BigInt::FromString(const std::string& text, BigInt* out) {
+  size_t i = 0;
+  bool negative = false;
+  if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+    negative = text[i] == '-';
+    ++i;
+  }
+  if (i >= text.size()) return false;
+  BigInt result;
+  const BigInt ten(10);
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+    result = result * ten + BigInt(text[i] - '0');
+  }
+  if (negative) result = -result;
+  *out = result;
+  return true;
+}
+
+void BigInt::Trim(std::vector<uint32_t>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+}
+
+void BigInt::Normalize() {
+  Trim(&limbs_);
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::max(a.size(), b.size()) + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<uint32_t>(diff));
+  }
+  Trim(&out);
+  return out;
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(a[i]) * b[j] + out[i + j] + carry;
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  Trim(&out);
+  return out;
+}
+
+void BigInt::DivModMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b,
+                             std::vector<uint32_t>* quotient,
+                             std::vector<uint32_t>* remainder) {
+  quotient->assign(a.size(), 0);
+  remainder->clear();
+  // Bitwise long division: process a's bits from most to least significant.
+  // Simple and exact; performance is adequate for constraint coefficients.
+  for (size_t limb = a.size(); limb-- > 0;) {
+    for (int bit = 31; bit >= 0; --bit) {
+      // remainder = remainder * 2 + current bit of a.
+      uint32_t carry = (a[limb] >> bit) & 1u;
+      for (size_t i = 0; i < remainder->size(); ++i) {
+        uint32_t next_carry = (*remainder)[i] >> 31;
+        (*remainder)[i] = ((*remainder)[i] << 1) | carry;
+        carry = next_carry;
+      }
+      if (carry != 0) remainder->push_back(carry);
+      if (CompareMagnitude(*remainder, b) >= 0) {
+        *remainder = SubMagnitude(*remainder, b);
+        (*quotient)[limb] |= uint32_t{1} << bit;
+      }
+    }
+  }
+  Trim(quotient);
+  Trim(remainder);
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMagnitude(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.is_zero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt out;
+  if (negative_ == other.negative_) {
+    out.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else if (CompareMagnitude(limbs_, other.limbs_) >= 0) {
+    out.limbs_ = SubMagnitude(limbs_, other.limbs_);
+    out.negative_ = negative_;
+  } else {
+    out.limbs_ = SubMagnitude(other.limbs_, limbs_);
+    out.negative_ = other.negative_;
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt out;
+  out.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  out.negative_ = negative_ != other.negative_;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt quotient;
+  std::vector<uint32_t> remainder;
+  DivModMagnitude(limbs_, other.limbs_, &quotient.limbs_, &remainder);
+  quotient.negative_ = negative_ != other.negative_;
+  quotient.Normalize();
+  return quotient;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  std::vector<uint32_t> quotient;
+  BigInt remainder;
+  DivModMagnitude(limbs_, other.limbs_, &quotient, &remainder.limbs_);
+  remainder.negative_ = negative_;
+  remainder.Normalize();
+  return remainder;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt out = *this;
+  out.negative_ = false;
+  return out;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+bool BigInt::ToInt64(int64_t* out) const {
+  if (limbs_.size() > 2) return false;
+  uint64_t magnitude = 0;
+  if (limbs_.size() >= 1) magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (magnitude > (uint64_t{1} << 63)) return false;
+    *out = static_cast<int64_t>(~magnitude + 1);
+  } else {
+    if (magnitude > static_cast<uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<int64_t>(magnitude);
+  }
+  return true;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  std::vector<uint32_t> work = limbs_;
+  std::string digits;
+  const std::vector<uint32_t> ten = {10};
+  while (!work.empty()) {
+    std::vector<uint32_t> quotient;
+    std::vector<uint32_t> remainder;
+    DivModMagnitude(work, ten, &quotient, &remainder);
+    uint32_t digit = remainder.empty() ? 0 : remainder[0];
+    digits.push_back(static_cast<char>('0' + digit));
+    work = quotient;
+  }
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+size_t BigInt::Hash() const {
+  size_t h = negative_ ? 0x9e3779b97f4a7c15ull : 0;
+  for (uint32_t limb : limbs_) {
+    h ^= limb + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace cqlopt

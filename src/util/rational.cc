@@ -1,0 +1,107 @@
+#include "util/rational.h"
+
+#include <utility>
+
+namespace cqlopt {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(num_, den_);
+  if (g != BigInt(1)) {
+    num_ = num_ / g;
+    den_ = den_ / g;
+  }
+}
+
+bool Rational::FromString(const std::string& text, Rational* out) {
+  size_t slash = text.find('/');
+  if (slash != std::string::npos) {
+    BigInt num, den;
+    if (!BigInt::FromString(text.substr(0, slash), &num)) return false;
+    if (!BigInt::FromString(text.substr(slash + 1), &den)) return false;
+    if (den.is_zero()) return false;
+    *out = Rational(num, den);
+    return true;
+  }
+  size_t dot = text.find('.');
+  if (dot != std::string::npos) {
+    std::string integral = text.substr(0, dot);
+    std::string fraction = text.substr(dot + 1);
+    if (fraction.empty()) return false;
+    bool negative = !integral.empty() && integral[0] == '-';
+    BigInt whole;
+    if (integral.empty() || integral == "-" || integral == "+") {
+      whole = BigInt(0);
+    } else if (!BigInt::FromString(integral, &whole)) {
+      return false;
+    }
+    BigInt frac_num;
+    if (!BigInt::FromString(fraction, &frac_num)) return false;
+    if (frac_num.is_negative()) return false;
+    BigInt scale(1);
+    const BigInt ten(10);
+    for (size_t i = 0; i < fraction.size(); ++i) scale = scale * ten;
+    BigInt num = whole.Abs() * scale + frac_num;
+    if (negative || whole.is_negative()) num = -num;
+    *out = Rational(num, scale);
+    return true;
+  }
+  BigInt num;
+  if (!BigInt::FromString(text, &num)) return false;
+  *out = Rational(num, BigInt(1));
+  return true;
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return Rational(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(num_ * other.num_, den_ * other.den_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  return Rational(num_ * other.den_, den_ * other.num_);
+}
+
+int Rational::Compare(const Rational& other) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return (num_ * other.den_).Compare(other.num_ * den_);
+}
+
+Rational Rational::Reciprocal() const { return Rational(den_, num_); }
+
+std::string Rational::ToString() const {
+  if (is_integer()) return num_.ToString();
+  return num_.ToString() + "/" + den_.ToString();
+}
+
+size_t Rational::Hash() const {
+  size_t h = num_.Hash();
+  h ^= den_.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace cqlopt

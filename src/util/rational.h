@@ -1,0 +1,79 @@
+#ifndef CQLOPT_UTIL_RATIONAL_H_
+#define CQLOPT_UTIL_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bigint.h"
+
+namespace cqlopt {
+
+/// Exact rational number, the coefficient domain of the constraint algebra.
+///
+/// The paper's constraints range over the reals; for *linear* constraints,
+/// satisfiability, implication and quantifier elimination over the reals
+/// coincide with the same questions over the rationals, so exact rational
+/// arithmetic gives exact answers (see DESIGN.md, substitutions table).
+///
+/// Invariants: denominator > 0; numerator/denominator coprime; zero is 0/1.
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(int64_t value) : num_(value), den_(1) {}  // NOLINT(runtime/explicit)
+  /// Precondition: den != 0.
+  Rational(BigInt num, BigInt den);
+
+  /// Parses "n", "-n", "n/m", or a decimal like "3.25" / "-0.5".
+  static bool FromString(const std::string& text, Rational* out);
+
+  const BigInt& numerator() const { return num_; }
+  const BigInt& denominator() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_negative() const { return num_.is_negative(); }
+  /// -1, 0, or +1.
+  int sign() const { return num_.sign(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Precondition: other != 0.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& other) { return *this = *this + other; }
+  Rational& operator-=(const Rational& other) { return *this = *this - other; }
+  Rational& operator*=(const Rational& other) { return *this = *this * other; }
+  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+
+  bool operator==(const Rational& other) const {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const { return Compare(other) < 0; }
+  bool operator<=(const Rational& other) const { return Compare(other) <= 0; }
+  bool operator>(const Rational& other) const { return Compare(other) > 0; }
+  bool operator>=(const Rational& other) const { return Compare(other) >= 0; }
+
+  /// Signed three-way comparison.
+  int Compare(const Rational& other) const;
+
+  Rational Abs() const { return is_negative() ? -*this : *this; }
+  Rational Reciprocal() const;
+
+  /// "n" for integers, "n/m" otherwise.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  void Normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_UTIL_RATIONAL_H_

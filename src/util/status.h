@@ -1,0 +1,122 @@
+#ifndef CQLOPT_UTIL_STATUS_H_
+#define CQLOPT_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cqlopt {
+
+/// Error categories used across the library. Mirrors the minimal set of
+/// failure modes the optimizer can hit: malformed input programs, semantic
+/// errors (e.g. arithmetic over symbolic constants), resource limits
+/// (iteration caps on the non-terminating fixpoints of Section 4), and
+/// internal invariant violations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kTypeError,
+  kResourceExhausted,
+  kNotFound,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "PARSE_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object for error propagation without exceptions.
+///
+/// The library follows the Arrow/RocksDB convention: fallible operations
+/// return `Status` (or `Result<T>`), and callers either handle or propagate.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise (programming error).
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define CQLOPT_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::cqlopt::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluates a Result-returning expression, propagating errors; on success
+/// assigns the value to `lhs`.
+#define CQLOPT_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                 \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value();
+
+#define CQLOPT_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define CQLOPT_ASSIGN_OR_RETURN_NAME(x, y) CQLOPT_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define CQLOPT_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  CQLOPT_ASSIGN_OR_RETURN_IMPL(                                              \
+      CQLOPT_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, rexpr)
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_UTIL_STATUS_H_

@@ -1,0 +1,133 @@
+#include "transform/adornment.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace cqlopt {
+namespace {
+
+struct Parsed {
+  Program program;
+  Query query;
+};
+
+Parsed ParseWithQuery(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->queries.size(), 1u);
+  return Parsed{parsed->program, parsed->queries[0]};
+}
+
+TEST(AdornmentTest, FullLeftToRightKeepsPredicates) {
+  Parsed in = ParseWithQuery(
+      "fib(0, 1).\n"
+      "fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).\n"
+      "?- fib(N, 5).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kFullLeftToRight);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->query_pred, in.query.literal.pred);
+  EXPECT_EQ(adorned->query_adornment, "bb");
+  EXPECT_EQ(adorned->program.rules.size(), in.program.rules.size());
+}
+
+TEST(AdornmentTest, BoundIfGroundQueryPattern) {
+  Parsed in = ParseWithQuery(
+      "q(X, Y) :- e(X, Y).\n"
+      "?- q(madison, Y).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kBoundIfGround);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->query_adornment, "bf");
+  EXPECT_EQ(adorned->info.at(adorned->query_pred).adornment, "bf");
+  EXPECT_EQ(in.program.symbols->PredicateName(adorned->query_pred), "q_bf");
+}
+
+TEST(AdornmentTest, BindingsFlowLeftToRight) {
+  Parsed in = ParseWithQuery(
+      "q(X, Z) :- a(X, Y), b(Y, Z).\n"
+      "a(X, Y) :- e1(X, Y).\n"
+      "b(X, Y) :- e2(X, Y).\n"
+      "?- q(1, Z).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kBoundIfGround);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_TRUE(in.program.symbols->HasPredicate("a_bf"));
+  // Y is ground after a(X, Y) is evaluated, so b is called bound-free too.
+  EXPECT_TRUE(in.program.symbols->HasPredicate("b_bf"));
+}
+
+TEST(AdornmentTest, ArithmeticDeterminationBindsArgument) {
+  // fib(N - 1, X1): first argument ground when N is (the paper's reading of
+  // bound-if-ground with arithmetic).
+  Parsed in = ParseWithQuery(
+      "fib(0, 1).\n"
+      "fib(N, X) :- N > 1, fib(N - 1, X1), fib(N - 2, X2), X = X1 + X2.\n"
+      "?- fib(5, X).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kBoundIfGround);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_TRUE(in.program.symbols->HasPredicate("fib_bf"));
+  EXPECT_FALSE(in.program.symbols->HasPredicate("fib_ff"));
+}
+
+TEST(AdornmentTest, DistinctPatternsSplitPredicates) {
+  Parsed in = ParseWithQuery(
+      "q(X, Y) :- a(X, W), a(Z, Y), W = 1, Z = 2.\n"
+      "a(X, Y) :- e(X, Y).\n"
+      "?- q(1, Y).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kBoundIfGround);
+  ASSERT_TRUE(adorned.ok());
+  // First occurrence a(X, W): X bound (query), W ground via W = 1 -> bb.
+  // Second occurrence a(Z, Y): Z ground via Z = 2, Y free -> bf.
+  EXPECT_TRUE(in.program.symbols->HasPredicate("a_bb"));
+  EXPECT_TRUE(in.program.symbols->HasPredicate("a_bf"));
+}
+
+TEST(AdornmentTest, UnreachableRulesDropped) {
+  Parsed in = ParseWithQuery(
+      "q(X) :- a(X).\n"
+      "a(X) :- e(X).\n"
+      "orphan(X) :- f(X).\n"
+      "?- q(1).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kBoundIfGround);
+  ASSERT_TRUE(adorned.ok());
+  for (const Rule& rule : adorned->program.rules) {
+    EXPECT_NE(in.program.symbols->PredicateName(rule.head.pred), "orphan");
+  }
+}
+
+TEST(AdornmentTest, DatabasePredicatesNotAdorned) {
+  Parsed in = ParseWithQuery(
+      "q(X, Y) :- e(X, Y).\n"
+      "?- q(1, Y).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kBoundIfGround);
+  ASSERT_TRUE(adorned.ok());
+  ASSERT_EQ(adorned->program.rules.size(), 1u);
+  EXPECT_EQ(in.program.symbols->PredicateName(
+                adorned->program.rules[0].body[0].pred),
+            "e");
+}
+
+TEST(AdornmentTest, BcfMarksConstrainedArguments) {
+  // The paper's Example 6.1 adornments: p^cf, q^ccf.
+  Parsed in = ParseWithQuery(
+      "r1: p(X, Y) :- U > 10, q(X, U, V), W > V, p(W, Y).\n"
+      "r2: p(X, Y) :- u(X, Y).\n"
+      "r3: q(X, Y, Z) :- q1(X, U), q2(W, Y), q3(U, W, Z).\n"
+      "?- X > 10, p(X, Y).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kBcf);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->query_adornment, "cf");
+  EXPECT_TRUE(in.program.symbols->HasPredicate("p_cf"));
+  EXPECT_TRUE(in.program.symbols->HasPredicate("q_ccf"));
+}
+
+TEST(AdornmentTest, BcfGroundStillBeatsConstrained) {
+  Parsed in = ParseWithQuery(
+      "q(X, Y) :- e(X, Y).\n"
+      "?- q(3, Y).\n");
+  auto adorned = Adorn(in.program, in.query, SipStrategy::kBcf);
+  ASSERT_TRUE(adorned.ok());
+  EXPECT_EQ(adorned->query_adornment, "bf");
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,157 @@
+#include "util/bigint.h"
+
+#include <cstdint>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cqlopt {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.sign(), 0);
+  EXPECT_EQ(z.ToString(), "0");
+}
+
+TEST(BigIntTest, FromInt64RoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-937}, int64_t{1} << 40, -(int64_t{1} << 40),
+                    INT64_MAX, INT64_MIN + 1}) {
+    BigInt b(v);
+    int64_t back = 0;
+    ASSERT_TRUE(b.ToInt64(&back)) << v;
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(BigIntTest, Int64MinIsHandled) {
+  BigInt b(INT64_MIN);
+  int64_t back = 0;
+  ASSERT_TRUE(b.ToInt64(&back));
+  EXPECT_EQ(back, INT64_MIN);
+  EXPECT_EQ(b.ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, ToInt64OverflowDetected) {
+  BigInt big(INT64_MAX);
+  big = big + BigInt(1);
+  int64_t out = 0;
+  EXPECT_FALSE(big.ToInt64(&out));
+  BigInt small(INT64_MIN);
+  small = small - BigInt(1);
+  EXPECT_FALSE(small.ToInt64(&out));
+}
+
+TEST(BigIntTest, FromStringParsesSignedDecimals) {
+  BigInt b;
+  ASSERT_TRUE(BigInt::FromString("123456789012345678901234567890", &b));
+  EXPECT_EQ(b.ToString(), "123456789012345678901234567890");
+  ASSERT_TRUE(BigInt::FromString("-42", &b));
+  EXPECT_EQ(b.ToString(), "-42");
+  ASSERT_TRUE(BigInt::FromString("+7", &b));
+  EXPECT_EQ(b.ToString(), "7");
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  BigInt b;
+  EXPECT_FALSE(BigInt::FromString("", &b));
+  EXPECT_FALSE(BigInt::FromString("-", &b));
+  EXPECT_FALSE(BigInt::FromString("12a3", &b));
+  EXPECT_FALSE(BigInt::FromString("1.5", &b));
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a;
+  ASSERT_TRUE(BigInt::FromString("4294967295", &a));  // 2^32 - 1
+  BigInt sum = a + BigInt(1);
+  EXPECT_EQ(sum.ToString(), "4294967296");
+}
+
+TEST(BigIntTest, SubtractionBorrowsAndFlipsSign) {
+  EXPECT_EQ((BigInt(5) - BigInt(9)).ToString(), "-4");
+  EXPECT_EQ((BigInt(-5) - BigInt(-9)).ToString(), "4");
+  EXPECT_EQ((BigInt(5) - BigInt(5)).ToString(), "0");
+}
+
+TEST(BigIntTest, MultiplicationLargeValues) {
+  BigInt a;
+  BigInt b;
+  ASSERT_TRUE(BigInt::FromString("123456789012345678901234567890", &a));
+  ASSERT_TRUE(BigInt::FromString("987654321098765432109876543210", &b));
+  EXPECT_EQ((a * b).ToString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToString(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).ToString(), "3");
+}
+
+TEST(BigIntTest, RemainderHasDividendSign) {
+  EXPECT_EQ((BigInt(7) % BigInt(3)).ToString(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(3)).ToString(), "-1");
+  EXPECT_EQ((BigInt(7) % BigInt(-3)).ToString(), "1");
+}
+
+TEST(BigIntTest, DivModIdentityRandomized) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    int64_t x = static_cast<int64_t>(rng()) / 3;
+    int64_t y = static_cast<int64_t>(rng() % 100000) + 1;
+    BigInt bx(x);
+    BigInt by(y);
+    BigInt q = bx / by;
+    BigInt r = bx % by;
+    EXPECT_EQ(q * by + r, bx) << x << " / " << y;
+    EXPECT_TRUE(r.Abs() < by.Abs());
+  }
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-3), BigInt(2));
+  EXPECT_LT(BigInt(-3), BigInt(-2));
+  EXPECT_LT(BigInt(2), BigInt(3));
+  EXPECT_LE(BigInt(2), BigInt(2));
+  EXPECT_GT(BigInt(0), BigInt(-1));
+  BigInt big;
+  ASSERT_TRUE(BigInt::FromString("10000000000000000000000", &big));
+  EXPECT_GT(big, BigInt(INT64_MAX));
+  EXPECT_LT(-big, BigInt(INT64_MIN));
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToString(), "5");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)).ToString(), "0");
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToString(), "1");
+}
+
+TEST(BigIntTest, NegationOfZeroStaysZero) {
+  BigInt z(0);
+  EXPECT_EQ((-z).sign(), 0);
+  EXPECT_FALSE((-z).is_negative());
+}
+
+TEST(BigIntTest, HashDistinguishesSign) {
+  EXPECT_NE(BigInt(5).Hash(), BigInt(-5).Hash());
+  EXPECT_EQ(BigInt(5).Hash(), BigInt(5).Hash());
+}
+
+TEST(BigIntTest, PowerOfTwoChainExact) {
+  // 2^256 computed by repeated squaring, checked against the known value.
+  BigInt two(2);
+  BigInt p = two;
+  for (int i = 0; i < 8; ++i) p = p * p;  // 2^(2^8) = 2^256
+  EXPECT_EQ(p.ToString(),
+            "115792089237316195423570985008687907853269984665640564039457584"
+            "007913129639936");
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,192 @@
+#include "transform/constraint_rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "core/equivalence.h"
+#include "eval/seminaive.h"
+
+namespace cqlopt {
+namespace {
+
+Program ParseOrDie(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed->program;
+}
+
+LinearConstraint Atom(std::vector<std::pair<VarId, int>> terms, int constant,
+                      CmpOp op) {
+  LinearExpr e;
+  for (auto& [v, c] : terms) e.Add(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return LinearConstraint(e, op);
+}
+
+Conjunction Conj(std::vector<LinearConstraint> atoms) {
+  Conjunction c;
+  for (auto& a : atoms) EXPECT_TRUE(c.AddLinear(a).ok());
+  return c;
+}
+
+const char* kFlights =
+    "r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.\n"
+    "r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.\n"
+    "r3: flight(S, D, T, C) :- singleleg(S, D, T, C), C > 0, T > 0.\n"
+    "r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2), "
+    "T = T1 + T2 + 30, C = C1 + C2.\n";
+
+TEST(ConstraintRewriteTest, Example43FlightQrpIsMinimum) {
+  Program p = ParseOrDie(kFlights);
+  PredId cheap = p.symbols->LookupPredicate("cheaporshort");
+  auto result = ConstraintRewrite(p, cheap, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->predicate_converged);
+  EXPECT_TRUE(result->qrp_converged);
+  // flight's minimum QRP constraint (Example 4.3):
+  //   ($3>0 & $3<=240 & $4>0) | ($3>0 & $4>0 & $4<=150).
+  PredId flight = p.symbols->LookupPredicate("flight");
+  ConstraintSet expected = ConstraintSet::Of(
+      Conj({Atom({{3, -1}}, 0, CmpOp::kLt), Atom({{3, 1}}, -240, CmpOp::kLe),
+            Atom({{4, -1}}, 0, CmpOp::kLt)}));
+  expected.AddDisjunct(
+      Conj({Atom({{3, -1}}, 0, CmpOp::kLt), Atom({{4, -1}}, 0, CmpOp::kLt),
+            Atom({{4, 1}}, -150, CmpOp::kLe)}));
+  EXPECT_TRUE(result->qrp_constraints.at(flight).EquivalentTo(expected))
+      << RenderConstraintSet(result->qrp_constraints.at(flight), *p.symbols,
+                             DollarNames());
+}
+
+TEST(ConstraintRewriteTest, Example43NoIrrelevantFlightFactsComputed) {
+  Program p = ParseOrDie(kFlights);
+  PredId cheap = p.symbols->LookupPredicate("cheaporshort");
+  auto result = ConstraintRewrite(p, cheap, {});
+  ASSERT_TRUE(result.ok());
+  Database db;
+  auto leg = [&](const char* s, const char* d, int t, int c) {
+    ASSERT_TRUE(db.AddGroundFact(p.symbols.get(), "singleleg",
+                                 {Database::Value::Symbol(s),
+                                  Database::Value::Symbol(d),
+                                  Database::Value::Number(Rational(t)),
+                                  Database::Value::Number(Rational(c))})
+                    .ok());
+  };
+  // A leg that is both too long and too expensive: irrelevant.
+  leg("a", "b", 300, 200);
+  leg("b", "c", 100, 100);
+  leg("a", "c", 100, 100);
+  auto run = Evaluate(result->program, db, {});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->stats.all_ground);
+  PredId flightp = p.symbols->LookupPredicate("flight'");
+  const Relation* rel = run->db.Find(
+      flightp == SymbolTable::kNoPred
+          ? p.symbols->LookupPredicate("flight")
+          : flightp);
+  ASSERT_NE(rel, nullptr);
+  // No flight' fact with Time > 240 AND Cost > 150 may appear.
+  for (const Relation::Entry& entry : rel->entries()) {
+    Conjunction bad = entry.fact.constraint;
+    ASSERT_TRUE(bad.AddLinear(Atom({{3, -1}}, 240, CmpOp::kLt)).ok());
+    ASSERT_TRUE(bad.AddLinear(Atom({{4, -1}}, 150, CmpOp::kLt)).ok());
+    EXPECT_FALSE(bad.IsSatisfiable())
+        << entry.fact.ToString(*p.symbols);
+  }
+}
+
+TEST(ConstraintRewriteTest, QueryEquivalenceOnEdb) {
+  Program p = ParseOrDie(kFlights);
+  PredId cheap = p.symbols->LookupPredicate("cheaporshort");
+  auto result = ConstraintRewrite(p, cheap, {});
+  ASSERT_TRUE(result.ok());
+  Database db;
+  auto leg = [&](const char* s, const char* d, int t, int c) {
+    ASSERT_TRUE(db.AddGroundFact(p.symbols.get(), "singleleg",
+                                 {Database::Value::Symbol(s),
+                                  Database::Value::Symbol(d),
+                                  Database::Value::Number(Rational(t)),
+                                  Database::Value::Number(Rational(c))})
+                    .ok());
+  };
+  leg("a", "b", 50, 60);
+  leg("b", "c", 100, 70);
+  leg("a", "c", 500, 100);
+  leg("c", "d", 400, 400);
+  auto before = Evaluate(p, db, {});
+  auto after = Evaluate(result->program, db, {});
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  Query all;
+  all.literal = Literal(cheap, {2001, 2002, 2003, 2004});
+  auto a1 = QueryAnswers(*before, all);
+  auto a2 = QueryAnswers(*after, all);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(SameAnswers(*a1, *a2));
+  // And the rewritten program computed no more facts than the original.
+  EXPECT_LE(after->db.TotalFacts(), before->db.TotalFacts());
+}
+
+TEST(ConstraintRewriteTest, Example42PredThenQrpGetsMinimum) {
+  // Example 4.2: pred step infers $2 <= $1 for a; with it propagated, the
+  // QRP step reaches the minimum ($1 <= 10 & $2 <= $1).
+  Program p = ParseOrDie(
+      "r1: q(X, Y) :- a(X, Y), X <= 10.\n"
+      "r2: a(X, Y) :- p(X, Y), Y <= X.\n"
+      "r3: a(X, Y) :- a(X, Z), a(Z, Y).\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  auto result = ConstraintRewrite(p, q, {});
+  ASSERT_TRUE(result.ok());
+  PredId a = p.symbols->LookupPredicate("a");
+  ConstraintSet expected = ConstraintSet::Of(
+      Conj({Atom({{1, 1}}, -10, CmpOp::kLe),
+            Atom({{2, 1}, {1, -1}}, 0, CmpOp::kLe)}));
+  EXPECT_TRUE(result->qrp_constraints.at(a).EquivalentTo(expected))
+      << RenderConstraintSet(result->qrp_constraints.at(a), *p.symbols,
+                             DollarNames());
+}
+
+TEST(ConstraintRewriteTest, Example42QrpOnlyMisses) {
+  // The same program without the pred step: QRP for a widens to true —
+  // the paper's motivation for combining the two procedures.
+  Program p = ParseOrDie(
+      "r1: q(X, Y) :- a(X, Y), X <= 10.\n"
+      "r2: a(X, Y) :- p(X, Y), Y <= X.\n"
+      "r3: a(X, Y) :- a(X, Z), a(Z, Y).\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  ConstraintRewriteOptions options;
+  options.apply_predicate_constraints = false;
+  auto result = ConstraintRewrite(p, q, options);
+  ASSERT_TRUE(result.ok());
+  PredId a = p.symbols->LookupPredicate("a");
+  EXPECT_TRUE(result->qrp_constraints.at(a).IsTriviallyTrue());
+}
+
+TEST(ConstraintRewriteTest, UnknownQueryArityRejected) {
+  Program p = ParseOrDie("q(X) :- e(X).");
+  auto result = ConstraintRewrite(p, 12345, {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ConstraintRewriteTest, GroundFactsStayGround) {
+  // Theorem 4.4 / 4.6 empirical check on the flights program.
+  Program p = ParseOrDie(kFlights);
+  PredId cheap = p.symbols->LookupPredicate("cheaporshort");
+  auto result = ConstraintRewrite(p, cheap, {});
+  ASSERT_TRUE(result.ok());
+  Database db;
+  ASSERT_TRUE(db.AddGroundFact(p.symbols.get(), "singleleg",
+                               {Database::Value::Symbol("a"),
+                                Database::Value::Symbol("b"),
+                                Database::Value::Number(Rational(50)),
+                                Database::Value::Number(Rational(60))})
+                  .ok());
+  auto run = Evaluate(result->program, db, {});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->stats.all_ground);
+  EXPECT_TRUE(run->stats.reached_fixpoint);
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,107 @@
+#include "constraint/disjoint.h"
+
+#include <gtest/gtest.h>
+
+#include "constraint/implication.h"
+
+namespace cqlopt {
+namespace {
+
+LinearConstraint Atom(std::vector<std::pair<VarId, int>> terms, int constant,
+                      CmpOp op) {
+  LinearExpr e;
+  for (auto& [v, c] : terms) e.Add(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return LinearConstraint(e, op);
+}
+
+Conjunction Conj(std::vector<LinearConstraint> atoms) {
+  Conjunction c;
+  for (auto& a : atoms) EXPECT_TRUE(c.AddLinear(a).ok());
+  return c;
+}
+
+bool PairwiseDisjoint(const ConstraintSet& s) {
+  const auto& ds = s.disjuncts();
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (size_t j = i + 1; j < ds.size(); ++j) {
+      Conjunction both = ds[i];
+      if (!both.AddConjunction(ds[j]).ok()) continue;
+      if (both.IsSatisfiable()) return false;
+    }
+  }
+  return true;
+}
+
+TEST(DisjointTest, AlreadyDisjointUnchangedSemantics) {
+  ConstraintSet s = ConstraintSet::Of(Conj({Atom({{1, 1}}, -3, CmpOp::kLe)}));
+  s.AddDisjunct(Conj({Atom({{1, -1}}, 7, CmpOp::kLe)}));  // x >= 7
+  auto out = MakeDisjoint(s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(PairwiseDisjoint(*out));
+  EXPECT_TRUE(out->EquivalentTo(s));
+}
+
+TEST(DisjointTest, FlightQrpSplitsIntoThreePieces) {
+  // Section 4.6: the two overlapping disjuncts of flight's minimum QRP
+  // constraint split into three non-overlapping pieces:
+  //   (0<T<=240 & C>0 & C<=150) v (0<T<=240 & C>150) v (T>240 & C>0 & C<=150)
+  // modulo which side keeps the overlap.
+  Conjunction arm1 = Conj({Atom({{1, -1}}, 0, CmpOp::kLt),
+                           Atom({{1, 1}}, -240, CmpOp::kLe),
+                           Atom({{2, -1}}, 0, CmpOp::kLt)});
+  Conjunction arm2 = Conj({Atom({{1, -1}}, 0, CmpOp::kLt),
+                           Atom({{2, -1}}, 0, CmpOp::kLt),
+                           Atom({{2, 1}}, -150, CmpOp::kLe)});
+  ConstraintSet s = ConstraintSet::Of(arm1);
+  // AddDisjunct would keep both (neither implies the other).
+  ASSERT_TRUE(s.AddDisjunct(arm2));
+  auto out = MakeDisjoint(s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(PairwiseDisjoint(*out));
+  EXPECT_TRUE(out->EquivalentTo(s));
+  EXPECT_GE(out->disjuncts().size(), 2u);
+}
+
+TEST(DisjointTest, NestedIntervalsSubtract) {
+  // (x <= 10) v (x <= 5): second fully covered; result equivalent to x<=10.
+  ConstraintSet s;
+  // Build by hand to force both disjuncts in.
+  Conjunction big = Conj({Atom({{1, 1}}, -10, CmpOp::kLe)});
+  Conjunction small = Conj({Atom({{1, 1}}, -5, CmpOp::kLe)});
+  ConstraintSet manual = ConstraintSet::Of(small);
+  manual.AddDisjunct(big);  // replaces small (implied)
+  auto out = MakeDisjoint(manual);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(PairwiseDisjoint(*out));
+  EXPECT_TRUE(out->EquivalentTo(ConstraintSet::Of(big)));
+}
+
+TEST(DisjointTest, EqualityDisjunctSplitsComplementInTwo) {
+  // (x = 5) v (0 <= x <= 10): pieces stay disjoint and cover the union.
+  ConstraintSet s = ConstraintSet::Of(Conj({Atom({{1, 1}}, -5, CmpOp::kEq)}));
+  s.AddDisjunct(Conj({Atom({{1, -1}}, 0, CmpOp::kLe),
+                      Atom({{1, 1}}, -10, CmpOp::kLe)}));
+  auto out = MakeDisjoint(s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(PairwiseDisjoint(*out));
+  EXPECT_TRUE(out->EquivalentTo(s));
+}
+
+TEST(DisjointTest, SymbolicDisjunctsUnimplemented) {
+  Conjunction sym;
+  ASSERT_TRUE(sym.BindSymbol(1, 3).ok());
+  ConstraintSet s = ConstraintSet::Of(sym);
+  auto out = MakeDisjoint(s);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DisjointTest, FalseStaysFalse) {
+  auto out = MakeDisjoint(ConstraintSet::False());
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->is_false());
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,71 @@
+#include "eval/fact.h"
+
+#include <gtest/gtest.h>
+
+namespace cqlopt {
+namespace {
+
+LinearConstraint Atom(std::vector<std::pair<VarId, int>> terms, int constant,
+                      CmpOp op) {
+  LinearExpr e;
+  for (auto& [v, c] : terms) e.Add(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return LinearConstraint(e, op);
+}
+
+TEST(FactTest, GroundFactDetection) {
+  SymbolTable symbols;
+  PredId p = symbols.InternPredicate("p");
+  Conjunction c;
+  ASSERT_TRUE(c.AddLinear(Atom({{1, 1}}, -3, CmpOp::kEq)).ok());
+  ASSERT_TRUE(c.BindSymbol(2, symbols.InternSymbol("madison")).ok());
+  Fact fact(p, 2, c);
+  EXPECT_TRUE(fact.IsGround());
+}
+
+TEST(FactTest, ConstraintFactNotGround) {
+  SymbolTable symbols;
+  PredId p = symbols.InternPredicate("p");
+  Conjunction c;
+  ASSERT_TRUE(c.AddLinear(Atom({{1, 1}}, -3, CmpOp::kLe)).ok());
+  Fact fact(p, 1, c);
+  EXPECT_FALSE(fact.IsGround());
+}
+
+TEST(FactTest, ToStringGround) {
+  SymbolTable symbols;
+  PredId p = symbols.InternPredicate("flight");
+  Conjunction c;
+  ASSERT_TRUE(c.BindSymbol(1, symbols.InternSymbol("madison")).ok());
+  ASSERT_TRUE(c.AddLinear(Atom({{2, 1}}, -50, CmpOp::kEq)).ok());
+  Fact fact(p, 2, c);
+  EXPECT_EQ(fact.ToString(symbols), "flight(madison, 50)");
+}
+
+TEST(FactTest, ToStringConstraintFactShowsResidual) {
+  SymbolTable symbols;
+  PredId p = symbols.InternPredicate("m_fib");
+  Conjunction c;
+  ASSERT_TRUE(c.AddLinear(Atom({{1, -1}}, 0, CmpOp::kLt)).ok());  // $1 > 0
+  ASSERT_TRUE(c.AddLinear(Atom({{2, 1}}, -5, CmpOp::kEq)).ok());
+  Fact fact(p, 2, c);
+  EXPECT_EQ(fact.ToString(symbols), "m_fib($1, 5; $1 > 0)");
+}
+
+TEST(FactTest, KeyIdentifiesStructurally) {
+  SymbolTable symbols;
+  PredId p = symbols.InternPredicate("p");
+  Conjunction c1;
+  ASSERT_TRUE(c1.AddLinear(Atom({{1, 1}}, -3, CmpOp::kLe)).ok());
+  Conjunction c2;
+  ASSERT_TRUE(c2.AddLinear(Atom({{1, 1}}, -3, CmpOp::kLe)).ok());
+  EXPECT_EQ(Fact(p, 1, c1).Key(), Fact(p, 1, c2).Key());
+  Conjunction c3;
+  ASSERT_TRUE(c3.AddLinear(Atom({{1, 1}}, -4, CmpOp::kLe)).ok());
+  EXPECT_NE(Fact(p, 1, c1).Key(), Fact(p, 1, c3).Key());
+  PredId q = symbols.InternPredicate("q");
+  EXPECT_NE(Fact(p, 1, c1).Key(), Fact(q, 1, c1).Key());
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,163 @@
+#include "constraint/fourier_motzkin.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cqlopt {
+namespace {
+
+LinearConstraint Atom(std::vector<std::pair<VarId, int>> terms, int constant,
+                      CmpOp op) {
+  LinearExpr e;
+  for (auto& [v, c] : terms) e.Add(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return LinearConstraint(e, op);
+}
+
+TEST(FourierMotzkinTest, EmptySystemSatisfiable) {
+  EXPECT_TRUE(fm::IsSatisfiable({}));
+}
+
+TEST(FourierMotzkinTest, SimpleBoundsSatisfiable) {
+  // 1 <= x <= 3.
+  EXPECT_TRUE(fm::IsSatisfiable({Atom({{1, 1}}, -3, CmpOp::kLe),
+                                 Atom({{1, -1}}, 1, CmpOp::kLe)}));
+}
+
+TEST(FourierMotzkinTest, ContradictoryBoundsUnsatisfiable) {
+  // x <= 1 and x >= 3.
+  EXPECT_FALSE(fm::IsSatisfiable({Atom({{1, 1}}, -1, CmpOp::kLe),
+                                  Atom({{1, -1}}, 3, CmpOp::kLe)}));
+}
+
+TEST(FourierMotzkinTest, StrictnessMatters) {
+  // x <= 2 and x >= 2 is satisfiable; x < 2 and x >= 2 is not.
+  EXPECT_TRUE(fm::IsSatisfiable({Atom({{1, 1}}, -2, CmpOp::kLe),
+                                 Atom({{1, -1}}, 2, CmpOp::kLe)}));
+  EXPECT_FALSE(fm::IsSatisfiable({Atom({{1, 1}}, -2, CmpOp::kLt),
+                                  Atom({{1, -1}}, 2, CmpOp::kLe)}));
+}
+
+TEST(FourierMotzkinTest, EqualityChainPropagates) {
+  // x = y, y = z, x >= 5, z < 5 is unsat.
+  EXPECT_FALSE(fm::IsSatisfiable(
+      {Atom({{1, 1}, {2, -1}}, 0, CmpOp::kEq),
+       Atom({{2, 1}, {3, -1}}, 0, CmpOp::kEq), Atom({{1, -1}}, 5, CmpOp::kLe),
+       Atom({{3, 1}}, -5, CmpOp::kLt)}));
+}
+
+TEST(FourierMotzkinTest, TransitiveCombination) {
+  // x <= y, y <= z, z <= x - 1 is unsat (strict cycle).
+  EXPECT_FALSE(fm::IsSatisfiable({Atom({{1, 1}, {2, -1}}, 0, CmpOp::kLe),
+                                  Atom({{2, 1}, {3, -1}}, 0, CmpOp::kLe),
+                                  Atom({{3, 1}, {1, -1}}, 1, CmpOp::kLe)}));
+  // Without the -1 it is satisfiable (all equal).
+  EXPECT_TRUE(fm::IsSatisfiable({Atom({{1, 1}, {2, -1}}, 0, CmpOp::kLe),
+                                 Atom({{2, 1}, {3, -1}}, 0, CmpOp::kLe),
+                                 Atom({{3, 1}, {1, -1}}, 0, CmpOp::kLe)}));
+}
+
+TEST(FourierMotzkinTest, EliminationProjectsExactly) {
+  // The paper's Example 4.1 implication: (X + Y <= 6) & (X >= 2) projected
+  // onto Y gives Y <= 4.
+  std::vector<LinearConstraint> sys = {Atom({{1, 1}, {2, 1}}, -6, CmpOp::kLe),
+                                       Atom({{1, -1}}, 2, CmpOp::kLe)};
+  auto projected = fm::Eliminate(sys, {1});
+  ASSERT_EQ(projected.size(), 1u);
+  EXPECT_EQ(projected[0], Atom({{2, 1}}, -4, CmpOp::kLe));
+}
+
+TEST(FourierMotzkinTest, EliminationOfUnboundedVarDropsConstraint) {
+  // exists x: x + y <= 6 is true for all y.
+  auto projected =
+      fm::Eliminate({Atom({{1, 1}, {2, 1}}, -6, CmpOp::kLe)}, {1});
+  EXPECT_TRUE(projected.empty());
+}
+
+TEST(FourierMotzkinTest, EliminationPreservesUnsatisfiability) {
+  auto projected = fm::Eliminate({Atom({{1, 1}}, -1, CmpOp::kLe),
+                                  Atom({{1, -1}}, 3, CmpOp::kLe)},
+                                 {1});
+  ASSERT_FALSE(projected.empty());
+  bool has_false = false;
+  for (const auto& c : projected) has_false = has_false || c.IsTriviallyFalse();
+  EXPECT_TRUE(has_false);
+}
+
+TEST(FourierMotzkinTest, EqualityUsedForGaussianElimination) {
+  // x = 2y + 1, x <= 5, y >= 3 unsat (x would be >= 7).
+  EXPECT_FALSE(fm::IsSatisfiable({Atom({{1, 1}, {2, -2}}, -1, CmpOp::kEq),
+                                  Atom({{1, 1}}, -5, CmpOp::kLe),
+                                  Atom({{2, -1}}, 3, CmpOp::kLe)}));
+}
+
+TEST(FourierMotzkinTest, ImpliesAtomBasic) {
+  std::vector<LinearConstraint> sys = {Atom({{1, 1}, {2, 1}}, -6, CmpOp::kLe),
+                                       Atom({{1, -1}}, 2, CmpOp::kLe)};
+  EXPECT_TRUE(fm::ImpliesAtom(sys, Atom({{2, 1}}, -4, CmpOp::kLe)));   // Y<=4
+  EXPECT_FALSE(fm::ImpliesAtom(sys, Atom({{2, 1}}, -3, CmpOp::kLe)));  // Y<=3
+  EXPECT_TRUE(fm::ImpliesAtom(sys, Atom({{2, 1}}, -5, CmpOp::kLt)));   // Y<5
+}
+
+TEST(FourierMotzkinTest, ImpliesAtomEquality) {
+  // x <= 3 and x >= 3 imply x = 3.
+  std::vector<LinearConstraint> sys = {Atom({{1, 1}}, -3, CmpOp::kLe),
+                                       Atom({{1, -1}}, 3, CmpOp::kLe)};
+  EXPECT_TRUE(fm::ImpliesAtom(sys, Atom({{1, 1}}, -3, CmpOp::kEq)));
+}
+
+TEST(FourierMotzkinTest, RemoveRedundantDropsImpliedAtoms) {
+  // {x <= 2, x <= 5, x < 7} reduces to {x <= 2}.
+  auto reduced = fm::RemoveRedundant({Atom({{1, 1}}, -2, CmpOp::kLe),
+                                      Atom({{1, 1}}, -5, CmpOp::kLe),
+                                      Atom({{1, 1}}, -7, CmpOp::kLt)});
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0], Atom({{1, 1}}, -2, CmpOp::kLe));
+}
+
+TEST(FourierMotzkinTest, RemoveRedundantUnsatisfiableCollapses) {
+  auto reduced = fm::RemoveRedundant({Atom({{1, 1}}, -1, CmpOp::kLe),
+                                      Atom({{1, -1}}, 2, CmpOp::kLe)});
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_TRUE(reduced[0].IsTriviallyFalse());
+}
+
+/// Property sweep: projection must be solution-preserving. We sample random
+/// small systems, eliminate one variable, and check that satisfiability of
+/// the projection matches satisfiability of the original (FM is exact over
+/// the rationals).
+class FmProjectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmProjectionProperty, ProjectionPreservesSatisfiability) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  std::uniform_int_distribution<int> coeff(-3, 3);
+  std::uniform_int_distribution<int> constant(-10, 10);
+  std::uniform_int_distribution<int> op_pick(0, 2);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<LinearConstraint> sys;
+    for (int i = 0; i < 6; ++i) {
+      LinearExpr e;
+      for (VarId v = 1; v <= 3; ++v) e.Add(v, Rational(coeff(rng)));
+      e.AddConstant(Rational(constant(rng)));
+      CmpOp op = op_pick(rng) == 0   ? CmpOp::kEq
+                 : op_pick(rng) == 1 ? CmpOp::kLt
+                                     : CmpOp::kLe;
+      sys.emplace_back(e, op);
+    }
+    bool before = fm::IsSatisfiable(sys);
+    auto projected = fm::Eliminate(sys, {2});
+    bool after = fm::IsSatisfiable(projected);
+    EXPECT_EQ(before, after);
+    // The projection must not mention the eliminated variable.
+    for (const auto& c : projected) {
+      EXPECT_TRUE(c.expr().CoefficientOf(2).is_zero());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmProjectionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cqlopt

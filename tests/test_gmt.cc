@@ -1,0 +1,146 @@
+#include "transform/gmt.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/normalize.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "core/equivalence.h"
+#include "eval/seminaive.h"
+
+namespace cqlopt {
+namespace {
+
+struct Parsed {
+  Program program;
+  Query query;
+};
+
+Parsed ParseWithQuery(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->queries.size(), 1u);
+  return Parsed{parsed->program, parsed->queries[0]};
+}
+
+// Example 6.1's program-query pair (Example 4.3 of Mumick et al.).
+const char* kExample61 =
+    "r1: p(X, Y) :- U > 10, q(X, U, V), W > V, p(W, Y).\n"
+    "r2: p(X, Y) :- u(X, Y).\n"
+    "r3: q(X, Y, Z) :- q1(X, U), q2(W, Y), q3(U, W, Z).\n"
+    "?- X > 10, p(X, Y).\n";
+
+TEST(GmtTest, Example61GroundedProgramStructure) {
+  Parsed in = ParseWithQuery(kExample61);
+  auto gmt = GmtTransform(in.program, in.query);
+  ASSERT_TRUE(gmt.ok()) << gmt.status().ToString();
+  // The paper's final program is {r41, r43, r51, r53, r61, r62, r11, r21,
+  // r31}: 9 rules, defining p_cf, q_ccf, and three supplementary preds.
+  EXPECT_EQ(gmt->grounded.rules.size(), 9u);
+  EXPECT_EQ(gmt->supplementary.size(), 3u);
+  // No magic predicate remains in the grounded program.
+  for (const Rule& rule : gmt->grounded.rules) {
+    EXPECT_EQ(in.program.symbols->PredicateName(rule.head.pred).rfind("m_", 0),
+              std::string::npos)
+        << RenderRule(rule, *in.program.symbols);
+    for (const Literal& lit : rule.body) {
+      EXPECT_EQ(in.program.symbols->PredicateName(lit.pred).rfind("m_", 0),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(GmtTest, Example61GroundedIsRangeRestricted) {
+  // Theorem 6.2 (1).
+  Parsed in = ParseWithQuery(kExample61);
+  auto gmt = GmtTransform(in.program, in.query);
+  ASSERT_TRUE(gmt.ok());
+  EXPECT_TRUE(IsRangeRestricted(gmt->grounded));
+  // The intermediate magic program is NOT range-restricted (mr2 defines
+  // m_p_cf(W) with W only constrained, not ground).
+  EXPECT_FALSE(IsRangeRestricted(gmt->magic));
+}
+
+TEST(GmtTest, Example61QueryEquivalence) {
+  // Theorem 6.2 (2): the grounded program computes the same answers as the
+  // original program, and only ground facts.
+  Parsed in = ParseWithQuery(kExample61);
+  auto gmt = GmtTransform(in.program, in.query);
+  ASSERT_TRUE(gmt.ok());
+  Database db;
+  SymbolTable* symbols = in.program.symbols.get();
+  auto add2 = [&](const char* pred, int a, int b) {
+    ASSERT_TRUE(db.AddGroundFact(symbols, pred,
+                                 {Database::Value::Number(Rational(a)),
+                                  Database::Value::Number(Rational(b))})
+                    .ok());
+  };
+  auto add3 = [&](const char* pred, int a, int b, int c) {
+    ASSERT_TRUE(db.AddGroundFact(symbols, pred,
+                                 {Database::Value::Number(Rational(a)),
+                                  Database::Value::Number(Rational(b)),
+                                  Database::Value::Number(Rational(c))})
+                    .ok());
+  };
+  add2("u", 20, 1);
+  add2("u", 30, 2);
+  add2("u", 5, 3);
+  add2("q1", 20, 11);
+  add2("q2", 25, 30);
+  add3("q3", 11, 25, 7);
+  auto original = Evaluate(in.program, db, {});
+  ASSERT_TRUE(original.ok());
+  auto grounded = Evaluate(gmt->grounded, db, {});
+  ASSERT_TRUE(grounded.ok());
+  EXPECT_TRUE(grounded->stats.all_ground);
+  auto a1 = QueryAnswers(*original, in.query);
+  auto a2 = QueryAnswers(*grounded, gmt->query);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_TRUE(SameAnswers(*a1, *a2));
+  EXPECT_FALSE(a1->empty());  // u(20,1) answers directly; 30 via recursion
+}
+
+TEST(GmtTest, MagicProgramComputesConstraintFacts) {
+  // The point of grounding: P^{ad,mg} computes constraint facts, the
+  // grounded program does not.
+  Parsed in = ParseWithQuery(kExample61);
+  auto gmt = GmtTransform(in.program, in.query);
+  ASSERT_TRUE(gmt.ok());
+  Database db;
+  SymbolTable* symbols = in.program.symbols.get();
+  ASSERT_TRUE(db.AddGroundFact(symbols, "u",
+                               {Database::Value::Number(Rational(20)),
+                                Database::Value::Number(Rational(1))})
+                  .ok());
+  auto magic_run = Evaluate(gmt->magic, db, {});
+  ASSERT_TRUE(magic_run.ok());
+  EXPECT_FALSE(magic_run->stats.all_ground);  // seed m_p_cf(X; X > 10)
+}
+
+TEST(GmtTest, NotGroundableRejected) {
+  // The condition variable of the head occurs only in a recursive literal:
+  // Definition 6.1 fails.
+  Parsed in = ParseWithQuery(
+      "p(X) :- p(Y), X > Y.\n"
+      "p(X) :- base(X).\n"
+      "?- X > 10, p(X).\n");
+  auto gmt = GmtTransform(in.program, in.query);
+  EXPECT_FALSE(gmt.ok());
+  EXPECT_EQ(gmt.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GmtTest, NoConditionArgumentsIsPlainMagic) {
+  // Fully ground query: nothing to ground; the pipeline reduces to magic.
+  Parsed in = ParseWithQuery(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "?- t(1, Y).\n");
+  auto gmt = GmtTransform(in.program, in.query);
+  ASSERT_TRUE(gmt.ok());
+  EXPECT_TRUE(gmt->supplementary.empty());
+  EXPECT_EQ(gmt->grounded.rules.size(), gmt->magic.rules.size());
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,153 @@
+#include "constraint/implication.h"
+
+#include <gtest/gtest.h>
+
+namespace cqlopt {
+namespace {
+
+LinearConstraint Atom(std::vector<std::pair<VarId, int>> terms, int constant,
+                      CmpOp op) {
+  LinearExpr e;
+  for (auto& [v, c] : terms) e.Add(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return LinearConstraint(e, op);
+}
+
+Conjunction Conj(std::vector<LinearConstraint> atoms) {
+  Conjunction c;
+  for (auto& a : atoms) EXPECT_TRUE(c.AddLinear(a).ok());
+  return c;
+}
+
+TEST(ImplicationTest, PaperExampleFromDefinition23) {
+  // (X + Y <= 4) & (X >= 2) implies Y <= 2 (the paper's Section 2 example).
+  Conjunction a = Conj({Atom({{1, 1}, {2, 1}}, -4, CmpOp::kLe),
+                        Atom({{1, -1}}, 2, CmpOp::kLe)});
+  Conjunction b = Conj({Atom({{2, 1}}, -2, CmpOp::kLe)});
+  EXPECT_TRUE(Implies(a, b));
+  EXPECT_FALSE(Implies(b, a));
+}
+
+TEST(ImplicationTest, UnsatisfiableImpliesEverything) {
+  Conjunction f = Conjunction::False();
+  Conjunction b = Conj({Atom({{1, 1}}, -1, CmpOp::kLe)});
+  EXPECT_TRUE(Implies(f, b));
+  EXPECT_FALSE(Implies(b, f));
+}
+
+TEST(ImplicationTest, EverythingImpliesTrue) {
+  Conjunction a = Conj({Atom({{1, 1}}, -1, CmpOp::kLe)});
+  EXPECT_TRUE(Implies(a, Conjunction::True()));
+}
+
+TEST(ImplicationTest, StrictVsNonStrict) {
+  Conjunction lt = Conj({Atom({{1, 1}}, -3, CmpOp::kLt)});   // x < 3
+  Conjunction le = Conj({Atom({{1, 1}}, -3, CmpOp::kLe)});   // x <= 3
+  EXPECT_TRUE(Implies(lt, le));
+  EXPECT_FALSE(Implies(le, lt));
+}
+
+TEST(ImplicationTest, SymbolBindingsEntailSyntactically) {
+  Conjunction a;
+  ASSERT_TRUE(a.BindSymbol(1, 7).ok());
+  ASSERT_TRUE(a.BindSymbol(2, 7).ok());
+  Conjunction b;
+  ASSERT_TRUE(b.BindSymbol(1, 7).ok());
+  EXPECT_TRUE(Implies(a, b));
+  Conjunction c;
+  ASSERT_TRUE(c.BindSymbol(1, 8).ok());
+  EXPECT_FALSE(Implies(a, c));
+}
+
+TEST(ImplicationTest, EqualityEntailedByUnionFind) {
+  Conjunction a;
+  ASSERT_TRUE(a.AddEquality(1, 2).ok());
+  ASSERT_TRUE(a.AddEquality(2, 3).ok());
+  Conjunction b;
+  ASSERT_TRUE(b.AddEquality(1, 3).ok());
+  EXPECT_TRUE(Implies(a, b));
+}
+
+TEST(ImplicationTest, EqualityEntailedByLinearAtoms) {
+  // x <= y and y <= x entail x = y.
+  Conjunction a = Conj({Atom({{1, 1}, {2, -1}}, 0, CmpOp::kLe),
+                        Atom({{2, 1}, {1, -1}}, 0, CmpOp::kLe)});
+  Conjunction b;
+  ASSERT_TRUE(b.AddEquality(1, 2).ok());
+  EXPECT_TRUE(Implies(a, b));
+}
+
+TEST(ImplicationTest, SymbolEqualityEntailedBySharedBinding) {
+  Conjunction a;
+  ASSERT_TRUE(a.BindSymbol(1, 7).ok());
+  ASSERT_TRUE(a.BindSymbol(2, 7).ok());
+  Conjunction b;
+  ASSERT_TRUE(b.AddEquality(1, 2).ok());
+  ASSERT_TRUE(b.BindSymbol(1, 7).ok());
+  EXPECT_TRUE(Implies(a, b));
+}
+
+TEST(ImplicationTest, DisjunctionNeedsCaseSplit) {
+  // 0 <= x <= 10 implies (x <= 5) v (x >= 5): no single disjunct covers it.
+  Conjunction a = Conj({Atom({{1, -1}}, 0, CmpOp::kLe),
+                        Atom({{1, 1}}, -10, CmpOp::kLe)});
+  Conjunction d1 = Conj({Atom({{1, 1}}, -5, CmpOp::kLe)});
+  Conjunction d2 = Conj({Atom({{1, -1}}, 5, CmpOp::kLe)});
+  EXPECT_FALSE(Implies(a, d1));
+  EXPECT_FALSE(Implies(a, d2));
+  EXPECT_TRUE(ImpliesDisjunction(a, {d1, d2}));
+}
+
+TEST(ImplicationTest, DisjunctionWithGapNotImplied) {
+  // 0 <= x <= 10 does NOT imply (x < 5) v (x > 5): x = 5 escapes.
+  Conjunction a = Conj({Atom({{1, -1}}, 0, CmpOp::kLe),
+                        Atom({{1, 1}}, -10, CmpOp::kLe)});
+  Conjunction d1 = Conj({Atom({{1, 1}}, -5, CmpOp::kLt)});
+  Conjunction d2 = Conj({Atom({{1, -1}}, 5, CmpOp::kLt)});
+  EXPECT_FALSE(ImpliesDisjunction(a, {d1, d2}));
+}
+
+TEST(ImplicationTest, DisjunctionEmptyIsFalse) {
+  Conjunction a = Conj({Atom({{1, 1}}, -1, CmpOp::kLe)});
+  EXPECT_FALSE(ImpliesDisjunction(a, {}));
+  EXPECT_TRUE(ImpliesDisjunction(Conjunction::False(), {}));
+}
+
+TEST(ImplicationTest, UnsatisfiableDisjunctsIgnored) {
+  Conjunction a = Conj({Atom({{1, 1}}, -1, CmpOp::kLe)});
+  Conjunction dead = Conjunction::False();
+  Conjunction live = Conj({Atom({{1, 1}}, -2, CmpOp::kLe)});
+  EXPECT_TRUE(ImpliesDisjunction(a, {dead, live}));
+}
+
+TEST(ImplicationTest, FlightDisjunctionFromExample43) {
+  // (T > 0 & T <= 240 & C > 0 & C <= 150) implies the QRP constraint of
+  // flight: (T>0 & T<=240 & C>0) | (T>0 & C>0 & C<=150) — via either arm.
+  Conjunction a = Conj({Atom({{1, -1}}, 0, CmpOp::kLt),
+                        Atom({{1, 1}}, -240, CmpOp::kLe),
+                        Atom({{2, -1}}, 0, CmpOp::kLt),
+                        Atom({{2, 1}}, -150, CmpOp::kLe)});
+  Conjunction arm1 = Conj({Atom({{1, -1}}, 0, CmpOp::kLt),
+                           Atom({{1, 1}}, -240, CmpOp::kLe),
+                           Atom({{2, -1}}, 0, CmpOp::kLt)});
+  Conjunction arm2 = Conj({Atom({{1, -1}}, 0, CmpOp::kLt),
+                           Atom({{2, -1}}, 0, CmpOp::kLt),
+                           Atom({{2, 1}}, -150, CmpOp::kLe)});
+  EXPECT_TRUE(ImpliesDisjunction(a, {arm1, arm2}));
+  // But (T>0 & C>0) alone does not imply the disjunction.
+  Conjunction weak = Conj({Atom({{1, -1}}, 0, CmpOp::kLt),
+                           Atom({{2, -1}}, 0, CmpOp::kLt)});
+  EXPECT_FALSE(ImpliesDisjunction(weak, {arm1, arm2}));
+}
+
+TEST(ImplicationTest, EquivalentDetectsSyntacticVariants) {
+  // 2x <= 4 is equivalent to x <= 2.
+  Conjunction a = Conj({Atom({{1, 2}}, -4, CmpOp::kLe)});
+  Conjunction b = Conj({Atom({{1, 1}}, -2, CmpOp::kLe)});
+  EXPECT_TRUE(Equivalent(a, b));
+  Conjunction c = Conj({Atom({{1, 1}}, -3, CmpOp::kLe)});
+  EXPECT_FALSE(Equivalent(a, c));
+}
+
+}  // namespace
+}  // namespace cqlopt

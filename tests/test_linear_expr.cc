@@ -1,0 +1,85 @@
+#include "constraint/linear_expr.h"
+
+#include <gtest/gtest.h>
+
+namespace cqlopt {
+namespace {
+
+TEST(LinearExprTest, VarAndConstantConstruction) {
+  LinearExpr x = LinearExpr::Var(1);
+  EXPECT_EQ(x.CoefficientOf(1), Rational(1));
+  EXPECT_TRUE(x.constant().is_zero());
+  LinearExpr c = LinearExpr::Constant(Rational(5));
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.constant(), Rational(5));
+}
+
+TEST(LinearExprTest, AddCancelsToZeroCoefficient) {
+  LinearExpr e = LinearExpr::Var(1);
+  e.Add(1, Rational(-1));
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_TRUE(e.coefficients().empty());
+}
+
+TEST(LinearExprTest, AdditionMergesTerms) {
+  LinearExpr a = LinearExpr::Var(1) + LinearExpr::Var(2);
+  LinearExpr b = LinearExpr::Var(2);
+  LinearExpr sum = a + b;
+  EXPECT_EQ(sum.CoefficientOf(1), Rational(1));
+  EXPECT_EQ(sum.CoefficientOf(2), Rational(2));
+}
+
+TEST(LinearExprTest, SubtractionAndNegation) {
+  LinearExpr a = LinearExpr::Var(1) - LinearExpr::Var(2);
+  LinearExpr n = -a;
+  EXPECT_EQ(n.CoefficientOf(1), Rational(-1));
+  EXPECT_EQ(n.CoefficientOf(2), Rational(1));
+  EXPECT_EQ(a - a, LinearExpr());
+}
+
+TEST(LinearExprTest, ScaleByZeroClears) {
+  LinearExpr a = LinearExpr::Var(1) + LinearExpr::Constant(Rational(3));
+  LinearExpr z = a.Scale(Rational(0));
+  EXPECT_TRUE(z.is_constant());
+  EXPECT_TRUE(z.constant().is_zero());
+}
+
+TEST(LinearExprTest, SubstituteReplacesVariable) {
+  // x + 2y, substitute y := 3x + 1 -> 7x + 2.
+  LinearExpr e = LinearExpr::Var(1);
+  e.Add(2, Rational(2));
+  LinearExpr repl = LinearExpr::Var(1).Scale(Rational(3));
+  repl.AddConstant(Rational(1));
+  LinearExpr out = e.Substitute(2, repl);
+  EXPECT_EQ(out.CoefficientOf(1), Rational(7));
+  EXPECT_EQ(out.CoefficientOf(2), Rational(0));
+  EXPECT_EQ(out.constant(), Rational(2));
+}
+
+TEST(LinearExprTest, SubstituteAbsentVarIsNoop) {
+  LinearExpr e = LinearExpr::Var(1);
+  EXPECT_EQ(e.Substitute(9, LinearExpr::Constant(Rational(5))), e);
+}
+
+TEST(LinearExprTest, RenameMergesCollidingTargets) {
+  // x + y renamed {x->z, y->z} = 2z.
+  LinearExpr e = LinearExpr::Var(1) + LinearExpr::Var(2);
+  LinearExpr out = e.Rename({{1, 3}, {2, 3}});
+  EXPECT_EQ(out.CoefficientOf(3), Rational(2));
+  EXPECT_EQ(out.Vars(), std::vector<VarId>({3}));
+}
+
+TEST(LinearExprTest, VarsSorted) {
+  LinearExpr e = LinearExpr::Var(5) + LinearExpr::Var(2) + LinearExpr::Var(9);
+  EXPECT_EQ(e.Vars(), std::vector<VarId>({2, 5, 9}));
+}
+
+TEST(LinearExprTest, ToStringReadable) {
+  LinearExpr e = LinearExpr::Var(1).Scale(Rational(2)) - LinearExpr::Var(3);
+  e.AddConstant(Rational(5));
+  EXPECT_EQ(e.ToString(), "2*$1 - $3 + 5");
+  EXPECT_EQ(LinearExpr().ToString(), "0");
+}
+
+}  // namespace
+}  // namespace cqlopt

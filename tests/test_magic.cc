@@ -1,0 +1,210 @@
+#include "transform/magic.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "core/equivalence.h"
+#include "eval/seminaive.h"
+
+namespace cqlopt {
+namespace {
+
+struct Parsed {
+  Program program;
+  Query query;
+};
+
+Parsed ParseWithQuery(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->queries.size(), 1u);
+  return Parsed{parsed->program, parsed->queries[0]};
+}
+
+Database EdgeDb(SymbolTable* symbols, std::vector<std::pair<int, int>> edges) {
+  Database db;
+  for (auto& [u, v] : edges) {
+    EXPECT_TRUE(db.AddGroundFact(symbols, "e",
+                                 {Database::Value::Number(Rational(u)),
+                                  Database::Value::Number(Rational(v))})
+                    .ok());
+  }
+  return db;
+}
+
+TEST(MagicTest, StructureOfRewrittenProgram) {
+  Parsed in = ParseWithQuery(
+      "r1: t(X, Y) :- e(X, Y).\n"
+      "r2: t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "?- t(1, Y).\n");
+  auto magic = MagicTemplates(in.program, in.query, {});
+  ASSERT_TRUE(magic.ok());
+  // 2 modified rules + 1 magic rule (for the derived body literal) + seed.
+  EXPECT_EQ(magic->program.rules.size(), 4u);
+  EXPECT_TRUE(in.program.symbols->HasPredicate("m_t_bf"));
+  // Modified rules start with the magic guard.
+  int guards = 0;
+  for (const Rule& rule : magic->program.rules) {
+    if (!rule.body.empty() && rule.body[0].pred == magic->magic_query_pred) {
+      ++guards;
+    }
+  }
+  EXPECT_GE(guards, 3);  // two modified rules + the magic rule
+}
+
+TEST(MagicTest, SeedCarriesQueryConstant) {
+  Parsed in = ParseWithQuery(
+      "t(X, Y) :- e(X, Y).\n"
+      "?- t(1, Y).\n");
+  auto magic = MagicTemplates(in.program, in.query, {});
+  ASSERT_TRUE(magic.ok());
+  const Rule* seed = nullptr;
+  for (const Rule& rule : magic->program.rules) {
+    if (rule.IsConstraintFact()) seed = &rule;
+  }
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->head.pred, magic->magic_query_pred);
+  EXPECT_EQ(seed->head.arity(), 1);  // only the bound argument
+  EXPECT_TRUE(
+      seed->constraints.GetNumericValue(seed->head.args[0]).has_value());
+}
+
+TEST(MagicTest, RestrictsComputationToRelevantFacts) {
+  Parsed in = ParseWithQuery(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "?- t(1, Y).\n");
+  // Two disconnected chains; magic must only explore the one from node 1.
+  Database edb = EdgeDb(in.program.symbols.get(),
+                        {{1, 2}, {2, 3}, {10, 11}, {11, 12}, {12, 13}});
+  auto magic = MagicTemplates(in.program, in.query, {});
+  ASSERT_TRUE(magic.ok());
+  auto plain_run = Evaluate(in.program, edb, {});
+  auto magic_run = Evaluate(magic->program, edb, {});
+  ASSERT_TRUE(plain_run.ok());
+  ASSERT_TRUE(magic_run.ok());
+  PredId t = in.program.symbols->LookupPredicate("t");
+  PredId t_bf = in.program.symbols->LookupPredicate("t_bf");
+  EXPECT_EQ(plain_run->db.FactsFor(t), 9u);  // full closure, both chains
+  // Only the chain from node 1: t(1,2), t(2,3) (subquery), t(1,3).
+  EXPECT_EQ(magic_run->db.FactsFor(t_bf), 3u);
+  // Same answers.
+  auto plain_answers = QueryAnswers(*plain_run, in.query);
+  auto magic_answers = QueryAnswers(*magic_run, magic->query);
+  ASSERT_TRUE(plain_answers.ok());
+  ASSERT_TRUE(magic_answers.ok());
+  EXPECT_TRUE(SameAnswers(*plain_answers, *magic_answers));
+  EXPECT_EQ(plain_answers->size(), 2u);
+}
+
+TEST(MagicTest, ConstraintMagicCarriesSelections) {
+  // Section 1's mrl vs mrl': when the constrained argument is carried by
+  // the magic predicate (template-passing sips), constraint magic includes
+  // T <= 240 in the magic rule and plain magic does not. (Under plain bf
+  // adornments T is simply not carried — that is the mrl' regime.)
+  Parsed in = ParseWithQuery(
+      "r1: short(S, T) :- flight(S, T), T <= 240.\n"
+      "r3: flight(S, T) :- leg(S, T).\n"
+      "?- short(a, T).\n");
+  MagicOptions with;
+  with.sips = SipStrategy::kFullLeftToRight;
+  with.constraint_magic = true;
+  auto cm = MagicTemplates(in.program, in.query, with);
+  ASSERT_TRUE(cm.ok());
+  MagicOptions without;
+  without.sips = SipStrategy::kFullLeftToRight;
+  without.constraint_magic = false;
+  auto pm = MagicTemplates(in.program, in.query, without);
+  ASSERT_TRUE(pm.ok());
+  auto count_inequalities = [](const Program& p) {
+    int n = 0;
+    for (const Rule& rule : p.rules) {
+      for (const LinearConstraint& atom : rule.constraints.linear()) {
+        if (atom.op() != CmpOp::kEq) ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(count_inequalities(cm->program), count_inequalities(pm->program));
+}
+
+TEST(MagicTest, PlainMagicStillEquivalent) {
+  Parsed in = ParseWithQuery(
+      "r1: short(S, T) :- flight(S, T), T <= 240.\n"
+      "r3: flight(S, T) :- leg(S, T).\n"
+      "?- short(a, T).\n");
+  Database db;
+  ASSERT_TRUE(db.AddGroundFact(in.program.symbols.get(), "leg",
+                               {Database::Value::Symbol("a"),
+                                Database::Value::Number(Rational(100))})
+                  .ok());
+  ASSERT_TRUE(db.AddGroundFact(in.program.symbols.get(), "leg",
+                               {Database::Value::Symbol("a"),
+                                Database::Value::Number(Rational(500))})
+                  .ok());
+  MagicOptions without;
+  without.constraint_magic = false;
+  auto pm = MagicTemplates(in.program, in.query, without);
+  ASSERT_TRUE(pm.ok());
+  auto run = Evaluate(pm->program, db, {});
+  ASSERT_TRUE(run.ok());
+  auto answers = QueryAnswers(*run, pm->query);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+}
+
+TEST(MagicTest, FullSipsTemplatePassing) {
+  // Backward fibonacci: the magic predicate keeps both arguments and the
+  // seed is a genuine constraint fact m_fib(N, 5).
+  Parsed in = ParseWithQuery(
+      "fib(0, 1).\n"
+      "fib(1, 1).\n"
+      "fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).\n"
+      "?- fib(N, 5).\n");
+  MagicOptions options;
+  options.sips = SipStrategy::kFullLeftToRight;
+  auto magic = MagicTemplates(in.program, in.query, options);
+  ASSERT_TRUE(magic.ok());
+  PredId m_fib = in.program.symbols->LookupPredicate("m_fib");
+  ASSERT_NE(m_fib, SymbolTable::kNoPred);
+  EXPECT_EQ(magic->program.Arity(m_fib), 2);
+  const Rule* seed = nullptr;
+  for (const Rule& rule : magic->program.rules) {
+    if (rule.IsConstraintFact() && rule.head.pred == m_fib) seed = &rule;
+  }
+  ASSERT_NE(seed, nullptr);
+  EXPECT_FALSE(
+      seed->constraints.GetNumericValue(seed->head.args[0]).has_value());
+  EXPECT_TRUE(
+      seed->constraints.GetNumericValue(seed->head.args[1]).has_value());
+}
+
+TEST(MagicTest, GroundFactsPreservedUnderBoundIfGround) {
+  // Proposition 7.1: bf-adorned constraint magic keeps evaluation ground.
+  Parsed in = ParseWithQuery(
+      "t(X, Y) :- e(X, Y), X <= 10.\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y), Y >= 0.\n"
+      "?- t(1, Y).\n");
+  Database edb = EdgeDb(in.program.symbols.get(), {{1, 2}, {2, 3}});
+  auto magic = MagicTemplates(in.program, in.query, {});
+  ASSERT_TRUE(magic.ok());
+  auto run = Evaluate(magic->program, edb, {});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->stats.all_ground);
+  EXPECT_TRUE(run->stats.reached_fixpoint);
+}
+
+TEST(MagicTest, MagicOfMapExposed) {
+  Parsed in = ParseWithQuery(
+      "t(X, Y) :- e(X, Y).\n"
+      "?- t(1, Y).\n");
+  auto magic = MagicTemplates(in.program, in.query, {});
+  ASSERT_TRUE(magic.ok());
+  EXPECT_EQ(magic->magic_of.at(magic->query_pred), magic->magic_query_pred);
+  EXPECT_EQ(magic->carried_positions.at(magic->query_pred),
+            std::vector<int>{0});
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,88 @@
+#include "ast/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+
+namespace cqlopt {
+namespace {
+
+TEST(PrinterTest, RendersRuleWithLabelBodyAndConstraints) {
+  auto parsed = ParseProgram("r1: q(X, Y) :- e(X, Y), X <= 4.");
+  ASSERT_TRUE(parsed.ok());
+  std::string out = RenderRule(parsed->program.rules[0],
+                               *parsed->program.symbols);
+  EXPECT_EQ(out, "r1: q(X, Y) :- e(X, Y), X <= 4.");
+}
+
+TEST(PrinterTest, RendersConstraintFact) {
+  auto parsed = ParseProgram("fib(0, 1).");
+  ASSERT_TRUE(parsed.ok());
+  std::string out = RenderRule(parsed->program.rules[0],
+                               *parsed->program.symbols);
+  // Constants were normalized to fresh vars with equality constraints.
+  EXPECT_NE(out.find("fib("), std::string::npos);
+  EXPECT_NE(out.find("= 0"), std::string::npos);
+  EXPECT_NE(out.find("= 1"), std::string::npos);
+}
+
+TEST(PrinterTest, RendersSymbolsByName) {
+  auto parsed = ParseProgram("q(X) :- hub(X), X = madison.");
+  ASSERT_TRUE(parsed.ok());
+  std::string out = RenderRule(parsed->program.rules[0],
+                               *parsed->program.symbols);
+  EXPECT_NE(out.find("madison"), std::string::npos);
+}
+
+TEST(PrinterTest, GreaterThanRestoredFromNormalizedForm) {
+  auto parsed = ParseProgram("q(X) :- e(X), X > 0.");
+  ASSERT_TRUE(parsed.ok());
+  std::string out = RenderRule(parsed->program.rules[0],
+                               *parsed->program.symbols);
+  EXPECT_NE(out.find("X > 0"), std::string::npos);
+}
+
+TEST(PrinterTest, DisambiguatesCollidingVariableNames) {
+  // Force a collision: two rules merged by hand with the same name "X" on
+  // different variables.
+  auto parsed = ParseProgram("q(X) :- e(X).");
+  ASSERT_TRUE(parsed.ok());
+  Rule rule = parsed->program.rules[0];
+  VarId other = 9000;
+  rule.body.push_back(Literal(rule.body[0].pred, {other}));
+  rule.var_names[other] = "X";
+  std::string out = RenderRule(rule, *parsed->program.symbols);
+  EXPECT_NE(out.find("X_2"), std::string::npos) << out;
+}
+
+TEST(PrinterTest, RenderQueryShowsConstraints) {
+  auto parsed = ParseProgram("e(1, 2). ?- e(X, Y), X <= 3.");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->queries.size(), 1u);
+  std::string out = RenderQuery(parsed->queries[0], *parsed->program.symbols);
+  EXPECT_EQ(out.rfind("?- e(", 0), 0u) << out;
+  EXPECT_NE(out.find("<= 3"), std::string::npos);
+}
+
+TEST(PrinterTest, RenderConstraintSetSortsDisjuncts) {
+  Conjunction a;
+  ASSERT_TRUE(
+      a.AddLinear(LinearConstraint(LinearExpr::Var(1), CmpOp::kLt)).ok());
+  Conjunction b;
+  ASSERT_TRUE(
+      b.AddLinear(LinearConstraint(-LinearExpr::Var(1), CmpOp::kLt)).ok());
+  ConstraintSet s1 = ConstraintSet::Of(a);
+  s1.AddDisjunct(b);
+  ConstraintSet s2 = ConstraintSet::Of(b);
+  s2.AddDisjunct(a);
+  SymbolTable symbols;
+  EXPECT_EQ(RenderConstraintSet(s1, symbols, DollarNames()),
+            RenderConstraintSet(s2, symbols, DollarNames()));
+}
+
+TEST(PrinterTest, DollarNamesRenderPositions) {
+  EXPECT_EQ(DollarNames()(3), "$3");
+}
+
+}  // namespace
+}  // namespace cqlopt

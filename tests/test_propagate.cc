@@ -1,0 +1,180 @@
+#include "transform/propagate.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "constraint/implication.h"
+#include "transform/qrp_constraints.h"
+
+namespace cqlopt {
+namespace {
+
+Program ParseOrDie(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed->program;
+}
+
+LinearConstraint Atom(std::vector<std::pair<VarId, int>> terms, int constant,
+                      CmpOp op) {
+  LinearExpr e;
+  for (auto& [v, c] : terms) e.Add(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return LinearConstraint(e, op);
+}
+
+Conjunction Conj(std::vector<LinearConstraint> atoms) {
+  Conjunction c;
+  for (auto& a : atoms) EXPECT_TRUE(c.AddLinear(a).ok());
+  return c;
+}
+
+TEST(PropagateTest, Example41EndToEnd) {
+  Program p = ParseOrDie(
+      "r1: q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.\n"
+      "r2: p1(X, Y) :- b1(X, Y).\n"
+      "r3: p2(X) :- b2(X).\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  auto qrp = GenQrpConstraints(p, q, {});
+  ASSERT_TRUE(qrp.ok());
+  auto out = PropagateQrpConstraints(p, q, qrp->constraints, {});
+  ASSERT_TRUE(out.ok());
+  // Three rules: q (folded), p1' (unfolded+constrained), p2' (ditto).
+  ASSERT_EQ(out->rules.size(), 3u);
+  PredId p1p = p.symbols->LookupPredicate("p1'");
+  PredId p2p = p.symbols->LookupPredicate("p2'");
+  ASSERT_NE(p1p, SymbolTable::kNoPred);
+  ASSERT_NE(p2p, SymbolTable::kNoPred);
+  for (const Rule& rule : out->rules) {
+    if (rule.head.pred == p2p) {
+      // p2'(X) :- b2(X), X <= 4.
+      Conjunction expected =
+          Conj({Atom({{rule.head.args[0], 1}}, -4, CmpOp::kLe)});
+      EXPECT_TRUE(Equivalent(rule.constraints, expected))
+          << RenderRule(rule, *p.symbols);
+    }
+    if (rule.head.pred == q) {
+      // The query rule's body now calls the primed predicates.
+      EXPECT_EQ(rule.body[0].pred, p1p);
+      EXPECT_EQ(rule.body[1].pred, p2p);
+    }
+  }
+}
+
+TEST(PropagateTest, TriviallyTrueQrpSkipsPredicate) {
+  Program p = ParseOrDie(
+      "q(X) :- a(X).\n"
+      "a(X) :- e(X).\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  std::map<PredId, ConstraintSet> qrp;
+  qrp[p.symbols->LookupPredicate("a")] = ConstraintSet::True();
+  auto out = PropagateQrpConstraints(p, q, qrp, {});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rules.size(), p.rules.size());
+  EXPECT_EQ(p.symbols->LookupPredicate("a'"), SymbolTable::kNoPred);
+}
+
+TEST(PropagateTest, DisjunctiveQrpSplitsRules) {
+  // QRP for a: ($1 <= 0) | ($1 >= 10): a's single rule becomes two primed
+  // rules; the call site splits as well when its constraints imply neither
+  // disjunct.
+  Program p = ParseOrDie(
+      "q(X) :- a(X).\n"
+      "a(X) :- e(X), X <= 0.\n"
+      "a(X) :- e(X), X >= 10.\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  auto qrp = GenQrpConstraints(p, q, {});
+  ASSERT_TRUE(qrp.ok());
+  // QRP for a is true here (q imposes nothing); force a disjunctive set.
+  std::map<PredId, ConstraintSet> forced;
+  ConstraintSet set = ConstraintSet::Of(Conj({Atom({{1, 1}}, 0, CmpOp::kLe)}));
+  set.AddDisjunct(Conj({Atom({{1, -1}}, 10, CmpOp::kLe)}));
+  forced[p.symbols->LookupPredicate("a")] = set;
+  auto out = PropagateQrpConstraints(p, q, forced, {});
+  ASSERT_TRUE(out.ok());
+  PredId ap = p.symbols->LookupPredicate("a'");
+  ASSERT_NE(ap, SymbolTable::kNoPred);
+  int a_rules = 0;
+  int q_rules = 0;
+  for (const Rule& rule : out->rules) {
+    if (rule.head.pred == ap) ++a_rules;
+    if (rule.head.pred == q) ++q_rules;
+  }
+  // a': each original a rule matches exactly one satisfiable disjunct.
+  EXPECT_EQ(a_rules, 2);
+  // q: split into one copy per disjunct (its constraints imply neither).
+  EXPECT_EQ(q_rules, 2);
+}
+
+TEST(PropagateTest, RecursiveRulesFoldToPrimed) {
+  Program p = ParseOrDie(
+      "q(X, Y) :- t(X, Y), X <= 5.\n"
+      "t(X, Y) :- e(X, Y), X <= 5.\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y), X <= 5, Z <= 5.\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  auto qrp = GenQrpConstraints(p, q, {});
+  ASSERT_TRUE(qrp.ok());
+  auto out = PropagateQrpConstraints(p, q, qrp->constraints, {});
+  ASSERT_TRUE(out.ok());
+  PredId t = p.symbols->LookupPredicate("t");
+  PredId tp = p.symbols->LookupPredicate("t'");
+  ASSERT_NE(tp, SymbolTable::kNoPred);
+  for (const Rule& rule : out->rules) {
+    EXPECT_NE(rule.head.pred, t);  // originals deleted (unreachable)
+    for (const Literal& lit : rule.body) EXPECT_NE(lit.pred, t);
+  }
+}
+
+TEST(PropagateTest, RenameBackRestoresNames) {
+  Program p = ParseOrDie(
+      "q(X) :- a(X), X <= 3.\n"
+      "a(X) :- e(X).\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  auto qrp = GenQrpConstraints(p, q, {});
+  ASSERT_TRUE(qrp.ok());
+  PropagateOptions options;
+  options.rename_back = true;
+  auto out = PropagateQrpConstraints(p, q, qrp->constraints, options);
+  ASSERT_TRUE(out.ok());
+  PredId a = p.symbols->LookupPredicate("a");
+  bool a_defined = false;
+  for (const Rule& rule : out->rules) {
+    if (rule.head.pred == a) a_defined = true;
+  }
+  EXPECT_TRUE(a_defined);
+}
+
+TEST(PropagateTest, UnreachableRulesDeleted) {
+  Program p = ParseOrDie(
+      "q(X) :- a(X), X <= 3.\n"
+      "a(X) :- e(X).\n"
+      "orphan(X) :- a(X).\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  auto qrp = GenQrpConstraints(p, q, {});
+  ASSERT_TRUE(qrp.ok());
+  auto out = PropagateQrpConstraints(p, q, qrp->constraints, {});
+  ASSERT_TRUE(out.ok());
+  for (const Rule& rule : out->rules) {
+    EXPECT_NE(p.symbols->PredicateName(rule.head.pred), "orphan");
+  }
+}
+
+TEST(PropagateTest, FalseQrpPredicateDisappears) {
+  Program p = ParseOrDie(
+      "q(X) :- a(X), X <= 3.\n"
+      "a(X) :- e(X).\n"
+      "dead(X) :- f(X).\n"
+      "q(X) :- dead(X), 1 <= 0.\n");
+  PredId q = p.symbols->LookupPredicate("q");
+  auto qrp = GenQrpConstraints(p, q, {});
+  ASSERT_TRUE(qrp.ok());
+  auto out = PropagateQrpConstraints(p, q, qrp->constraints, {});
+  ASSERT_TRUE(out.ok());
+  for (const Rule& rule : out->rules) {
+    EXPECT_NE(p.symbols->PredicateName(rule.head.pred), "dead");
+  }
+}
+
+}  // namespace
+}  // namespace cqlopt

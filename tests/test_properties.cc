@@ -1,0 +1,178 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "constraint/disjoint.h"
+#include "constraint/implication.h"
+#include "core/equivalence.h"
+#include "core/workload.h"
+#include "transform/pipeline.h"
+
+namespace cqlopt {
+namespace {
+
+/// Random conjunction over variables 1..3 with small integer coefficients.
+Conjunction RandomConjunction(std::mt19937_64* rng, int atoms) {
+  std::uniform_int_distribution<int> coeff(-2, 2);
+  std::uniform_int_distribution<int> constant(-8, 8);
+  std::uniform_int_distribution<int> op_pick(0, 5);
+  Conjunction c;
+  for (int i = 0; i < atoms; ++i) {
+    LinearExpr e;
+    for (VarId v = 1; v <= 3; ++v) e.Add(v, Rational(coeff(*rng)));
+    e.AddConstant(Rational(constant(*rng)));
+    CmpOp op = op_pick(*rng) == 0 ? CmpOp::kEq
+               : op_pick(*rng) < 3 ? CmpOp::kLt
+                                   : CmpOp::kLe;
+    (void)c.AddLinear(LinearConstraint(std::move(e), op));
+  }
+  return c;
+}
+
+class ImplicationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicationProperty, ReflexiveAndMonotone) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 30; ++trial) {
+    Conjunction a = RandomConjunction(&rng, 3);
+    // Reflexivity.
+    EXPECT_TRUE(Implies(a, a));
+    // Strengthening the LHS preserves implication.
+    Conjunction stronger = a;
+    (void)stronger.AddConjunction(RandomConjunction(&rng, 1));
+    EXPECT_TRUE(Implies(stronger, a));
+    // Anything implies true; false implies anything.
+    EXPECT_TRUE(Implies(a, Conjunction::True()));
+    EXPECT_TRUE(Implies(Conjunction::False(), a));
+  }
+}
+
+TEST_P(ImplicationProperty, TransitiveOnChains) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    Conjunction a = RandomConjunction(&rng, 2);
+    Conjunction b = a;
+    (void)b.AddConjunction(RandomConjunction(&rng, 1));
+    Conjunction c = b;
+    (void)c.AddConjunction(RandomConjunction(&rng, 1));
+    // c => b => a by construction; check the checker agrees transitively.
+    EXPECT_TRUE(Implies(c, b));
+    EXPECT_TRUE(Implies(b, a));
+    EXPECT_TRUE(Implies(c, a));
+  }
+}
+
+TEST_P(ImplicationProperty, ProjectionIsSound) {
+  // a implies its own projection (projection only loses constraints).
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) + 200);
+  for (int trial = 0; trial < 30; ++trial) {
+    Conjunction a = RandomConjunction(&rng, 4);
+    auto projected = a.Project({1, 2});
+    ASSERT_TRUE(projected.ok());
+    EXPECT_TRUE(Implies(a, *projected));
+    EXPECT_EQ(a.IsSatisfiable(), projected->IsSatisfiable());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationProperty,
+                         ::testing::Range(1, 7));
+
+class DisjointProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisjointProperty, EquivalentAndPairwiseUnsat) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) + 300);
+  for (int trial = 0; trial < 10; ++trial) {
+    ConstraintSet set;
+    for (int d = 0; d < 3; ++d) set.AddDisjunct(RandomConjunction(&rng, 2));
+    if (set.is_false()) continue;
+    auto out = MakeDisjoint(set);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out->EquivalentTo(set)) << set.ToString() << " vs "
+                                        << out->ToString();
+    const auto& ds = out->disjuncts();
+    for (size_t i = 0; i < ds.size(); ++i) {
+      for (size_t j = i + 1; j < ds.size(); ++j) {
+        Conjunction both = ds[i];
+        if (!both.AddConjunction(ds[j]).ok()) continue;
+        EXPECT_FALSE(both.IsSatisfiable());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjointProperty, ::testing::Range(1, 5));
+
+/// End-to-end rewriting property: on random EDBs, every pipeline preserves
+/// the query answers of the transitive-closure-with-selections program.
+class RewriteEquivalenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RewriteEquivalenceProperty, PipelinesPreserveAnswers) {
+  auto parsed = ParseProgram(
+      "q(X, Y) :- t(X, Y), X + Y <= 14, X >= 1.\n"
+      "t(X, Y) :- e(X, Y), Y >= 0.\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y), Z <= 9.\n"
+      "?- q(2, Y).\n");
+  ASSERT_TRUE(parsed.ok());
+  Program& program = parsed->program;
+  Query& query = parsed->queries[0];
+  Database db;
+  ASSERT_TRUE(AddBinaryRelation(program.symbols.get(), "e", 20, 10,
+                                static_cast<uint64_t>(GetParam()), &db)
+                  .ok());
+  auto baseline_run = Evaluate(program, db, {});
+  ASSERT_TRUE(baseline_run.ok());
+  auto baseline = QueryAnswers(*baseline_run, query);
+  ASSERT_TRUE(baseline.ok());
+  for (const char* spec : {"pred,qrp", "pred,qrp,mg", "mg,qrp", "balbin"}) {
+    auto steps = ParseSteps(spec);
+    ASSERT_TRUE(steps.ok());
+    auto rewritten = ApplyPipeline(program, query, *steps, {});
+    ASSERT_TRUE(rewritten.ok()) << spec << ": "
+                                << rewritten.status().ToString();
+    auto run = Evaluate(rewritten->program, db, {});
+    ASSERT_TRUE(run.ok()) << spec;
+    auto answers = QueryAnswers(*run, rewritten->query);
+    ASSERT_TRUE(answers.ok()) << spec;
+    EXPECT_TRUE(SameAnswers(*baseline, *answers))
+        << spec << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteEquivalenceProperty,
+                         ::testing::Range(1, 9));
+
+/// Theorem 4.4 property: rewriting never increases the computed fact count,
+/// and ground evaluations stay ground.
+class FactCountProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactCountProperty, RewritingNeverComputesMoreFacts) {
+  auto parsed = ParseProgram(
+      "q(X, Y) :- t(X, Y), X <= 4.\n"
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "?- q(X, Y).\n");
+  ASSERT_TRUE(parsed.ok());
+  Program& program = parsed->program;
+  Query& query = parsed->queries[0];
+  Database db;
+  ASSERT_TRUE(AddBinaryRelation(program.symbols.get(), "e", 18, 9,
+                                static_cast<uint64_t>(GetParam()) * 7, &db)
+                  .ok());
+  auto baseline = Evaluate(program, db, {});
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_TRUE(baseline->stats.all_ground);
+  auto steps = ParseSteps("pred,qrp");
+  ASSERT_TRUE(steps.ok());
+  auto rewritten = ApplyPipeline(program, query, *steps, {});
+  ASSERT_TRUE(rewritten.ok());
+  auto run = Evaluate(rewritten->program, db, {});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->stats.all_ground);
+  EXPECT_LE(run->db.TotalFacts(), baseline->db.TotalFacts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactCountProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cqlopt

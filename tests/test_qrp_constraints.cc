@@ -1,0 +1,146 @@
+#include "transform/qrp_constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "ast/printer.h"
+
+namespace cqlopt {
+namespace {
+
+Program ParseOrDie(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed->program;
+}
+
+LinearConstraint Atom(std::vector<std::pair<VarId, int>> terms, int constant,
+                      CmpOp op) {
+  LinearExpr e;
+  for (auto& [v, c] : terms) e.Add(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return LinearConstraint(e, op);
+}
+
+Conjunction Conj(std::vector<LinearConstraint> atoms) {
+  Conjunction c;
+  for (auto& a : atoms) EXPECT_TRUE(c.AddLinear(a).ok());
+  return c;
+}
+
+const ConstraintSet& Of(const Program& p, const InferenceResult& r,
+                        const std::string& pred) {
+  return r.constraints.at(p.symbols->LookupPredicate(pred));
+}
+
+TEST(QrpConstraintsTest, Example41MinimumQrpConstraints) {
+  Program p = ParseOrDie(
+      "r1: q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.\n"
+      "r2: p1(X, Y) :- b1(X, Y).\n"
+      "r3: p2(X) :- b2(X).\n");
+  auto result = GenQrpConstraints(p, p.symbols->LookupPredicate("q"), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // Minimum QRP for p1 is ($1+$2 <= 6) & ($1 >= 2); for p2 it is $1 <= 4 —
+  // the semantic inference Balbin's C transformation cannot make.
+  ConstraintSet expected_p1 = ConstraintSet::Of(
+      Conj({Atom({{1, 1}, {2, 1}}, -6, CmpOp::kLe),
+            Atom({{1, -1}}, 2, CmpOp::kLe)}));
+  EXPECT_TRUE(Of(p, *result, "p1").EquivalentTo(expected_p1));
+  ConstraintSet expected_p2 =
+      ConstraintSet::Of(Conj({Atom({{1, 1}}, -4, CmpOp::kLe)}));
+  EXPECT_TRUE(Of(p, *result, "p2").EquivalentTo(expected_p2));
+  // Database predicates inherit the same selections (index pushdown,
+  // Section 4.6).
+  EXPECT_TRUE(Of(p, *result, "b2").EquivalentTo(expected_p2));
+  // The query predicate keeps `true`.
+  EXPECT_TRUE(Of(p, *result, "q").IsTriviallyTrue());
+}
+
+TEST(QrpConstraintsTest, Example42WithoutPredStepLosesConstraint) {
+  // Example 4.2: without propagating the predicate constraint $2 <= $1
+  // first, the QRP fixpoint for `a` widens to true.
+  Program p = ParseOrDie(
+      "r1: q(X, Y) :- a(X, Y), X <= 10.\n"
+      "r2: a(X, Y) :- p(X, Y), Y <= X.\n"
+      "r3: a(X, Y) :- a(X, Z), a(Z, Y).\n");
+  auto result = GenQrpConstraints(p, p.symbols->LookupPredicate("q"), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_TRUE(Of(p, *result, "a").IsTriviallyTrue())
+      << RenderConstraintSet(Of(p, *result, "a"), *p.symbols, DollarNames());
+}
+
+TEST(QrpConstraintsTest, Example51WithPredConstraintsGetsMinimum) {
+  // Program P1 of Examples 4.2/5.1 — the predicate constraint $2 <= $1 made
+  // explicit in the rules. QRP for `a` becomes ($1<=10 & $2<=$1), and the
+  // procedure terminates in two iterations.
+  Program p = ParseOrDie(
+      "r1: q(X, Y) :- a(X, Y), X <= 10, Y <= X.\n"
+      "r2: a(X, Y) :- p(X, Y), Y <= X.\n"
+      "r3: a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.\n");
+  auto result = GenQrpConstraints(p, p.symbols->LookupPredicate("q"), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  ConstraintSet expected = ConstraintSet::Of(
+      Conj({Atom({{1, 1}}, -10, CmpOp::kLe),
+            Atom({{2, 1}, {1, -1}}, 0, CmpOp::kLe)}));
+  EXPECT_TRUE(Of(p, *result, "a").EquivalentTo(expected))
+      << RenderConstraintSet(Of(p, *result, "a"), *p.symbols, DollarNames());
+  // Example 5.1's observation: far below the combinatorial bound.
+  EXPECT_LE(result->iterations, 4);
+}
+
+TEST(QrpConstraintsTest, FlightQrpIsDisjunction) {
+  Program p = ParseOrDie(
+      "r0: q1(S, D, T, C) :- cheaporshort(S, D, T, C).\n"
+      "r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.\n"
+      "r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.\n"
+      "r3: flight(S, D, T, C) :- singleleg(S, D, T, C), C > 0, T > 0.\n"
+      "r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, "
+      "C2), T = T1 + T2 + 30, C = C1 + C2.\n");
+  auto result = GenQrpConstraints(p, p.symbols->LookupPredicate("q1"), {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->converged);
+  // WITHOUT predicate constraints pre-propagated, the recursive rule r4
+  // destroys the selection: projecting T <= 240 & T = T1 + T2 + 30 onto T1
+  // gives `true` because T2 is unbounded below. flight's QRP widens to
+  // true — this is exactly why Constraint_rewrite runs
+  // Gen_Prop_predicate_constraints first (Sections 4.4–4.5); the
+  // with-pred-constraints variant is checked in test_constraint_rewrite.
+  EXPECT_TRUE(Of(p, *result, "flight").IsTriviallyTrue())
+      << RenderConstraintSet(Of(p, *result, "flight"), *p.symbols,
+                             DollarNames());
+  // cheaporshort still gets `true` (it is the query wrapper's target).
+  EXPECT_TRUE(Of(p, *result, "cheaporshort").IsTriviallyTrue());
+}
+
+TEST(QrpConstraintsTest, UnusedPredicateStaysFalse) {
+  Program p = ParseOrDie(
+      "q(X) :- a(X).\n"
+      "a(X) :- e(X).\n"
+      "orphan(X) :- f(X).\n");
+  auto result = GenQrpConstraints(p, p.symbols->LookupPredicate("q"), {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(Of(p, *result, "orphan").is_false());
+  EXPECT_TRUE(Of(p, *result, "f").is_false());
+}
+
+TEST(QrpConstraintsTest, CapWidensToTrue) {
+  // A program whose QRP constraint keeps shifting: q calls p with an
+  // ever-decreasing bound — the disjunct universe is infinite.
+  Program p = ParseOrDie(
+      "q(X) :- p(X), X <= 100.\n"
+      "p(X) :- p(Y), Y = X + 1.\n"
+      "p(X) :- e(X).\n");
+  InferenceOptions options;
+  options.max_iterations = 4;
+  options.max_disjuncts = 4;
+  auto result = GenQrpConstraints(p, p.symbols->LookupPredicate("q"), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->converged);
+  EXPECT_TRUE(Of(p, *result, "p").IsTriviallyTrue());
+}
+
+}  // namespace
+}  // namespace cqlopt

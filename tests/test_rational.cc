@@ -1,0 +1,111 @@
+#include "util/rational.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cqlopt {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.ToString(), "0");
+}
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational r(BigInt(4), BigInt(-6));
+  EXPECT_EQ(r.ToString(), "-2/3");
+  EXPECT_TRUE(r.is_negative());
+  EXPECT_EQ(r.denominator().ToString(), "3");
+}
+
+TEST(RationalTest, ZeroNormalizesDenominator) {
+  Rational r(BigInt(0), BigInt(-17));
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, ArithmeticExact) {
+  Rational a(BigInt(1), BigInt(3));
+  Rational b(BigInt(1), BigInt(6));
+  EXPECT_EQ((a + b).ToString(), "1/2");
+  EXPECT_EQ((a - b).ToString(), "1/6");
+  EXPECT_EQ((a * b).ToString(), "1/18");
+  EXPECT_EQ((a / b).ToString(), "2");
+}
+
+TEST(RationalTest, ComparisonCrossMultiplies) {
+  Rational a(BigInt(1), BigInt(3));
+  Rational b(BigInt(2), BigInt(5));
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational(BigInt(-1), BigInt(3)));
+}
+
+TEST(RationalTest, FromStringVariants) {
+  Rational r;
+  ASSERT_TRUE(Rational::FromString("7", &r));
+  EXPECT_EQ(r.ToString(), "7");
+  ASSERT_TRUE(Rational::FromString("-3/9", &r));
+  EXPECT_EQ(r.ToString(), "-1/3");
+  ASSERT_TRUE(Rational::FromString("3.25", &r));
+  EXPECT_EQ(r.ToString(), "13/4");
+  ASSERT_TRUE(Rational::FromString("-0.5", &r));
+  EXPECT_EQ(r.ToString(), "-1/2");
+  ASSERT_TRUE(Rational::FromString("0.10", &r));
+  EXPECT_EQ(r.ToString(), "1/10");
+}
+
+TEST(RationalTest, FromStringRejectsBadInput) {
+  Rational r;
+  EXPECT_FALSE(Rational::FromString("", &r));
+  EXPECT_FALSE(Rational::FromString("1/0", &r));
+  EXPECT_FALSE(Rational::FromString("a", &r));
+  EXPECT_FALSE(Rational::FromString("1.", &r));
+}
+
+TEST(RationalTest, ReciprocalAndAbs) {
+  Rational r(BigInt(-2), BigInt(3));
+  EXPECT_EQ(r.Reciprocal().ToString(), "-3/2");
+  EXPECT_EQ(r.Abs().ToString(), "2/3");
+}
+
+TEST(RationalTest, FieldAxiomsRandomized) {
+  std::mt19937_64 rng(11);
+  auto random_rational = [&rng]() {
+    int64_t n = static_cast<int64_t>(rng() % 2001) - 1000;
+    int64_t d = static_cast<int64_t>(rng() % 50) + 1;
+    return Rational(BigInt(n), BigInt(d));
+  };
+  for (int i = 0; i < 100; ++i) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (!b.is_zero()) {
+      EXPECT_EQ(a / b * b, a);
+    }
+  }
+}
+
+TEST(RationalTest, CompareConsistentWithSubtraction) {
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    Rational a(BigInt(static_cast<int64_t>(rng() % 200) - 100),
+               BigInt(static_cast<int64_t>(rng() % 20) + 1));
+    Rational b(BigInt(static_cast<int64_t>(rng() % 200) - 100),
+               BigInt(static_cast<int64_t>(rng() % 20) + 1));
+    EXPECT_EQ(a.Compare(b) < 0, (a - b).is_negative());
+    EXPECT_EQ(a.Compare(b) == 0, (a - b).is_zero());
+  }
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,130 @@
+#include "eval/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/database.h"
+
+namespace cqlopt {
+namespace {
+
+LinearConstraint Atom(std::vector<std::pair<VarId, int>> terms, int constant,
+                      CmpOp op) {
+  LinearExpr e;
+  for (auto& [v, c] : terms) e.Add(v, Rational(c));
+  e.AddConstant(Rational(constant));
+  return LinearConstraint(e, op);
+}
+
+Fact MakeFact(int bound, CmpOp op = CmpOp::kLe) {
+  Conjunction c;
+  EXPECT_TRUE(c.AddLinear(Atom({{1, 1}}, -bound, op)).ok());
+  return Fact(0, 1, c);
+}
+
+TEST(RelationTest, InsertAndDuplicate) {
+  Relation rel;
+  EXPECT_EQ(rel.Insert(MakeFact(3), 0, SubsumptionMode::kNone),
+            InsertOutcome::kInserted);
+  EXPECT_EQ(rel.Insert(MakeFact(3), 1, SubsumptionMode::kNone),
+            InsertOutcome::kDuplicate);
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(RelationTest, SubsumptionDiscardsImpliedFact) {
+  Relation rel;
+  EXPECT_EQ(rel.Insert(MakeFact(5), 0, SubsumptionMode::kSingleFact),
+            InsertOutcome::kInserted);
+  // x <= 3 implies x <= 5: subsumed.
+  EXPECT_EQ(rel.Insert(MakeFact(3), 1, SubsumptionMode::kSingleFact),
+            InsertOutcome::kSubsumed);
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(RelationTest, NoSubsumptionModeKeepsBoth) {
+  Relation rel;
+  EXPECT_EQ(rel.Insert(MakeFact(5), 0, SubsumptionMode::kNone),
+            InsertOutcome::kInserted);
+  EXPECT_EQ(rel.Insert(MakeFact(3), 1, SubsumptionMode::kNone),
+            InsertOutcome::kInserted);
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(RelationTest, WiderFactStillInsertedAfterNarrower) {
+  Relation rel;
+  EXPECT_EQ(rel.Insert(MakeFact(3), 0, SubsumptionMode::kSingleFact),
+            InsertOutcome::kInserted);
+  // x <= 5 is NOT implied by x <= 3; the paper keeps both (old facts are
+  // not retracted).
+  EXPECT_EQ(rel.Insert(MakeFact(5), 1, SubsumptionMode::kSingleFact),
+            InsertOutcome::kInserted);
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(RelationTest, SetImplicationCoversWithUnion) {
+  Relation rel;
+  // x <= 5 and x >= 5 together cover 0 <= x <= 10? No — but they do cover
+  // any fact inside their union, e.g. 3 <= x <= 8.
+  EXPECT_EQ(rel.Insert(MakeFact(5), 0, SubsumptionMode::kSetImplication),
+            InsertOutcome::kInserted);  // x <= 5
+  Conjunction ge5;
+  ASSERT_TRUE(ge5.AddLinear(Atom({{1, -1}}, 5, CmpOp::kLe)).ok());
+  EXPECT_EQ(rel.Insert(Fact(0, 1, ge5), 0, SubsumptionMode::kSetImplication),
+            InsertOutcome::kInserted);  // x >= 5
+  Conjunction middle;
+  ASSERT_TRUE(middle.AddLinear(Atom({{1, 1}}, -8, CmpOp::kLe)).ok());
+  ASSERT_TRUE(middle.AddLinear(Atom({{1, -1}}, 3, CmpOp::kLe)).ok());
+  // Neither single fact implies [3,8], but their union does.
+  EXPECT_EQ(
+      rel.Insert(Fact(0, 1, middle), 1, SubsumptionMode::kSingleFact),
+      InsertOutcome::kInserted);
+  Relation rel2;
+  (void)rel2.Insert(MakeFact(5), 0, SubsumptionMode::kNone);
+  (void)rel2.Insert(Fact(0, 1, ge5), 0, SubsumptionMode::kNone);
+  EXPECT_EQ(
+      rel2.Insert(Fact(0, 1, middle), 1, SubsumptionMode::kSetImplication),
+      InsertOutcome::kSubsumed);
+}
+
+TEST(RelationTest, BirthRecorded) {
+  Relation rel;
+  (void)rel.Insert(MakeFact(3), 4, SubsumptionMode::kNone);
+  ASSERT_EQ(rel.entries().size(), 1u);
+  EXPECT_EQ(rel.entries()[0].birth, 4);
+}
+
+TEST(RelationTest, AllGround) {
+  Relation rel;
+  Conjunction ground;
+  ASSERT_TRUE(ground.AddLinear(Atom({{1, 1}}, -3, CmpOp::kEq)).ok());
+  (void)rel.Insert(Fact(0, 1, ground), 0, SubsumptionMode::kNone);
+  EXPECT_TRUE(rel.AllGround());
+  (void)rel.Insert(MakeFact(7), 0, SubsumptionMode::kNone);
+  EXPECT_FALSE(rel.AllGround());
+}
+
+TEST(DatabaseTest, AddGroundFactBuildsConstraints) {
+  SymbolTable symbols;
+  Database db;
+  ASSERT_TRUE(db.AddGroundFact(&symbols, "leg",
+                               {Database::Value::Symbol("a"),
+                                Database::Value::Number(Rational(7))})
+                  .ok());
+  PredId leg = symbols.LookupPredicate("leg");
+  const Relation* rel = db.Find(leg);
+  ASSERT_NE(rel, nullptr);
+  ASSERT_EQ(rel->size(), 1u);
+  EXPECT_TRUE(rel->entries()[0].fact.IsGround());
+  EXPECT_EQ(rel->entries()[0].birth, -1);
+  EXPECT_EQ(db.TotalFacts(), 1u);
+  EXPECT_EQ(db.FactsFor(leg), 1u);
+  EXPECT_TRUE(db.AllGround());
+}
+
+TEST(DatabaseTest, FindMissingRelationIsNull) {
+  Database db;
+  EXPECT_EQ(db.Find(99), nullptr);
+  EXPECT_EQ(db.FactsFor(99), 0u);
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,48 @@
+#include "constraint/variable.h"
+
+#include <gtest/gtest.h>
+
+namespace cqlopt {
+namespace {
+
+TEST(VarAllocatorTest, FreshIsMonotone) {
+  VarAllocator alloc(2000);
+  VarId a = alloc.Fresh();
+  VarId b = alloc.Fresh();
+  EXPECT_EQ(a, 2000);
+  EXPECT_EQ(b, 2001);
+}
+
+TEST(VarAllocatorTest, FreshBlockReservesRange) {
+  VarAllocator alloc(3000);
+  VarId first = alloc.FreshBlock(5);
+  EXPECT_EQ(first, 3000);
+  EXPECT_EQ(alloc.Fresh(), 3005);
+}
+
+TEST(VarAllocatorTest, DefaultFloorAboveArgumentPositions) {
+  VarAllocator alloc;
+  // Argument positions use ids 1..arity; fresh rule variables must never
+  // collide with them.
+  EXPECT_GE(alloc.Fresh(), 1024);
+}
+
+TEST(VarNameTest, PositionsRenderAsDollars) {
+  EXPECT_EQ(VarName(1), "$1");
+  EXPECT_EQ(VarName(1023), "$1023");
+  EXPECT_EQ(VarName(1024), "v1024");
+  EXPECT_EQ(VarName(0), "v0");
+  EXPECT_EQ(VarName(-1), "v-1");
+}
+
+TEST(VarUnionTest, MergesSortedSets) {
+  std::vector<VarId> a = {1, 3, 5};
+  std::vector<VarId> b = {2, 3, 6};
+  EXPECT_EQ(VarUnion(a, b), (std::vector<VarId>{1, 2, 3, 5, 6}));
+  EXPECT_EQ(VarUnion({}, b), b);
+  EXPECT_EQ(VarUnion(a, {}), a);
+  EXPECT_EQ(VarUnion({}, {}), std::vector<VarId>{});
+}
+
+}  // namespace
+}  // namespace cqlopt
