@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disjunct_tradeoff.dir/bench_disjunct_tradeoff.cc.o"
+  "CMakeFiles/bench_disjunct_tradeoff.dir/bench_disjunct_tradeoff.cc.o.d"
+  "bench_disjunct_tradeoff"
+  "bench_disjunct_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjunct_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

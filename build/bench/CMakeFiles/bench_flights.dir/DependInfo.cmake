@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_flights.cc" "bench/CMakeFiles/bench_flights.dir/bench_flights.cc.o" "gcc" "bench/CMakeFiles/bench_flights.dir/bench_flights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqlopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flights.dir/bench_flights.cc.o"
+  "CMakeFiles/bench_flights.dir/bench_flights.cc.o.d"
+  "bench_flights"
+  "bench_flights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmt_grounding.dir/bench_gmt_grounding.cc.o"
+  "CMakeFiles/bench_gmt_grounding.dir/bench_gmt_grounding.cc.o.d"
+  "bench_gmt_grounding"
+  "bench_gmt_grounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmt_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_sequence.dir/bench_optimal_sequence.cc.o"
+  "CMakeFiles/bench_optimal_sequence.dir/bench_optimal_sequence.cc.o.d"
+  "bench_optimal_sequence"
+  "bench_optimal_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

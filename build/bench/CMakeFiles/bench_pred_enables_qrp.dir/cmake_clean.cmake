@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pred_enables_qrp.dir/bench_pred_enables_qrp.cc.o"
+  "CMakeFiles/bench_pred_enables_qrp.dir/bench_pred_enables_qrp.cc.o.d"
+  "bench_pred_enables_qrp"
+  "bench_pred_enables_qrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pred_enables_qrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pred_enables_qrp.
+# This may be replaced when dependencies are built.

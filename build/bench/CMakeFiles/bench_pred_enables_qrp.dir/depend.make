@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pred_enables_qrp.
+# This may be replaced when dependencies are built.

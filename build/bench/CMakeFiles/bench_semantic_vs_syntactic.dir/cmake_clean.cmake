@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantic_vs_syntactic.dir/bench_semantic_vs_syntactic.cc.o"
+  "CMakeFiles/bench_semantic_vs_syntactic.dir/bench_semantic_vs_syntactic.cc.o.d"
+  "bench_semantic_vs_syntactic"
+  "bench_semantic_vs_syntactic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantic_vs_syntactic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

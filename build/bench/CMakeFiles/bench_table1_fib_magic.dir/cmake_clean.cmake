@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fib_magic.dir/bench_table1_fib_magic.cc.o"
+  "CMakeFiles/bench_table1_fib_magic.dir/bench_table1_fib_magic.cc.o.d"
+  "bench_table1_fib_magic"
+  "bench_table1_fib_magic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fib_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fib_pred.dir/bench_table2_fib_pred.cc.o"
+  "CMakeFiles/bench_table2_fib_pred.dir/bench_table2_fib_pred.cc.o.d"
+  "bench_table2_fib_pred"
+  "bench_table2_fib_pred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fib_pred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_termination_bounds.dir/bench_termination_bounds.cc.o"
+  "CMakeFiles/bench_termination_bounds.dir/bench_termination_bounds.cc.o.d"
+  "bench_termination_bounds"
+  "bench_termination_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_termination_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibonacci_query.dir/fibonacci_query.cpp.o"
+  "CMakeFiles/fibonacci_query.dir/fibonacci_query.cpp.o.d"
+  "fibonacci_query"
+  "fibonacci_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibonacci_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

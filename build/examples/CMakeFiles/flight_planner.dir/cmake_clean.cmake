@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_planner.dir/flight_planner.cpp.o"
+  "CMakeFiles/flight_planner.dir/flight_planner.cpp.o.d"
+  "flight_planner"
+  "flight_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_optimizer.dir/program_optimizer.cpp.o"
+  "CMakeFiles/program_optimizer.dir/program_optimizer.cpp.o.d"
+  "program_optimizer"
+  "program_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

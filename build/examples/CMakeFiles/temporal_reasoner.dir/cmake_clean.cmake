@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_reasoner.dir/temporal_reasoner.cpp.o"
+  "CMakeFiles/temporal_reasoner.dir/temporal_reasoner.cpp.o.d"
+  "temporal_reasoner"
+  "temporal_reasoner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_reasoner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/arg_map.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/arg_map.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/arg_map.cc.o.d"
+  "/root/repo/src/ast/lexer.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/lexer.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/lexer.cc.o.d"
+  "/root/repo/src/ast/literal.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/literal.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/literal.cc.o.d"
+  "/root/repo/src/ast/normalize.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/normalize.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/normalize.cc.o.d"
+  "/root/repo/src/ast/parser.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/parser.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/parser.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/printer.cc.o.d"
+  "/root/repo/src/ast/program.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/program.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/program.cc.o.d"
+  "/root/repo/src/ast/rule.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/rule.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/rule.cc.o.d"
+  "/root/repo/src/ast/symbol_table.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/symbol_table.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/symbol_table.cc.o.d"
+  "/root/repo/src/ast/term.cc" "src/CMakeFiles/cqlopt_ast.dir/ast/term.cc.o" "gcc" "src/CMakeFiles/cqlopt_ast.dir/ast/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqlopt_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

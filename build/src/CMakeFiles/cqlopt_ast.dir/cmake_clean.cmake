@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqlopt_ast.dir/ast/arg_map.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/arg_map.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/lexer.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/lexer.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/literal.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/literal.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/normalize.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/normalize.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/parser.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/parser.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/printer.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/printer.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/program.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/program.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/rule.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/rule.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/symbol_table.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/symbol_table.cc.o.d"
+  "CMakeFiles/cqlopt_ast.dir/ast/term.cc.o"
+  "CMakeFiles/cqlopt_ast.dir/ast/term.cc.o.d"
+  "libcqlopt_ast.a"
+  "libcqlopt_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqlopt_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

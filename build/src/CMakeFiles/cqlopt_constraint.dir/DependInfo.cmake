@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/conjunction.cc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/conjunction.cc.o" "gcc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/conjunction.cc.o.d"
+  "/root/repo/src/constraint/constraint_set.cc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/constraint_set.cc.o" "gcc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/constraint_set.cc.o.d"
+  "/root/repo/src/constraint/disjoint.cc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/disjoint.cc.o" "gcc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/disjoint.cc.o.d"
+  "/root/repo/src/constraint/fourier_motzkin.cc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/fourier_motzkin.cc.o" "gcc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/fourier_motzkin.cc.o.d"
+  "/root/repo/src/constraint/implication.cc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/implication.cc.o" "gcc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/implication.cc.o.d"
+  "/root/repo/src/constraint/linear_constraint.cc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/linear_constraint.cc.o" "gcc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/linear_constraint.cc.o.d"
+  "/root/repo/src/constraint/linear_expr.cc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/linear_expr.cc.o" "gcc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/linear_expr.cc.o.d"
+  "/root/repo/src/constraint/variable.cc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/variable.cc.o" "gcc" "src/CMakeFiles/cqlopt_constraint.dir/constraint/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqlopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

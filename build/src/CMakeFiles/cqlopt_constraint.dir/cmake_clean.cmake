@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqlopt_constraint.dir/constraint/conjunction.cc.o"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/conjunction.cc.o.d"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/constraint_set.cc.o"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/constraint_set.cc.o.d"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/disjoint.cc.o"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/disjoint.cc.o.d"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/fourier_motzkin.cc.o"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/fourier_motzkin.cc.o.d"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/implication.cc.o"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/implication.cc.o.d"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/linear_constraint.cc.o"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/linear_constraint.cc.o.d"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/linear_expr.cc.o"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/linear_expr.cc.o.d"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/variable.cc.o"
+  "CMakeFiles/cqlopt_constraint.dir/constraint/variable.cc.o.d"
+  "libcqlopt_constraint.a"
+  "libcqlopt_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqlopt_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

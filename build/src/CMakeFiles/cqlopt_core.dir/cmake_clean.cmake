@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqlopt_core.dir/core/equivalence.cc.o"
+  "CMakeFiles/cqlopt_core.dir/core/equivalence.cc.o.d"
+  "CMakeFiles/cqlopt_core.dir/core/optimizer.cc.o"
+  "CMakeFiles/cqlopt_core.dir/core/optimizer.cc.o.d"
+  "CMakeFiles/cqlopt_core.dir/core/workload.cc.o"
+  "CMakeFiles/cqlopt_core.dir/core/workload.cc.o.d"
+  "libcqlopt_core.a"
+  "libcqlopt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqlopt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

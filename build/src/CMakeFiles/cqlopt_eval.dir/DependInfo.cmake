@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/database.cc" "src/CMakeFiles/cqlopt_eval.dir/eval/database.cc.o" "gcc" "src/CMakeFiles/cqlopt_eval.dir/eval/database.cc.o.d"
+  "/root/repo/src/eval/fact.cc" "src/CMakeFiles/cqlopt_eval.dir/eval/fact.cc.o" "gcc" "src/CMakeFiles/cqlopt_eval.dir/eval/fact.cc.o.d"
+  "/root/repo/src/eval/loader.cc" "src/CMakeFiles/cqlopt_eval.dir/eval/loader.cc.o" "gcc" "src/CMakeFiles/cqlopt_eval.dir/eval/loader.cc.o.d"
+  "/root/repo/src/eval/provenance.cc" "src/CMakeFiles/cqlopt_eval.dir/eval/provenance.cc.o" "gcc" "src/CMakeFiles/cqlopt_eval.dir/eval/provenance.cc.o.d"
+  "/root/repo/src/eval/relation.cc" "src/CMakeFiles/cqlopt_eval.dir/eval/relation.cc.o" "gcc" "src/CMakeFiles/cqlopt_eval.dir/eval/relation.cc.o.d"
+  "/root/repo/src/eval/rule_application.cc" "src/CMakeFiles/cqlopt_eval.dir/eval/rule_application.cc.o" "gcc" "src/CMakeFiles/cqlopt_eval.dir/eval/rule_application.cc.o.d"
+  "/root/repo/src/eval/seminaive.cc" "src/CMakeFiles/cqlopt_eval.dir/eval/seminaive.cc.o" "gcc" "src/CMakeFiles/cqlopt_eval.dir/eval/seminaive.cc.o.d"
+  "/root/repo/src/eval/stats.cc" "src/CMakeFiles/cqlopt_eval.dir/eval/stats.cc.o" "gcc" "src/CMakeFiles/cqlopt_eval.dir/eval/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqlopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqlopt_eval.dir/eval/database.cc.o"
+  "CMakeFiles/cqlopt_eval.dir/eval/database.cc.o.d"
+  "CMakeFiles/cqlopt_eval.dir/eval/fact.cc.o"
+  "CMakeFiles/cqlopt_eval.dir/eval/fact.cc.o.d"
+  "CMakeFiles/cqlopt_eval.dir/eval/loader.cc.o"
+  "CMakeFiles/cqlopt_eval.dir/eval/loader.cc.o.d"
+  "CMakeFiles/cqlopt_eval.dir/eval/provenance.cc.o"
+  "CMakeFiles/cqlopt_eval.dir/eval/provenance.cc.o.d"
+  "CMakeFiles/cqlopt_eval.dir/eval/relation.cc.o"
+  "CMakeFiles/cqlopt_eval.dir/eval/relation.cc.o.d"
+  "CMakeFiles/cqlopt_eval.dir/eval/rule_application.cc.o"
+  "CMakeFiles/cqlopt_eval.dir/eval/rule_application.cc.o.d"
+  "CMakeFiles/cqlopt_eval.dir/eval/seminaive.cc.o"
+  "CMakeFiles/cqlopt_eval.dir/eval/seminaive.cc.o.d"
+  "CMakeFiles/cqlopt_eval.dir/eval/stats.cc.o"
+  "CMakeFiles/cqlopt_eval.dir/eval/stats.cc.o.d"
+  "libcqlopt_eval.a"
+  "libcqlopt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqlopt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcqlopt_eval.a"
+)

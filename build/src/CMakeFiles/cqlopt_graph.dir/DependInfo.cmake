@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dependency_graph.cc" "src/CMakeFiles/cqlopt_graph.dir/graph/dependency_graph.cc.o" "gcc" "src/CMakeFiles/cqlopt_graph.dir/graph/dependency_graph.cc.o.d"
+  "/root/repo/src/graph/scc.cc" "src/CMakeFiles/cqlopt_graph.dir/graph/scc.cc.o" "gcc" "src/CMakeFiles/cqlopt_graph.dir/graph/scc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqlopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqlopt_graph.dir/graph/dependency_graph.cc.o"
+  "CMakeFiles/cqlopt_graph.dir/graph/dependency_graph.cc.o.d"
+  "CMakeFiles/cqlopt_graph.dir/graph/scc.cc.o"
+  "CMakeFiles/cqlopt_graph.dir/graph/scc.cc.o.d"
+  "libcqlopt_graph.a"
+  "libcqlopt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqlopt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcqlopt_graph.a"
+)

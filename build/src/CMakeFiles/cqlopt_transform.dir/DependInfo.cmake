@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/adornment.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/adornment.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/adornment.cc.o.d"
+  "/root/repo/src/transform/balbin_c.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/balbin_c.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/balbin_c.cc.o.d"
+  "/root/repo/src/transform/constraint_rewrite.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/constraint_rewrite.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/constraint_rewrite.cc.o.d"
+  "/root/repo/src/transform/fold_unfold.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/fold_unfold.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/fold_unfold.cc.o.d"
+  "/root/repo/src/transform/gmt.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/gmt.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/gmt.cc.o.d"
+  "/root/repo/src/transform/magic.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/magic.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/magic.cc.o.d"
+  "/root/repo/src/transform/pipeline.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/pipeline.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/pipeline.cc.o.d"
+  "/root/repo/src/transform/predicate_constraints.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/predicate_constraints.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/predicate_constraints.cc.o.d"
+  "/root/repo/src/transform/propagate.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/propagate.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/propagate.cc.o.d"
+  "/root/repo/src/transform/qrp_constraints.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/qrp_constraints.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/qrp_constraints.cc.o.d"
+  "/root/repo/src/transform/widening.cc" "src/CMakeFiles/cqlopt_transform.dir/transform/widening.cc.o" "gcc" "src/CMakeFiles/cqlopt_transform.dir/transform/widening.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cqlopt_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cqlopt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

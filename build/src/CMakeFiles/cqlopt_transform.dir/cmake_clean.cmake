@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqlopt_transform.dir/transform/adornment.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/adornment.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/balbin_c.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/balbin_c.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/constraint_rewrite.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/constraint_rewrite.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/fold_unfold.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/fold_unfold.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/gmt.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/gmt.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/magic.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/magic.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/pipeline.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/pipeline.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/predicate_constraints.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/predicate_constraints.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/propagate.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/propagate.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/qrp_constraints.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/qrp_constraints.cc.o.d"
+  "CMakeFiles/cqlopt_transform.dir/transform/widening.cc.o"
+  "CMakeFiles/cqlopt_transform.dir/transform/widening.cc.o.d"
+  "libcqlopt_transform.a"
+  "libcqlopt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqlopt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqlopt_util.dir/util/bigint.cc.o"
+  "CMakeFiles/cqlopt_util.dir/util/bigint.cc.o.d"
+  "CMakeFiles/cqlopt_util.dir/util/rational.cc.o"
+  "CMakeFiles/cqlopt_util.dir/util/rational.cc.o.d"
+  "CMakeFiles/cqlopt_util.dir/util/status.cc.o"
+  "CMakeFiles/cqlopt_util.dir/util/status.cc.o.d"
+  "libcqlopt_util.a"
+  "libcqlopt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqlopt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

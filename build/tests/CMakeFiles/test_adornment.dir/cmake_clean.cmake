@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adornment.dir/test_adornment.cc.o"
+  "CMakeFiles/test_adornment.dir/test_adornment.cc.o.d"
+  "test_adornment"
+  "test_adornment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adornment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_adornment.
+# This may be replaced when dependencies are built.

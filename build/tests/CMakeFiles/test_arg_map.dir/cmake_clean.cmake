@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arg_map.dir/test_arg_map.cc.o"
+  "CMakeFiles/test_arg_map.dir/test_arg_map.cc.o.d"
+  "test_arg_map"
+  "test_arg_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arg_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balbin.dir/test_balbin.cc.o"
+  "CMakeFiles/test_balbin.dir/test_balbin.cc.o.d"
+  "test_balbin"
+  "test_balbin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balbin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

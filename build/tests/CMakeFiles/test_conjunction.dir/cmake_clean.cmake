@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conjunction.dir/test_conjunction.cc.o"
+  "CMakeFiles/test_conjunction.dir/test_conjunction.cc.o.d"
+  "test_conjunction"
+  "test_conjunction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conjunction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraint_rewrite.dir/test_constraint_rewrite.cc.o"
+  "CMakeFiles/test_constraint_rewrite.dir/test_constraint_rewrite.cc.o.d"
+  "test_constraint_rewrite"
+  "test_constraint_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraint_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constraint_set.dir/test_constraint_set.cc.o"
+  "CMakeFiles/test_constraint_set.dir/test_constraint_set.cc.o.d"
+  "test_constraint_set"
+  "test_constraint_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constraint_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

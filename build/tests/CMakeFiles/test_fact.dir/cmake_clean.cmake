@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fact.dir/test_fact.cc.o"
+  "CMakeFiles/test_fact.dir/test_fact.cc.o.d"
+  "test_fact"
+  "test_fact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fold_unfold.dir/test_fold_unfold.cc.o"
+  "CMakeFiles/test_fold_unfold.dir/test_fold_unfold.cc.o.d"
+  "test_fold_unfold"
+  "test_fold_unfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fold_unfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fold_unfold.
+# This may be replaced when dependencies are built.

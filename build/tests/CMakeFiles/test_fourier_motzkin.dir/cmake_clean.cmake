@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fourier_motzkin.dir/test_fourier_motzkin.cc.o"
+  "CMakeFiles/test_fourier_motzkin.dir/test_fourier_motzkin.cc.o.d"
+  "test_fourier_motzkin"
+  "test_fourier_motzkin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fourier_motzkin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

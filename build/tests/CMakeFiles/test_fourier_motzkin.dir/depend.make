@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fourier_motzkin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmt.dir/test_gmt.cc.o"
+  "CMakeFiles/test_gmt.dir/test_gmt.cc.o.d"
+  "test_gmt"
+  "test_gmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

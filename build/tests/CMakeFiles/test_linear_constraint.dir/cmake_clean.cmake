@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_constraint.dir/test_linear_constraint.cc.o"
+  "CMakeFiles/test_linear_constraint.dir/test_linear_constraint.cc.o.d"
+  "test_linear_constraint"
+  "test_linear_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

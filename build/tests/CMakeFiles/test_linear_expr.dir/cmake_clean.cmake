@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_expr.dir/test_linear_expr.cc.o"
+  "CMakeFiles/test_linear_expr.dir/test_linear_expr.cc.o.d"
+  "test_linear_expr"
+  "test_linear_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

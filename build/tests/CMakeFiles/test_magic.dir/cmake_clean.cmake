@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_magic.dir/test_magic.cc.o"
+  "CMakeFiles/test_magic.dir/test_magic.cc.o.d"
+  "test_magic"
+  "test_magic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_magic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicate_constraints.dir/test_predicate_constraints.cc.o"
+  "CMakeFiles/test_predicate_constraints.dir/test_predicate_constraints.cc.o.d"
+  "test_predicate_constraints"
+  "test_predicate_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicate_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propagate.dir/test_propagate.cc.o"
+  "CMakeFiles/test_propagate.dir/test_propagate.cc.o.d"
+  "test_propagate"
+  "test_propagate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propagate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qrp_constraints.dir/test_qrp_constraints.cc.o"
+  "CMakeFiles/test_qrp_constraints.dir/test_qrp_constraints.cc.o.d"
+  "test_qrp_constraints"
+  "test_qrp_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qrp_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

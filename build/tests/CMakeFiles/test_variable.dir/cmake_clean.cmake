@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variable.dir/test_variable.cc.o"
+  "CMakeFiles/test_variable.dir/test_variable.cc.o.d"
+  "test_variable"
+  "test_variable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_widening.dir/test_widening.cc.o"
+  "CMakeFiles/test_widening.dir/test_widening.cc.o.d"
+  "test_widening"
+  "test_widening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_widening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
