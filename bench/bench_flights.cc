@@ -129,10 +129,19 @@ void PrintReproduction() {
     std::printf("  %-16s facts=%zu derivations=%ld\n", name,
                 run.db.TotalFacts() - db.TotalFacts(), run.stats.derivations);
   }
+
+  // Tentpole comparison: SCC-stratified evaluation with hash-indexed joins
+  // vs the global semi-naive oracle. The recursive flight rule joins on the
+  // connecting airport symbol, so the index prunes most leg candidates.
+  std::printf("\n");
+  PrintStratifiedComparison(in.program, db, "original, 12 airports/48 legs");
+  PrintStratifiedComparison(rewritten.program, db,
+                            "pred,qrp, 12 airports/48 legs");
   std::printf("\n");
 }
 
-void BM_FlightsArm(benchmark::State& state, const char* spec) {
+void BM_FlightsArm(benchmark::State& state, const char* spec,
+                   EvalStrategy strategy = EvalStrategy::kSemiNaive) {
   ParsedInput in = ParseWithQueryOrDie(FlightsProgram());
   Database db = MakeNetwork(in.program.symbols.get(), 12,
                             static_cast<int>(state.range(0)), 42);
@@ -142,6 +151,7 @@ void BM_FlightsArm(benchmark::State& state, const char* spec) {
       ValueOrDie(ApplyPipeline(in.program, in.query, steps, options), spec);
   EvalOptions eval;
   eval.max_iterations = 64;
+  eval.strategy = strategy;
   for (auto _ : state) {
     auto run = Evaluate(rewritten.program, db, eval);
     benchmark::DoNotOptimize(run.ok());
@@ -158,9 +168,17 @@ void BM_FlightsPredQrp(benchmark::State& state) {
 void BM_FlightsOptimal(benchmark::State& state) {
   BM_FlightsArm(state, "pred,qrp,mg");
 }
+void BM_FlightsOriginalStratified(benchmark::State& state) {
+  BM_FlightsArm(state, "", EvalStrategy::kStratified);
+}
+void BM_FlightsPredQrpStratified(benchmark::State& state) {
+  BM_FlightsArm(state, "pred,qrp", EvalStrategy::kStratified);
+}
 BENCHMARK(BM_FlightsOriginal)->Arg(24)->Arg(48);
 BENCHMARK(BM_FlightsPredQrp)->Arg(24)->Arg(48);
 BENCHMARK(BM_FlightsOptimal)->Arg(24)->Arg(48);
+BENCHMARK(BM_FlightsOriginalStratified)->Arg(24)->Arg(48);
+BENCHMARK(BM_FlightsPredQrpStratified)->Arg(24)->Arg(48);
 
 void BM_ConstraintRewriteFlights(benchmark::State& state) {
   ParsedInput in = ParseWithQueryOrDie(FlightsProgram());

@@ -100,6 +100,12 @@ void PrintReproduction() {
   std::printf("fully automatic Table 2: fixpoint=%s answers=%zu\n\n",
               auto_run.stats.reached_fixpoint ? "yes" : "NO (MISMATCH)",
               auto_answers.size());
+
+  // Tentpole comparison on the terminating program: both strategies reach
+  // the same fixpoint; the index resolves the constant-bound magic
+  // literals.
+  PrintStratifiedComparison(magic.program, Database(), "P_fib,1^mg", 40);
+  std::printf("\n");
 }
 
 void BM_PropagateGivenConstraint(benchmark::State& state) {

@@ -47,7 +47,65 @@ InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
   entries_.push_back(Entry{std::move(fact), birth, ground,
                            std::move(signature), std::move(rule_label),
                            std::move(parents)});
+  const Entry& stored = entries_.back();
+  size_t id = entries_.size() - 1;
+  if (index_.size() < stored.signature.size()) {
+    index_.resize(stored.signature.size());
+  }
+  for (size_t p = 0; p < stored.signature.size(); ++p) {
+    const ArgSignature& sig = stored.signature[p];
+    if (sig.symbol.has_value() || sig.number.has_value()) {
+      index_[p].by_value[ValueKey(sig)].push_back(id);
+    } else {
+      index_[p].unbound.push_back(id);
+    }
+  }
   return InsertOutcome::kInserted;
+}
+
+std::string Relation::ValueKey(const ArgSignature& value) {
+  if (value.symbol.has_value()) return "s" + std::to_string(*value.symbol);
+  return "n" + value.number->ToString();
+}
+
+size_t Relation::ProbeCost(int position, const ArgSignature& value) const {
+  size_t p = static_cast<size_t>(position - 1);
+  if (p >= index_.size()) return 0;
+  const PositionIndex& idx = index_[p];
+  size_t cost = idx.unbound.size();
+  auto it = idx.by_value.find(ValueKey(value));
+  if (it != idx.by_value.end()) cost += it->second.size();
+  return cost;
+}
+
+std::vector<size_t> Relation::Probe(int position, const ArgSignature& value,
+                                    size_t limit) const {
+  std::vector<size_t> out;
+  size_t p = static_cast<size_t>(position - 1);
+  if (p >= index_.size()) return out;
+  const PositionIndex& idx = index_[p];
+  auto it = idx.by_value.find(ValueKey(value));
+  static const std::vector<size_t> kNoMatches;
+  const std::vector<size_t>& bound =
+      it == idx.by_value.end() ? kNoMatches : it->second;
+  // Merge the two ascending lists, keeping insertion order, so the caller
+  // enumerates candidates in exactly the order the linear scan would.
+  out.reserve(bound.size() + idx.unbound.size());
+  size_t bi = 0;
+  size_t ui = 0;
+  while (bi < bound.size() || ui < idx.unbound.size()) {
+    size_t next;
+    if (bi == bound.size()) {
+      next = idx.unbound[ui++];
+    } else if (ui == idx.unbound.size() || bound[bi] < idx.unbound[ui]) {
+      next = bound[bi++];
+    } else {
+      next = idx.unbound[ui++];
+    }
+    if (next >= limit) break;
+    out.push_back(next);
+  }
+  return out;
 }
 
 bool Relation::AllGround() const {

@@ -3,6 +3,7 @@
 
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "eval/fact.h"
@@ -83,6 +84,32 @@ class Relation {
     return keys_.count(key) > 0;
   }
 
+  /// Number of entries an index probe at 1-based `position` for `value`
+  /// would enumerate (bound matches plus the unbound fallback list), with
+  /// no limit applied. Used to pick the most selective bound position
+  /// before materializing a probe.
+  size_t ProbeCost(int position, const ArgSignature& value) const;
+
+  /// Hash-index probe: the entry indexes, in ascending (= insertion) order
+  /// and restricted to indexes < `limit`, of facts that can match `value`
+  /// at 1-based `position`. That is facts whose signature binds the
+  /// position to exactly the probed symbol/number, merged with facts whose
+  /// signature leaves the position unbound — constraint facts restrict
+  /// such positions only through their constraint part (e.g. `$1 > 0`), so
+  /// they can match any probed value and are always enumerated.
+  ///
+  /// `value` must have exactly one of symbol/number set. Enumerating the
+  /// result under the caller's arity and full-signature checks visits
+  /// exactly the facts a linear scan over entries()[0..limit) keeps after
+  /// its ArgSignature pre-filter at this position.
+  std::vector<size_t> Probe(int position, const ArgSignature& value,
+                            size_t limit) const;
+
+  /// Entry storage is append-only: Insert never reorders or removes, so
+  /// entry indexes are stable and iterating over a size snapshot taken
+  /// before a batch of inserts visits exactly the pre-batch facts (the
+  /// emit-visibility contract of rule_application.h relies on this
+  /// together with birth stamps).
   const std::vector<Entry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -91,8 +118,22 @@ class Relation {
   bool AllGround() const;
 
  private:
+  /// Per-argument-position hash index, maintained by Insert. Only facts
+  /// that were actually stored (InsertOutcome::kInserted) are indexed;
+  /// duplicates and subsumed facts never enter. Entry-id lists are
+  /// ascending because ids are assigned in insertion order.
+  struct PositionIndex {
+    std::unordered_map<std::string, std::vector<size_t>> by_value;
+    std::vector<size_t> unbound;
+  };
+
+  /// Hash key of a directly-bound value; symbols and numbers cannot
+  /// collide ("s<id>" vs "n<canonical rational>").
+  static std::string ValueKey(const ArgSignature& value);
+
   std::vector<Entry> entries_;
   std::set<std::string> keys_;
+  std::vector<PositionIndex> index_;  // index_[p-1]; sized to max arity seen
 };
 
 }  // namespace cqlopt

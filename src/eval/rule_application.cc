@@ -11,6 +11,8 @@ struct JoinContext {
   int max_birth;
   bool require_delta;
   const EmitFn* emit;
+  bool use_index;
+  EvalStats* stats;
 };
 
 Status EmitHead(const JoinContext& ctx, const Conjunction& accumulated,
@@ -59,16 +61,16 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
     acc_symbol[static_cast<size_t>(i)] = accumulated.GetSymbol(v);
     acc_number[static_cast<size_t>(i)] = accumulated.QuickNumericValue(v);
   }
-  // Index-based iteration over a size snapshot: emit() appends to this very
-  // relation when the rule is recursive, which may reallocate the entry
-  // vector. Facts appended during this application have birth > max_birth
-  // and would be skipped anyway.
+  // Size snapshot: the emit-visibility contract (rule_application.h) lets
+  // callers append facts mid-application; those get entry indexes >=
+  // snapshot and birth > max_birth, so both enumeration paths below exclude
+  // them.
   size_t snapshot = rel->entries().size();
-  for (size_t i = 0; i < snapshot; ++i) {
+  auto try_entry = [&](size_t i) -> Status {
     const Relation::Entry& entry = rel->entries()[i];
     int birth = entry.birth;
-    if (birth > ctx.max_birth) continue;
-    if (entry.fact.arity != lit.arity()) continue;
+    if (birth > ctx.max_birth) return Status::OK();
+    if (entry.fact.arity != lit.arity()) return Status::OK();
     bool clash = false;
     for (size_t a = 0; a < entry.signature.size(); ++a) {
       const Relation::ArgSignature& sig = entry.signature[a];
@@ -86,17 +88,80 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
         break;
       }
     }
-    if (clash) continue;
+    if (clash) return Status::OK();
     Conjunction next = accumulated;
     Status st =
         next.AddConjunction(rel->entries()[i].fact.constraint.Rename(to_args));
     if (!st.ok()) return st;
-    if (next.known_unsat() || !next.IsSatisfiable()) continue;
+    if (next.known_unsat() || !next.IsSatisfiable()) return Status::OK();
     parents->push_back(Relation::FactRef{lit.pred, i});
     CQLOPT_RETURN_IF_ERROR(JoinFrom(ctx, index + 1, next,
                                     saw_delta || birth == ctx.max_birth,
                                     parents));
     parents->pop_back();
+    return Status::OK();
+  };
+  // Access-path choice: probe the hash index at the most selective bound
+  // position, falling back to the linear scan when no position is bound to
+  // a unique value (unbound, or restricted only by non-point constraints).
+  int probe_pos = 0;  // 1-based; 0 = scan fallback
+  Relation::ArgSignature probe_value;
+  if (ctx.use_index) {
+    std::vector<std::optional<Rational>> probe_number = acc_number;
+    bool any_direct = false;
+    for (int a = 0; a < lit.arity(); ++a) {
+      size_t ai = static_cast<size_t>(a);
+      if (acc_symbol[ai] || acc_number[ai]) any_direct = true;
+    }
+    if (!any_direct) {
+      // No position is directly bound: before giving up on the index, try
+      // to resolve point values that are only entailed (e.g. X = N - 1
+      // after joining a fact with N = 2) with the exact projection. A
+      // unique entailed value restricts the join exactly like a stored
+      // equality, so probing with it skips only candidates the scan would
+      // have discarded as unsatisfiable — same derivations, same order.
+      // When some position is already directly bound the projections are
+      // skipped: they cost a Fourier-Motzkin elimination per position, and
+      // a direct probe already prunes well.
+      for (int a = 0; a < lit.arity(); ++a) {
+        size_t ai = static_cast<size_t>(a);
+        if (probe_number[ai]) continue;
+        probe_number[ai] =
+            accumulated.GetNumericValue(lit.args[static_cast<size_t>(a)]);
+      }
+    }
+    size_t best_cost = 0;
+    for (int a = 0; a < lit.arity(); ++a) {
+      size_t ai = static_cast<size_t>(a);
+      if (!acc_symbol[ai] && !probe_number[ai]) continue;
+      Relation::ArgSignature value{acc_symbol[ai], probe_number[ai]};
+      size_t cost = rel->ProbeCost(a + 1, value);
+      if (probe_pos == 0 || cost < best_cost) {
+        probe_pos = a + 1;
+        best_cost = cost;
+        probe_value = value;
+      }
+    }
+  }
+  if (probe_pos > 0) {
+    std::vector<size_t> candidates = rel->Probe(probe_pos, probe_value,
+                                                snapshot);
+    if (ctx.stats != nullptr) {
+      ++ctx.stats->index_probes;
+      ctx.stats->index_candidates += static_cast<long>(candidates.size());
+      ctx.stats->indexed_scan_equivalent += static_cast<long>(snapshot);
+    }
+    for (size_t i : candidates) {
+      CQLOPT_RETURN_IF_ERROR(try_entry(i));
+    }
+  } else {
+    if (ctx.stats != nullptr) {
+      ++ctx.stats->scan_probes;
+      ctx.stats->scan_candidates += static_cast<long>(snapshot);
+    }
+    for (size_t i = 0; i < snapshot; ++i) {
+      CQLOPT_RETURN_IF_ERROR(try_entry(i));
+    }
   }
   return Status::OK();
 }
@@ -104,8 +169,10 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
 }  // namespace
 
 Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
-                 bool require_delta, const EmitFn& emit) {
-  JoinContext ctx{&rule, &db, max_birth, require_delta, &emit};
+                 bool require_delta, const EmitFn& emit, bool use_index,
+                 EvalStats* stats) {
+  JoinContext ctx{&rule, &db, max_birth, require_delta, &emit, use_index,
+                  stats};
   if (rule.body.empty()) {
     return EmitHead(ctx, rule.constraints, {});
   }

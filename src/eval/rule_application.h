@@ -5,6 +5,7 @@
 
 #include "ast/rule.h"
 #include "eval/database.h"
+#include "eval/stats.h"
 
 namespace cqlopt {
 
@@ -23,10 +24,35 @@ using EmitFn =
 /// and when `require_delta` is set at least one chosen fact must have birth
 /// == `max_birth` (the facts newly derived in the previous iteration).
 ///
+/// Join access path: when `use_index` is set, each body literal whose
+/// accumulated join state binds some argument position to a unique symbol
+/// or number is resolved by probing the relation's per-position hash index
+/// at the most selective such position. Direct bindings are read cheaply
+/// (Conjunction::GetSymbol / QuickNumericValue); numeric values that are
+/// only entailed — e.g. `X = N - 1` after joining a fact with `N = 2` —
+/// are recovered by the exact projection (Conjunction::GetNumericValue).
+/// Literals with no uniquely-bound position (unbound, or restricted only
+/// by non-point constraints like `X > 0`) fall back to the linear scan.
+/// A probe skips exactly the candidates the scan would discard as
+/// unsatisfiable value clashes and enumerates the rest in entry
+/// (insertion) order under the same birth, arity, and signature filters,
+/// so both paths make the same derivations in the same order. When `stats`
+/// is non-null, probe/candidate counters (and nothing else) are
+/// accumulated into it.
+///
+/// Emit-visibility contract: a `emit` callback MAY insert facts into `db`
+/// immediately (streaming evaluation); such facts are not visible to the
+/// in-flight application provided they are inserted with birth >
+/// `max_birth`. Candidate enumeration snapshots each relation's size before
+/// iterating (Relation entry storage is append-only) and additionally
+/// filters on birth, so mid-application inserts can neither join into the
+/// current application nor invalidate its iteration state.
+///
 /// Body-free rules (constraint facts in the program) derive their head
 /// directly; callers fire them only in iteration 0.
 Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
-                 bool require_delta, const EmitFn& emit);
+                 bool require_delta, const EmitFn& emit,
+                 bool use_index = false, EvalStats* stats = nullptr);
 
 }  // namespace cqlopt
 

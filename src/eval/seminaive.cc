@@ -1,9 +1,11 @@
 #include "eval/seminaive.h"
 
+#include <numeric>
 #include <set>
 
 #include "constraint/implication.h"
 #include "eval/rule_application.h"
+#include "graph/scc.h"
 
 namespace cqlopt {
 namespace {
@@ -102,59 +104,153 @@ void Reconcile(std::vector<Pending>* pending, const Database& db,
   }
 }
 
+/// One fixpoint iteration over `rule_indexes`: applies the rules under the
+/// given delta discipline, reconciles the buffered derivations as a set,
+/// and commits the survivors with birth `iteration`. Constraint facts
+/// (body-free rules) fire only when `fire_constraint_facts` is set — the
+/// first iteration of their stratum / of the global loop. Returns the
+/// number of facts inserted.
+Result<long> RunIteration(const Program& program,
+                          const std::vector<size_t>& rule_indexes,
+                          int iteration, bool fire_constraint_facts,
+                          bool require_delta, bool use_index,
+                          const EvalOptions& options, EvalResult* result) {
+  std::vector<Pending> pending;
+  for (size_t rule_index : rule_indexes) {
+    const Rule& rule = program.rules[rule_index];
+    if (rule.IsConstraintFact() && !fire_constraint_facts) continue;
+    const std::string rule_key =
+        rule.label.empty() ? "rule#" + std::to_string(rule_index) : rule.label;
+    auto emit = [&](Fact fact,
+                    const std::vector<Relation::FactRef>& parents) -> Status {
+      ++result->stats.derivations;
+      ++result->stats.derivations_per_rule[rule_key];
+      pending.push_back(Pending{rule.label, std::move(fact), parents, "",
+                                false, InsertOutcome::kInserted});
+      return Status::OK();
+    };
+    CQLOPT_RETURN_IF_ERROR(ApplyRule(rule, result->db,
+                                     /*max_birth=*/iteration - 1,
+                                     require_delta, emit, use_index,
+                                     &result->stats));
+  }
+  Reconcile(&pending, result->db, options.subsumption);
+  long inserted = 0;
+  if (options.record_trace) result->trace.emplace_back();
+  for (Pending& p : pending) {
+    if (options.record_trace) {
+      result->trace.back().push_back(Derivation{
+          p.rule_label, p.fact.ToString(*program.symbols), p.outcome});
+    }
+    switch (p.outcome) {
+      case InsertOutcome::kInserted:
+        ++result->stats.inserted;
+        ++inserted;
+        if (!p.fact.IsGround()) result->stats.all_ground = false;
+        result->db.AddFact(std::move(p.fact), iteration,
+                           SubsumptionMode::kNone, p.rule_label,
+                           std::move(p.parents));
+        break;
+      case InsertOutcome::kSubsumed:
+        ++result->stats.subsumed;
+        break;
+      case InsertOutcome::kDuplicate:
+        ++result->stats.duplicates;
+        break;
+    }
+  }
+  return inserted;
+}
+
+/// SCC-stratified semi-naive evaluation: condense the predicate dependency
+/// graph, assign every rule to the component of its head predicate, and run
+/// one semi-naive fixpoint per component in bottom-up topological order.
+/// Lower strata are frozen when a stratum runs: their facts carry older
+/// births, so they join as "old" facts and are never re-derived. Iteration
+/// numbering (birth stamps, trace rows, max_iterations) is global across
+/// strata.
+Result<EvalResult> EvaluateStratified(const Program& program,
+                                      const Database& edb,
+                                      const EvalOptions& options) {
+  EvalResult result;
+  result.db = edb;  // EDB facts carry birth -1.
+
+  DependencyGraph graph(program);
+  SccDecomposition sccs(graph);
+  // components() is in reverse topological order: front depends on nothing
+  // later, so walking front-to-back is the bottom-up strata order.
+  const auto& components = sccs.components();
+  std::vector<std::vector<size_t>> rules_of(components.size());
+  for (size_t rule_index = 0; rule_index < program.rules.size();
+       ++rule_index) {
+    int component = sccs.ComponentOf(program.rules[rule_index].head.pred);
+    rules_of[static_cast<size_t>(component)].push_back(rule_index);
+  }
+
+  int global_iteration = 0;
+  bool capped = false;
+  for (size_t c = 0; c < components.size() && !capped; ++c) {
+    if (rules_of[c].empty()) continue;  // pure-EDB component
+    // A stratum is recursive iff some rule's body mentions a predicate of
+    // the same component; non-recursive strata converge in one pass, so
+    // the empty fixpoint-confirmation iteration is skipped.
+    bool recursive = false;
+    for (size_t rule_index : rules_of[c]) {
+      for (const Literal& lit : program.rules[rule_index].body) {
+        if (sccs.ComponentOf(lit.pred) == static_cast<int>(c)) {
+          recursive = true;
+        }
+      }
+    }
+    long stratum_iterations = 0;
+    for (int local = 0;; ++local) {
+      if (global_iteration >= options.max_iterations) {
+        capped = true;
+        break;
+      }
+      CQLOPT_ASSIGN_OR_RETURN(
+          long inserted,
+          RunIteration(program, rules_of[c], global_iteration,
+                       /*fire_constraint_facts=*/local == 0,
+                       /*require_delta=*/local > 0, /*use_index=*/true,
+                       options, &result));
+      ++global_iteration;
+      ++stratum_iterations;
+      result.stats.iterations = global_iteration;
+      if (inserted == 0 || !recursive) break;
+    }
+    result.stats.scc_iterations.push_back(stratum_iterations);
+  }
+  result.stats.reached_fixpoint = !capped;
+
+  for (const auto& [pred, rel] : result.db.relations()) {
+    result.stats.facts_per_pred[pred] = static_cast<long>(rel.size());
+  }
+  return result;
+}
+
 }  // namespace
 
 Result<EvalResult> Evaluate(const Program& program, const Database& edb,
                             const EvalOptions& options) {
+  if (options.strategy == EvalStrategy::kStratified) {
+    return EvaluateStratified(program, edb, options);
+  }
   EvalResult result;
   result.db = edb;  // EDB facts carry birth -1.
 
+  std::vector<size_t> all_rules(program.rules.size());
+  std::iota(all_rules.begin(), all_rules.end(), 0);
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
-    std::vector<Pending> pending;
     bool require_delta =
         options.strategy == EvalStrategy::kSemiNaive && iteration > 0;
-    for (const Rule& rule : program.rules) {
-      if (rule.IsConstraintFact() && iteration != 0) continue;
-      auto emit = [&](Fact fact,
-                      const std::vector<Relation::FactRef>& parents)
-          -> Status {
-        ++result.stats.derivations;
-        pending.push_back(
-            Pending{rule.label, std::move(fact), parents, "", false,
-                    InsertOutcome::kInserted});
-        return Status::OK();
-      };
-      CQLOPT_RETURN_IF_ERROR(ApplyRule(rule, result.db,
-                                       /*max_birth=*/iteration - 1,
-                                       require_delta, emit));
-    }
-    Reconcile(&pending, result.db, options.subsumption);
-    long inserted_this_iteration = 0;
-    if (options.record_trace) result.trace.emplace_back();
-    for (Pending& p : pending) {
-      if (options.record_trace) {
-        result.trace.back().push_back(Derivation{
-            p.rule_label, p.fact.ToString(*program.symbols), p.outcome});
-      }
-      switch (p.outcome) {
-        case InsertOutcome::kInserted:
-          ++result.stats.inserted;
-          ++inserted_this_iteration;
-          if (!p.fact.IsGround()) result.stats.all_ground = false;
-          result.db.AddFact(std::move(p.fact), iteration,
-                            SubsumptionMode::kNone, p.rule_label,
-                            std::move(p.parents));
-          break;
-        case InsertOutcome::kSubsumed:
-          ++result.stats.subsumed;
-          break;
-        case InsertOutcome::kDuplicate:
-          ++result.stats.duplicates;
-          break;
-      }
-    }
+    CQLOPT_ASSIGN_OR_RETURN(
+        long inserted,
+        RunIteration(program, all_rules, iteration,
+                     /*fire_constraint_facts=*/iteration == 0, require_delta,
+                     /*use_index=*/false, options, &result));
     result.stats.iterations = iteration + 1;
-    if (inserted_this_iteration == 0) {
+    if (inserted == 0) {
       result.stats.reached_fixpoint = true;
       break;
     }

@@ -13,12 +13,27 @@ namespace cqlopt {
 /// Fixpoint strategy.
 enum class EvalStrategy {
   /// Derivations in iteration i use at least one fact first derived in
-  /// iteration i-1 — the evaluation the paper's tables trace.
+  /// iteration i-1 — the evaluation the paper's tables trace. Runs every
+  /// rule in one global loop with linear-scan joins; kept unchanged as the
+  /// differential-testing oracle for kStratified.
   kSemiNaive,
   /// Every rule is re-applied to all known facts each iteration. Same
   /// fixpoint, many redundant derivations; kept as a differential-testing
   /// oracle for the semi-naive delta discipline.
   kNaive,
+  /// SCC-stratified semi-naive: the predicate dependency graph is condensed
+  /// into strongly connected components and one semi-naive fixpoint runs
+  /// per component in bottom-up topological order, so facts of lower strata
+  /// are computed once and frozen instead of being re-joined every global
+  /// iteration. Body literals are resolved through the relations'
+  /// per-position hash indexes where the join state directly binds a
+  /// position (rule_application.h). Reaches the same fixpoint as the two
+  /// oracles; iteration numbering is global across strata (trace[i] /
+  /// birth stamps keep their meaning), `max_iterations` caps the global
+  /// total, and EvalStats::scc_iterations attributes iterations to strata.
+  /// When a program is a single SCC (e.g. the Table 1/2 magic programs) the
+  /// evaluation and its trace coincide with kSemiNaive's.
+  kStratified,
 };
 
 /// Options of the bottom-up fixpoint.

@@ -10,6 +10,22 @@ std::string EvalStats::ToString(const SymbolTable& symbols) const {
                     " iterations=" + std::to_string(iterations) +
                     (reached_fixpoint ? " fixpoint" : " CAPPED") +
                     (all_ground ? " all-ground" : " CONSTRAINT-FACTS");
+  if (!scc_iterations.empty()) {
+    out += " scc-iterations=[";
+    for (size_t i = 0; i < scc_iterations.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(scc_iterations[i]);
+    }
+    out += "]";
+  }
+  if (index_probes > 0 || scan_probes > 0) {
+    out += " index-probes=" + std::to_string(index_probes) +
+           " scan-probes=" + std::to_string(scan_probes) +
+           " index-candidates=" + std::to_string(index_candidates) +
+           " scan-candidates=" + std::to_string(scan_candidates) +
+           " indexed-scan-equivalent=" +
+           std::to_string(indexed_scan_equivalent);
+  }
   for (const auto& [pred, count] : facts_per_pred) {
     out += " " + symbols.PredicateName(pred) + "=" + std::to_string(count);
   }

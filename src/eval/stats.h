@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "ast/symbol_table.h"
 
@@ -28,6 +29,32 @@ struct EvalStats {
   bool all_ground = true;
   /// Stored facts per predicate.
   std::map<PredId, long> facts_per_pred;
+
+  // --- SCC-stratified evaluation and join-index accounting. These stay 0 /
+  // empty for strategies or paths that do not exercise them. ---
+
+  /// Iterations spent per stratum, in evaluation (bottom-up topological)
+  /// order; strata without rules are omitted. Their sum equals
+  /// `iterations` under EvalStrategy::kStratified.
+  std::vector<long> scc_iterations;
+  /// Body-literal resolutions served by the per-position hash index (some
+  /// argument position was directly bound to a symbol/number in the
+  /// accumulated join state).
+  long index_probes = 0;
+  /// Resolutions that fell back to the linear scan: no position directly
+  /// bound — unbound, or bound only through constraints (e.g. entailed by
+  /// `X = N - 1 & N = 2` without a stored point equality).
+  long scan_probes = 0;
+  /// Join candidate facts enumerated through index probes.
+  long index_candidates = 0;
+  /// Join candidate facts enumerated by fallback scans.
+  long scan_candidates = 0;
+  /// Candidates the replaced scans would have enumerated for the indexed
+  /// probes; `index_candidates` vs this number attributes the index win.
+  long indexed_scan_equivalent = 0;
+  /// Derivations per rule, keyed by rule label (or "rule#<index>" for
+  /// unlabeled rules) — lets benches attribute wins rule by rule.
+  std::map<std::string, long> derivations_per_rule;
 
   std::string ToString(const SymbolTable& symbols) const;
 };

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ast/parser.h"
+#include "eval/rule_application.h"
 
 namespace cqlopt {
 namespace {
@@ -230,6 +231,92 @@ TEST(EvalTest, TraceRendering) {
   ASSERT_TRUE(result.ok());
   std::string trace = RenderTrace(result->trace);
   EXPECT_NE(trace.find("iteration 0: {r9:f(1)}"), std::string::npos) << trace;
+}
+
+// --- Emit-visibility contract (rule_application.h) ----------------------
+//
+// An emit callback may insert into the database immediately; entry storage
+// is append-only, so mid-application inserts land at indexes >= the
+// per-literal size snapshot AND carry birth > max_birth. Either guard alone
+// keeps them out of the in-flight application, so a streaming emit derives
+// exactly what a buffered emit does.
+
+/// e(2,3), e(1,2) (in that insertion order) and t(3,4): processing e(2,3)
+/// first derives t(2,4); whether e(1,2) then sees that new t fact is
+/// exactly what the contract governs.
+Database ChainDb(Program* p) {
+  Database db;
+  auto add = [&](const char* pred, int a, int b) {
+    EXPECT_TRUE(db.AddGroundFact(p->symbols.get(), pred,
+                                 {Database::Value::Number(Rational(a)),
+                                  Database::Value::Number(Rational(b))})
+                    .ok());
+  };
+  add("e", 2, 3);
+  add("e", 1, 2);
+  add("t", 3, 4);
+  return db;
+}
+
+TEST(EvalTest, StreamingEmitInsertsInvisibleWithinApplication) {
+  for (bool use_index : {false, true}) {
+    SCOPED_TRACE(use_index ? "index" : "scan");
+    Program p = ParseOrDie("t(X, Y) :- e(X, Z), t(Z, Y).\n");
+    // Buffered oracle: collect derivations without touching the database.
+    Database db = ChainDb(&p);
+    std::vector<std::string> buffered;
+    auto collect = [&](Fact fact,
+                       const std::vector<Relation::FactRef>&) -> Status {
+      buffered.push_back(fact.ToString(*p.symbols));
+      return Status::OK();
+    };
+    ASSERT_TRUE(ApplyRule(p.rules[0], db, /*max_birth=*/-1,
+                          /*require_delta=*/false, collect, use_index)
+                    .ok());
+    // Streaming: insert every derivation at birth 0 (> max_birth) as it is
+    // emitted. The insert during e(2,3)'s t(2,4) must stay invisible when
+    // e(1,2) enumerates t — no cascading t(1,4).
+    Database db2 = ChainDb(&p);
+    std::vector<std::string> streamed;
+    auto stream = [&](Fact fact,
+                      const std::vector<Relation::FactRef>& parents) -> Status {
+      streamed.push_back(fact.ToString(*p.symbols));
+      db2.AddFact(std::move(fact), /*birth=*/0, SubsumptionMode::kNone, "",
+                  parents);
+      return Status::OK();
+    };
+    ASSERT_TRUE(ApplyRule(p.rules[0], db2, /*max_birth=*/-1,
+                          /*require_delta=*/false, stream, use_index)
+                    .ok());
+    EXPECT_EQ(buffered, std::vector<std::string>{"t(2, 4)"});
+    EXPECT_EQ(streamed, buffered);
+  }
+}
+
+TEST(EvalTest, StreamingInsertAtMaxBirthCascades) {
+  // Contrast case documenting why the contract requires birth > max_birth:
+  // the size snapshot is taken per literal *entry*, once per outer
+  // candidate, so a fact inserted at a visible birth while processing
+  // e(2,3) IS seen when e(1,2) later enumerates t — the application
+  // cascades within a single ApplyRule call.
+  for (bool use_index : {false, true}) {
+    SCOPED_TRACE(use_index ? "index" : "scan");
+    Program p = ParseOrDie("t(X, Y) :- e(X, Z), t(Z, Y).\n");
+    Database db = ChainDb(&p);
+    std::vector<std::string> streamed;
+    auto stream = [&](Fact fact,
+                      const std::vector<Relation::FactRef>& parents) -> Status {
+      streamed.push_back(fact.ToString(*p.symbols));
+      db.AddFact(std::move(fact), /*birth=*/-1, SubsumptionMode::kNone, "",
+                 parents);
+      return Status::OK();
+    };
+    ASSERT_TRUE(ApplyRule(p.rules[0], db, /*max_birth=*/-1,
+                          /*require_delta=*/false, stream, use_index)
+                    .ok());
+    EXPECT_EQ(streamed,
+              (std::vector<std::string>{"t(2, 4)", "t(1, 4)"}));
+  }
 }
 
 TEST(EvalTest, UnsatisfiableRuleNeverFires) {

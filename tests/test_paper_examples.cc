@@ -162,6 +162,121 @@ TEST(PaperTable2, BoundedMagicFactsMatchPaper) {
             "m_fib($1, $2; $1 > 0 & $2 <= 4 & $2 >= 1)");
 }
 
+// --- Trace-regression pins -------------------------------------------------
+// The full per-iteration derivation traces of Tables 1 and 2, pinned as
+// golden strings so evaluator rewrites (e.g. the SCC-stratified strategy or
+// the hash-indexed join path) cannot silently reorder or lose derivations.
+// Both magic fib programs are a single SCC ({m_fib, fib} are mutually
+// recursive), so the stratified evaluation must reproduce the global
+// semi-naive trace verbatim, not merely the same fact sets.
+
+constexpr char kTable1GoldenTrace[] =
+    "iteration 0: {seed:m_fib($1, 5)}\n"
+    "iteration 1: {mr3_1:m_fib($1, $2; $1 > 0)}\n"
+    "iteration 2: {r2:fib(1, 1), mr3_1:*m_fib($1, $2; $1 > 0)*}\n"
+    "iteration 3: {mr3_2:*m_fib(0, 4)*, mr3_2:m_fib(0, $2)}\n"
+    "iteration 4: {r1:fib(0, 1)}\n"
+    "iteration 5: {r3:fib(2, 2)}\n"
+    "iteration 6: {mr3_2:*m_fib(1, 3)*, mr3_2:*m_fib(1, $2)*, "
+    "r3:fib(3, 3)}\n"
+    "iteration 7: {mr3_2:*m_fib(2, 2)*, mr3_2:*m_fib(2, $2)*, "
+    "r3:fib(4, 5), r3:*fib(4, 5)*}\n"
+    "iteration 8: {mr3_2:*m_fib(3, 0)*, mr3_2:*m_fib(3, $2)*, "
+    "r3:fib(5, 8)}\n";
+
+constexpr char kTable2GoldenTrace[] =
+    "iteration 0: {seed:m_fib($1, 5)}\n"
+    "iteration 1: {mr3_1:m_fib($1, $2; $1 > 0 & $2 <= 4 & $2 >= 1)}\n"
+    "iteration 2: {r2:fib(1, 1), "
+    "mr3_1:*m_fib($1, $2; $1 > 0 & $2 <= 3 & $2 >= 1)*}\n"
+    "iteration 3: {mr3_2:m_fib(0, 4), "
+    "mr3_2:m_fib(0, $2; $2 <= 3 & $2 >= 1)}\n"
+    "iteration 4: {r1:fib(0, 1)}\n"
+    "iteration 5: {r3:fib(2, 2)}\n"
+    "iteration 6: {mr3_2:*m_fib(1, 3)*, "
+    "mr3_2:*m_fib(1, $2; $2 <= 2 & $2 >= 1)*, r3:fib(3, 3)}\n"
+    "iteration 7: {mr3_2:*m_fib(2, 2)*, mr3_2:*m_fib(2, 1)*, "
+    "r3:fib(4, 5)}\n"
+    "iteration 8: {}\n";
+
+Result<EvalResult> EvaluateTable1(const Parsed& in, EvalStrategy strategy) {
+  MagicOptions options;
+  options.sips = SipStrategy::kFullLeftToRight;
+  auto magic = MagicTemplates(in.program, in.query, options);
+  EXPECT_TRUE(magic.ok());
+  EvalOptions eval;
+  eval.max_iterations = 9;  // Table 1 shows iterations 0..8
+  eval.record_trace = true;
+  eval.strategy = strategy;
+  return Evaluate(magic->program, Database(), eval);
+}
+
+Result<EvalResult> EvaluateTable2(const Parsed& in, EvalStrategy strategy) {
+  PredId fib = in.program.symbols->LookupPredicate("fib");
+  std::map<PredId, ConstraintSet> given;
+  given[fib] = FibSecondArgAtLeastOne();
+  auto pfib1 = PropagateGivenConstraints(in.program, given);
+  EXPECT_TRUE(pfib1.ok());
+  MagicOptions options;
+  options.sips = SipStrategy::kFullLeftToRight;
+  auto magic = MagicTemplates(*pfib1, in.query, options);
+  EXPECT_TRUE(magic.ok());
+  EvalOptions eval;
+  eval.max_iterations = 40;
+  eval.record_trace = true;
+  eval.strategy = strategy;
+  return Evaluate(magic->program, Database(), eval);
+}
+
+TEST(PaperTable1, FullTracePinned) {
+  Parsed in = ParseWithQuery(kFib);
+  auto run = EvaluateTable1(in, EvalStrategy::kSemiNaive);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(RenderTrace(run->trace), kTable1GoldenTrace);
+}
+
+TEST(PaperTable1, StratifiedTraceMatchesOracle) {
+  Parsed in = ParseWithQuery(kFib);
+  auto run = EvaluateTable1(in, EvalStrategy::kStratified);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(RenderTrace(run->trace), kTable1GoldenTrace);
+  EXPECT_FALSE(run->stats.reached_fixpoint);
+  // Everything lives in one stratum.
+  ASSERT_EQ(run->stats.scc_iterations.size(), 1u);
+  EXPECT_EQ(run->stats.scc_iterations[0], 9);
+}
+
+TEST(PaperTable2, FullTracePinned) {
+  Parsed in = ParseWithQuery(kFib);
+  auto run = EvaluateTable2(in, EvalStrategy::kSemiNaive);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(RenderTrace(run->trace), kTable2GoldenTrace);
+  EXPECT_TRUE(run->stats.reached_fixpoint);
+}
+
+TEST(PaperTable2, StratifiedTraceMatchesOracle) {
+  // Fresh parses per run: rewriting the same Parsed twice would intern a
+  // second magic predicate (m_fib_2) into the shared symbol table.
+  auto oracle = EvaluateTable2(ParseWithQuery(kFib), EvalStrategy::kSemiNaive);
+  auto run = EvaluateTable2(ParseWithQuery(kFib), EvalStrategy::kStratified);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(RenderTrace(run->trace), kTable2GoldenTrace);
+  EXPECT_TRUE(run->stats.reached_fixpoint);
+  // Identical final fact sets, entry by entry (keys are canonical).
+  for (const auto& [pred, rel] : oracle->db.relations()) {
+    const Relation* other = run->db.Find(pred);
+    ASSERT_NE(other, nullptr);
+    ASSERT_EQ(rel.size(), other->size());
+    for (size_t i = 0; i < rel.size(); ++i) {
+      EXPECT_EQ(rel.entries()[i].fact.Key(), other->entries()[i].fact.Key());
+    }
+  }
+  // The constant-bound m_fib literals in r1/r2/mr3_2 make the index path
+  // do real work even on this tiny program.
+  EXPECT_GT(run->stats.index_probes, 0);
+}
+
 TEST(PaperExample44, FibOfSixTerminatesWithNo) {
   // "a seminaive bottom-up evaluation terminates, and answers no because
   // there is no N whose Fibonacci number is 6."
