@@ -195,7 +195,15 @@ BENCHMARK(BM_ConstraintRewriteFlights);
 }  // namespace cqlopt
 
 int main(int argc, char** argv) {
+  bool json = cqlopt::bench::StripJsonFlag(&argc, argv);
   cqlopt::bench::PrintReproduction();
+  if (json) {
+    cqlopt::bench::ParsedInput in =
+        cqlopt::bench::ParseWithQueryOrDie(cqlopt::bench::FlightsProgram());
+    cqlopt::Database db =
+        cqlopt::bench::MakeNetwork(in.program.symbols.get(), 12, 48, 42);
+    cqlopt::bench::WriteBenchJson("flights", in.program, db);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

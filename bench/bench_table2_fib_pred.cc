@@ -148,7 +148,19 @@ BENCHMARK(BM_WideningDerivesConstraint);
 }  // namespace cqlopt
 
 int main(int argc, char** argv) {
+  bool json = cqlopt::bench::StripJsonFlag(&argc, argv);
   cqlopt::bench::PrintReproduction();
+  if (json) {
+    cqlopt::bench::ParsedInput in =
+        cqlopt::bench::ParseWithQueryOrDie(cqlopt::bench::FibProgram());
+    cqlopt::Program pfib1 = cqlopt::bench::Pfib1(in);
+    cqlopt::MagicOptions options;
+    options.sips = cqlopt::SipStrategy::kFullLeftToRight;
+    auto magic = cqlopt::bench::ValueOrDie(
+        cqlopt::MagicTemplates(pfib1, in.query, options), "magic");
+    cqlopt::bench::WriteBenchJson("table2_fib_pred", magic.program,
+                                  cqlopt::Database());
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,14 +6,18 @@
 // derivation traces), then runs google-benchmark timings of the underlying
 // computation. EXPERIMENTS.md records paper-vs-measured for each binary.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "ast/parser.h"
 #include "ast/printer.h"
+#include "constraint/decision_cache.h"
 #include "core/equivalence.h"
 #include "core/workload.h"
 #include "eval/seminaive.h"
@@ -141,6 +145,102 @@ inline void PrintStratifiedComparison(const Program& program,
               "candidates=%ld\n",
               s.index_candidates, s.indexed_scan_equivalent, ratio,
               s.scan_probes, s.scan_candidates);
+  long lookups = s.cache_hits + s.cache_misses;
+  if (lookups > 0) {
+    std::printf("decision cache: hits=%ld misses=%ld hit-rate=%.1f%%",
+                s.cache_hits, s.cache_misses,
+                100.0 * static_cast<double>(s.cache_hits) /
+                    static_cast<double>(lookups));
+    if (s.cache_evictions > 0) {
+      std::printf(" evictions=%ld", s.cache_evictions);
+    }
+    std::printf("\n");
+  }
+}
+
+/// Removes `--json` from argv (so google-benchmark never sees it) and
+/// reports whether it was present. Call before benchmark::Initialize.
+inline bool StripJsonFlag(int* argc, char** argv) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      found = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return found;
+}
+
+/// One measured arm of a WriteBenchJson report.
+struct JsonArm {
+  std::string label;
+  EvalStrategy strategy = EvalStrategy::kStratified;
+  int threads = 1;
+  bool cache = true;
+};
+
+/// `--json` mode: evaluates `program` once per arm — the serial oracle, the
+/// stratified engine at 1/2/8 worker threads, and a stratified cache-off
+/// ablation — and writes BENCH_<name>.json with the wall-clock and the
+/// derivation/probe/cache counters of each arm. The decision cache is
+/// cleared before every arm so each measures a cold start (hits within an
+/// arm are real re-decisions saved, not leftovers of the previous arm).
+inline void WriteBenchJson(const char* name, const Program& program,
+                           const Database& edb, int max_iterations = 64) {
+  const JsonArm arms[] = {
+      {"seminaive-oracle", EvalStrategy::kSemiNaive, 1, true},
+      {"stratified-t1", EvalStrategy::kStratified, 1, true},
+      {"stratified-t2", EvalStrategy::kStratified, 2, true},
+      {"stratified-t8", EvalStrategy::kStratified, 8, true},
+      {"stratified-t1-nocache", EvalStrategy::kStratified, 1, false},
+  };
+  std::string json = "{\n  \"bench\": \"" + std::string(name) +
+                     "\",\n  \"arms\": [\n";
+  bool first = true;
+  for (const JsonArm& arm : arms) {
+    std::optional<DecisionCacheDisabler> cache_off;
+    if (!arm.cache) cache_off.emplace();
+    DecisionCache::Instance().Clear();
+    EvalOptions opts;
+    opts.max_iterations = max_iterations;
+    opts.strategy = arm.strategy;
+    opts.threads = arm.threads;
+    auto start = std::chrono::steady_clock::now();
+    EvalResult run = ValueOrDie(Evaluate(program, edb, opts),
+                                arm.label.c_str());
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    const EvalStats& s = run.stats;
+    char row[768];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"label\": \"%s\", \"threads\": %d, \"cache\": %s, "
+        "\"wall_ms\": %.3f, \"derivations\": %ld, \"inserted\": %ld, "
+        "\"subsumed\": %ld, \"duplicates\": %ld, \"iterations\": %d, "
+        "\"index_probes\": %ld, \"scan_probes\": %ld, \"cache_hits\": %ld, "
+        "\"cache_misses\": %ld, \"cache_evictions\": %ld}",
+        arm.label.c_str(), arm.threads, arm.cache ? "true" : "false", wall_ms,
+        s.derivations, s.inserted, s.subsumed, s.duplicates, s.iterations,
+        s.index_probes, s.scan_probes, s.cache_hits, s.cache_misses,
+        s.cache_evictions);
+    if (!first) json += ",\n";
+    json += row;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+  std::string path = "BENCH_" + std::string(name) + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace bench

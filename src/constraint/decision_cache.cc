@@ -1,0 +1,55 @@
+#include "constraint/decision_cache.h"
+
+namespace cqlopt {
+
+DecisionCache& DecisionCache::Instance() {
+  static DecisionCache* cache = new DecisionCache();  // never destroyed
+  return *cache;
+}
+
+std::optional<bool> DecisionCache::Lookup(uint64_t key) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void DecisionCache::Store(uint64_t key, bool value) {
+  if (!enabled()) return;
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMaxEntriesPerShard &&
+      shard.map.find(key) == shard.map.end()) {
+    evictions_.fetch_add(static_cast<long>(shard.map.size()),
+                         std::memory_order_relaxed);
+    shard.map.clear();
+  }
+  shard.map.emplace(key, value);
+}
+
+DecisionCache::Counters DecisionCache::Snapshot() const {
+  Counters out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.entries += static_cast<long>(shard.map.size());
+  }
+  return out;
+}
+
+void DecisionCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,61 @@
+#include "constraint/fingerprint.h"
+
+namespace cqlopt {
+namespace fp {
+namespace {
+
+// Domain-separation seeds so an atom, a vector, and a conjunction built
+// from the same pieces never share a fingerprint.
+constexpr uint64_t kAtomSeed = 0x8e5d3c1fb0a95247ull;
+constexpr uint64_t kVectorSeed = 0xc2b2ae3d27d4eb4full;
+constexpr uint64_t kConjunctionSeed = 0x165667b19e3779f9ull;
+constexpr uint64_t kUnsatMark = 0x27220a95fe791d59ull;
+
+uint64_t MixRational(uint64_t h, const Rational& r) {
+  return Mix(h, static_cast<uint64_t>(r.Hash()));
+}
+
+}  // namespace
+
+uint64_t FingerprintOf(const LinearConstraint& atom) {
+  uint64_t h = Mix(kAtomSeed, static_cast<uint64_t>(atom.op()));
+  // coefficients() is an ordered map, so iteration order is canonical.
+  for (const auto& [var, coeff] : atom.expr().coefficients()) {
+    h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(var)));
+    h = MixRational(h, coeff);
+  }
+  return MixRational(h, atom.expr().constant());
+}
+
+uint64_t FingerprintOf(const std::vector<LinearConstraint>& atoms) {
+  // Commutative combine (sum of spread per-atom fingerprints): the same
+  // multiset of atoms fingerprints identically in any order.
+  uint64_t h = Mix(kVectorSeed, static_cast<uint64_t>(atoms.size()));
+  for (const LinearConstraint& atom : atoms) {
+    h += Mix(0, FingerprintOf(atom));
+  }
+  return h;
+}
+
+uint64_t FingerprintOf(const Conjunction& conjunction) {
+  if (conjunction.known_unsat()) return kUnsatMark;
+  uint64_t h = kConjunctionSeed;
+  // All three stores are sorted canonically, so ordered mixing is
+  // deterministic (and stronger than a commutative combine).
+  for (const auto& [member, root] : conjunction.EqualityPairs()) {
+    h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(member)));
+    h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(root)));
+  }
+  for (const auto& [root, symbol] : conjunction.SymbolBindings()) {
+    h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(root)));
+    h = Mix(h, static_cast<uint64_t>(static_cast<int64_t>(symbol)) ^
+                   0xdeadbeefcafef00dull);
+  }
+  for (const LinearConstraint& atom : conjunction.linear()) {
+    h = Mix(h, FingerprintOf(atom));
+  }
+  return h;
+}
+
+}  // namespace fp
+}  // namespace cqlopt

@@ -1,0 +1,56 @@
+#ifndef CQLOPT_CONSTRAINT_FINGERPRINT_H_
+#define CQLOPT_CONSTRAINT_FINGERPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "constraint/conjunction.h"
+#include "constraint/linear_constraint.h"
+
+namespace cqlopt {
+namespace fp {
+
+/// Canonical 64-bit fingerprints of constraint objects, the cache keys of
+/// the process-wide DecisionCache (constraint/decision_cache.h).
+///
+/// Requirements the memoization relies on:
+///  - deterministic: the fingerprint is a pure function of the object's
+///    canonical content (atoms are already canonicalized by
+///    LinearConstraint's constructor, union-find roots are the smallest
+///    class member, stores are kept sorted);
+///  - order-insensitive for constraint *vectors*: conjunction semantics do
+///    not depend on atom order, and call sites (e.g. fm::ImpliesAtom's
+///    negation branches, subsumption probes) assemble the same multiset of
+///    atoms in different orders;
+///  - well distributed: a collision silently reuses another decision's
+///    answer, so the per-field mixing below must spread structurally close
+///    inputs (same atoms, one coefficient off) across the key space.
+///    With 64-bit keys and caches bounded at ~2^19 entries, collisions are
+///    astronomically unlikely; the cache-equivalence test locks the
+///    behaviour in.
+
+/// Non-commutative combiner (order of `v`s matters).
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  // splitmix64 finalizer over the running state.
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+/// Fingerprint of one canonicalized atom `expr op 0`.
+uint64_t FingerprintOf(const LinearConstraint& atom);
+
+/// Order-insensitive fingerprint of a conjunction given as an atom vector
+/// (the representation fm:: decides over).
+uint64_t FingerprintOf(const std::vector<LinearConstraint>& atoms);
+
+/// Fingerprint of a Conjunction: covers the union-find equalities, symbol
+/// bindings, linear store, and the known-unsat flag — everything the
+/// implication checker consults.
+uint64_t FingerprintOf(const Conjunction& conjunction);
+
+}  // namespace fp
+}  // namespace cqlopt
+
+#endif  // CQLOPT_CONSTRAINT_FINGERPRINT_H_

@@ -4,9 +4,17 @@
 #include <limits>
 #include <set>
 
+#include "constraint/decision_cache.h"
+#include "constraint/fingerprint.h"
+
 namespace cqlopt {
 namespace fm {
 namespace {
+
+// Domain-separation salts: the same operand fingerprints under different
+// decisions must produce different cache keys.
+constexpr uint64_t kSatisfiableSalt = 0x5a7d9c31e4b80f6dull;
+constexpr uint64_t kImpliesAtomSalt = 0x3c6ef372fe94f82aull;
 
 /// Deduplicates structurally identical atoms and drops trivially-true ones.
 /// Returns false (leaving `*constraints` holding a false atom) if a
@@ -154,15 +162,26 @@ std::set<VarId> AllVars(const std::vector<LinearConstraint>& constraints) {
   return vars;
 }
 
-}  // namespace
-
-bool IsSatisfiable(const std::vector<LinearConstraint>& constraints) {
+/// The uncached decision procedure (the pre-cache IsSatisfiable body).
+bool IsSatisfiableUncached(const std::vector<LinearConstraint>& constraints) {
   std::vector<LinearConstraint> result =
       EliminateImpl(constraints, AllVars(constraints));
   for (const LinearConstraint& c : result) {
     if (c.IsTriviallyFalse()) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool IsSatisfiable(const std::vector<LinearConstraint>& constraints) {
+  DecisionCache& cache = DecisionCache::Instance();
+  if (!cache.enabled()) return IsSatisfiableUncached(constraints);
+  uint64_t key = fp::Mix(kSatisfiableSalt, fp::FingerprintOf(constraints));
+  if (std::optional<bool> hit = cache.Lookup(key)) return *hit;
+  bool value = IsSatisfiableUncached(constraints);
+  cache.Store(key, value);
+  return value;
 }
 
 std::vector<LinearConstraint> Eliminate(
@@ -174,12 +193,27 @@ std::vector<LinearConstraint> Eliminate(
 
 bool ImpliesAtom(const std::vector<LinearConstraint>& constraints,
                  const LinearConstraint& atom) {
+  // Memoized at this level too (on top of the per-negation IsSatisfiable
+  // caching): a hit skips the Negations() expansion and the vector copies.
+  DecisionCache& cache = DecisionCache::Instance();
+  const bool use_cache = cache.enabled();
+  uint64_t key = 0;
+  if (use_cache) {
+    key = fp::Mix(fp::Mix(kImpliesAtomSalt, fp::FingerprintOf(constraints)),
+                  fp::FingerprintOf(atom));
+    if (std::optional<bool> hit = cache.Lookup(key)) return *hit;
+  }
+  bool value = true;
   for (const LinearConstraint& piece : atom.Negations()) {
     std::vector<LinearConstraint> test = constraints;
     test.push_back(piece);
-    if (IsSatisfiable(test)) return false;
+    if (IsSatisfiable(test)) {
+      value = false;
+      break;
+    }
   }
-  return true;
+  if (use_cache) cache.Store(key, value);
+  return value;
 }
 
 std::vector<LinearConstraint> RemoveRedundant(

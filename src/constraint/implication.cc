@@ -1,9 +1,14 @@
 #include "constraint/implication.h"
 
+#include "constraint/decision_cache.h"
+#include "constraint/fingerprint.h"
 #include "constraint/fourier_motzkin.h"
 
 namespace cqlopt {
 namespace {
+
+// Salt separating pairwise-implication keys from the fm:: decision keys.
+constexpr uint64_t kImpliesSalt = 0x9b1a6e5c2d83f074ull;
 
 /// True iff `a` entails the variable equality u = v, either through its
 /// union–find or through its linear store.
@@ -37,16 +42,15 @@ bool RefuteAll(std::vector<LinearConstraint> base,
       if (!RefuteAll(std::move(branch), disjuncts, idx + 1)) return false;
     }
   }
-  // A disjunct with no atoms is `true`; ¬true has no branches, so the
-  // conjunction base ∧ false is vacuously unsatisfiable — but only because
-  // the disjunct covers everything.
-  if (disjuncts[idx].empty()) return true;
+  // Every branch was refuted. This covers the empty disjunct too: a
+  // disjunct with no atoms is `true`, ¬true contributes no branches, and
+  // base ∧ false is vacuously unsatisfiable — the disjunct covers all of
+  // base (tests/test_implication.cc pins this case).
   return true;
 }
 
-}  // namespace
-
-bool Implies(const Conjunction& a, const Conjunction& b) {
+/// The uncached body of Implies() below.
+bool ImpliesUncached(const Conjunction& a, const Conjunction& b) {
   if (!a.IsSatisfiable()) return true;
   if (b.known_unsat()) return false;
   std::vector<LinearConstraint> a_atoms = a.LinearWithEqualities();
@@ -72,6 +76,26 @@ bool Implies(const Conjunction& a, const Conjunction& b) {
     if (!fm::ImpliesAtom(a_atoms, atom)) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool Implies(const Conjunction& a, const Conjunction& b) {
+  // Memoized on the conjunction fingerprints: the decision depends only on
+  // the canonical stores the fingerprint covers. Subsumption probes the
+  // same (new fact, stored fact) constraint pairs across iterations and
+  // strategies, so this is the hottest key family of the DecisionCache.
+  DecisionCache& cache = DecisionCache::Instance();
+  const bool use_cache = cache.enabled();
+  uint64_t key = 0;
+  if (use_cache) {
+    key = fp::Mix(fp::Mix(kImpliesSalt, fp::FingerprintOf(a)),
+                  fp::FingerprintOf(b));
+    if (std::optional<bool> hit = cache.Lookup(key)) return *hit;
+  }
+  bool value = ImpliesUncached(a, b);
+  if (use_cache) cache.Store(key, value);
+  return value;
 }
 
 bool ImpliesDisjunction(const Conjunction& a,

@@ -55,7 +55,7 @@ InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
   for (size_t p = 0; p < stored.signature.size(); ++p) {
     const ArgSignature& sig = stored.signature[p];
     if (sig.symbol.has_value() || sig.number.has_value()) {
-      index_[p].by_value[ValueKey(sig)].push_back(id);
+      index_[p].by_value[KeyOf(sig)].push_back(id);
     } else {
       index_[p].unbound.push_back(id);
     }
@@ -63,9 +63,9 @@ InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
   return InsertOutcome::kInserted;
 }
 
-std::string Relation::ValueKey(const ArgSignature& value) {
-  if (value.symbol.has_value()) return "s" + std::to_string(*value.symbol);
-  return "n" + value.number->ToString();
+Relation::IndexKey Relation::KeyOf(const ArgSignature& value) {
+  if (value.symbol.has_value()) return IndexKey{value.symbol, Rational()};
+  return IndexKey{std::nullopt, *value.number};
 }
 
 size_t Relation::ProbeCost(int position, const ArgSignature& value) const {
@@ -73,7 +73,7 @@ size_t Relation::ProbeCost(int position, const ArgSignature& value) const {
   if (p >= index_.size()) return 0;
   const PositionIndex& idx = index_[p];
   size_t cost = idx.unbound.size();
-  auto it = idx.by_value.find(ValueKey(value));
+  auto it = idx.by_value.find(KeyOf(value));
   if (it != idx.by_value.end()) cost += it->second.size();
   return cost;
 }
@@ -84,7 +84,7 @@ std::vector<size_t> Relation::Probe(int position, const ArgSignature& value,
   size_t p = static_cast<size_t>(position - 1);
   if (p >= index_.size()) return out;
   const PositionIndex& idx = index_[p];
-  auto it = idx.by_value.find(ValueKey(value));
+  auto it = idx.by_value.find(KeyOf(value));
   static const std::vector<size_t> kNoMatches;
   const std::vector<size_t>& bound =
       it == idx.by_value.end() ? kNoMatches : it->second;

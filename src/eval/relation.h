@@ -1,9 +1,10 @@
 #ifndef CQLOPT_EVAL_RELATION_H_
 #define CQLOPT_EVAL_RELATION_H_
 
-#include <set>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "eval/fact.h"
@@ -118,21 +119,47 @@ class Relation {
   bool AllGround() const;
 
  private:
+  /// Exact map key of a directly-bound value — the bound symbol, or the
+  /// bound number when no symbol is bound. An exact key (not a bare hash):
+  /// conflating two distinct values would merge their posting lists and
+  /// corrupt join results. Symbols and numbers cannot collide (a key is a
+  /// symbol key iff `symbol` is set; `number` is ignored then).
+  struct IndexKey {
+    std::optional<SymbolId> symbol;
+    Rational number;
+
+    bool operator==(const IndexKey& other) const {
+      return symbol == other.symbol &&
+             (symbol.has_value() || number == other.number);
+    }
+  };
+  struct IndexKeyHash {
+    size_t operator()(const IndexKey& key) const {
+      // Tags keep a symbol's hash distinct from a number's even when the
+      // underlying integer values coincide.
+      return key.symbol.has_value()
+                 ? std::hash<SymbolId>()(*key.symbol) ^ size_t{0x9e3779b9}
+                 : key.number.Hash();
+    }
+  };
+
   /// Per-argument-position hash index, maintained by Insert. Only facts
   /// that were actually stored (InsertOutcome::kInserted) are indexed;
   /// duplicates and subsumed facts never enter. Entry-id lists are
   /// ascending because ids are assigned in insertion order.
   struct PositionIndex {
-    std::unordered_map<std::string, std::vector<size_t>> by_value;
+    std::unordered_map<IndexKey, std::vector<size_t>, IndexKeyHash> by_value;
     std::vector<size_t> unbound;
   };
 
-  /// Hash key of a directly-bound value; symbols and numbers cannot
-  /// collide ("s<id>" vs "n<canonical rational>").
-  static std::string ValueKey(const ArgSignature& value);
+  /// Index key of a signature binding a symbol or a number (exactly one
+  /// must be set). No string is materialized — Probe/ProbeCost run once
+  /// per candidate join, and the old "s<id>"/"n<rational>" string keys
+  /// showed up as allocation hot spots.
+  static IndexKey KeyOf(const ArgSignature& value);
 
   std::vector<Entry> entries_;
-  std::set<std::string> keys_;
+  std::unordered_set<std::string> keys_;
   std::vector<PositionIndex> index_;  // index_[p-1]; sized to max arity seen
 };
 

@@ -1,11 +1,14 @@
 #include "eval/seminaive.h"
 
+#include <memory>
 #include <numeric>
 #include <set>
 
+#include "constraint/decision_cache.h"
 #include "constraint/implication.h"
 #include "eval/rule_application.h"
 #include "graph/scc.h"
+#include "util/thread_pool.h"
 
 namespace cqlopt {
 namespace {
@@ -104,35 +107,91 @@ void Reconcile(std::vector<Pending>* pending, const Database& db,
   }
 }
 
+/// Applies one rule against the frozen pre-iteration database, buffering
+/// derivations into `pending` and counting into `stats`. The workhorse of
+/// both the serial and the parallel iteration: in the parallel case each
+/// worker gets its own `pending`/`stats`, so the only shared state is the
+/// const database snapshot.
+Status ApplyOneRule(const Program& program, size_t rule_index,
+                    const Database& db, int iteration, bool require_delta,
+                    bool use_index, std::vector<Pending>* pending,
+                    EvalStats* stats) {
+  const Rule& rule = program.rules[rule_index];
+  const std::string rule_key =
+      rule.label.empty() ? "rule#" + std::to_string(rule_index) : rule.label;
+  auto emit = [&](Fact fact,
+                  const std::vector<Relation::FactRef>& parents) -> Status {
+    ++stats->derivations;
+    ++stats->derivations_per_rule[rule_key];
+    pending->push_back(Pending{rule.label, std::move(fact), parents, "",
+                               false, InsertOutcome::kInserted});
+    return Status::OK();
+  };
+  return ApplyRule(rule, db, /*max_birth=*/iteration - 1, require_delta, emit,
+                   use_index, stats);
+}
+
 /// One fixpoint iteration over `rule_indexes`: applies the rules under the
 /// given delta discipline, reconciles the buffered derivations as a set,
 /// and commits the survivors with birth `iteration`. Constraint facts
 /// (body-free rules) fire only when `fire_constraint_facts` is set — the
 /// first iteration of their stratum / of the global loop. Returns the
 /// number of facts inserted.
+///
+/// When `pool` is non-null the rules are applied concurrently, one task per
+/// rule, each deriving into a worker-local buffer against the frozen
+/// pre-iteration database (no commits happen until all rules ran, exactly
+/// as in the serial path). The buffers are then merged in rule order —
+/// ApplyRule enumerates deterministically, so the merged pending list, and
+/// with it fact ids, birth stamps, traces, and stats, are byte-identical to
+/// the serial run at any thread count.
 Result<long> RunIteration(const Program& program,
                           const std::vector<size_t>& rule_indexes,
                           int iteration, bool fire_constraint_facts,
                           bool require_delta, bool use_index,
-                          const EvalOptions& options, EvalResult* result) {
-  std::vector<Pending> pending;
+                          const EvalOptions& options, ThreadPool* pool,
+                          EvalResult* result) {
+  std::vector<size_t> active;
+  active.reserve(rule_indexes.size());
   for (size_t rule_index : rule_indexes) {
-    const Rule& rule = program.rules[rule_index];
-    if (rule.IsConstraintFact() && !fire_constraint_facts) continue;
-    const std::string rule_key =
-        rule.label.empty() ? "rule#" + std::to_string(rule_index) : rule.label;
-    auto emit = [&](Fact fact,
-                    const std::vector<Relation::FactRef>& parents) -> Status {
-      ++result->stats.derivations;
-      ++result->stats.derivations_per_rule[rule_key];
-      pending.push_back(Pending{rule.label, std::move(fact), parents, "",
-                                false, InsertOutcome::kInserted});
-      return Status::OK();
+    if (program.rules[rule_index].IsConstraintFact() && !fire_constraint_facts)
+      continue;
+    active.push_back(rule_index);
+  }
+  std::vector<Pending> pending;
+  if (pool != nullptr && active.size() > 1) {
+    struct WorkerOutput {
+      std::vector<Pending> pending;
+      EvalStats stats;
+      Status status = Status::OK();
     };
-    CQLOPT_RETURN_IF_ERROR(ApplyRule(rule, result->db,
-                                     /*max_birth=*/iteration - 1,
-                                     require_delta, emit, use_index,
-                                     &result->stats));
+    std::vector<WorkerOutput> outputs(active.size());
+    for (size_t t = 0; t < active.size(); ++t) {
+      WorkerOutput* out = &outputs[t];
+      size_t rule_index = active[t];
+      pool->Submit([&program, rule_index, iteration, require_delta, use_index,
+                    out, db = &result->db] {
+        out->status = ApplyOneRule(program, rule_index, *db, iteration,
+                                   require_delta, use_index, &out->pending,
+                                   &out->stats);
+      });
+    }
+    pool->Wait();
+    // Merge counters before surfacing any error, mirroring the serial
+    // path's partially-incremented stats on failure.
+    Status failed = Status::OK();
+    for (WorkerOutput& out : outputs) {
+      result->stats.MergeWorkerCounters(out.stats);
+      for (Pending& p : out.pending) pending.push_back(std::move(p));
+      if (failed.ok() && !out.status.ok()) failed = out.status;
+    }
+    CQLOPT_RETURN_IF_ERROR(failed);
+  } else {
+    for (size_t rule_index : active) {
+      CQLOPT_RETURN_IF_ERROR(ApplyOneRule(program, rule_index, result->db,
+                                          iteration, require_delta, use_index,
+                                          &pending, &result->stats));
+    }
   }
   Reconcile(&pending, result->db, options.subsumption);
   long inserted = 0;
@@ -175,6 +234,11 @@ Result<EvalResult> EvaluateStratified(const Program& program,
   EvalResult result;
   result.db = edb;  // EDB facts carry birth -1.
 
+  // One pool for the whole evaluation: workers survive across iterations
+  // and strata, idling between the fork-join batches.
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads > 1) pool = std::make_unique<ThreadPool>(options.threads);
+
   DependencyGraph graph(program);
   SccDecomposition sccs(graph);
   // components() is in reverse topological order: front depends on nothing
@@ -213,7 +277,7 @@ Result<EvalResult> EvaluateStratified(const Program& program,
           RunIteration(program, rules_of[c], global_iteration,
                        /*fire_constraint_facts=*/local == 0,
                        /*require_delta=*/local > 0, /*use_index=*/true,
-                       options, &result));
+                       options, pool.get(), &result));
       ++global_iteration;
       ++stratum_iterations;
       result.stats.iterations = global_iteration;
@@ -229,13 +293,11 @@ Result<EvalResult> EvaluateStratified(const Program& program,
   return result;
 }
 
-}  // namespace
-
-Result<EvalResult> Evaluate(const Program& program, const Database& edb,
-                            const EvalOptions& options) {
-  if (options.strategy == EvalStrategy::kStratified) {
-    return EvaluateStratified(program, edb, options);
-  }
+/// The kNaive / kSemiNaive oracle loop: every rule in one global fixpoint,
+/// linear-scan joins, always serial (the oracles define the reference
+/// behaviour the parallel stratified path must reproduce).
+Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
+                                  const EvalOptions& options) {
   EvalResult result;
   result.db = edb;  // EDB facts carry birth -1.
 
@@ -248,7 +310,7 @@ Result<EvalResult> Evaluate(const Program& program, const Database& edb,
         long inserted,
         RunIteration(program, all_rules, iteration,
                      /*fire_constraint_facts=*/iteration == 0, require_delta,
-                     /*use_index=*/false, options, &result));
+                     /*use_index=*/false, options, /*pool=*/nullptr, &result));
     result.stats.iterations = iteration + 1;
     if (inserted == 0) {
       result.stats.reached_fixpoint = true;
@@ -258,6 +320,26 @@ Result<EvalResult> Evaluate(const Program& program, const Database& edb,
 
   for (const auto& [pred, rel] : result.db.relations()) {
     result.stats.facts_per_pred[pred] = static_cast<long>(rel.size());
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<EvalResult> Evaluate(const Program& program, const Database& edb,
+                            const EvalOptions& options) {
+  // The decision cache is process-wide; attribute its activity to this
+  // evaluation by differencing the counters around the run.
+  DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  Result<EvalResult> result =
+      options.strategy == EvalStrategy::kStratified
+          ? EvaluateStratified(program, edb, options)
+          : EvaluateGlobal(program, edb, options);
+  if (result.ok()) {
+    DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
+    result->stats.cache_hits = after.hits - before.hits;
+    result->stats.cache_misses = after.misses - before.misses;
+    result->stats.cache_evictions = after.evictions - before.evictions;
   }
   return result;
 }

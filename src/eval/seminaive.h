@@ -46,6 +46,13 @@ struct EvalOptions {
   EvalStrategy strategy = EvalStrategy::kSemiNaive;
   /// Record per-iteration derivation lists (the format of Tables 1 and 2).
   bool record_trace = false;
+  /// Worker threads applying rules within each kStratified iteration
+  /// (ignored by the oracle strategies). Workers read the frozen
+  /// pre-iteration snapshot and derive into thread-local buffers; a
+  /// deterministic serial merge (rule order, then enumeration order) then
+  /// reconciles and commits, so final facts, birth stamps, traces, and
+  /// stats are byte-identical to the serial run at any thread count.
+  int threads = 1;
 };
 
 /// One derivation event in the trace.

@@ -2,6 +2,18 @@
 
 namespace cqlopt {
 
+void EvalStats::MergeWorkerCounters(const EvalStats& worker) {
+  derivations += worker.derivations;
+  index_probes += worker.index_probes;
+  scan_probes += worker.scan_probes;
+  index_candidates += worker.index_candidates;
+  scan_candidates += worker.scan_candidates;
+  indexed_scan_equivalent += worker.indexed_scan_equivalent;
+  for (const auto& [rule, count] : worker.derivations_per_rule) {
+    derivations_per_rule[rule] += count;
+  }
+}
+
 std::string EvalStats::ToString(const SymbolTable& symbols) const {
   std::string out = "derivations=" + std::to_string(derivations) +
                     " inserted=" + std::to_string(inserted) +
@@ -17,6 +29,16 @@ std::string EvalStats::ToString(const SymbolTable& symbols) const {
       out += std::to_string(scc_iterations[i]);
     }
     out += "]";
+  }
+  if (cache_hits > 0 || cache_misses > 0) {
+    long lookups = cache_hits + cache_misses;
+    out += " cache-hits=" + std::to_string(cache_hits) +
+           " cache-misses=" + std::to_string(cache_misses) +
+           " cache-hit-rate=" +
+           std::to_string(lookups > 0 ? 100 * cache_hits / lookups : 0) + "%";
+    if (cache_evictions > 0) {
+      out += " cache-evictions=" + std::to_string(cache_evictions);
+    }
   }
   if (index_probes > 0 || scan_probes > 0) {
     out += " index-probes=" + std::to_string(index_probes) +

@@ -56,6 +56,19 @@ struct EvalStats {
   /// unlabeled rules) — lets benches attribute wins rule by rule.
   std::map<std::string, long> derivations_per_rule;
 
+  // --- Decision-cache accounting: the DecisionCache counter deltas
+  // accumulated by this evaluation (the cache itself is process-wide;
+  // Evaluate snapshots before/after). ---
+  long cache_hits = 0;
+  long cache_misses = 0;
+  long cache_evictions = 0;
+
+  /// Folds the join/derivation counters of one parallel worker into this —
+  /// the deterministic-merge half of eval/seminaive.cc's parallel
+  /// iteration. All folded fields are sums, so merge order cannot change
+  /// the totals.
+  void MergeWorkerCounters(const EvalStats& worker);
+
   std::string ToString(const SymbolTable& symbols) const;
 };
 

@@ -5,6 +5,7 @@
 
 #include "ast/arg_map.h"
 #include "ast/normalize.h"
+#include "constraint/decision_cache.h"
 
 namespace cqlopt {
 namespace {
@@ -50,7 +51,9 @@ Result<std::map<PredId, ConstraintSet>> PredicateSingleStep(
   return inferred;
 }
 
-Result<InferenceResult> GenPredicateConstraints(
+namespace {
+
+Result<InferenceResult> GenPredicateConstraintsImpl(
     const Program& program,
     const std::map<PredId, ConstraintSet>& edb_constraints,
     const InferenceOptions& options) {
@@ -108,6 +111,25 @@ Result<InferenceResult> GenPredicateConstraints(
   // terminating variant) — trivially a predicate constraint.
   for (PredId p : derived) result.constraints[p] = ConstraintSet::True();
   result.converged = false;
+  return result;
+}
+
+}  // namespace
+
+Result<InferenceResult> GenPredicateConstraints(
+    const Program& program,
+    const std::map<PredId, ConstraintSet>& edb_constraints,
+    const InferenceOptions& options) {
+  // The decision cache is process-wide; attribute its activity to this
+  // inference run by differencing the counters around it.
+  DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  Result<InferenceResult> result =
+      GenPredicateConstraintsImpl(program, edb_constraints, options);
+  if (result.ok()) {
+    DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
+    result->cache_hits = after.hits - before.hits;
+    result->cache_misses = after.misses - before.misses;
+  }
   return result;
 }
 

@@ -30,6 +30,11 @@ struct InferenceResult {
   /// widened to `true`, so they are still sound, just not minimum).
   bool converged = false;
   int iterations = 0;
+  /// Decision-cache activity attributed to this inference run (the
+  /// fixpoints re-decide the same implications every iteration, so the
+  /// memo hit rate here is a direct measure of saved Fourier-Motzkin work).
+  long cache_hits = 0;
+  long cache_misses = 0;
 };
 
 /// Procedure Gen_predicate_constraints (Section 4.4, Appendix C): iterates

@@ -3,12 +3,14 @@
 #include <set>
 
 #include "ast/arg_map.h"
+#include "constraint/decision_cache.h"
 
 namespace cqlopt {
+namespace {
 
-Result<InferenceResult> GenQrpConstraints(const Program& program,
-                                          PredId query_pred,
-                                          const InferenceOptions& options) {
+Result<InferenceResult> GenQrpConstraintsImpl(const Program& program,
+                                              PredId query_pred,
+                                              const InferenceOptions& options) {
   InferenceResult result;
   // QRP constraints are tracked for every predicate occurring in the
   // program — derived predicates feed the propagation; database-predicate
@@ -67,6 +69,24 @@ Result<InferenceResult> GenQrpConstraints(const Program& program,
   // Cap hit: `true` is trivially a QRP constraint (Section 4.2).
   for (PredId p : preds) result.constraints[p] = ConstraintSet::True();
   result.converged = false;
+  return result;
+}
+
+}  // namespace
+
+Result<InferenceResult> GenQrpConstraints(const Program& program,
+                                          PredId query_pred,
+                                          const InferenceOptions& options) {
+  // As in GenPredicateConstraints: attribute the process-wide decision
+  // cache's activity to this run by differencing its counters.
+  DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  Result<InferenceResult> result =
+      GenQrpConstraintsImpl(program, query_pred, options);
+  if (result.ok()) {
+    DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
+    result->cache_hits = after.hits - before.hits;
+    result->cache_misses = after.misses - before.misses;
+  }
   return result;
 }
 

@@ -1,0 +1,56 @@
+#ifndef CQLOPT_UTIL_THREAD_POOL_H_
+#define CQLOPT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cqlopt {
+
+/// Fixed-size pool of worker threads executing submitted tasks FIFO.
+///
+/// Built for the fork-join shape of the parallel stratified fixpoint
+/// (eval/seminaive.cc): every iteration submits one task per rule, then
+/// Wait()s for the batch to drain before the serial reconcile/commit phase.
+/// Keeping the workers alive across iterations avoids re-spawning threads
+/// hundreds of times per evaluation.
+///
+/// Tasks must not throw (the library is exception-free; report failures
+/// through state captured by the task). Submit after Wait() is allowed —
+/// the pool is reusable batch to batch. The destructor drains outstanding
+/// tasks before joining the workers.
+class ThreadPool {
+ public:
+  /// Spawns max(1, threads) workers.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for some worker to run.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished running.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task queued / stop
+  std::condition_variable idle_cv_;  // signals Wait(): batch drained
+  std::deque<std::function<void()>> queue_;
+  long in_flight_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_UTIL_THREAD_POOL_H_

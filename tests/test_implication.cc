@@ -113,6 +113,20 @@ TEST(ImplicationTest, DisjunctionEmptyIsFalse) {
   EXPECT_TRUE(ImpliesDisjunction(Conjunction::False(), {}));
 }
 
+TEST(ImplicationTest, EmptyDisjunctCoversEverything) {
+  // A disjunct with no atoms is `true`, so the disjunction is implied by
+  // anything — including conjunctions that imply no other disjunct. Pins
+  // the contract the RefuteAll tail (constraint/implication.cc) documents:
+  // ¬true contributes no case-split branches, so an empty disjunct covers
+  // all of `a` (in practice the per-disjunct fast path already accepts it).
+  Conjunction a = Conj({Atom({{1, 1}}, -1, CmpOp::kLe)});
+  Conjunction empty;  // no atoms: true
+  EXPECT_TRUE(ImpliesDisjunction(a, {empty}));
+  Conjunction unrelated = Conj({Atom({{2, 1}}, -9, CmpOp::kLe)});
+  EXPECT_TRUE(ImpliesDisjunction(a, {unrelated, empty}));
+  EXPECT_TRUE(ImpliesDisjunction(Conjunction::True(), {empty}));
+}
+
 TEST(ImplicationTest, UnsatisfiableDisjunctsIgnored) {
   Conjunction a = Conj({Atom({{1, 1}}, -1, CmpOp::kLe)});
   Conjunction dead = Conjunction::False();

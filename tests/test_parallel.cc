@@ -1,0 +1,262 @@
+// Differential-testing suite for the parallel stratified fixpoint: at every
+// thread count the evaluation must be *byte-identical* to the serial run —
+// same facts in the same entry order, same birth stamps, same rule labels,
+// same rendered trace, same stats — because workers only fill thread-local
+// buffers that a deterministic merge (rule order, then enumeration order)
+// reassembles into exactly the serial pending list. This is a much stronger
+// check than fixpoint equality: any scheduling leak (a worker observing
+// another's derivation, a merge reordering) changes entry order or birth
+// stamps and fails here even when the final fact set is right.
+
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "constraint/constraint_set.h"
+#include "core/workload.h"
+#include "eval/loader.h"
+#include "eval/seminaive.h"
+#include "transform/magic.h"
+#include "transform/predicate_constraints.h"
+
+namespace cqlopt {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+std::string ProgramPath(const std::string& name) {
+  return std::string(CQLOPT_PROGRAMS_DIR) + "/" + name;
+}
+
+/// Corpus-style EDB: 12 numeric tuples per database predicate (matches
+/// test_stratified.cc so both suites stress the same workloads).
+Database SyntheticEdb(const Program& program, uint64_t seed) {
+  Database db;
+  for (PredId pred : program.DatabasePredicates()) {
+    const std::string& name = program.symbols->PredicateName(pred);
+    int arity = program.Arity(pred);
+    std::mt19937_64 rng(seed + static_cast<uint64_t>(pred));
+    for (int i = 0; i < 12; ++i) {
+      std::vector<Database::Value> values;
+      for (int a = 0; a < arity; ++a) {
+        values.push_back(Database::Value::Number(
+            Rational(static_cast<int64_t>(rng() % 30))));
+      }
+      (void)db.AddGroundFact(program.symbols.get(), name, values);
+    }
+  }
+  return db;
+}
+
+/// Byte-identity of two evaluation results: every relation has the same
+/// entries in the same order with the same canonical key, birth stamp, and
+/// deriving rule.
+::testing::AssertionResult ResultsIdentical(const EvalResult& serial,
+                                            const EvalResult& parallel,
+                                            const SymbolTable& symbols) {
+  std::set<PredId> preds;
+  for (const auto& [pred, rel] : serial.db.relations()) preds.insert(pred);
+  for (const auto& [pred, rel] : parallel.db.relations()) preds.insert(pred);
+  for (PredId pred : preds) {
+    const Relation* a = serial.db.Find(pred);
+    const Relation* b = parallel.db.Find(pred);
+    size_t na = a == nullptr ? 0 : a->size();
+    size_t nb = b == nullptr ? 0 : b->size();
+    if (na != nb) {
+      return ::testing::AssertionFailure()
+             << symbols.PredicateName(pred) << ": " << na << " vs " << nb
+             << " entries";
+    }
+    for (size_t i = 0; i < na; ++i) {
+      const Relation::Entry& ea = a->entries()[i];
+      const Relation::Entry& eb = b->entries()[i];
+      if (ea.fact.Key() != eb.fact.Key() || ea.birth != eb.birth ||
+          ea.rule_label != eb.rule_label) {
+        return ::testing::AssertionFailure()
+               << symbols.PredicateName(pred) << " entry " << i << ": "
+               << ea.fact.Key() << "@" << ea.birth << " [" << ea.rule_label
+               << "] vs " << eb.fact.Key() << "@" << eb.birth << " ["
+               << eb.rule_label << "]";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void ExpectParallelMatchesSerial(const Program& program, const Database& db,
+                                 const std::string& label,
+                                 int max_iterations = 48) {
+  for (auto [mode_name, mode] :
+       {std::pair<const char*, SubsumptionMode>{"none",
+                                                SubsumptionMode::kNone},
+        {"single-fact", SubsumptionMode::kSingleFact},
+        {"set-implication", SubsumptionMode::kSetImplication}}) {
+    SCOPED_TRACE(label + " / subsumption=" + mode_name);
+    EvalOptions options;
+    options.strategy = EvalStrategy::kStratified;
+    options.subsumption = mode;
+    options.max_iterations = max_iterations;
+    options.record_trace = true;
+    auto serial = Evaluate(program, db, options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      options.threads = threads;
+      auto parallel = Evaluate(program, db, options);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_TRUE(
+          ResultsIdentical(*serial, *parallel, *program.symbols));
+      EXPECT_EQ(RenderTrace(serial->trace), RenderTrace(parallel->trace));
+      const EvalStats& s = serial->stats;
+      const EvalStats& p = parallel->stats;
+      EXPECT_EQ(s.derivations, p.derivations);
+      EXPECT_EQ(s.inserted, p.inserted);
+      EXPECT_EQ(s.subsumed, p.subsumed);
+      EXPECT_EQ(s.duplicates, p.duplicates);
+      EXPECT_EQ(s.iterations, p.iterations);
+      EXPECT_EQ(s.reached_fixpoint, p.reached_fixpoint);
+      EXPECT_EQ(s.all_ground, p.all_ground);
+      EXPECT_EQ(s.scc_iterations, p.scc_iterations);
+      EXPECT_EQ(s.derivations_per_rule, p.derivations_per_rule);
+    }
+  }
+}
+
+class CorpusParallelTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusParallelTest, IdenticalToSerial) {
+  std::string text = ReadFile(ProgramPath(GetParam()));
+  auto parsed = ParseProgram(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Program& program = parsed->program;
+  Database db;
+  if (std::string(GetParam()) == "flights.cql") {
+    auto loaded = LoadDatabaseText(ReadFile(ProgramPath("flights_edb.cql")),
+                                   program.symbols, &db);
+    ASSERT_TRUE(loaded.ok());
+  } else {
+    db = SyntheticEdb(program, 1234);
+  }
+  // Capped runs included on purpose: the parallel engine must match the
+  // serial one on the truncated frontier too, not just at a fixpoint.
+  int cap = std::string(GetParam()) == "fib.cql" ? 14 : 48;
+  ExpectParallelMatchesSerial(program, db, GetParam(), cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, CorpusParallelTest,
+                         ::testing::Values("flights.cql", "fib.cql",
+                                           "example41.cql", "example42.cql",
+                                           "example61.cql", "example71.cql",
+                                           "example72.cql"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+ParseResult ParseOrDie(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+TEST(ParallelWorkloadTest, FlightNetworkSymbolJoins) {
+  Program p = ParseOrDie(
+                  "cheaporshort(S, D, T, C) :- flight(S, D, T, C), "
+                  "T <= 240.\n"
+                  "cheaporshort(S, D, T, C) :- flight(S, D, T, C), "
+                  "C <= 150.\n"
+                  "flight(S, D, T, C) :- singleleg(S, D, T, C), C > 0, "
+                  "T > 0.\n"
+                  "flight(S, D, T, C) :- flight(S, D1, T1, C1), "
+                  "flight(D1, D, T2, C2), T = T1 + T2 + 30, C = C1 + C2.\n")
+                  .program;
+  Database db;
+  FlightNetworkSpec spec;
+  spec.airports = 8;
+  spec.legs = 16;
+  spec.seed = 5;
+  ASSERT_TRUE(AddFlightNetwork(p.symbols.get(), spec, &db).ok());
+  ExpectParallelMatchesSerial(p, db, "flights/generated-network");
+}
+
+TEST(ParallelWorkloadTest, MultiStratumSelectionOverClosure) {
+  Program p = ParseOrDie(
+                  "t(X, Y) :- e(X, Y).\n"
+                  "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+                  "s(X, Y) :- t(X, Y), X <= 5.\n"
+                  "top(X) :- s(X, Y), t(Y, Z).\n")
+                  .program;
+  Database db;
+  ASSERT_TRUE(AddLayeredGraph(p.symbols.get(), "e", 4, 3, 2, 11, &db).ok());
+  ExpectParallelMatchesSerial(p, db, "multi-stratum/layered-graph");
+}
+
+TEST(ParallelWorkloadTest, ConstraintFactsAcrossStrata) {
+  Program p = ParseOrDie(
+                  "base(X) :- X >= 0, X <= 10.\n"
+                  "base(X) :- X >= 3, X <= 5.\n"
+                  "lifted(X) :- base(X), u(X).\n")
+                  .program;
+  Database db;
+  ASSERT_TRUE(AddUnaryRelation(p.symbols.get(), "u", 20, 15, 9, &db).ok());
+  ExpectParallelMatchesSerial(p, db, "constraint-facts");
+}
+
+/// The pinned Table 1 workload: the magic fib program whose trace
+/// test_paper_examples.cc locks against the paper. The parallel engine must
+/// reproduce the identical (golden) trace on the capped non-terminating run.
+TEST(ParallelPaperTest, Table1MagicFibTrace) {
+  ParseResult in = ParseOrDie(
+      "r1: fib(0, 1).\n"
+      "r2: fib(1, 1).\n"
+      "r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).\n"
+      "?- fib(N, 5).\n");
+  ASSERT_EQ(in.queries.size(), 1u);
+  MagicOptions options;
+  options.sips = SipStrategy::kFullLeftToRight;
+  auto magic = MagicTemplates(in.program, in.queries[0], options);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  ExpectParallelMatchesSerial(magic->program, Database(), "table1/P_fib^mg",
+                              /*max_iterations=*/9);
+}
+
+/// The pinned Table 2 workload: fib with the hand-picked predicate
+/// constraint $2 >= 1 propagated, then magic-rewritten — terminates, so
+/// this exercises a full fixpoint with constraint facts and subsumption.
+TEST(ParallelPaperTest, Table2ConstrainedMagicFibTrace) {
+  ParseResult in = ParseOrDie(
+      "r1: fib(0, 1).\n"
+      "r2: fib(1, 1).\n"
+      "r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).\n"
+      "?- fib(N, 5).\n");
+  ASSERT_EQ(in.queries.size(), 1u);
+  Conjunction c;
+  LinearExpr e = LinearExpr::Constant(Rational(1)) - LinearExpr::Var(2);
+  ASSERT_TRUE(c.AddLinear(LinearConstraint(e, CmpOp::kLe)).ok());
+  std::map<PredId, ConstraintSet> given;
+  given[in.program.symbols->LookupPredicate("fib")] = ConstraintSet::Of(c);
+  auto pfib1 = PropagateGivenConstraints(in.program, given);
+  ASSERT_TRUE(pfib1.ok()) << pfib1.status().ToString();
+  MagicOptions options;
+  options.sips = SipStrategy::kFullLeftToRight;
+  auto magic = MagicTemplates(*pfib1, in.queries[0], options);
+  ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+  ExpectParallelMatchesSerial(magic->program, Database(), "table2/P_fib,1^mg",
+                              /*max_iterations=*/40);
+}
+
+}  // namespace
+}  // namespace cqlopt
