@@ -259,6 +259,7 @@ class Parser {
     rule_vars_.clear();
     rule_var_names_.clear();
     Rule rule;
+    rule.source_line = Cur().line;
     // Optional label: ident ':' (but not ':-').
     if (At(TokenKind::kIdent) && Next().kind == TokenKind::kColon) {
       rule.label = Cur().text;
@@ -282,8 +283,10 @@ class Parser {
   Result<Query> ParseQuery(Program* program) {
     rule_vars_.clear();
     rule_var_names_.clear();
+    int line = Cur().line;
     CQLOPT_RETURN_IF_ERROR(Expect(TokenKind::kQuery, "'?-'"));
     Query query;
+    query.source_line = line;
     std::vector<Literal> body;
     do {
       CQLOPT_RETURN_IF_ERROR(ParseBodyItem(program, &body, &query.constraints));

@@ -18,6 +18,9 @@ namespace cqlopt {
 struct Query {
   Literal literal;
   Conjunction constraints;
+  /// 1-based source line of the `?-` statement, or 0 if built
+  /// programmatically (mirrors Rule::source_line).
+  int source_line = 0;
 };
 
 /// A CQL program: a finite set of rules over a shared symbol table

@@ -30,6 +30,10 @@ struct Rule {
   /// Original names of rule variables, for printing; fresh variables
   /// introduced by transformations get generated names.
   std::map<VarId, std::string> var_names;
+  /// 1-based source line of the statement this rule was parsed from, or 0
+  /// for rules built programmatically / by transformations. Error paths
+  /// that reject statements (e.g. LoadDatabaseText) cite it.
+  int source_line = 0;
 
   bool IsConstraintFact() const { return body.empty(); }
 

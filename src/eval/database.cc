@@ -22,6 +22,21 @@ Status Database::AddGroundFact(SymbolTable* symbols,
   return Status::OK();
 }
 
+Database::BatchOutcome Database::AddFacts(const std::vector<Fact>& batch,
+                                          int birth) {
+  BatchOutcome out;
+  for (const Fact& fact : batch) {
+    InsertOutcome o = relations_[fact.pred].Insert(fact, birth,
+                                                   SubsumptionMode::kNone);
+    if (o == InsertOutcome::kInserted) {
+      ++out.inserted;
+    } else {
+      ++out.duplicates;
+    }
+  }
+  return out;
+}
+
 const Relation* Database::Find(PredId pred) const {
   auto it = relations_.find(pred);
   return it == relations_.end() ? nullptr : &it->second;

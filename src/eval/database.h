@@ -45,6 +45,25 @@ class Database {
   Status AddGroundFact(SymbolTable* symbols, const std::string& pred_name,
                        const std::vector<Value>& values);
 
+  /// Batch EDB ingest: inserts every fact verbatim (no subsumption pruning,
+  /// like the single-fact AddFact; structural duplicates are dropped) with
+  /// the given birth stamp. EDB loading uses birth -1; the incremental
+  /// resume path (seminaive.h ResumeEvaluate) stamps the batch with the
+  /// resuming iteration so the facts drive the semi-naive delta discipline.
+  struct BatchOutcome {
+    int inserted = 0;
+    int duplicates = 0;
+  };
+  BatchOutcome AddFacts(const std::vector<Fact>& batch, int birth = -1);
+
+  /// Epoch tag of this database snapshot. The service layer
+  /// (src/service/query_service.h) publishes immutable `Database` copies,
+  /// one per committed ingest batch, and advances the tag on commit; a
+  /// reader evaluating against a snapshot can assert which epoch it saw.
+  /// Plain evaluation ignores the tag (EvalResult::db inherits the EDB's).
+  int64_t epoch() const { return epoch_; }
+  void set_epoch(int64_t epoch) { epoch_ = epoch; }
+
   const Relation* Find(PredId pred) const;
   Relation* FindMutable(PredId pred) { return &relations_[pred]; }
   const std::map<PredId, Relation>& relations() const { return relations_; }
@@ -57,6 +76,7 @@ class Database {
 
  private:
   std::map<PredId, Relation> relations_;
+  int64_t epoch_ = 0;
 };
 
 }  // namespace cqlopt

@@ -2,8 +2,21 @@
 
 #include "ast/arg_map.h"
 #include "ast/parser.h"
+#include "ast/printer.h"
 
 namespace cqlopt {
+namespace {
+
+/// Positional load error: cites the 1-based source line and the offending
+/// statement rendered back in the surface syntax, so a bad row in a large
+/// fact file can be found without bisecting the input.
+Status FactError(int line, const std::string& statement,
+                 const std::string& problem) {
+  return Status::InvalidArgument("database text line " + std::to_string(line) +
+                                 ": " + problem + ": " + statement);
+}
+
+}  // namespace
 
 Result<int> LoadDatabaseText(const std::string& text,
                              std::shared_ptr<SymbolTable> symbols,
@@ -11,21 +24,26 @@ Result<int> LoadDatabaseText(const std::string& text,
   CQLOPT_ASSIGN_OR_RETURN(ParseResult parsed,
                           ParseProgram(text, std::move(symbols)));
   if (!parsed.queries.empty()) {
-    return Status::InvalidArgument("database text must not contain queries");
+    return Status::InvalidArgument(
+        "database text line " + std::to_string(parsed.queries[0].source_line) +
+        ": queries are not allowed in an EDB: " +
+        RenderQuery(parsed.queries[0], *parsed.program.symbols));
   }
   int loaded = 0;
   for (const Rule& rule : parsed.program.rules) {
     if (!rule.IsConstraintFact()) {
-      return Status::InvalidArgument(
-          "database text must contain only facts; rule '" + rule.label +
-          "' has a body");
+      return FactError(rule.source_line,
+                       RenderRule(rule, *parsed.program.symbols),
+                       "rule has a body; only facts are allowed");
     }
     // Convert the head's variable-form constraints to argument-position
     // form, exactly as a derived fact would be built.
     CQLOPT_ASSIGN_OR_RETURN(Conjunction over_positions,
                             LtopConjunction(rule.head, rule.constraints));
     if (!over_positions.IsSatisfiable()) {
-      return Status::InvalidArgument("unsatisfiable fact in database text");
+      return FactError(rule.source_line,
+                       RenderRule(rule, *parsed.program.symbols),
+                       "fact is unsatisfiable");
     }
     over_positions.Simplify();
     db->AddFact(

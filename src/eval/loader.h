@@ -18,6 +18,10 @@ namespace cqlopt {
 /// (e.g. `m_fib(N, 5).`) are accepted too — they load as constraint facts
 /// with birth -1, exactly like programmatic AddFact. Predicates and symbols
 /// are interned into `symbols`. Returns the number of facts loaded.
+///
+/// Malformed inputs are rejected with the 1-based source line and the
+/// offending statement rendered back in the surface syntax (rules with
+/// bodies, unsatisfiable facts, and `?-` queries are all positional errors).
 Result<int> LoadDatabaseText(const std::string& text,
                              std::shared_ptr<SymbolTable> symbols,
                              Database* db);

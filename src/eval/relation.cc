@@ -44,6 +44,7 @@ InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
                                      fact.constraint.QuickNumericValue(i)});
   }
   keys_.insert(std::move(key));
+  if (birth > max_birth_) max_birth_ = birth;
   entries_.push_back(Entry{std::move(fact), birth, ground,
                            std::move(signature), std::move(rule_label),
                            std::move(parents)});

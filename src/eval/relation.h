@@ -118,6 +118,14 @@ class Relation {
   /// True if every stored fact is ground.
   bool AllGround() const;
 
+  /// Largest birth stamp ever stored (-2 while empty). A cheap
+  /// delta-availability bound for semi-naive joins: no entry of this
+  /// relation can have birth == b when max_birth() < b. The bound is an
+  /// over-approximation in the other direction — it never decreases, so it
+  /// can exceed the birth of every *current* entry; callers may only use it
+  /// to prune, never to assert a delta exists.
+  int max_birth() const { return max_birth_; }
+
  private:
   /// Exact map key of a directly-bound value — the bound symbol, or the
   /// bound number when no symbol is bound. An exact key (not a bare hash):
@@ -161,6 +169,7 @@ class Relation {
   std::vector<Entry> entries_;
   std::unordered_set<std::string> keys_;
   std::vector<PositionIndex> index_;  // index_[p-1]; sized to max arity seen
+  int max_birth_ = -2;
 };
 
 }  // namespace cqlopt

@@ -5,6 +5,14 @@
 namespace cqlopt {
 namespace {
 
+/// Per-literal birth restriction of one delta rotation (ApplyRule's
+/// `delta_rotate` mode).
+enum class BirthFilter : char {
+  kAny,    // birth <= max_birth (the classic bound)
+  kOld,    // birth <  max_birth — positions before the rotation's pivot
+  kDelta,  // birth == max_birth — the pivot itself
+};
+
 struct JoinContext {
   const Rule* rule;
   const Database* db;
@@ -13,6 +21,18 @@ struct JoinContext {
   const EmitFn* emit;
   bool use_index;
   EvalStats* stats;
+  /// suffix_has_delta[i] — some literal j >= i references a relation whose
+  /// max_birth() reaches max_birth, i.e. that literal MAY still contribute a
+  /// delta fact (Relation::max_birth() never under-reports, so false means
+  /// "provably cannot"). Sized body.size() + 1 when require_delta is set,
+  /// empty otherwise. Classic (non-rotated) joins only.
+  std::vector<char> suffix_has_delta;
+  /// Rotation mode (null outside it): `order` maps enumeration depth to
+  /// body-literal position — the pivot literal is enumerated first so its
+  /// delta fact's bindings drive index probes for the rest — and `filter`
+  /// gives each body-literal position its birth restriction.
+  const std::vector<size_t>* order = nullptr;
+  const std::vector<BirthFilter>* filter = nullptr;
 };
 
 Status EmitHead(const JoinContext& ctx, const Conjunction& accumulated,
@@ -29,22 +49,37 @@ Status EmitHead(const JoinContext& ctx, const Conjunction& accumulated,
                      parents);
 }
 
-/// Recursion over body literals; `saw_delta` tracks whether any chosen fact
-/// was born exactly at max_birth; `parents` records the chosen facts.
+/// Recursion over body literals (in `ctx.order` when rotating, body order
+/// otherwise); `saw_delta` tracks whether any chosen fact was born exactly
+/// at max_birth; `parents` records the chosen facts by body-literal
+/// position.
 Status JoinFrom(const JoinContext& ctx, size_t index,
                 const Conjunction& accumulated, bool saw_delta,
                 std::vector<Relation::FactRef>* parents) {
   if (index == ctx.rule->body.size()) {
-    if (ctx.require_delta && !saw_delta) return Status::OK();
+    // A rotation carries its delta by construction (the pivot literal).
+    if (ctx.require_delta && ctx.order == nullptr && !saw_delta) {
+      return Status::OK();
+    }
     return EmitHead(ctx, accumulated, *parents);
   }
-  const Literal& lit = ctx.rule->body[index];
+  const size_t lit_pos = ctx.order == nullptr ? index : (*ctx.order)[index];
+  const Literal& lit = ctx.rule->body[lit_pos];
   const Relation* rel = ctx.db->Find(lit.pred);
   if (rel == nullptr) return Status::OK();
-  // Remaining-delta pruning: if no later literal can still contribute a
-  // delta fact, combinations without one so far are useless — but detecting
-  // that cheaply per branch costs more than it saves here; the saw_delta
-  // check at the leaves is sufficient for correctness.
+  // Remaining-delta pruning (classic order only): a combination without a
+  // delta fact is discarded at the leaf, so once no remaining literal can
+  // supply one the whole branch is dead — and when only THIS literal still
+  // can, every non-delta entry of it is dead too. Both cuts remove only
+  // leaf-rejected combinations, so the surviving derivations and their
+  // order are untouched.
+  BirthFilter filter = BirthFilter::kAny;
+  if (ctx.order != nullptr) {
+    filter = (*ctx.filter)[lit_pos];
+  } else if (ctx.require_delta && !saw_delta) {
+    if (!ctx.suffix_has_delta[index]) return Status::OK();
+    if (ctx.suffix_has_delta[index + 1] == 0) filter = BirthFilter::kDelta;
+  }
   std::map<VarId, VarId> to_args;
   for (int i = 0; i < lit.arity(); ++i) {
     to_args[i + 1] = lit.args[static_cast<size_t>(i)];
@@ -70,6 +105,12 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
     const Relation::Entry& entry = rel->entries()[i];
     int birth = entry.birth;
     if (birth > ctx.max_birth) return Status::OK();
+    if (filter == BirthFilter::kDelta && birth != ctx.max_birth) {
+      return Status::OK();
+    }
+    if (filter == BirthFilter::kOld && birth == ctx.max_birth) {
+      return Status::OK();
+    }
     if (entry.fact.arity != lit.arity()) return Status::OK();
     bool clash = false;
     for (size_t a = 0; a < entry.signature.size(); ++a) {
@@ -94,12 +135,12 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
         next.AddConjunction(rel->entries()[i].fact.constraint.Rename(to_args));
     if (!st.ok()) return st;
     if (next.known_unsat() || !next.IsSatisfiable()) return Status::OK();
-    parents->push_back(Relation::FactRef{lit.pred, i});
-    CQLOPT_RETURN_IF_ERROR(JoinFrom(ctx, index + 1, next,
-                                    saw_delta || birth == ctx.max_birth,
-                                    parents));
-    parents->pop_back();
-    return Status::OK();
+    // Assigned by body-literal position (not enumeration depth): at the
+    // leaf every position on the path has been written, so `parents` lists
+    // the combination in body order whichever order enumerated it.
+    (*parents)[lit_pos] = Relation::FactRef{lit.pred, i};
+    return JoinFrom(ctx, index + 1, next,
+                    saw_delta || birth == ctx.max_birth, parents);
   };
   // Access-path choice: probe the hash index at the most selective bound
   // position, falling back to the linear scan when no position is bound to
@@ -170,15 +211,65 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
 
 Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
                  bool require_delta, const EmitFn& emit, bool use_index,
-                 EvalStats* stats) {
-  JoinContext ctx{&rule, &db, max_birth, require_delta, &emit, use_index,
-                  stats};
+                 EvalStats* stats, bool delta_rotate) {
+  JoinContext ctx{&rule, &db,      max_birth, require_delta,
+                  &emit, use_index, stats,     {}};
   if (rule.body.empty()) {
     return EmitHead(ctx, rule.constraints, {});
   }
+  // Delta capability per body literal: when no body relation's max_birth()
+  // reaches max_birth, no combination can contain a delta fact, so the rule
+  // derives nothing this iteration — skip before touching any index or
+  // constraint machinery.
+  std::vector<char> capable;
+  if (require_delta) {
+    capable.resize(rule.body.size(), 0);
+    bool any = false;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Relation* rel = db.Find(rule.body[i].pred);
+      capable[i] =
+          static_cast<char>(rel != nullptr && rel->max_birth() >= max_birth);
+      any = any || capable[i] != 0;
+    }
+    if (!any) return Status::OK();
+  }
   if (!rule.constraints.IsSatisfiable()) return Status::OK();
-  std::vector<Relation::FactRef> parents;
-  parents.reserve(rule.body.size());
+  std::vector<Relation::FactRef> parents(rule.body.size());
+  if (require_delta && delta_rotate) {
+    // Delta rotations: one pass per delta-capable position p, enumerating
+    // p's delta entries FIRST so their bindings turn the remaining literals
+    // into index probes, with positions before p held to pre-delta facts.
+    // Each delta-containing combination has exactly one first delta
+    // position, so the rotations partition the classic enumeration — same
+    // derivations, order grouped by pivot.
+    std::vector<BirthFilter> filter(rule.body.size());
+    std::vector<size_t> order(rule.body.size());
+    for (size_t p = 0; p < rule.body.size(); ++p) {
+      if (capable[p] == 0) continue;
+      order[0] = p;
+      for (size_t i = 0, at = 1; i < rule.body.size(); ++i) {
+        if (i != p) order[at++] = i;
+      }
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        filter[i] = i < p    ? BirthFilter::kOld
+                    : i == p ? BirthFilter::kDelta
+                             : BirthFilter::kAny;
+      }
+      ctx.order = &order;
+      ctx.filter = &filter;
+      CQLOPT_RETURN_IF_ERROR(
+          JoinFrom(ctx, 0, rule.constraints, /*saw_delta=*/false, &parents));
+    }
+    return Status::OK();
+  }
+  if (require_delta) {
+    ctx.suffix_has_delta.assign(rule.body.size() + 1, 0);
+    for (size_t i = rule.body.size(); i-- > 0;) {
+      ctx.suffix_has_delta[i] =
+          static_cast<char>(capable[i] != 0 ||
+                            ctx.suffix_has_delta[i + 1] != 0);
+    }
+  }
   return JoinFrom(ctx, 0, rule.constraints, /*saw_delta=*/false, &parents);
 }
 

@@ -24,6 +24,30 @@ using EmitFn =
 /// and when `require_delta` is set at least one chosen fact must have birth
 /// == `max_birth` (the facts newly derived in the previous iteration).
 ///
+/// Delta-availability pruning: under `require_delta`, Relation::max_birth()
+/// bounds tell in O(body) whether any combination can contain a delta fact.
+/// A rule none of whose body relations reach `max_birth` is skipped
+/// outright; during the join, a branch that has not yet taken a delta fact
+/// is cut as soon as no remaining literal can supply one, and when only the
+/// current literal can, its enumeration is restricted to delta-born
+/// entries. All three cuts discard only combinations the leaf check would
+/// reject, so the emitted derivations and their order are identical to the
+/// unpruned join.
+///
+/// Delta rotation (`delta_rotate`, requires `require_delta`): instead of
+/// enumerating in body order and checking for a delta at the leaf, the rule
+/// is applied once per delta-capable body position p — that pass enumerates
+/// p's delta entries FIRST, so the delta fact's bindings drive index probes
+/// for the remaining literals, while positions before p are held to
+/// pre-delta facts (making "first delta position == p" a partition: every
+/// delta-containing combination is derived exactly once). This is what
+/// makes a resumed fixpoint (ResumeEvaluate) cost proportional to the
+/// batch's consequences instead of the database: without it, a rule whose
+/// early literals are delta-capable still walks its full relations. The
+/// derived fact set is identical to the classic order, but derivations
+/// arrive grouped by pivot — callers that pin derivation order (the
+/// paper-table traces) must keep `delta_rotate` off.
+///
 /// Join access path: when `use_index` is set, each body literal whose
 /// accumulated join state binds some argument position to a unique symbol
 /// or number is resolved by probing the relation's per-position hash index
@@ -52,7 +76,8 @@ using EmitFn =
 /// directly; callers fire them only in iteration 0.
 Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
                  bool require_delta, const EmitFn& emit,
-                 bool use_index = false, EvalStats* stats = nullptr);
+                 bool use_index = false, EvalStats* stats = nullptr,
+                 bool delta_rotate = false);
 
 }  // namespace cqlopt
 

@@ -114,8 +114,8 @@ void Reconcile(std::vector<Pending>* pending, const Database& db,
 /// const database snapshot.
 Status ApplyOneRule(const Program& program, size_t rule_index,
                     const Database& db, int iteration, bool require_delta,
-                    bool use_index, std::vector<Pending>* pending,
-                    EvalStats* stats) {
+                    bool use_index, bool delta_rotate,
+                    std::vector<Pending>* pending, EvalStats* stats) {
   const Rule& rule = program.rules[rule_index];
   const std::string rule_key =
       rule.label.empty() ? "rule#" + std::to_string(rule_index) : rule.label;
@@ -128,7 +128,7 @@ Status ApplyOneRule(const Program& program, size_t rule_index,
     return Status::OK();
   };
   return ApplyRule(rule, db, /*max_birth=*/iteration - 1, require_delta, emit,
-                   use_index, stats);
+                   use_index, stats, delta_rotate);
 }
 
 /// One fixpoint iteration over `rule_indexes`: applies the rules under the
@@ -149,8 +149,8 @@ Result<long> RunIteration(const Program& program,
                           const std::vector<size_t>& rule_indexes,
                           int iteration, bool fire_constraint_facts,
                           bool require_delta, bool use_index,
-                          const EvalOptions& options, ThreadPool* pool,
-                          EvalResult* result) {
+                          bool delta_rotate, const EvalOptions& options,
+                          ThreadPool* pool, EvalResult* result) {
   std::vector<size_t> active;
   active.reserve(rule_indexes.size());
   for (size_t rule_index : rule_indexes) {
@@ -170,10 +170,10 @@ Result<long> RunIteration(const Program& program,
       WorkerOutput* out = &outputs[t];
       size_t rule_index = active[t];
       pool->Submit([&program, rule_index, iteration, require_delta, use_index,
-                    out, db = &result->db] {
+                    delta_rotate, out, db = &result->db] {
         out->status = ApplyOneRule(program, rule_index, *db, iteration,
-                                   require_delta, use_index, &out->pending,
-                                   &out->stats);
+                                   require_delta, use_index, delta_rotate,
+                                   &out->pending, &out->stats);
       });
     }
     pool->Wait();
@@ -190,7 +190,8 @@ Result<long> RunIteration(const Program& program,
     for (size_t rule_index : active) {
       CQLOPT_RETURN_IF_ERROR(ApplyOneRule(program, rule_index, result->db,
                                           iteration, require_delta, use_index,
-                                          &pending, &result->stats));
+                                          delta_rotate, &pending,
+                                          &result->stats));
     }
   }
   Reconcile(&pending, result->db, options.subsumption);
@@ -277,7 +278,7 @@ Result<EvalResult> EvaluateStratified(const Program& program,
           RunIteration(program, rules_of[c], global_iteration,
                        /*fire_constraint_facts=*/local == 0,
                        /*require_delta=*/local > 0, /*use_index=*/true,
-                       options, pool.get(), &result));
+                       /*delta_rotate=*/false, options, pool.get(), &result));
       ++global_iteration;
       ++stratum_iterations;
       result.stats.iterations = global_iteration;
@@ -310,7 +311,8 @@ Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
         long inserted,
         RunIteration(program, all_rules, iteration,
                      /*fire_constraint_facts=*/iteration == 0, require_delta,
-                     /*use_index=*/false, options, /*pool=*/nullptr, &result));
+                     /*use_index=*/false, /*delta_rotate=*/false, options,
+                     /*pool=*/nullptr, &result));
     result.stats.iterations = iteration + 1;
     if (inserted == 0) {
       result.stats.reached_fixpoint = true;
@@ -324,10 +326,27 @@ Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
   return result;
 }
 
+/// Rejects option values the fixpoint loops cannot interpret (negative
+/// caps would loop forever; negative thread counts would size a pool
+/// undefinedly).
+Status ValidateOptions(const EvalOptions& options) {
+  if (options.max_iterations < 0) {
+    return Status::InvalidArgument(
+        "EvalOptions::max_iterations must be >= 0, got " +
+        std::to_string(options.max_iterations));
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("EvalOptions::threads must be >= 0, got " +
+                                   std::to_string(options.threads));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<EvalResult> Evaluate(const Program& program, const Database& edb,
                             const EvalOptions& options) {
+  CQLOPT_RETURN_IF_ERROR(ValidateOptions(options));
   // The decision cache is process-wide; attribute its activity to this
   // evaluation by differencing the counters around the run.
   DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
@@ -341,6 +360,67 @@ Result<EvalResult> Evaluate(const Program& program, const Database& edb,
     result->stats.cache_misses = after.misses - before.misses;
     result->stats.cache_evictions = after.evictions - before.evictions;
   }
+  return result;
+}
+
+Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
+                                  const std::vector<Fact>& delta,
+                                  const EvalOptions& options) {
+  CQLOPT_RETURN_IF_ERROR(ValidateOptions(options));
+  if (!base.stats.reached_fixpoint) {
+    return Status::InvalidArgument(
+        "ResumeEvaluate requires a base evaluation that reached its "
+        "fixpoint; re-evaluate from scratch instead");
+  }
+  DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  EvalResult result = std::move(base);
+
+  // The batch joins the database as-if derived in the first unused
+  // iteration: every stored fact is strictly older, so the delta discipline
+  // of the next iteration selects exactly the batch.
+  const int ingest_iteration = result.stats.iterations;
+  // Batch facts are EDB, not derivations: like loading, they bypass the
+  // derivation counters (inserted/duplicates keep meaning "rule output").
+  Database::BatchOutcome batch = result.db.AddFacts(delta, ingest_iteration);
+  if (batch.inserted == 0) return result;  // nothing new: fixpoint unchanged
+  // stats.all_ground tracks *derived* facts only, so the batch itself does
+  // not clear it — exactly as EDB loading leaves it untouched.
+  if (!result.trace.empty() || options.record_trace) {
+    // Keep trace[i] == iteration i: the ingest pseudo-iteration derives
+    // nothing through rules.
+    result.trace.emplace_back();
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads > 1) pool = std::make_unique<ThreadPool>(options.threads);
+
+  std::vector<size_t> all_rules(program.rules.size());
+  std::iota(all_rules.begin(), all_rules.end(), 0);
+  result.stats.reached_fixpoint = false;
+  for (int resumed = 0; resumed < options.max_iterations; ++resumed) {
+    int iteration = ingest_iteration + 1 + resumed;
+    // Constraint facts fired in the base run's iteration 0; re-firing them
+    // would only produce duplicates.
+    CQLOPT_ASSIGN_OR_RETURN(
+        long inserted,
+        RunIteration(program, all_rules, iteration,
+                     /*fire_constraint_facts=*/false, /*require_delta=*/true,
+                     /*use_index=*/true, /*delta_rotate=*/true, options,
+                     pool.get(), &result));
+    result.stats.iterations = iteration + 1;
+    if (inserted == 0) {
+      result.stats.reached_fixpoint = true;
+      break;
+    }
+  }
+
+  for (const auto& [pred, rel] : result.db.relations()) {
+    result.stats.facts_per_pred[pred] = static_cast<long>(rel.size());
+  }
+  DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
+  result.stats.cache_hits += after.hits - before.hits;
+  result.stats.cache_misses += after.misses - before.misses;
+  result.stats.cache_evictions += after.evictions - before.evictions;
   return result;
 }
 

@@ -36,11 +36,14 @@ enum class EvalStrategy {
   kStratified,
 };
 
-/// Options of the bottom-up fixpoint.
+/// Options of the bottom-up fixpoint. Evaluate/ResumeEvaluate validate the
+/// numeric fields (negative `threads` or `max_iterations` is rejected with
+/// InvalidArgument rather than looping/partitioning undefinedly).
 struct EvalOptions {
   /// Hard cap on iterations — CQL evaluation need not terminate (the
   /// paper's Table 1 program runs forever); the cap turns divergence into
-  /// an observable `reached_fixpoint == false`.
+  /// an observable `reached_fixpoint == false`. Must be >= 0; 0 means "run
+  /// no iterations" (the EDB alone is returned, fixpoint not reached).
   int max_iterations = 256;
   SubsumptionMode subsumption = SubsumptionMode::kSingleFact;
   EvalStrategy strategy = EvalStrategy::kSemiNaive;
@@ -52,6 +55,7 @@ struct EvalOptions {
   /// deterministic serial merge (rule order, then enumeration order) then
   /// reconciles and commits, so final facts, birth stamps, traces, and
   /// stats are byte-identical to the serial run at any thread count.
+  /// Must be >= 0; 0 and 1 both mean the serial path.
   int threads = 1;
 };
 
@@ -81,6 +85,41 @@ struct EvalResult {
 ///  - stops at a fixpoint (an iteration adding no new facts) or at the cap.
 Result<EvalResult> Evaluate(const Program& program, const Database& edb,
                             const EvalOptions& options);
+
+/// Incremental fact ingestion: resumes a *completed* evaluation after a
+/// batch of new EDB facts arrives, instead of recomputing the fixpoint from
+/// scratch. The batch is inserted with birth = `base.stats.iterations` (the
+/// next unused iteration stamp — every existing fact is older), and the
+/// semi-naive loop continues with the delta discipline: each resumed
+/// iteration makes exactly the derivations that use at least one fact first
+/// seen in the previous one, so work is proportional to the consequences of
+/// the batch, not to the whole database. Because CQL evaluation is monotone
+/// (no negation; subsumption only prunes covered representations), the
+/// resumed fixpoint denotes the same fact set as a from-scratch evaluation
+/// of the union EDB — per predicate, each result's facts are covered by the
+/// disjunction of the other's (tests/test_service.cc locks this against
+/// EvalStrategy::kStratified across the program corpus, all three
+/// SubsumptionModes, and 1/2/8 threads).
+///
+/// `base` is consumed and extended: stats accumulate on top (iterations
+/// keeps global numbering; when record_trace was set, one empty trace row
+/// marks the ingest pseudo-iteration so trace[i] still lists iteration i's
+/// derivations). `options.strategy` is ignored — the resume always runs the
+/// delta-driven global loop with hash-indexed joins and delta rotations
+/// (rule_application.h: each rule is driven from its delta facts, so within
+/// an iteration derivations arrive grouped by pivot position rather than in
+/// body-enumeration order); `max_iterations` caps
+/// the *resumed* iterations. `options.threads` parallelizes rule
+/// application exactly as in Evaluate. Preconditions: `base` reached its
+/// fixpoint (resuming a capped run would silently drop the unexplored
+/// frontier — InvalidArgument), and options are valid.
+///
+/// Batch facts that structurally duplicate stored facts are dropped (as a
+/// from-scratch load would drop them); if nothing of the batch is new, the
+/// base result is returned unchanged.
+Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
+                                  const std::vector<Fact>& delta,
+                                  const EvalOptions& options);
 
 /// Renders `trace` in the style of Tables 1 and 2: one row per iteration,
 /// subsumed derivations wrapped in `*...*` (the paper's boldface).

@@ -1,0 +1,152 @@
+#include "service/protocol.h"
+
+#include <cstdio>
+
+namespace cqlopt {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Splits "<word> <rest>"; rest is empty if the line is a bare word.
+void SplitWord(const std::string& line, std::string* word, std::string* rest) {
+  size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    *word = line;
+    rest->clear();
+    return;
+  }
+  *word = line.substr(0, space);
+  *rest = Trim(line.substr(space + 1));
+}
+
+void EmitError(const Status& status, std::vector<std::string>* out) {
+  // Protocol responses are line-framed; a multi-line message would be
+  // indistinguishable from payload, so newlines are flattened.
+  std::string message = status.message();
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  out->push_back(std::string("ERR ") + StatusCodeName(status.code()) + " " +
+                 message);
+}
+
+std::string Hex(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+ProtocolAction HandleLine(QueryService& service, const std::string& line,
+                          std::vector<std::string>* out) {
+  std::string command;
+  std::string rest;
+  SplitWord(Trim(line), &command, &rest);
+  if (command.empty()) {
+    // Blank lines are keep-alives: acknowledge without doing work.
+    out->push_back("OK");
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "PREPARE" || command == "QUERY") {
+    std::string steps;
+    std::string query;
+    SplitWord(rest, &steps, &query);
+    if (steps == "-") steps.clear();
+    if (query.empty()) {
+      EmitError(Status::InvalidArgument(command +
+                                        " needs a steps spec ('-' for "
+                                        "identity) and a query"),
+                out);
+      out->push_back("END");
+      return ProtocolAction::kContinue;
+    }
+    if (command == "PREPARE") {
+      bool cached = false;
+      Result<uint64_t> fingerprint = service.Prepare(query, steps, &cached);
+      if (!fingerprint.ok()) {
+        EmitError(fingerprint.status(), out);
+      } else {
+        out->push_back("OK fingerprint=" + Hex(*fingerprint) +
+                       " cached=" + (cached ? "1" : "0"));
+      }
+    } else {
+      Result<QueryOutcome> outcome = service.Execute(query, steps);
+      if (!outcome.ok()) {
+        EmitError(outcome.status(), out);
+      } else {
+        out->push_back(std::string("OK path=") + ServePathName(outcome->path) +
+                       " epoch=" + std::to_string(outcome->epoch) +
+                       " answers=" + std::to_string(outcome->answers.size()) +
+                       " fixpoint=" + (outcome->reached_fixpoint ? "1" : "0"));
+        for (const std::string& answer : outcome->answers) {
+          out->push_back(answer);
+        }
+      }
+    }
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "INGEST") {
+    if (rest.empty()) {
+      EmitError(Status::InvalidArgument("INGEST needs `.`-terminated facts"),
+                out);
+      out->push_back("END");
+      return ProtocolAction::kContinue;
+    }
+    Result<IngestOutcome> outcome = service.Ingest(rest);
+    if (!outcome.ok()) {
+      EmitError(outcome.status(), out);
+    } else {
+      out->push_back("OK accepted=" + std::to_string(outcome->accepted) +
+                     " duplicates=" + std::to_string(outcome->duplicates) +
+                     " epoch=" + std::to_string(outcome->epoch));
+    }
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "STATS") {
+    ServiceStats stats = service.Stats();
+    out->push_back("OK");
+    out->push_back("queries=" + std::to_string(stats.queries));
+    out->push_back("ingests=" + std::to_string(stats.ingests));
+    out->push_back("prepared_hits=" + std::to_string(stats.prepared_hits));
+    out->push_back("prepared_misses=" + std::to_string(stats.prepared_misses));
+    out->push_back("cold_evals=" + std::to_string(stats.cold_evals));
+    out->push_back("epoch_hits=" + std::to_string(stats.epoch_hits));
+    out->push_back("resumes=" + std::to_string(stats.resumes));
+    out->push_back("resumed_iterations=" +
+                   std::to_string(stats.resumed_iterations));
+    out->push_back("epoch=" + std::to_string(stats.epoch));
+    out->push_back("prepared_entries=" +
+                   std::to_string(stats.prepared_entries));
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "SHUTDOWN") {
+    out->push_back("OK bye");
+    out->push_back("END");
+    return ProtocolAction::kShutdown;
+  }
+
+  EmitError(Status::InvalidArgument(
+                "unknown command '" + command +
+                "' (expected PREPARE, QUERY, INGEST, STATS, or SHUTDOWN)"),
+            out);
+  out->push_back("END");
+  return ProtocolAction::kContinue;
+}
+
+}  // namespace cqlopt

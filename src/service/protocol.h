@@ -1,0 +1,46 @@
+#ifndef CQLOPT_SERVICE_PROTOCOL_H_
+#define CQLOPT_SERVICE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "service/query_service.h"
+
+namespace cqlopt {
+
+/// The cqld line protocol. One request per line; every response is one or
+/// more lines terminated by a bare `END` line, so clients can stream
+/// without framing. Successful responses start with `OK`, failures with
+/// `ERR <CODE> <message>` (the Status code name); the connection survives
+/// errors. Requests:
+///
+///   PREPARE <steps> <query>     memoize the rewrite pipeline
+///   QUERY <steps> <query>       serve a query; answers follow, one per line
+///   INGEST <facts>              commit `.`-terminated facts as a new epoch
+///   STATS                       one `key=value` line per service counter
+///   SHUTDOWN                    acknowledge and stop the server
+///
+/// `<steps>` is the comma-separated rewrite spec with no spaces
+/// (`pred,qrp,mg`), or `-` for the identity pipeline; `<query>` is CQL
+/// surface syntax (`?- cheaporshort(msn, sea, T, C).`). Example exchange:
+///
+///   > QUERY pred,qrp,mg ?- cheaporshort(msn, sea, T, C).
+///   < OK path=cold epoch=0 answers=2 fixpoint=1
+///   < cheaporshort(msn, sea, 240, 209)
+///   < cheaporshort(msn, sea, 235, 219)
+///   < END
+enum class ProtocolAction {
+  kContinue,
+  kShutdown,
+};
+
+/// Handles one request line against `service`, appending the response lines
+/// (including the trailing `END`) to `out`. Pure request/response logic —
+/// no I/O — so the protocol is unit-testable without sockets; the server
+/// and the stdio loop both drive it.
+ProtocolAction HandleLine(QueryService& service, const std::string& line,
+                          std::vector<std::string>* out);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_SERVICE_PROTOCOL_H_

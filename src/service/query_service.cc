@@ -1,0 +1,296 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ast/parser.h"
+
+namespace cqlopt {
+
+const char* ServePathName(ServePath path) {
+  switch (path) {
+    case ServePath::kCold:
+      return "cold";
+    case ServePath::kPreparedEval:
+      return "prepared";
+    case ServePath::kEpochHit:
+      return "epoch-hit";
+    case ServePath::kResumed:
+      return "resumed";
+  }
+  return "?";
+}
+
+QueryService::QueryService(Program program, Database edb,
+                           ServiceOptions options)
+    : program_(std::move(program)),
+      options_(options),
+      prepared_(options.prepared_capacity) {
+  auto deltas = std::make_shared<EpochDelta>();
+  deltas->id = 0;
+  auto head = std::make_shared<EpochSnapshot>();
+  head->id = 0;
+  head->edb = std::move(edb);
+  head->edb.set_epoch(0);
+  head->deltas = std::move(deltas);
+  head_ = std::move(head);
+}
+
+Result<std::unique_ptr<QueryService>> QueryService::FromText(
+    const std::string& program_text, const std::string& edb_text,
+    ServiceOptions options) {
+  CQLOPT_ASSIGN_OR_RETURN(ParseResult parsed, ParseProgram(program_text));
+  Database edb;
+  if (!edb_text.empty()) {
+    CQLOPT_ASSIGN_OR_RETURN(
+        int loaded,
+        LoadDatabaseText(edb_text, parsed.program.symbols, &edb));
+    (void)loaded;
+  }
+  return FromParts(std::move(parsed.program), std::move(edb), options);
+}
+
+Result<std::unique_ptr<QueryService>> QueryService::FromParts(
+    Program program, Database edb, ServiceOptions options) {
+  if (options.eval.max_iterations < 0 || options.eval.threads < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions::eval has negative max_iterations or threads");
+  }
+  // Traces are never served and rendering them would read the symbol table
+  // from inside the (unlocked) evaluation.
+  options.eval.record_trace = false;
+  return std::unique_ptr<QueryService>(new QueryService(
+      std::move(program), std::move(edb), std::move(options)));
+}
+
+std::shared_ptr<const QueryService::EpochSnapshot> QueryService::Head() const {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  return head_;
+}
+
+int64_t QueryService::epoch() const { return Head()->id; }
+
+Result<std::shared_ptr<PreparedEntry>> QueryService::PrepareEntry(
+    const std::string& query_text, const std::string& steps_spec,
+    bool* prepared_hit) {
+  CQLOPT_ASSIGN_OR_RETURN(std::vector<RewriteStep> steps,
+                          ParseSteps(steps_spec));
+  Query query;
+  uint64_t fingerprint = 0;
+  std::string canonical;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    CQLOPT_ASSIGN_OR_RETURN(query, ParseQueryText(query_text, &program_));
+    fingerprint = PipelineFingerprint(program_, query, steps, &canonical);
+  }
+  if (auto entry = prepared_.Find(fingerprint, canonical)) {
+    *prepared_hit = true;
+    return entry;
+  }
+  *prepared_hit = false;
+  auto entry = std::make_shared<PreparedEntry>();
+  entry->fingerprint = fingerprint;
+  entry->canonical = std::move(canonical);
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    CQLOPT_ASSIGN_OR_RETURN(
+        entry->prepared,
+        ApplyPipeline(program_, query, steps, options_.pipeline));
+  }
+  return prepared_.Insert(std::move(entry));
+}
+
+Result<uint64_t> QueryService::Prepare(const std::string& query_text,
+                                       const std::string& steps_spec,
+                                       bool* was_cached) {
+  bool hit = false;
+  CQLOPT_ASSIGN_OR_RETURN(std::shared_ptr<PreparedEntry> entry,
+                          PrepareEntry(query_text, steps_spec, &hit));
+  if (was_cached != nullptr) *was_cached = hit;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++(hit ? stats_.prepared_hits : stats_.prepared_misses);
+  }
+  return entry->fingerprint;
+}
+
+bool QueryService::CollectDeltas(const EpochSnapshot& head, int64_t from,
+                                 std::vector<Fact>* out) const {
+  const EpochDelta* node = head.deltas.get();
+  std::vector<const EpochDelta*> newer;
+  while (node != nullptr && node->id > from) {
+    newer.push_back(node);
+    node = node->prev.get();
+  }
+  if (node == nullptr || node->id != from) return false;
+  // Chain is newest-first; replay batches oldest-first (commit order).
+  for (auto it = newer.rbegin(); it != newer.rend(); ++it) {
+    out->insert(out->end(), (*it)->facts.begin(), (*it)->facts.end());
+  }
+  return true;
+}
+
+Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
+                                           const std::string& steps_spec) {
+  bool prepared_hit = false;
+  CQLOPT_ASSIGN_OR_RETURN(std::shared_ptr<PreparedEntry> entry,
+                          PrepareEntry(query_text, steps_spec, &prepared_hit));
+  std::shared_ptr<const EpochSnapshot> head = Head();
+
+  QueryOutcome outcome;
+  outcome.epoch = head->id;
+  outcome.fingerprint = entry->fingerprint;
+  outcome.prepared_hit = prepared_hit;
+
+  std::shared_ptr<const EvalResult> eval;
+  {
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    if (entry->eval != nullptr && entry->eval_epoch == head->id) {
+      outcome.path = ServePath::kEpochHit;
+      eval = entry->eval;
+    } else {
+      std::vector<Fact> delta;
+      bool can_resume = entry->eval != nullptr &&
+                        entry->eval->stats.reached_fixpoint &&
+                        entry->eval_epoch >= 0 &&
+                        entry->eval_epoch < head->id &&
+                        CollectDeltas(*head, entry->eval_epoch, &delta);
+      if (can_resume) {
+        int base_iterations = entry->eval->stats.iterations;
+        // Readers copy `entry->eval` only under this mutex, so a use count
+        // of 1 proves nobody else holds the materialization and the resume
+        // can consume it in place of deep-copying the whole database. (The
+        // pointee is never created const — see the make_shared below — so
+        // shedding the const qualifier is sound.)
+        EvalResult base =
+            entry->eval.use_count() == 1
+                ? std::move(*std::const_pointer_cast<EvalResult>(entry->eval))
+                : EvalResult(*entry->eval);
+        entry->eval = nullptr;
+        CQLOPT_ASSIGN_OR_RETURN(
+            EvalResult resumed,
+            ResumeEvaluate(entry->prepared.program, std::move(base), delta,
+                           options_.eval));
+        resumed.db.set_epoch(head->id);
+        outcome.path = ServePath::kResumed;
+        outcome.iterations_run = resumed.stats.iterations - base_iterations;
+        eval = std::make_shared<EvalResult>(std::move(resumed));
+      } else {
+        EvalOptions opts = options_.eval;
+        opts.strategy = EvalStrategy::kStratified;
+        CQLOPT_ASSIGN_OR_RETURN(
+            EvalResult cold,
+            Evaluate(entry->prepared.program, head->edb, opts));
+        cold.db.set_epoch(head->id);
+        outcome.path =
+            prepared_hit ? ServePath::kPreparedEval : ServePath::kCold;
+        outcome.iterations_run = cold.stats.iterations;
+        eval = std::make_shared<EvalResult>(std::move(cold));
+      }
+      entry->eval = eval;
+      entry->eval_epoch = head->id;
+    }
+  }
+
+  outcome.reached_fixpoint = eval->stats.reached_fixpoint;
+  CQLOPT_ASSIGN_OR_RETURN(std::vector<Fact> answers,
+                          QueryAnswers(*eval, entry->prepared.query));
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    outcome.answers.reserve(answers.size());
+    for (const Fact& fact : answers) {
+      outcome.answers.push_back(fact.ToString(*program_.symbols));
+    }
+  }
+  std::sort(outcome.answers.begin(), outcome.answers.end());
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.queries;
+    ++(prepared_hit ? stats_.prepared_hits : stats_.prepared_misses);
+    switch (outcome.path) {
+      case ServePath::kCold:
+      case ServePath::kPreparedEval:
+        ++stats_.cold_evals;
+        break;
+      case ServePath::kEpochHit:
+        ++stats_.epoch_hits;
+        break;
+      case ServePath::kResumed:
+        ++stats_.resumes;
+        stats_.resumed_iterations += outcome.iterations_run;
+        break;
+    }
+  }
+  return outcome;
+}
+
+Result<IngestOutcome> QueryService::Ingest(const std::string& facts_text) {
+  Database staged;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    CQLOPT_ASSIGN_OR_RETURN(
+        int loaded, LoadDatabaseText(facts_text, program_.symbols, &staged));
+    (void)loaded;
+  }
+  std::vector<Fact> batch;
+  for (const auto& [pred, rel] : staged.relations()) {
+    for (const Relation::Entry& entry : rel.entries()) {
+      batch.push_back(entry.fact);
+    }
+  }
+  return IngestFacts(batch);
+}
+
+Result<IngestOutcome> QueryService::IngestFacts(
+    const std::vector<Fact>& batch) {
+  IngestOutcome out;
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    Database next = head_->edb;  // deep copy; readers keep the old snapshot
+    std::vector<Fact> accepted;
+    for (const Fact& fact : batch) {
+      if (next.AddFact(fact) == InsertOutcome::kInserted) {
+        accepted.push_back(fact);
+      } else {
+        ++out.duplicates;
+      }
+    }
+    out.accepted = static_cast<int>(accepted.size());
+    if (accepted.empty()) {
+      out.epoch = head_->id;  // no-op commit burns no epoch
+      return out;
+    }
+    auto deltas = std::make_shared<EpochDelta>();
+    deltas->id = head_->id + 1;
+    deltas->facts = std::move(accepted);
+    deltas->prev = head_->deltas;
+    auto head = std::make_shared<EpochSnapshot>();
+    head->id = deltas->id;
+    head->edb = std::move(next);
+    head->edb.set_epoch(head->id);
+    head->deltas = std::move(deltas);
+    head_ = std::move(head);
+    out.epoch = head_->id;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.ingests;
+    stats_.epoch = out.epoch;
+  }
+  return out;
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.epoch = epoch();
+  PreparedCache::Counters cache = prepared_.Snapshot();
+  snapshot.prepared_entries = cache.entries;
+  return snapshot;
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,199 @@
+#ifndef CQLOPT_SERVICE_QUERY_SERVICE_H_
+#define CQLOPT_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/equivalence.h"
+#include "eval/loader.h"
+#include "eval/seminaive.h"
+#include "service/prepared.h"
+#include "transform/pipeline.h"
+
+namespace cqlopt {
+
+/// Configuration of a QueryService.
+struct ServiceOptions {
+  /// Evaluation defaults for every served query. `strategy` is forced to
+  /// kStratified for cold evaluations (the serving engine); resumes use
+  /// the delta loop regardless (seminaive.h ResumeEvaluate).
+  EvalOptions eval;
+  /// Rewrite options shared by every prepared pipeline.
+  PipelineOptions pipeline;
+  /// Bound on distinct prepared programs kept resident.
+  size_t prepared_capacity = 64;
+};
+
+/// Which serving path answered a query.
+enum class ServePath {
+  /// Pipeline prepared and program evaluated from scratch this call.
+  kCold,
+  /// Pipeline came from the prepared cache; evaluation ran from scratch
+  /// (first evaluation of this prepared program, or its base was capped).
+  kPreparedEval,
+  /// Answers served straight from the entry's materialized evaluation —
+  /// the database epoch did not change since it was computed.
+  kEpochHit,
+  /// Materialized evaluation resumed with the EDB deltas of the epochs
+  /// committed since it was computed (incremental ingestion).
+  kResumed,
+};
+
+const char* ServePathName(ServePath path);
+
+/// Outcome of one served query.
+struct QueryOutcome {
+  /// Rendered answer facts (query constraints conjoined, unsat dropped).
+  std::vector<std::string> answers;
+  /// Epoch of the snapshot the answer was computed against.
+  int64_t epoch = 0;
+  ServePath path = ServePath::kCold;
+  uint64_t fingerprint = 0;
+  /// Whether the rewrite pipeline was served from the prepared cache.
+  bool prepared_hit = false;
+  /// Whether the evaluation reached its fixpoint (capped evaluations still
+  /// serve their partial answers, flagged here).
+  bool reached_fixpoint = false;
+  /// Fixpoint iterations run by this call (0 for kEpochHit).
+  int iterations_run = 0;
+};
+
+/// Outcome of one committed ingest batch.
+struct IngestOutcome {
+  /// Facts accepted into the new epoch's EDB (structural duplicates of
+  /// already-stored facts are dropped, like a from-scratch load).
+  int accepted = 0;
+  int duplicates = 0;
+  /// The epoch the commit produced. Unchanged if the whole batch was
+  /// duplicates (no epoch is burned on a no-op commit).
+  int64_t epoch = 0;
+};
+
+/// Service counters (monotone; snapshot via Stats()).
+struct ServiceStats {
+  long queries = 0;
+  long ingests = 0;
+  long prepared_hits = 0;
+  long prepared_misses = 0;
+  long cold_evals = 0;
+  long epoch_hits = 0;
+  long resumes = 0;
+  /// Fixpoint iterations spent in resumed evaluations (the incremental
+  /// work; compare against cold_eval iterations to see the saving).
+  long resumed_iterations = 0;
+  int64_t epoch = 0;
+  size_t prepared_entries = 0;
+};
+
+/// The embeddable query service the `cqld` server wraps: a resident CQL
+/// program plus a mutable extensional database, served to concurrent
+/// sessions with three layers of reuse (DESIGN.md §8):
+///
+///  1. *Prepared programs.* ApplyPipeline outcomes are memoized in a
+///     PreparedCache keyed by PipelineFingerprint(program, query, steps) —
+///     repeated queries skip the fold/unfold and magic rewrites.
+///  2. *Snapshot epochs.* The EDB lives in immutable epoch snapshots
+///     published via shared_ptr; a reader evaluates against the snapshot
+///     it captured while a writer commits the next epoch, so no query ever
+///     observes a half-ingested batch.
+///  3. *Incremental ingestion.* Each prepared entry materializes its
+///     latest evaluation, epoch-tagged. A query at the same epoch is
+///     answered from the materialization outright; after ingests, the
+///     materialized fixpoint is resumed with the accumulated EDB deltas
+///     (ResumeEvaluate) instead of recomputed.
+///
+/// Thread-safety: all public methods may be called concurrently. Lock
+/// order is entry mutex > symbols mutex (never the reverse); the head
+/// epoch pointer has its own lock and is only held for pointer swaps.
+/// Sessions hitting the *same* prepared entry serialize on its
+/// materialization; distinct entries evaluate in parallel.
+class QueryService {
+ public:
+  /// Builds a service from program text (inline `?- ...` statements are
+  /// allowed and ignored) and optional EDB text in the loader syntax.
+  static Result<std::unique_ptr<QueryService>> FromText(
+      const std::string& program_text, const std::string& edb_text,
+      ServiceOptions options = {});
+
+  /// Builds a service from parsed parts — the bench/test entry point for
+  /// generated workloads. `edb` becomes epoch 0.
+  static Result<std::unique_ptr<QueryService>> FromParts(
+      Program program, Database edb, ServiceOptions options = {});
+
+  /// Memoizes the rewrite pipeline for (query_text, steps_spec) without
+  /// evaluating. Returns the fingerprint; `was_cached` (optional) reports
+  /// whether it was already resident.
+  Result<uint64_t> Prepare(const std::string& query_text,
+                           const std::string& steps_spec,
+                           bool* was_cached = nullptr);
+
+  /// Serves a query: prepare (or reuse), pick the cheapest evaluation path
+  /// against the current epoch, extract and render the answers.
+  Result<QueryOutcome> Execute(const std::string& query_text,
+                               const std::string& steps_spec);
+
+  /// Parses facts in the loader syntax and commits them as a new epoch.
+  /// Readers holding older snapshots are unaffected.
+  Result<IngestOutcome> Ingest(const std::string& facts_text);
+
+  /// Commits pre-built facts as a new epoch (bench/test entry point).
+  Result<IngestOutcome> IngestFacts(const std::vector<Fact>& batch);
+
+  int64_t epoch() const;
+  ServiceStats Stats() const;
+  const Program& program() const { return program_; }
+
+ private:
+  /// Append-only chain of committed batches, newest first: walking `prev`
+  /// from the head snapshot's node yields the deltas needed to resume a
+  /// materialization from any older epoch. Nodes are immutable.
+  struct EpochDelta {
+    int64_t id = 0;
+    std::vector<Fact> facts;
+    std::shared_ptr<const EpochDelta> prev;
+  };
+
+  /// An immutable published EDB snapshot.
+  struct EpochSnapshot {
+    int64_t id = 0;
+    Database edb;
+    std::shared_ptr<const EpochDelta> deltas;
+  };
+
+  QueryService(Program program, Database edb, ServiceOptions options);
+
+  std::shared_ptr<const EpochSnapshot> Head() const;
+
+  /// Parses + fingerprints + prepares (cache-first). Sets `prepared_hit`.
+  Result<std::shared_ptr<PreparedEntry>> PrepareEntry(
+      const std::string& query_text, const std::string& steps_spec,
+      bool* prepared_hit);
+
+  /// Deltas of epochs (from, to], oldest first; false if the chain no
+  /// longer reaches `from` (cannot happen today — the chain is never
+  /// pruned — but resume falls back to a cold evaluation if it ever does).
+  bool CollectDeltas(const EpochSnapshot& head, int64_t from,
+                     std::vector<Fact>* out) const;
+
+  Program program_;
+  const ServiceOptions options_;
+
+  /// Guards the shared SymbolTable: parsing (queries, ingest batches) and
+  /// pipeline preparation intern names; answer rendering reads them.
+  mutable std::mutex symbols_mutex_;
+
+  mutable std::mutex head_mutex_;  // guards head_ swap + writer commits
+  std::shared_ptr<const EpochSnapshot> head_;
+
+  PreparedCache prepared_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,135 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+namespace cqlopt {
+
+namespace {
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads lines from `fd` and answers each until SHUTDOWN, a read error, or
+/// the peer closing. Returns true if this connection requested shutdown.
+bool ServeConnection(QueryService& service, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool shutdown_requested = false;
+  while (!shutdown_requested) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    std::vector<std::string> response;
+    if (HandleLine(service, line, &response) == ProtocolAction::kShutdown) {
+      shutdown_requested = true;
+    }
+    std::string payload;
+    for (const std::string& out_line : response) {
+      payload += out_line;
+      payload += '\n';
+    }
+    if (!WriteAll(fd, payload)) break;
+  }
+  ::close(fd);
+  return shutdown_requested;
+}
+
+}  // namespace
+
+Status ServeUnixSocket(QueryService& service, const std::string& socket_path) {
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("socket path empty or too long: '" +
+                                   socket_path + "'");
+  }
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(socket_path.c_str());  // stale socket from a previous run
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd);
+    return Status::Internal("bind " + socket_path + ": " +
+                            std::strerror(errno));
+  }
+  if (::listen(listen_fd, 16) < 0) {
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+
+  std::atomic<bool> stopping{false};
+  std::mutex threads_mutex;
+  std::vector<std::thread> threads;
+  while (!stopping.load()) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or failed); drain and return
+    }
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    threads.emplace_back([&service, &stopping, listen_fd, fd] {
+      if (ServeConnection(service, fd)) {
+        stopping.store(true);
+        // Unblock accept() so the server loop observes the stop flag.
+        ::shutdown(listen_fd, SHUT_RDWR);
+      }
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex);
+    for (std::thread& t : threads) t.join();
+  }
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  return Status::OK();
+}
+
+Status ServeStreams(QueryService& service, std::istream& in,
+                    std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> response;
+    ProtocolAction action = HandleLine(service, line, &response);
+    for (const std::string& out_line : response) {
+      out << out_line << '\n';
+    }
+    out.flush();
+    if (action == ProtocolAction::kShutdown) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,25 @@
+#ifndef CQLOPT_SERVICE_SERVER_H_
+#define CQLOPT_SERVICE_SERVER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace cqlopt {
+
+/// Serves the line protocol (service/protocol.h) over a unix-domain socket
+/// at `socket_path`, one thread per accepted connection. Removes a stale
+/// socket file before binding and unlinks it on return. Blocks until a
+/// client sends SHUTDOWN (any connection shuts the whole server down — cqld
+/// is a single-tenant daemon) and all connection threads have drained.
+Status ServeUnixSocket(QueryService& service, const std::string& socket_path);
+
+/// Serves the line protocol over an istream/ostream pair — `cqld --stdio`
+/// and the protocol tests. Returns after SHUTDOWN or end of input.
+Status ServeStreams(QueryService& service, std::istream& in,
+                    std::ostream& out);
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_SERVICE_SERVER_H_

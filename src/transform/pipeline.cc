@@ -1,5 +1,7 @@
 #include "transform/pipeline.h"
 
+#include "ast/printer.h"
+#include "constraint/fingerprint.h"
 #include "transform/gmt.h"
 
 namespace cqlopt {
@@ -125,6 +127,45 @@ std::string StepsName(const std::vector<RewriteStep>& steps) {
     }
   }
   return out.empty() ? "(identity)" : out;
+}
+
+uint64_t PipelineFingerprint(const Program& program, const Query& query,
+                             const std::vector<RewriteStep>& steps,
+                             std::string* canonical) {
+  // Rename query variables to their first-appearance order over the
+  // literal's arguments: `?- q(A, B), A <= 4.` and `?- q(X, Y), X <= 4.`
+  // parse to different VarIds but canonicalize to the same text.
+  std::map<VarId, std::string> names;
+  for (VarId v : query.literal.args) {
+    if (names.count(v) == 0) {
+      names[v] = "q" + std::to_string(names.size());
+    }
+  }
+  VarNameFn name = [names](VarId v) {
+    auto it = names.find(v);
+    return it != names.end() ? it->second : "q?" + std::to_string(v);
+  };
+  std::string text = StepsName(steps);
+  text += '\n';
+  text += "?- " + RenderLiteral(query.literal, *program.symbols, name);
+  std::string constraints =
+      RenderConjunction(query.constraints, *program.symbols, name);
+  if (constraints != "true") text += ", " + constraints;
+  text += ".\n";
+  text += RenderProgram(program);
+
+  // splitmix64-mix the canonical text in 8-byte chunks; seed with the
+  // length so texts that are prefixes of one another separate early.
+  uint64_t h = fp::Mix(0x51c1d5e1a1ull, static_cast<uint64_t>(text.size()));
+  for (size_t i = 0; i < text.size(); i += 8) {
+    uint64_t chunk = 0;
+    for (size_t j = i; j < text.size() && j < i + 8; ++j) {
+      chunk = (chunk << 8) | static_cast<unsigned char>(text[j]);
+    }
+    h = fp::Mix(h, chunk);
+  }
+  if (canonical != nullptr) *canonical = std::move(text);
+  return h;
 }
 
 }  // namespace cqlopt

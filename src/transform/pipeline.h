@@ -51,6 +51,22 @@ Result<std::vector<RewriteStep>> ParseSteps(const std::string& spec);
 /// Renders a sequence back to its spec string.
 std::string StepsName(const std::vector<RewriteStep>& steps);
 
+/// Canonical fingerprint of an ApplyPipeline invocation, the cache key of
+/// the service layer's prepared-program cache (src/service/prepared.h):
+/// two invocations with the same fingerprint produce the same
+/// PipelineResult, so the fold/unfold and magic rewrites can be skipped on
+/// a hit. Digests the step sequence, the query's predicate, argument
+/// binding pattern and constraints (query variables renamed to their
+/// first-appearance positions so textually identical queries fingerprint
+/// identically regardless of the VarIds a parse handed out), and the
+/// program's rules — mixed with constraint/fingerprint.h's splitmix64
+/// combiner. When `canonical` is non-null the digested canonical text is
+/// also returned, letting exactness-paranoid callers double-check a
+/// fingerprint hit by string comparison before trusting it.
+uint64_t PipelineFingerprint(const Program& program, const Query& query,
+                             const std::vector<RewriteStep>& steps,
+                             std::string* canonical = nullptr);
+
 }  // namespace cqlopt
 
 #endif  // CQLOPT_TRANSFORM_PIPELINE_H_

@@ -319,6 +319,44 @@ TEST(EvalTest, StreamingInsertAtMaxBirthCascades) {
   }
 }
 
+TEST(EvalTest, RejectsNegativeMaxIterations) {
+  Program p = ParseOrDie("t(X, Y) :- e(X, Y).\n");
+  Database edb = EdgeDb(p.symbols.get(), {{1, 2}});
+  EvalOptions options;
+  options.max_iterations = -1;
+  auto result = Evaluate(p, edb, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("max_iterations"),
+            std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("-1"), std::string::npos);
+}
+
+TEST(EvalTest, RejectsNegativeThreads) {
+  Program p = ParseOrDie("t(X, Y) :- e(X, Y).\n");
+  Database edb = EdgeDb(p.symbols.get(), {{1, 2}});
+  EvalOptions options;
+  options.threads = -4;
+  auto result = Evaluate(p, edb, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("threads"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("-4"), std::string::npos);
+}
+
+TEST(EvalTest, ZeroIterationsReturnsEdbWithoutFixpoint) {
+  Program p = ParseOrDie("t(X, Y) :- e(X, Y).\n");
+  Database edb = EdgeDb(p.symbols.get(), {{1, 2}});
+  EvalOptions options;
+  options.max_iterations = 0;
+  auto result = Evaluate(p, edb, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->db.TotalFacts(), 1u);
+  EXPECT_FALSE(result->stats.reached_fixpoint);
+}
+
 TEST(EvalTest, UnsatisfiableRuleNeverFires) {
   Program p = ParseOrDie("q(X) :- e(X, Y), X <= 1, X >= 2.\n");
   Database edb = EdgeDb(p.symbols.get(), {{1, 2}});

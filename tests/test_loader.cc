@@ -73,6 +73,46 @@ TEST(LoaderTest, LoadedDatabaseEvaluates) {
   EXPECT_EQ(run->db.FactsFor(program.symbols->LookupPredicate("t")), 1u);
 }
 
+TEST(LoaderTest, ErrorsCiteLineAndStatement) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Database db;
+  // The offending statement is on line 3 (line 2 is blank); the error must
+  // cite the 1-based line and render the statement back.
+  auto loaded = LoadDatabaseText("e(1, 2).\n\nq(X) :- r(X).\ne(3, 4).\n",
+                                 symbols, &db);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.status().message(),
+            "database text line 3: rule has a body; only facts are allowed: "
+            "q(X) :- r(X).");
+}
+
+TEST(LoaderTest, UnsatisfiableFactErrorIsPositional) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Database db;
+  auto loaded = LoadDatabaseText("ok(1).\nbad(X) :- X <= 0, X >= 1.\n",
+                                 symbols, &db);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("database text line 2"),
+            std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("fact is unsatisfiable"),
+            std::string::npos);
+}
+
+TEST(LoaderTest, QueryErrorIsPositional) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Database db;
+  auto loaded =
+      LoadDatabaseText("e(1, 2).\n?- e(X, Y).\n", symbols, &db);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("database text line 2"),
+            std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("queries are not allowed"),
+            std::string::npos);
+}
+
 TEST(LoaderTest, SharedSymbolTableAlignsIds) {
   // Facts loaded after the program parse must reuse the same predicate ids.
   auto parsed = ParseProgram("q(X) :- e(X).\n");

@@ -1,0 +1,548 @@
+// Tests for the query-serving subsystem (src/service): the prepared-program
+// cache, snapshot epochs, incremental ingestion, and the cqld line
+// protocol. The core guarantee is differential: resuming a materialized
+// fixpoint with ingested EDB deltas (ResumeEvaluate) must agree with a
+// from-scratch kStratified evaluation of the grown database — across the
+// program corpus, all three subsumption modes, and 1/2/8 worker threads.
+
+#include <atomic>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "core/equivalence.h"
+#include "eval/loader.h"
+#include "eval/seminaive.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace cqlopt {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+std::string ProgramPath(const std::string& name) {
+  return std::string(CQLOPT_PROGRAMS_DIR) + "/" + name;
+}
+
+std::vector<Fact> AllFacts(const Database& db) {
+  std::vector<Fact> out;
+  for (const auto& [pred, rel] : db.relations()) {
+    for (const Relation::Entry& entry : rel.entries()) {
+      out.push_back(entry.fact);
+    }
+  }
+  return out;
+}
+
+/// Corpus-style EDB (test_stratified.cc's generator): `count` numeric
+/// tuples per database predicate.
+Database SyntheticEdb(const Program& program, uint64_t seed, int count) {
+  Database db;
+  for (PredId pred : program.DatabasePredicates()) {
+    const std::string& name = program.symbols->PredicateName(pred);
+    int arity = program.Arity(pred);
+    std::mt19937_64 rng(seed + static_cast<uint64_t>(pred));
+    for (int i = 0; i < count; ++i) {
+      std::vector<Database::Value> values;
+      for (int a = 0; a < arity; ++a) {
+        values.push_back(Database::Value::Number(
+            Rational(static_cast<int64_t>(rng() % 30))));
+      }
+      (void)db.AddGroundFact(program.symbols.get(), name, values);
+    }
+  }
+  return db;
+}
+
+std::set<std::string> KeysOf(const Database& db, PredId pred) {
+  std::set<std::string> out;
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) return out;
+  for (const Relation::Entry& entry : rel->entries()) {
+    out.insert(entry.fact.Key());
+  }
+  return out;
+}
+
+std::vector<Fact> FactsOf(const Database& db, PredId pred) {
+  std::vector<Fact> out;
+  const Relation* rel = db.Find(pred);
+  if (rel == nullptr) return out;
+  for (const Relation::Entry& entry : rel->entries()) {
+    out.push_back(entry.fact);
+  }
+  return out;
+}
+
+/// Structural key equality per predicate, with a semantic SameAnswers
+/// fallback: subsumption may keep different but equivalent representatives
+/// depending on the order facts arrived (resume order differs from
+/// from-scratch order).
+::testing::AssertionResult DatabasesAgree(const Database& a,
+                                          const Database& b,
+                                          const SymbolTable& symbols,
+                                          bool exact) {
+  std::set<PredId> preds;
+  for (const auto& [pred, rel] : a.relations()) preds.insert(pred);
+  for (const auto& [pred, rel] : b.relations()) preds.insert(pred);
+  for (PredId pred : preds) {
+    if (KeysOf(a, pred) == KeysOf(b, pred)) continue;
+    if (exact) {
+      return ::testing::AssertionFailure()
+             << "key sets differ on " << symbols.PredicateName(pred);
+    }
+    std::vector<Fact> fa = FactsOf(a, pred);
+    std::vector<Fact> fb = FactsOf(b, pred);
+    if (fa.empty() != fb.empty() || !SameAnswers(fa, fb)) {
+      return ::testing::AssertionFailure()
+             << "databases differ on " << symbols.PredicateName(pred) << " ("
+             << fa.size() << " vs " << fb.size() << " facts)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Differential: resume-after-ingest == from-scratch stratified evaluation.
+
+struct ModeParam {
+  const char* name;
+  SubsumptionMode mode;
+};
+
+using ResumeParam = std::tuple<const char*, ModeParam, int>;
+
+class ResumeDifferentialTest : public ::testing::TestWithParam<ResumeParam> {};
+
+TEST_P(ResumeDifferentialTest, ResumedEqualsFromScratch) {
+  const auto& [program_name, mode, threads] = GetParam();
+  auto parsed = ParseProgram(ReadFile(ProgramPath(program_name)));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Program& program = parsed->program;
+
+  Database base;
+  std::vector<Fact> delta;
+  if (std::string(program_name) == "flights.cql") {
+    auto loaded = LoadDatabaseText(ReadFile(ProgramPath("flights_edb.cql")),
+                                   program.symbols, &base);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    // New legs keep the network acyclic (the raw program composes flights
+    // unboundedly around a cycle; topological order msn, den, ord, jfk,
+    // sea is preserved).
+    Database extra;
+    auto extra_loaded = LoadDatabaseText(
+        "singleleg(msn, jfk, 210, 140).\n"
+        "singleleg(den, jfk, 90, 55).\n"
+        "singleleg(den, ord, 45, 35).\n",
+        program.symbols, &extra);
+    ASSERT_TRUE(extra_loaded.ok()) << extra_loaded.status().ToString();
+    delta = AllFacts(extra);
+  } else {
+    base = SyntheticEdb(program, 1234, 12);
+    delta = AllFacts(SyntheticEdb(program, 7777, 3));
+  }
+
+  EvalOptions options;
+  options.strategy = EvalStrategy::kStratified;
+  options.subsumption = mode.mode;
+  options.threads = threads;
+  options.max_iterations = std::string(program_name) == "fib.cql" ? 14 : 48;
+
+  auto base_run = Evaluate(program, base, options);
+  ASSERT_TRUE(base_run.ok()) << base_run.status().ToString();
+
+  if (!base_run->stats.reached_fixpoint) {
+    // Divergent program (fib.cql): resuming a capped base would silently
+    // drop its unexplored frontier, so it must be rejected.
+    auto resumed = ResumeEvaluate(program, std::move(*base_run), delta,
+                                  options);
+    ASSERT_FALSE(resumed.ok());
+    EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+    return;
+  }
+
+  auto resumed = ResumeEvaluate(program, std::move(*base_run), delta,
+                                options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+
+  Database full = base;
+  full.AddFacts(delta);
+  auto scratch = Evaluate(program, full, options);
+  ASSERT_TRUE(scratch.ok()) << scratch.status().ToString();
+
+  EXPECT_EQ(resumed->stats.reached_fixpoint, scratch->stats.reached_fixpoint);
+  // Under kNone nothing is ever pruned, so the runs must agree exactly;
+  // with subsumption on, equivalence is semantic.
+  EXPECT_TRUE(DatabasesAgree(resumed->db, scratch->db, *program.symbols,
+                             /*exact=*/mode.mode == SubsumptionMode::kNone));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ResumeDifferentialTest,
+    ::testing::Combine(
+        ::testing::Values("flights.cql", "fib.cql", "example41.cql",
+                          "example42.cql", "example61.cql", "example71.cql",
+                          "example72.cql"),
+        ::testing::Values(ModeParam{"none", SubsumptionMode::kNone},
+                          ModeParam{"single_fact",
+                                    SubsumptionMode::kSingleFact},
+                          ModeParam{"set_implication",
+                                    SubsumptionMode::kSetImplication}),
+        ::testing::Values(1, 2, 8)),
+    [](const ::testing::TestParamInfo<ResumeParam>& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name + "_" + std::get<1>(info.param).name + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ResumeEvaluateTest, EmptyDeltaReturnsBaseUnchanged) {
+  auto parsed = ParseProgram("t(X, Y) :- e(X, Y).\n");
+  ASSERT_TRUE(parsed.ok());
+  Database db;
+  ASSERT_TRUE(
+      LoadDatabaseText("e(1, 2).\ne(2, 3).\n", parsed->program.symbols, &db)
+          .ok());
+  auto base = Evaluate(parsed->program, db, EvalOptions{});
+  ASSERT_TRUE(base.ok());
+  size_t facts = base->db.TotalFacts();
+  int iterations = base->stats.iterations;
+  auto resumed =
+      ResumeEvaluate(parsed->program, std::move(*base), {}, EvalOptions{});
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->db.TotalFacts(), facts);
+  EXPECT_EQ(resumed->stats.iterations, iterations);
+  EXPECT_TRUE(resumed->stats.reached_fixpoint);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService: serving paths, prepared cache, epochs.
+
+const char kFlightsQuery[] = "?- cheaporshort(msn, sea, Time, Cost).";
+
+std::unique_ptr<QueryService> FlightsService(ServiceOptions options = {}) {
+  auto service =
+      QueryService::FromText(ReadFile(ProgramPath("flights.cql")),
+                             ReadFile(ProgramPath("flights_edb.cql")),
+                             options);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return std::move(*service);
+}
+
+TEST(QueryServiceTest, ColdThenEpochHitThenResumed) {
+  auto service = FlightsService();
+
+  auto first = service->Execute(kFlightsQuery, "pred,qrp,mg");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->path, ServePath::kCold);
+  EXPECT_FALSE(first->prepared_hit);
+  EXPECT_EQ(first->epoch, 0);
+  EXPECT_TRUE(first->reached_fixpoint);
+  EXPECT_FALSE(first->answers.empty());
+
+  auto second = service->Execute(kFlightsQuery, "pred,qrp,mg");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->path, ServePath::kEpochHit);
+  EXPECT_TRUE(second->prepared_hit);
+  EXPECT_EQ(second->iterations_run, 0);
+  EXPECT_EQ(second->answers, first->answers);
+
+  auto ingest = service->Ingest("singleleg(msn, sea, 150, 80).\n");
+  ASSERT_TRUE(ingest.ok()) << ingest.status().ToString();
+  EXPECT_EQ(ingest->accepted, 1);
+  EXPECT_EQ(ingest->epoch, 1);
+
+  auto third = service->Execute(kFlightsQuery, "pred,qrp,mg");
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->path, ServePath::kResumed);
+  EXPECT_EQ(third->epoch, 1);
+  // The new direct leg is cheap and short: it must show up as an answer.
+  EXPECT_GT(third->answers.size(), first->answers.size());
+
+  ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.queries, 3);
+  EXPECT_EQ(stats.cold_evals, 1);
+  EXPECT_EQ(stats.epoch_hits, 1);
+  EXPECT_EQ(stats.resumes, 1);
+  EXPECT_EQ(stats.epoch, 1);
+}
+
+TEST(QueryServiceTest, ResumedMatchesFreshServiceAfterIngest) {
+  const std::string batch =
+      "singleleg(sea, msn, 210, 140).\nsingleleg(den, jfk, 240, 160).\n";
+  auto incremental = FlightsService();
+  ASSERT_TRUE(incremental->Execute(kFlightsQuery, "pred,qrp,mg").ok());
+  ASSERT_TRUE(incremental->Ingest(batch).ok());
+  auto resumed = incremental->Execute(kFlightsQuery, "pred,qrp,mg");
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->path, ServePath::kResumed);
+
+  auto fresh = QueryService::FromText(
+      ReadFile(ProgramPath("flights.cql")),
+      ReadFile(ProgramPath("flights_edb.cql")) + batch, {});
+  ASSERT_TRUE(fresh.ok());
+  auto scratch = (*fresh)->Execute(kFlightsQuery, "pred,qrp,mg");
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(scratch->path, ServePath::kCold);
+  EXPECT_EQ(resumed->answers, scratch->answers);
+}
+
+TEST(QueryServiceTest, FingerprintIgnoresVariableNames) {
+  auto service = FlightsService();
+  auto a = service->Prepare("?- cheaporshort(msn, sea, T, C).", "pred,qrp");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  bool cached = false;
+  auto b = service->Prepare("?- cheaporshort(msn, sea, Time, Cost).",
+                            "pred,qrp", &cached);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_TRUE(cached);
+
+  auto other_steps = service->Prepare("?- cheaporshort(msn, sea, T, C).",
+                                      "pred,qrp,mg", &cached);
+  ASSERT_TRUE(other_steps.ok());
+  EXPECT_NE(*a, *other_steps);
+  EXPECT_FALSE(cached);
+
+  auto other_query = service->Prepare("?- cheaporshort(msn, den, T, C).",
+                                      "pred,qrp", &cached);
+  ASSERT_TRUE(other_query.ok());
+  EXPECT_NE(*a, *other_query);
+  EXPECT_FALSE(cached);
+}
+
+TEST(QueryServiceTest, PreparedCacheEvictsAtCapacity) {
+  ServiceOptions options;
+  options.prepared_capacity = 1;
+  auto service = FlightsService(options);
+  ASSERT_TRUE(service->Prepare(kFlightsQuery, "pred,qrp").ok());
+  ASSERT_TRUE(service->Prepare(kFlightsQuery, "pred,qrp,mg").ok());
+  EXPECT_EQ(service->Stats().prepared_entries, 1u);
+  // The survivor is the most recently used; re-preparing it hits.
+  bool cached = false;
+  ASSERT_TRUE(service->Prepare(kFlightsQuery, "pred,qrp,mg", &cached).ok());
+  EXPECT_TRUE(cached);
+}
+
+TEST(QueryServiceTest, DuplicateIngestBurnsNoEpoch) {
+  auto service = FlightsService();
+  // Exactly the first row of flights_edb.cql.
+  auto outcome = service->Ingest("singleleg(msn, ord, 50, 80).\n");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->accepted, 0);
+  EXPECT_EQ(outcome->duplicates, 1);
+  EXPECT_EQ(outcome->epoch, 0);
+  EXPECT_EQ(service->epoch(), 0);
+}
+
+TEST(QueryServiceTest, IngestErrorsArePositional) {
+  auto service = FlightsService();
+  auto outcome = service->Ingest("singleleg(msn, ord, 55, 75).\nbad(X) :- q(X).\n");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.status().message().find("line 2"), std::string::npos)
+      << outcome.status().message();
+  EXPECT_EQ(service->epoch(), 0);  // nothing committed
+}
+
+TEST(PreparedCacheTest, CollisionDegradesToMiss) {
+  PreparedCache cache(4);
+  auto entry = std::make_shared<PreparedEntry>();
+  entry->fingerprint = 42;
+  entry->canonical = "alpha";
+  cache.Insert(entry);
+  EXPECT_EQ(cache.Find(42, "alpha"), entry);
+  // Same fingerprint, different canonical text: must not serve `alpha`.
+  EXPECT_EQ(cache.Find(42, "beta"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch isolation: a reader never observes a half-ingested batch.
+
+TEST(QueryServiceTest, ReadersSeeWholeBatchesOnly) {
+  // path == edge, so the answer count equals the edge count: epoch k holds
+  // exactly 5 * (k + 1) edges, and any other count means a reader saw a
+  // torn batch.
+  constexpr int kBatch = 5;
+  constexpr int kBatches = 8;
+  std::string edb;
+  for (int i = 0; i < kBatch; ++i) {
+    edb += "edge(" + std::to_string(i) + ", " + std::to_string(i + 100) +
+           ").\n";
+  }
+  auto built =
+      QueryService::FromText("path(X, Y) :- edge(X, Y).\n", edb, {});
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  QueryService& service = **built;
+
+  std::atomic<bool> failed{false};
+  std::thread writer([&] {
+    for (int b = 1; b <= kBatches; ++b) {
+      std::string batch;
+      for (int i = 0; i < kBatch; ++i) {
+        int id = b * 1000 + i;
+        batch += "edge(" + std::to_string(id) + ", " +
+                 std::to_string(id + 100) + ").\n";
+      }
+      if (!service.Ingest(batch).ok()) {
+        failed.store(true);
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      int64_t seen = -1;
+      while (seen < kBatches && !failed.load()) {
+        auto outcome = service.Execute("?- path(X, Y).", "");
+        if (!outcome.ok()) {
+          ADD_FAILURE() << outcome.status().ToString();
+          failed.store(true);
+          return;
+        }
+        EXPECT_EQ(outcome->answers.size(),
+                  static_cast<size_t>(kBatch) * (outcome->epoch + 1))
+            << "torn read at epoch " << outcome->epoch;
+        seen = outcome->epoch;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+
+  auto final_outcome = service.Execute("?- path(X, Y).", "");
+  ASSERT_TRUE(final_outcome.ok());
+  EXPECT_EQ(final_outcome->epoch, kBatches);
+  EXPECT_EQ(final_outcome->answers.size(),
+            static_cast<size_t>(kBatch) * (kBatches + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Line protocol.
+
+TEST(ProtocolTest, QueryResponseIsFramed) {
+  auto service = FlightsService();
+  std::vector<std::string> out;
+  EXPECT_EQ(HandleLine(*service, "QUERY pred,qrp,mg " + std::string(kFlightsQuery),
+                       &out),
+            ProtocolAction::kContinue);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out.front().rfind("OK path=cold epoch=0 answers=", 0), 0u)
+      << out.front();
+  EXPECT_EQ(out.back(), "END");
+  // Answers between header and END, one per line (the magic rewrite adorns
+  // the query predicate, e.g. cheaporshort_bbff).
+  for (size_t i = 1; i + 1 < out.size(); ++i) {
+    EXPECT_EQ(out[i].rfind("cheaporshort", 0), 0u) << out[i];
+  }
+}
+
+TEST(ProtocolTest, IdentityStepsDash) {
+  auto service = FlightsService();
+  std::vector<std::string> out;
+  HandleLine(*service, "QUERY - " + std::string(kFlightsQuery), &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("OK path=", 0), 0u) << out.front();
+}
+
+TEST(ProtocolTest, IngestThenQueryResumes) {
+  auto service = FlightsService();
+  std::vector<std::string> out;
+  HandleLine(*service, "QUERY pred,qrp,mg " + std::string(kFlightsQuery),
+             &out);
+  out.clear();
+  HandleLine(*service, "INGEST singleleg(msn, sea, 150, 80).", &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), "OK accepted=1 duplicates=0 epoch=1");
+  out.clear();
+  HandleLine(*service, "QUERY pred,qrp,mg " + std::string(kFlightsQuery),
+             &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("OK path=resumed epoch=1", 0), 0u)
+      << out.front();
+}
+
+TEST(ProtocolTest, ErrorsKeepConnectionAlive) {
+  auto service = FlightsService();
+  std::vector<std::string> out;
+  EXPECT_EQ(HandleLine(*service, "BOGUS", &out), ProtocolAction::kContinue);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rfind("ERR INVALID_ARGUMENT unknown command 'BOGUS'", 0),
+            0u)
+      << out[0];
+  EXPECT_EQ(out[1], "END");
+
+  out.clear();
+  HandleLine(*service, "QUERY - ?- broken(", &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rfind("ERR ", 0), 0u) << out[0];
+  EXPECT_EQ(out[1], "END");
+}
+
+TEST(ProtocolTest, StatsAndShutdown) {
+  auto service = FlightsService();
+  std::vector<std::string> out;
+  HandleLine(*service, "PREPARE pred,qrp,mg " + std::string(kFlightsQuery),
+             &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("OK fingerprint=", 0), 0u) << out.front();
+  EXPECT_NE(out.front().find("cached=0"), std::string::npos);
+
+  out.clear();
+  HandleLine(*service, "STATS", &out);
+  ASSERT_GE(out.size(), 3u);
+  EXPECT_EQ(out.front(), "OK");
+  EXPECT_EQ(out.back(), "END");
+  bool saw_entries = false;
+  for (const std::string& line : out) {
+    if (line == "prepared_entries=1") saw_entries = true;
+  }
+  EXPECT_TRUE(saw_entries);
+
+  out.clear();
+  EXPECT_EQ(HandleLine(*service, "SHUTDOWN", &out),
+            ProtocolAction::kShutdown);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK bye");
+}
+
+TEST(ProtocolTest, ServeStreamsRunsASession) {
+  auto service = FlightsService();
+  std::istringstream in(
+      "PREPARE pred,qrp,mg " + std::string(kFlightsQuery) + "\n" +
+      "QUERY pred,qrp,mg " + std::string(kFlightsQuery) + "\n" +
+      "INGEST singleleg(msn, sea, 150, 80).\n" +
+      "QUERY pred,qrp,mg " + std::string(kFlightsQuery) + "\n" +
+      "SHUTDOWN\n" + "QUERY after shutdown must not be served\n");
+  std::ostringstream out;
+  ASSERT_TRUE(ServeStreams(*service, in, out).ok());
+  std::string transcript = out.str();
+  EXPECT_NE(transcript.find("OK fingerprint="), std::string::npos);
+  EXPECT_NE(transcript.find("OK path=prepared epoch=0"), std::string::npos);
+  EXPECT_NE(transcript.find("OK accepted=1"), std::string::npos);
+  EXPECT_NE(transcript.find("OK path=resumed epoch=1"), std::string::npos);
+  EXPECT_NE(transcript.find("OK bye"), std::string::npos);
+  EXPECT_EQ(transcript.find("after shutdown"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -1,0 +1,122 @@
+// cqlc: line-protocol client for cqld. Sends each positional argument as
+// one request (or reads requests from stdin when none are given), prints
+// the response lines, and exits nonzero if any response was an ERR.
+//
+//   cqlc --socket /tmp/cqld.sock
+//        "PREPARE pred,qrp,mg ?- cheaporshort(msn, sea, T, C)."
+//        "QUERY pred,qrp,mg ?- cheaporshort(msn, sea, T, C)."
+//        "STATS" "SHUTDOWN"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --socket <path> [request ...]   (requests from stdin when"
+            << " none are given)\n";
+  return 2;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Sends one request and echoes the response through the END line.
+/// Returns 0 on OK, 1 on an ERR response, -1 on transport failure.
+int Exchange(int fd, const std::string& request, std::string* buffer) {
+  if (!WriteAll(fd, request + "\n")) return -1;
+  bool saw_err = false;
+  while (true) {
+    size_t newline = buffer->find('\n');
+    if (newline == std::string::npos) {
+      char chunk[4096];
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return -1;
+      buffer->append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer->substr(0, newline);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    buffer->erase(0, newline + 1);
+    if (line == "END") return saw_err ? 1 : 0;
+    if (line.rfind("ERR ", 0) == 0) saw_err = true;
+    std::cout << line << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> requests;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--socket") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      socket_path = argv[++i];
+    } else {
+      requests.push_back(arg);
+    }
+  }
+  if (socket_path.empty()) return Usage(argv[0]);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "cqlc: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::cerr << "cqlc: connect " << socket_path << ": "
+              << std::strerror(errno) << "\n";
+    ::close(fd);
+    return 1;
+  }
+
+  int exit_code = 0;
+  std::string buffer;
+  auto run = [&](const std::string& request) {
+    int rc = Exchange(fd, request, &buffer);
+    if (rc < 0) {
+      std::cerr << "cqlc: connection lost\n";
+      exit_code = 1;
+      return false;
+    }
+    if (rc > 0) exit_code = 1;
+    return true;
+  };
+
+  if (!requests.empty()) {
+    for (const std::string& request : requests) {
+      if (!run(request)) break;
+    }
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!run(line)) break;
+    }
+  }
+  ::close(fd);
+  return exit_code;
+}

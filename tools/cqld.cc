@@ -1,0 +1,126 @@
+// cqld: the CQL query server. Loads a program (and optionally an EDB),
+// then serves the line protocol (src/service/protocol.h) over a
+// unix-domain socket or stdio until a client sends SHUTDOWN.
+//
+//   cqld --program programs/flights.cql --edb programs/flights_edb.cql
+//        --socket /tmp/cqld.sock
+//   cqld --program programs/flights.cql --stdio
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "service/server.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " --program <file.cql> [--edb <file.cql>]"
+      << " (--socket <path> | --stdio)\n"
+      << "       [--threads N] [--max-iterations N]"
+      << " [--subsumption none|single-fact|set-implication]\n"
+      << "       [--prepared-capacity N]\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string program_path;
+  std::string edb_path;
+  std::string socket_path;
+  bool stdio = false;
+  cqlopt::ServiceOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--program") {
+      if (const char* v = next()) program_path = v; else return Usage(argv[0]);
+    } else if (arg == "--edb") {
+      if (const char* v = next()) edb_path = v; else return Usage(argv[0]);
+    } else if (arg == "--socket") {
+      if (const char* v = next()) socket_path = v; else return Usage(argv[0]);
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--threads") {
+      if (const char* v = next()) options.eval.threads = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--max-iterations") {
+      if (const char* v = next()) options.eval.max_iterations = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--prepared-capacity") {
+      if (const char* v = next()) {
+        options.prepared_capacity = static_cast<size_t>(std::atol(v));
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--subsumption") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::string mode = v;
+      if (mode == "none") {
+        options.eval.subsumption = cqlopt::SubsumptionMode::kNone;
+      } else if (mode == "single-fact") {
+        options.eval.subsumption = cqlopt::SubsumptionMode::kSingleFact;
+      } else if (mode == "set-implication") {
+        options.eval.subsumption = cqlopt::SubsumptionMode::kSetImplication;
+      } else {
+        std::cerr << "cqld: unknown subsumption mode '" << mode << "'\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "cqld: unknown flag '" << arg << "'\n";
+      return Usage(argv[0]);
+    }
+  }
+
+  if (program_path.empty() || (socket_path.empty() == !stdio)) {
+    return Usage(argv[0]);
+  }
+
+  std::string program_text;
+  if (!ReadFile(program_path, &program_text)) {
+    std::cerr << "cqld: cannot read program file " << program_path << "\n";
+    return 1;
+  }
+  std::string edb_text;
+  if (!edb_path.empty() && !ReadFile(edb_path, &edb_text)) {
+    std::cerr << "cqld: cannot read EDB file " << edb_path << "\n";
+    return 1;
+  }
+
+  auto service =
+      cqlopt::QueryService::FromText(program_text, edb_text, options);
+  if (!service.ok()) {
+    std::cerr << "cqld: " << service.status().ToString() << "\n";
+    return 1;
+  }
+
+  cqlopt::Status served;
+  if (stdio) {
+    served = cqlopt::ServeStreams(**service, std::cin, std::cout);
+  } else {
+    std::cerr << "cqld: serving on " << socket_path << "\n";
+    served = cqlopt::ServeUnixSocket(**service, socket_path);
+  }
+  if (!served.ok()) {
+    std::cerr << "cqld: " << served.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
