@@ -24,7 +24,7 @@ void DecisionCache::Store(uint64_t key, bool value) {
   if (!enabled()) return;
   Shard& shard = shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.map.size() >= kMaxEntriesPerShard &&
+  if (shard.map.size() >= capacity_per_shard() &&
       shard.map.find(key) == shard.map.end()) {
     evictions_.fetch_add(static_cast<long>(shard.map.size()),
                          std::memory_order_relaxed);

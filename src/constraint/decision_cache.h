@@ -57,6 +57,18 @@ class DecisionCache {
   std::optional<bool> Lookup(uint64_t key);
   void Store(uint64_t key, bool value);
 
+  /// Entries a shard may hold before Store evicts it wholesale. Defaults to
+  /// kMaxEntriesPerShard; tests override it (capacity 1 turns every insert
+  /// into an eviction, the worst-case thrash the cache-equivalence property
+  /// pins byte-identical results under).
+  size_t capacity_per_shard() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  void set_capacity_per_shard_for_testing(size_t n) {
+    capacity_.store(n == 0 ? kMaxEntriesPerShard : n,
+                    std::memory_order_relaxed);
+  }
+
   Counters Snapshot() const;
 
   /// Drops all entries (counters keep accumulating). Tests only.
@@ -78,6 +90,7 @@ class DecisionCache {
   }
 
   Shard shards_[kShardCount];
+  std::atomic<size_t> capacity_{kMaxEntriesPerShard};
   std::atomic<long> hits_{0};
   std::atomic<long> misses_{0};
   std::atomic<long> evictions_{0};
@@ -99,6 +112,24 @@ class DecisionCacheDisabler {
 
  private:
   bool was_enabled_;
+};
+
+/// RAII guard pinning the per-shard capacity in a scope (tests). Clears the
+/// cache on entry and exit so no run observes entries stored under the
+/// other capacity regime.
+class DecisionCacheCapacityOverride {
+ public:
+  explicit DecisionCacheCapacityOverride(size_t capacity) {
+    DecisionCache::Instance().Clear();
+    DecisionCache::Instance().set_capacity_per_shard_for_testing(capacity);
+  }
+  ~DecisionCacheCapacityOverride() {
+    DecisionCache::Instance().set_capacity_per_shard_for_testing(0);
+    DecisionCache::Instance().Clear();
+  }
+  DecisionCacheCapacityOverride(const DecisionCacheCapacityOverride&) = delete;
+  DecisionCacheCapacityOverride& operator=(
+      const DecisionCacheCapacityOverride&) = delete;
 };
 
 }  // namespace cqlopt

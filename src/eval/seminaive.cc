@@ -7,6 +7,7 @@
 #include "constraint/decision_cache.h"
 #include "constraint/implication.h"
 #include "eval/rule_application.h"
+#include "eval/validate.h"
 #include "graph/scc.h"
 #include "util/thread_pool.h"
 
@@ -329,7 +330,7 @@ Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
 /// Rejects option values the fixpoint loops cannot interpret (negative
 /// caps would loop forever; negative thread counts would size a pool
 /// undefinedly).
-Status ValidateOptions(const EvalOptions& options) {
+Status CheckEvalOptions(const EvalOptions& options) {
   if (options.max_iterations < 0) {
     return Status::InvalidArgument(
         "EvalOptions::max_iterations must be >= 0, got " +
@@ -346,7 +347,12 @@ Status ValidateOptions(const EvalOptions& options) {
 
 Result<EvalResult> Evaluate(const Program& program, const Database& edb,
                             const EvalOptions& options) {
-  CQLOPT_RETURN_IF_ERROR(ValidateOptions(options));
+  CQLOPT_RETURN_IF_ERROR(CheckEvalOptions(options));
+  // Free head positions are legitimate here: the magic rewrite emits them
+  // for unbound adornment positions (validate.h).
+  CQLOPT_RETURN_IF_ERROR(ValidateProgram(
+      program, {/*reject_free_head_vars=*/false,
+                /*reject_constraint_only_recursion=*/true}));
   // The decision cache is process-wide; attribute its activity to this
   // evaluation by differencing the counters around the run.
   DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
@@ -366,7 +372,12 @@ Result<EvalResult> Evaluate(const Program& program, const Database& edb,
 Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
                                   const std::vector<Fact>& delta,
                                   const EvalOptions& options) {
-  CQLOPT_RETURN_IF_ERROR(ValidateOptions(options));
+  CQLOPT_RETURN_IF_ERROR(CheckEvalOptions(options));
+  // Free head positions are legitimate here: the magic rewrite emits them
+  // for unbound adornment positions (validate.h).
+  CQLOPT_RETURN_IF_ERROR(ValidateProgram(
+      program, {/*reject_free_head_vars=*/false,
+                /*reject_constraint_only_recursion=*/true}));
   if (!base.stats.reached_fixpoint) {
     return Status::InvalidArgument(
         "ResumeEvaluate requires a base evaluation that reached its "

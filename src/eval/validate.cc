@@ -1,0 +1,82 @@
+#include "eval/validate.h"
+
+#include <set>
+
+#include "graph/dependency_graph.h"
+#include "graph/scc.h"
+
+namespace cqlopt {
+namespace {
+
+std::string RuleName(const Rule& rule, size_t index) {
+  return rule.label.empty() ? "rule#" + std::to_string(index) : rule.label;
+}
+
+std::string VarDisplayName(const Rule& rule, VarId v) {
+  auto it = rule.var_names.find(v);
+  return it != rule.var_names.end() ? it->second : VarName(v);
+}
+
+}  // namespace
+
+Status ValidateProgram(const Program& program,
+                       const ValidateOptions& options) {
+  // Unbound head variables.
+  for (size_t i = 0; options.reject_free_head_vars &&
+                     i < program.rules.size();
+       ++i) {
+    const Rule& rule = program.rules[i];
+    std::set<VarId> bound;
+    for (const Literal& lit : rule.body) {
+      for (VarId v : lit.args) bound.insert(v);
+    }
+    for (VarId v : rule.constraints.Vars()) bound.insert(v);
+    for (VarId v : rule.head.args) {
+      if (bound.count(v) == 0) {
+        return Status::InvalidArgument(
+            RuleName(rule, i) + ": head variable " +
+            VarDisplayName(rule, v) +
+            " is unbound (appears in no body literal and no constraint)");
+      }
+    }
+  }
+
+  if (!options.reject_constraint_only_recursion) return Status::OK();
+
+  // Constraint-only recursion: a recursive SCC with no exit rule.
+  DependencyGraph graph(program);
+  SccDecomposition sccs(graph);
+  std::vector<bool> recursive(sccs.components().size(), false);
+  std::vector<bool> has_exit(sccs.components().size(), false);
+  for (const Rule& rule : program.rules) {
+    int c = sccs.ComponentOf(rule.head.pred);
+    if (c < 0) continue;
+    bool in_scc_body = false;
+    for (const Literal& lit : rule.body) {
+      if (sccs.ComponentOf(lit.pred) == c) in_scc_body = true;
+    }
+    if (in_scc_body) {
+      recursive[static_cast<size_t>(c)] = true;
+    } else {
+      // Body-free constraint facts and rules over lower strata / EDB
+      // predicates can fire without any fact of this component existing.
+      has_exit[static_cast<size_t>(c)] = true;
+    }
+  }
+  for (size_t c = 0; c < recursive.size(); ++c) {
+    if (!recursive[c] || has_exit[c]) continue;
+    const std::vector<PredId>& preds = sccs.components()[c];
+    std::string names;
+    for (PredId pred : preds) {
+      if (!names.empty()) names += ", ";
+      names += program.symbols->PredicateName(pred);
+    }
+    return Status::InvalidArgument(
+        "constraint-only recursion: predicate(s) {" + names +
+        "} have no exit rule, so the recursion is grounded only in "
+        "constraints and can never derive a fact");
+  }
+  return Status::OK();
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,46 @@
+#ifndef CQLOPT_EVAL_VALIDATE_H_
+#define CQLOPT_EVAL_VALIDATE_H_
+
+#include "ast/program.h"
+
+namespace cqlopt {
+
+/// Structural pre-flight run by Evaluate/ResumeEvaluate before any fixpoint
+/// work. Rejects, with a clean InvalidArgument Status naming the offending
+/// rule or predicate, two program shapes that are never meaningful in
+/// hand-written programs and that random program generators
+/// (src/testing/generator.h) readily produce:
+///
+///  - *Unbound head variables*: a head variable that appears in no body
+///    literal and in no constraint atom. The rule would derive facts whose
+///    position is completely unconstrained — almost always a typo in a
+///    hand-written program. The check is option-gated because the magic
+///    rewrite *deliberately* emits free head positions: an unbound
+///    adornment position of a magic predicate carries no constraint (e.g.
+///    `mr3_1: m_fib(N1, X1) :- m_fib(N, V), N - N1 = 1, N > 1.` in Table
+///    1's P_fib^mg, where X1 is fib's free second argument), so the engine
+///    path validates with `reject_free_head_vars = false` and the strict
+///    default applies to parsed user programs and fuzz inputs.
+///
+///  - *Constraint-only recursion*: a recursive SCC of the dependency graph
+///    in which every rule has at least one body literal inside the SCC.
+///    Such a component has no exit rule — its first fact would need an
+///    in-SCC fact to already exist — so recursion is grounded only in
+///    constraints and the component can never derive anything; the
+///    Gen_*_constraints fixpoints would chase it pointlessly.
+///
+/// Programs the paper's examples and the transformation outputs produce all
+/// pass the engine-path configuration: constraint facts (body-free rules)
+/// count as exit rules, and head variables bound only through constraints
+/// (e.g. `T = T1 + T2 + 30`) are bound.
+struct ValidateOptions {
+  bool reject_free_head_vars = true;
+  bool reject_constraint_only_recursion = true;
+};
+
+Status ValidateProgram(const Program& program,
+                       const ValidateOptions& options = {});
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_EVAL_VALIDATE_H_

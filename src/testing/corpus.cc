@@ -1,0 +1,141 @@
+#include "testing/corpus.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "ast/parser.h"
+#include "eval/loader.h"
+
+namespace cqlopt {
+namespace testing {
+namespace {
+
+/// If `line` is `% <key>: <value>`, returns the value.
+bool HeaderValue(const std::string& line, const std::string& key,
+                 std::string* value) {
+  std::string prefix = "% " + key + ":";
+  if (line.rfind(prefix, 0) != 0) return false;
+  size_t start = prefix.size();
+  while (start < line.size() && line[start] == ' ') ++start;
+  *value = line.substr(start);
+  return true;
+}
+
+/// Keeps note headers one-line and free of `%`-ambiguity.
+std::string FirstLine(const std::string& text) {
+  size_t nl = text.find('\n');
+  return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+}  // namespace
+
+std::string RenderCorpusFile(const FuzzCase& c, const std::string& property,
+                             PlantedBug bug, const std::string& note) {
+  std::string out;
+  out += "% property: " + property + "\n";
+  out += "% seed: " + std::to_string(c.seed) + "\n";
+  if (bug != PlantedBug::kNone) {
+    out += std::string("% bug: ") + PlantedBugName(bug) + "\n";
+  }
+  if (!note.empty()) out += "% note: " + FirstLine(note) + "\n";
+  out += RenderCaseProgram(c);
+  out += "% edb\n";
+  out += RenderCaseEdb(c);
+  return out;
+}
+
+Status WriteCorpusFile(const std::string& path, const FuzzCase& c,
+                       const std::string& property, PlantedBug bug,
+                       const std::string& note) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open corpus file for writing: " + path);
+  }
+  file << RenderCorpusFile(c, property, bug, note);
+  file.close();
+  if (!file) {
+    return Status::InvalidArgument("failed writing corpus file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<CorpusCase> LoadCorpusFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot read corpus file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  CorpusCase out;
+  std::string seed_text, bug_text;
+  std::string program_text, edb_text;
+  bool in_edb = false;
+  std::string line;
+  std::istringstream lines(buffer.str());
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line == "% edb") {
+      in_edb = true;
+      continue;
+    }
+    if (HeaderValue(line, "property", &out.property) ||
+        HeaderValue(line, "seed", &seed_text) ||
+        HeaderValue(line, "bug", &bug_text) ||
+        HeaderValue(line, "note", &out.note)) {
+      continue;
+    }
+    (in_edb ? edb_text : program_text) += line + "\n";
+  }
+  if (out.property.empty()) {
+    return Status::InvalidArgument(path + ": missing `% property:` header");
+  }
+  if (!seed_text.empty()) {
+    out.c.seed = std::strtoull(seed_text.c_str(), nullptr, 10);
+  }
+  if (!bug_text.empty() && !ParsePlantedBug(bug_text, &out.bug)) {
+    return Status::InvalidArgument(path + ": unknown `% bug:` value " + bug_text);
+  }
+
+  CQLOPT_ASSIGN_OR_RETURN(ParseResult parsed, ParseProgram(program_text));
+  if (parsed.queries.size() != 1) {
+    return Status::InvalidArgument(
+        path + ": corpus file must contain exactly one query, found " +
+        std::to_string(parsed.queries.size()));
+  }
+  out.c.program = std::move(parsed.program);
+  out.c.query = std::move(parsed.queries[0]);
+
+  Database db;
+  CQLOPT_RETURN_IF_ERROR(
+      LoadDatabaseText(edb_text, out.c.program.symbols, &db).status());
+  for (const auto& [pred, rel] : db.relations()) {
+    for (const auto& entry : rel.entries()) {
+      out.c.edb.push_back(entry.fact);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ListCorpusFiles(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".cql") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::InvalidArgument("cannot list corpus dir " + dir + ": " +
+                                    ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace testing
+}  // namespace cqlopt

@@ -1,0 +1,58 @@
+#ifndef CQLOPT_TESTING_CORPUS_H_
+#define CQLOPT_TESTING_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "testing/generator.h"
+#include "testing/properties.h"
+
+namespace cqlopt {
+namespace testing {
+
+/// Regression-corpus files (tests/fuzz_corpus/*.cql). Each file is a
+/// complete shrunk repro in the surface syntax, self-describing through
+/// `%` comment headers the lexer already skips:
+///
+///   % property: rewrite_equiv
+///   % seed: 42
+///   % bug: drop-constraint-atom        <- only for planted-bug repros
+///   % note: pred,qrp changed the query's answers
+///   g1: p0(X1) :- e0(X1), X1 <= 3.
+///   ?- p0(V9).
+///   % edb
+///   e0(2).
+///   e0(5).
+///
+/// The `% edb` separator line splits the program+query text from the
+/// loader-syntax facts. `cqlfuzz --replay <file>` and test_fuzz_corpus.cc
+/// both load files through this module; `% bug:` repros assert the property
+/// *still fails* under the planted bug (the harness keeps catching it),
+/// plain repros assert the property now passes (the bug stays fixed).
+struct CorpusCase {
+  FuzzCase c;
+  std::string property;  // % property: header
+  PlantedBug bug = PlantedBug::kNone;
+  std::string note;  // % note: header, empty if absent
+};
+
+/// Renders a corpus file's full text.
+std::string RenderCorpusFile(const FuzzCase& c, const std::string& property,
+                             PlantedBug bug, const std::string& note);
+
+/// Writes a corpus file; `path` is created or truncated.
+Status WriteCorpusFile(const std::string& path, const FuzzCase& c,
+                       const std::string& property, PlantedBug bug,
+                       const std::string& note);
+
+/// Parses a corpus file back into a replayable case.
+Result<CorpusCase> LoadCorpusFile(const std::string& path);
+
+/// The `.cql` files under `dir`, sorted by name; an error if `dir` cannot
+/// be read.
+Result<std::vector<std::string>> ListCorpusFiles(const std::string& dir);
+
+}  // namespace testing
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TESTING_CORPUS_H_

@@ -1,0 +1,265 @@
+#include "testing/generator.h"
+
+#include "ast/printer.h"
+
+namespace cqlopt {
+namespace testing {
+namespace {
+
+/// Atom `var op constant` via the five surface operators.
+LinearConstraint VarConstAtom(VarId v, const char* op, int c) {
+  return LinearConstraint::Make(LinearExpr::Var(v), op,
+                                LinearExpr::Constant(Rational(c)));
+}
+
+const char* PickOp(Rng* rng, const ConstraintGenOptions& options) {
+  // Bias towards <= / >= (the paper's selections); strict and equality
+  // atoms appear when allowed.
+  int roll = rng->Uniform(0, 9);
+  if (options.allow_eq && roll == 0) return "=";
+  if (options.allow_strict && roll <= 3) return rng->Chance(50) ? "<" : ">";
+  return rng->Chance(50) ? "<=" : ">=";
+}
+
+}  // namespace
+
+Conjunction RandomConjunction(Rng* rng,
+                              const ConstraintGenOptions& options) {
+  Conjunction c;
+  for (int i = 0; i < options.atoms; ++i) {
+    const char* op = PickOp(rng, options);
+    if (options.dense) {
+      // Up to three variables with small coefficients vs a constant.
+      LinearExpr lhs;
+      int terms = rng->Uniform(1, 3);
+      for (int t = 0; t < terms; ++t) {
+        VarId v = options.first_var + rng->Uniform(0, options.num_vars - 1);
+        int coeff = rng->Uniform(-2, 2);
+        if (coeff != 0) lhs.Add(v, Rational(coeff));
+      }
+      if (lhs.is_constant()) {
+        VarId v = options.first_var + rng->Uniform(0, options.num_vars - 1);
+        lhs.Add(v, Rational(1));
+      }
+      int rhs = rng->Uniform(-options.constant_range, options.constant_range);
+      (void)c.AddLinear(LinearConstraint::Make(
+          lhs, op, LinearExpr::Constant(Rational(rhs))));
+      continue;
+    }
+    // Order atom: X op c or X op Y (Section 5's termination class).
+    VarId x = options.first_var + rng->Uniform(0, options.num_vars - 1);
+    if (rng->Chance(60)) {
+      int rhs = rng->Uniform(-options.constant_range, options.constant_range);
+      (void)c.AddLinear(VarConstAtom(x, op, rhs));
+    } else {
+      VarId y = options.first_var + rng->Uniform(0, options.num_vars - 1);
+      if (y == x) {
+        int rhs =
+            rng->Uniform(-options.constant_range, options.constant_range);
+        (void)c.AddLinear(VarConstAtom(x, op, rhs));
+      } else {
+        (void)c.AddLinear(LinearConstraint::Make(LinearExpr::Var(x), op,
+                                                 LinearExpr::Var(y)));
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+
+struct PredInfo {
+  PredId id;
+  int arity;
+};
+
+/// Draws `count` order atoms over the given variables into `conj`.
+void AddRuleConstraints(Rng* rng, const GenOptions& options,
+                        const std::vector<VarId>& vars, int count,
+                        Conjunction* conj) {
+  ConstraintGenOptions cg = options.constraints;
+  for (int i = 0; i < count; ++i) {
+    VarId x = vars[static_cast<size_t>(
+        rng->Uniform(0, static_cast<int>(vars.size()) - 1))];
+    const char* op = PickOp(rng, cg);
+    if (rng->Chance(60)) {
+      int c = rng->Uniform(-cg.constant_range, cg.constant_range);
+      (void)conj->AddLinear(VarConstAtom(x, op, c));
+    } else {
+      VarId y = vars[static_cast<size_t>(
+          rng->Uniform(0, static_cast<int>(vars.size()) - 1))];
+      if (y == x) continue;
+      (void)conj->AddLinear(LinearConstraint::Make(LinearExpr::Var(x), op,
+                                                   LinearExpr::Var(y)));
+    }
+  }
+}
+
+}  // namespace
+
+FuzzCase GenerateCase(uint64_t seed, const GenOptions& options) {
+  Rng rng(seed);
+  FuzzCase out;
+  out.seed = seed;
+  Program& program = out.program;
+
+  // Predicates and arities.
+  std::vector<PredInfo> edb_preds;
+  std::vector<PredInfo> derived;
+  for (int i = 0; i < options.edb_preds; ++i) {
+    PredId id =
+        program.symbols->InternPredicate("e" + std::to_string(i));
+    int arity = rng.Uniform(1, options.max_arity);
+    edb_preds.push_back({id, arity});
+    (void)program.DeclareArity(id, arity);
+  }
+  for (int i = 0; i < options.derived_preds; ++i) {
+    PredId id =
+        program.symbols->InternPredicate("p" + std::to_string(i));
+    int arity = rng.Uniform(1, options.max_arity);
+    derived.push_back({id, arity});
+    (void)program.DeclareArity(id, arity);
+  }
+
+  // Rules. Derived predicate p_i may use any EDB predicate, any p_j with
+  // j < i, and (for rules after the first) p_i itself — so every SCC is a
+  // single predicate whose first rule is an exit rule, and ValidateProgram
+  // always accepts the generated program.
+  VarAllocator alloc;
+  int rule_counter = 0;
+  for (int i = 0; i < options.derived_preds; ++i) {
+    int rules = rng.Uniform(1, options.max_rules_per_pred);
+    for (int r = 0; r < rules; ++r) {
+      Rule rule;
+      rule.label = "g" + std::to_string(++rule_counter);
+      VarId base = alloc.FreshBlock(options.num_vars);
+      std::vector<VarId> pool;
+      for (int v = 0; v < options.num_vars; ++v) {
+        pool.push_back(base + v);
+        rule.var_names[base + v] = "X" + std::to_string(v + 1);
+      }
+
+      if (r > 0 && rng.Chance(options.constraint_fact_pct)) {
+        // Body-free constraint fact: every head variable is constrained
+        // (ValidateProgram's unbound-head check), some pinned to a point.
+        std::vector<VarId> head_args;
+        for (int a = 0; a < derived[i].arity; ++a) {
+          VarId v = pool[static_cast<size_t>(a)];
+          head_args.push_back(v);
+          if (rng.Chance(50)) {
+            (void)rule.constraints.AddLinear(
+                VarConstAtom(v, "=", rng.Uniform(0, options.domain - 1)));
+          } else {
+            (void)rule.constraints.AddLinear(VarConstAtom(
+                v, rng.Chance(50) ? "<=" : ">=",
+                rng.Uniform(0, options.domain - 1)));
+          }
+        }
+        rule.head = Literal(derived[i].id, head_args);
+        program.rules.push_back(std::move(rule));
+        continue;
+      }
+
+      bool recursive = r > 0 && rng.Chance(options.recursion_pct);
+      int body_count = rng.Uniform(1, options.max_body_literals);
+      std::vector<VarId> body_vars;
+      for (int b = 0; b < body_count; ++b) {
+        PredInfo pick;
+        bool place_recursive = recursive && b == body_count - 1;
+        if (place_recursive) {
+          pick = derived[i];
+        } else {
+          int lower = i;  // p_0..p_{i-1} are eligible
+          int choices = options.edb_preds + lower;
+          int c = rng.Uniform(0, choices - 1);
+          pick = c < options.edb_preds ? edb_preds[static_cast<size_t>(c)]
+                                       : derived[static_cast<size_t>(
+                                             c - options.edb_preds)];
+        }
+        std::vector<VarId> args;
+        for (int a = 0; a < pick.arity; ++a) {
+          VarId v = pool[static_cast<size_t>(
+              rng.Uniform(0, options.num_vars - 1))];
+          args.push_back(v);
+          body_vars.push_back(v);
+        }
+        rule.body.emplace_back(pick.id, args);
+      }
+
+      int atom_count = rng.Uniform(0, options.max_constraint_atoms);
+      AddRuleConstraints(&rng, options, pool, atom_count, &rule.constraints);
+
+      // Head arguments: body variables, occasionally a fresh variable
+      // pinned to a constant through an equality atom (still bound).
+      std::vector<VarId> head_args;
+      for (int a = 0; a < derived[i].arity; ++a) {
+        if (rng.Chance(20) || body_vars.empty()) {
+          VarId v = pool[static_cast<size_t>(
+              rng.Uniform(0, options.num_vars - 1))];
+          (void)rule.constraints.AddLinear(
+              VarConstAtom(v, "=", rng.Uniform(0, options.domain - 1)));
+          head_args.push_back(v);
+        } else {
+          head_args.push_back(body_vars[static_cast<size_t>(rng.Uniform(
+              0, static_cast<int>(body_vars.size()) - 1))]);
+        }
+      }
+      rule.head = Literal(derived[i].id, head_args);
+      program.rules.push_back(std::move(rule));
+    }
+  }
+
+  // Query: the last derived predicate over distinct fresh variables, with
+  // an optional selection — a bound argument or an order atom.
+  const PredInfo& qp = derived.back();
+  VarId qbase = alloc.FreshBlock(qp.arity);
+  std::vector<VarId> qargs;
+  for (int a = 0; a < qp.arity; ++a) qargs.push_back(qbase + a);
+  out.query.literal = Literal(qp.id, qargs);
+  if (rng.Chance(70)) {
+    VarId v = qargs[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int>(qargs.size()) - 1))];
+    if (rng.Chance(40)) {
+      (void)out.query.constraints.AddLinear(
+          VarConstAtom(v, "=", rng.Uniform(0, options.domain - 1)));
+    } else {
+      (void)out.query.constraints.AddLinear(VarConstAtom(
+          v, rng.Chance(50) ? "<=" : ">=",
+          rng.Uniform(0, options.domain - 1)));
+    }
+  }
+
+  // Ground EDB over [0, domain).
+  for (const PredInfo& e : edb_preds) {
+    for (int f = 0; f < options.edb_facts_per_pred; ++f) {
+      Conjunction c;
+      for (int a = 1; a <= e.arity; ++a) {
+        LinearExpr expr =
+            LinearExpr::Var(a) -
+            LinearExpr::Constant(Rational(rng.Uniform(0, options.domain - 1)));
+        (void)c.AddLinear(LinearConstraint(std::move(expr), CmpOp::kEq));
+      }
+      out.edb.emplace_back(e.id, e.arity, std::move(c));
+    }
+  }
+  return out;
+}
+
+std::string RenderCaseProgram(const FuzzCase& c) {
+  std::string out = RenderProgram(c.program);
+  out += RenderQuery(c.query, *c.program.symbols);
+  out += "\n";
+  return out;
+}
+
+std::string RenderCaseEdb(const FuzzCase& c) {
+  std::string out;
+  for (const Fact& fact : c.edb) {
+    out += fact.ToString(*c.program.symbols);
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace cqlopt

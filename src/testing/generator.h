@@ -1,0 +1,84 @@
+#ifndef CQLOPT_TESTING_GENERATOR_H_
+#define CQLOPT_TESTING_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/fact.h"
+#include "testing/rng.h"
+
+namespace cqlopt {
+namespace testing {
+
+/// Knobs of the random-conjunction generator. Defaults generate the
+/// termination class of Section 5 — order constraints only (`X op Y`,
+/// `X op c`) — whose bounded disjunct universe keeps every fixpoint in the
+/// differential harness finite.
+struct ConstraintGenOptions {
+  /// Variables drawn from `first_var .. first_var + num_vars - 1`.
+  VarId first_var = 1;
+  int num_vars = 6;
+  int atoms = 2;
+  /// Constants uniform in [-constant_range, constant_range].
+  int constant_range = 8;
+  bool allow_strict = true;  // X < c atoms
+  bool allow_eq = true;      // X = c atoms
+  /// When false, only order atoms (one variable vs a constant or another
+  /// variable). When true, atoms may mix up to three variables with
+  /// coefficients in [-2, 2] — outside Section 5's termination class, so
+  /// only the program-free constraint properties use it.
+  bool dense = false;
+};
+
+/// A random conjunction drawn from `options`. Deterministic in the rng
+/// stream. May be unsatisfiable — callers that need satisfiable inputs
+/// check and redraw.
+Conjunction RandomConjunction(Rng* rng, const ConstraintGenOptions& options);
+
+/// Knobs of the random program / query / EDB generator (ProgramGen,
+/// DatabaseGen in one seed). Defaults are sized so properties evaluate in
+/// milliseconds and fixpoints are reached well under the harness cap.
+struct GenOptions {
+  int edb_preds = 2;           // e0, e1, ...
+  int derived_preds = 3;       // p0, p1, ...; the last one is the query
+  int max_rules_per_pred = 2;  // the disjunction knob
+  int max_body_literals = 3;
+  int max_arity = 3;           // arities uniform in [1, max_arity]
+  int num_vars = 6;            // per-rule variable pool X1..X6
+  int max_constraint_atoms = 2;
+  int recursion_pct = 35;      // chance a non-first rule is recursive
+  int constraint_fact_pct = 15;  // chance of a body-free constraint fact
+  int edb_facts_per_pred = 8;
+  int domain = 8;              // EDB values uniform in [0, domain)
+  ConstraintGenOptions constraints;
+};
+
+/// One generated differential-testing input: a program, the query against
+/// it, and a ground EDB for its database predicates. `seed` is the complete
+/// repro token (`cqlfuzz --seed <seed> --iters 1`).
+struct FuzzCase {
+  Program program;
+  Query query;
+  std::vector<Fact> edb;
+  uint64_t seed = 0;
+};
+
+/// Generates a case from a single seed. Deterministic: same seed and
+/// options give byte-identical programs, queries, and EDBs. The program is
+/// always accepted by ValidateProgram (every derived predicate's first rule
+/// is an exit rule) and range-restricted (head variables appear in the body
+/// or in a constraint), so properties never skip on validation.
+FuzzCase GenerateCase(uint64_t seed, const GenOptions& options);
+
+/// Renders the case's program and query as parseable surface syntax — the
+/// exact text the corpus files store.
+std::string RenderCaseProgram(const FuzzCase& c);
+
+/// Renders the EDB facts as loader syntax, one `fact.` per line.
+std::string RenderCaseEdb(const FuzzCase& c);
+
+}  // namespace testing
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TESTING_GENERATOR_H_

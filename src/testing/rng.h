@@ -1,0 +1,49 @@
+#ifndef CQLOPT_TESTING_RNG_H_
+#define CQLOPT_TESTING_RNG_H_
+
+#include <cstdint>
+
+namespace cqlopt {
+namespace testing {
+
+/// Deterministic splitmix64 stream. The fuzzing subsystem never uses
+/// <random>: std::uniform_int_distribution is implementation-defined, so a
+/// seed would not reproduce the same programs across standard libraries.
+/// This generator is a pure function of its seed everywhere, which is what
+/// makes `cqlfuzz --seed N` a complete repro token.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi], inclusive. Precondition: lo <= hi. The modulo
+  /// bias is irrelevant at fuzzing ranges (hi - lo << 2^64).
+  int Uniform(int lo, int hi) {
+    return lo + static_cast<int>(Next() %
+                                 static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// True with probability pct/100.
+  bool Chance(int pct) { return Uniform(0, 99) < pct; }
+
+  /// Independent substream for item `index` of the stream seeded `seed` —
+  /// iteration i of a fuzz run is reproducible without replaying 0..i-1.
+  static uint64_t DeriveSeed(uint64_t seed, uint64_t index) {
+    Rng r(seed ^ (index * 0xbf58476d1ce4e5b9ull + 0x94d049bb133111ebull));
+    return r.Next();
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace testing
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TESTING_RNG_H_

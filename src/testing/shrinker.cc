@@ -1,0 +1,157 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "eval/validate.h"
+
+namespace cqlopt {
+namespace testing {
+namespace {
+
+/// `conj` minus its last linear atom (equalities and symbol bindings kept).
+Conjunction WithoutLastLinearAtom(const Conjunction& conj) {
+  Conjunction out;
+  const auto& linear = conj.linear();
+  for (size_t i = 0; i + 1 < linear.size(); ++i) {
+    (void)out.AddLinear(linear[i]);
+  }
+  for (const auto& [a, b] : conj.EqualityPairs()) (void)out.AddEquality(a, b);
+  for (const auto& [v, s] : conj.SymbolBindings()) (void)out.BindSymbol(v, s);
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const PropertyInfo& property, const FuzzOptions& fuzz_options,
+           const ShrinkOptions& options, ShrinkStats* stats)
+      : property_(property),
+        fuzz_options_(fuzz_options),
+        options_(options),
+        stats_(stats) {}
+
+  FuzzCase Run(FuzzCase current) {
+    bool changed = true;
+    while (changed && !Exhausted()) {
+      changed = false;
+      changed |= ShrinkRules(&current);
+      changed |= ShrinkBodyLiterals(&current);
+      changed |= ShrinkConstraintAtoms(&current);
+      changed |= ShrinkEdb(&current);
+      changed |= ShrinkQuery(&current);
+    }
+    return current;
+  }
+
+ private:
+  bool Exhausted() const { return stats_->attempts >= options_.max_attempts; }
+
+  /// True iff the candidate still exhibits the *original* failure class: a
+  /// valid program on which the property fails (not skips, not a
+  /// validation rejection).
+  bool StillFails(const FuzzCase& candidate) {
+    if (Exhausted()) return false;
+    ++stats_->attempts;
+    if (!ValidateProgram(candidate.program).ok()) return false;
+    PropertyOutcome outcome = property_.fn(candidate, fuzz_options_);
+    return !outcome.ok && !outcome.skipped;
+  }
+
+  bool Accept(FuzzCase* current, FuzzCase candidate) {
+    if (!StillFails(candidate)) return false;
+    *current = std::move(candidate);
+    ++stats_->accepted;
+    return true;
+  }
+
+  bool ShrinkRules(FuzzCase* current) {
+    bool changed = false;
+    for (size_t i = current->program.rules.size(); i-- > 0;) {
+      if (current->program.rules.size() <= 1) break;
+      FuzzCase candidate = *current;
+      candidate.program.rules.erase(candidate.program.rules.begin() +
+                                    static_cast<long>(i));
+      changed |= Accept(current, std::move(candidate));
+    }
+    return changed;
+  }
+
+  bool ShrinkBodyLiterals(FuzzCase* current) {
+    bool changed = false;
+    for (size_t r = 0; r < current->program.rules.size(); ++r) {
+      for (size_t b = current->program.rules[r].body.size(); b-- > 0;) {
+        FuzzCase candidate = *current;
+        auto& body = candidate.program.rules[r].body;
+        body.erase(body.begin() + static_cast<long>(b));
+        changed |= Accept(current, std::move(candidate));
+      }
+    }
+    return changed;
+  }
+
+  bool ShrinkConstraintAtoms(FuzzCase* current) {
+    bool changed = false;
+    for (size_t r = 0; r < current->program.rules.size(); ++r) {
+      // Peel atoms off the back one at a time until removal stops failing.
+      while (!current->program.rules[r].constraints.linear().empty()) {
+        FuzzCase candidate = *current;
+        candidate.program.rules[r].constraints =
+            WithoutLastLinearAtom(candidate.program.rules[r].constraints);
+        if (!Accept(current, std::move(candidate))) break;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool ShrinkEdb(FuzzCase* current) {
+    // ddmin-style chunk removal: halves first, then ever smaller chunks.
+    bool changed = false;
+    for (size_t chunk = (current->edb.size() + 1) / 2; chunk >= 1;
+         chunk /= 2) {
+      for (size_t start = 0; start < current->edb.size();) {
+        size_t end = std::min(start + chunk, current->edb.size());
+        FuzzCase candidate = *current;
+        candidate.edb.erase(candidate.edb.begin() + static_cast<long>(start),
+                            candidate.edb.begin() + static_cast<long>(end));
+        if (Accept(current, std::move(candidate))) {
+          changed = true;  // keep `start`: the next chunk slid into place
+        } else {
+          start = end;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return changed;
+  }
+
+  bool ShrinkQuery(FuzzCase* current) {
+    if (current->query.constraints.linear().empty() &&
+        current->query.constraints.EqualityPairs().empty() &&
+        current->query.constraints.SymbolBindings().empty()) {
+      return false;
+    }
+    FuzzCase candidate = *current;
+    candidate.query.constraints = Conjunction::True();
+    return Accept(current, std::move(candidate));
+  }
+
+  const PropertyInfo& property_;
+  const FuzzOptions& fuzz_options_;
+  const ShrinkOptions& options_;
+  ShrinkStats* stats_;
+};
+
+}  // namespace
+
+FuzzCase ShrinkCase(const FuzzCase& failing, const PropertyInfo& property,
+                    const FuzzOptions& fuzz_options,
+                    const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local;
+  Shrinker shrinker(property, fuzz_options, options,
+                    stats != nullptr ? stats : &local);
+  return shrinker.Run(failing);
+}
+
+}  // namespace testing
+}  // namespace cqlopt

@@ -1,0 +1,37 @@
+#ifndef CQLOPT_TESTING_SHRINKER_H_
+#define CQLOPT_TESTING_SHRINKER_H_
+
+#include "testing/generator.h"
+#include "testing/properties.h"
+
+namespace cqlopt {
+namespace testing {
+
+/// Delta-debugging minimizer for failing fuzz cases. Given a (program, EDB,
+/// query) triple on which `property` fails, greedily removes rules, body
+/// literals, constraint atoms, EDB facts (chunk-halving, ddmin style), and
+/// the query's selection, keeping a reduction only when the property still
+/// *fails* — candidates ValidateProgram rejects or the property merely
+/// skips are discarded, so the minimized case reproduces the original bug
+/// rather than some new rejection. Runs reduction passes to a fixpoint
+/// within the attempt budget. Deterministic: same input, same output.
+struct ShrinkStats {
+  int attempts = 0;  // property evaluations spent
+  int accepted = 0;  // reductions kept
+};
+
+struct ShrinkOptions {
+  /// Cap on property evaluations; shrinking stops (keeping the best case
+  /// so far) when it is exhausted.
+  int max_attempts = 400;
+};
+
+FuzzCase ShrinkCase(const FuzzCase& failing, const PropertyInfo& property,
+                    const FuzzOptions& fuzz_options,
+                    const ShrinkOptions& options = {},
+                    ShrinkStats* stats = nullptr);
+
+}  // namespace testing
+}  // namespace cqlopt
+
+#endif  // CQLOPT_TESTING_SHRINKER_H_

@@ -1,10 +1,59 @@
 #include "transform/pipeline.h"
 
+#include <set>
+
 #include "ast/printer.h"
 #include "constraint/fingerprint.h"
 #include "transform/gmt.h"
 
 namespace cqlopt {
+namespace {
+
+/// Drops rules that can never fire. A body predicate is potentially
+/// derivable when it is an EDB relation (no rules; its facts arrive with
+/// the database at evaluation time) or the head of some live rule.
+/// Constraint rewriting makes the underivable case reachable in practice:
+/// pushing the query's selections can prove every exit rule of a recursive
+/// component unsatisfiable, and the surviving in-component rules then form
+/// a constraint-only recursion that derives nothing — a shape the engine's
+/// ValidateProgram pre-flight rejects. Pruning removes those shells, and
+/// transitively every rule that depended on the predicates they were the
+/// only producers of.
+void PruneUnderivableRules(Program* program) {
+  std::set<PredId> heads;
+  for (const Rule& rule : program->rules) heads.insert(rule.head.pred);
+  std::set<PredId> derivable;
+  std::vector<bool> live(program->rules.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < program->rules.size(); ++i) {
+      if (live[i]) continue;
+      const Rule& rule = program->rules[i];
+      bool fires = true;
+      for (const Literal& lit : rule.body) {
+        if (heads.count(lit.pred) != 0 && derivable.count(lit.pred) == 0) {
+          fires = false;
+          break;
+        }
+      }
+      if (!fires) continue;
+      live[i] = true;
+      derivable.insert(rule.head.pred);
+      changed = true;
+    }
+  }
+  size_t out = 0;
+  for (size_t i = 0; i < program->rules.size(); ++i) {
+    if (live[i]) {
+      if (out != i) program->rules[out] = std::move(program->rules[i]);
+      ++out;
+    }
+  }
+  program->rules.resize(out);
+}
+
+}  // namespace
 
 Result<PipelineResult> ApplyPipeline(const Program& program,
                                      const Query& query,
@@ -69,6 +118,7 @@ Result<PipelineResult> ApplyPipeline(const Program& program,
       }
     }
   }
+  PruneUnderivableRules(&state.program);
   return state;
 }
 

@@ -13,6 +13,8 @@
 #include "constraint/implication.h"
 #include "core/workload.h"
 #include "eval/seminaive.h"
+#include "testing/generator.h"
+#include "testing/properties.h"
 
 namespace cqlopt {
 namespace {
@@ -235,6 +237,92 @@ TEST(DecisionCacheTest, EvaluationUnchangedByCache) {
   // the cold run must hit; the warm run re-asks everything.
   EXPECT_GT(cold->stats.cache_hits, 0);
   EXPECT_GT(warm->stats.cache_hits, cold->stats.cache_hits);
+}
+
+TEST(DecisionCacheTest, CapacityOneThrashMatchesCacheOff) {
+  // Capacity 1 per shard makes nearly every Store evict the shard's only
+  // entry — the pathological thrash regime. Even there the cache must stay
+  // an invisible memo: the evaluation's stored facts, birth rounds, and
+  // derivation stats are byte-identical to a cache-off run.
+  auto parsed = ParseProgram(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "s(X) :- t(X, Y), X >= 2, Y <= 9.\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Program& program = parsed->program;
+  Database db;
+  ASSERT_TRUE(
+      AddLayeredGraph(program.symbols.get(), "e", 4, 3, 2, 11, &db).ok());
+
+  EvalOptions options;
+  options.strategy = EvalStrategy::kStratified;
+  options.subsumption = SubsumptionMode::kSingleFact;
+
+  auto fingerprint = [](const EvalResult& r) {
+    std::string out;
+    for (const auto& [pred, rel] : r.db.relations()) {
+      out += std::to_string(pred);
+      out += '{';
+      for (const auto& entry : rel.entries()) {
+        out += entry.fact.Key();
+        out += '@';
+        out += std::to_string(entry.birth);
+        out += ';';
+      }
+      out += '}';
+    }
+    return out;
+  };
+
+  EvalResult uncached;
+  {
+    DecisionCacheDisabler off;
+    auto run = Evaluate(program, db, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    uncached = std::move(*run);
+  }
+
+  DecisionCache::Counters before;
+  EvalResult thrashed;
+  {
+    DecisionCacheCapacityOverride tiny(1);
+    before = DecisionCache::Instance().Snapshot();
+    auto run = Evaluate(program, db, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    thrashed = std::move(*run);
+    // The override must actually bite: the run stores more distinct
+    // decisions than one per shard, so evictions happen.
+    DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
+    EXPECT_GT(after.evictions - before.evictions, 0);
+  }
+
+  EXPECT_EQ(fingerprint(uncached), fingerprint(thrashed));
+  EXPECT_EQ(uncached.stats.derivations, thrashed.stats.derivations);
+  EXPECT_EQ(uncached.stats.inserted, thrashed.stats.inserted);
+  EXPECT_EQ(uncached.stats.subsumed, thrashed.stats.subsumed);
+  EXPECT_EQ(uncached.stats.iterations, thrashed.stats.iterations);
+}
+
+TEST(DecisionCacheTest, FuzzPropertyHoldsUnderCapacityOneThrash) {
+  // strategy_confluence internally pins byte-identical storage across
+  // naive / semi-naive / stratified / 2- and 8-thread runs; executing it
+  // under a capacity-1 cache exercises that guarantee while every shard
+  // evicts on virtually every insert.
+  cqlopt::testing::FuzzCase c = cqlopt::testing::GenerateCase(
+      cqlopt::testing::Rng::DeriveSeed(42, 7), {});
+  const cqlopt::testing::PropertyInfo* confluence =
+      cqlopt::testing::FindProperty("strategy_confluence");
+  ASSERT_NE(confluence, nullptr);
+  DecisionCache::Counters before;
+  {
+    DecisionCacheCapacityOverride tiny(1);
+    before = DecisionCache::Instance().Snapshot();
+    cqlopt::testing::PropertyOutcome outcome = confluence->fn(c, {});
+    EXPECT_TRUE(outcome.ok) << outcome.message;
+    EXPECT_FALSE(outcome.skipped) << outcome.message;
+    DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
+    EXPECT_GT(after.evictions - before.evictions, 0);
+  }
 }
 
 }  // namespace

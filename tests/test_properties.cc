@@ -1,5 +1,3 @@
-#include <random>
-
 #include <gtest/gtest.h>
 
 #include "ast/parser.h"
@@ -7,40 +5,67 @@
 #include "constraint/implication.h"
 #include "core/equivalence.h"
 #include "core/workload.h"
+#include "testing/corpus.h"
+#include "testing/generator.h"
+#include "testing/properties.h"
+#include "testing/shrinker.h"
 #include "transform/pipeline.h"
 
 namespace cqlopt {
 namespace {
 
-/// Random conjunction over variables 1..3 with small integer coefficients.
-Conjunction RandomConjunction(std::mt19937_64* rng, int atoms) {
-  std::uniform_int_distribution<int> coeff(-2, 2);
-  std::uniform_int_distribution<int> constant(-8, 8);
-  std::uniform_int_distribution<int> op_pick(0, 5);
-  Conjunction c;
-  for (int i = 0; i < atoms; ++i) {
-    LinearExpr e;
-    for (VarId v = 1; v <= 3; ++v) e.Add(v, Rational(coeff(*rng)));
-    e.AddConstant(Rational(constant(*rng)));
-    CmpOp op = op_pick(*rng) == 0 ? CmpOp::kEq
-               : op_pick(*rng) < 3 ? CmpOp::kLt
-                                   : CmpOp::kLe;
-    (void)c.AddLinear(LinearConstraint(std::move(e), op));
-  }
-  return c;
+using testing::AllProperties;
+using testing::ConstraintGenOptions;
+using testing::FindProperty;
+using testing::FuzzCase;
+using testing::FuzzOptions;
+using testing::GenerateCase;
+using testing::PropertyInfo;
+using testing::PropertyOutcome;
+using testing::RandomConjunction;
+using testing::RenderCorpusFile;
+using testing::Rng;
+using testing::ShrinkCase;
+using testing::ShrinkStats;
+
+/// The constraint-generator configuration shared by the pure-constraint
+/// property suites: six variables, dense multi-variable atoms, strict and
+/// equality operators all enabled.
+ConstraintGenOptions DenseOptions(int atoms) {
+  ConstraintGenOptions cg;
+  cg.num_vars = 6;
+  cg.atoms = atoms;
+  cg.dense = true;
+  return cg;
+}
+
+/// On failure, shrinks the case and renders a self-contained report: the
+/// failure message, the minimized corpus-format repro, and the exact
+/// cqlfuzz command line that replays the unshrunk case.
+std::string FailureReport(const PropertyInfo& info, const FuzzCase& c,
+                          const FuzzOptions& fo, const std::string& message) {
+  ShrinkStats stats;
+  FuzzCase shrunk = ShrinkCase(c, info, fo, {}, &stats);
+  return message + "\n--- shrunk repro (" +
+         std::to_string(shrunk.program.rules.size()) + " rules, " +
+         std::to_string(shrunk.edb.size()) + " facts, " +
+         std::to_string(stats.attempts) + " attempts) ---\n" +
+         RenderCorpusFile(shrunk, info.name, fo.bug, message) +
+         "--- replay: cqlfuzz --seed " + std::to_string(c.seed) +
+         " --iters 1 --property " + info.name + " ---";
 }
 
 class ImplicationProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(ImplicationProperty, ReflexiveAndMonotone) {
-  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  Rng rng(Rng::DeriveSeed(0x1A9, static_cast<uint64_t>(GetParam())));
   for (int trial = 0; trial < 30; ++trial) {
-    Conjunction a = RandomConjunction(&rng, 3);
+    Conjunction a = RandomConjunction(&rng, DenseOptions(3));
     // Reflexivity.
     EXPECT_TRUE(Implies(a, a));
     // Strengthening the LHS preserves implication.
     Conjunction stronger = a;
-    (void)stronger.AddConjunction(RandomConjunction(&rng, 1));
+    (void)stronger.AddConjunction(RandomConjunction(&rng, DenseOptions(1)));
     EXPECT_TRUE(Implies(stronger, a));
     // Anything implies true; false implies anything.
     EXPECT_TRUE(Implies(a, Conjunction::True()));
@@ -49,13 +74,13 @@ TEST_P(ImplicationProperty, ReflexiveAndMonotone) {
 }
 
 TEST_P(ImplicationProperty, TransitiveOnChains) {
-  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) + 100);
+  Rng rng(Rng::DeriveSeed(0x2B7, static_cast<uint64_t>(GetParam())));
   for (int trial = 0; trial < 20; ++trial) {
-    Conjunction a = RandomConjunction(&rng, 2);
+    Conjunction a = RandomConjunction(&rng, DenseOptions(2));
     Conjunction b = a;
-    (void)b.AddConjunction(RandomConjunction(&rng, 1));
+    (void)b.AddConjunction(RandomConjunction(&rng, DenseOptions(1)));
     Conjunction c = b;
-    (void)c.AddConjunction(RandomConjunction(&rng, 1));
+    (void)c.AddConjunction(RandomConjunction(&rng, DenseOptions(1)));
     // c => b => a by construction; check the checker agrees transitively.
     EXPECT_TRUE(Implies(c, b));
     EXPECT_TRUE(Implies(b, a));
@@ -65,9 +90,9 @@ TEST_P(ImplicationProperty, TransitiveOnChains) {
 
 TEST_P(ImplicationProperty, ProjectionIsSound) {
   // a implies its own projection (projection only loses constraints).
-  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) + 200);
+  Rng rng(Rng::DeriveSeed(0x3C5, static_cast<uint64_t>(GetParam())));
   for (int trial = 0; trial < 30; ++trial) {
-    Conjunction a = RandomConjunction(&rng, 4);
+    Conjunction a = RandomConjunction(&rng, DenseOptions(4));
     auto projected = a.Project({1, 2});
     ASSERT_TRUE(projected.ok());
     EXPECT_TRUE(Implies(a, *projected));
@@ -75,21 +100,22 @@ TEST_P(ImplicationProperty, ProjectionIsSound) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationProperty,
-                         ::testing::Range(1, 7));
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationProperty, ::testing::Range(1, 7));
 
 class DisjointProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(DisjointProperty, EquivalentAndPairwiseUnsat) {
-  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) + 300);
+  Rng rng(Rng::DeriveSeed(0x4D3, static_cast<uint64_t>(GetParam())));
   for (int trial = 0; trial < 10; ++trial) {
     ConstraintSet set;
-    for (int d = 0; d < 3; ++d) set.AddDisjunct(RandomConjunction(&rng, 2));
+    for (int d = 0; d < 3; ++d) {
+      set.AddDisjunct(RandomConjunction(&rng, DenseOptions(2)));
+    }
     if (set.is_false()) continue;
     auto out = MakeDisjoint(set);
     ASSERT_TRUE(out.ok());
-    EXPECT_TRUE(out->EquivalentTo(set)) << set.ToString() << " vs "
-                                        << out->ToString();
+    EXPECT_TRUE(out->EquivalentTo(set))
+        << set.ToString() << " vs " << out->ToString();
     const auto& ds = out->disjuncts();
     for (size_t i = 0; i < ds.size(); ++i) {
       for (size_t j = i + 1; j < ds.size(); ++j) {
@@ -103,44 +129,65 @@ TEST_P(DisjointProperty, EquivalentAndPairwiseUnsat) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DisjointProperty, ::testing::Range(1, 5));
 
-/// End-to-end rewriting property: on random EDBs, every pipeline preserves
-/// the query answers of the transitive-closure-with-selections program.
-class RewriteEquivalenceProperty : public ::testing::TestWithParam<int> {};
+/// The full differential suite over generated programs: every registered
+/// property (engine vs oracle, strategy confluence, rewrite equivalence,
+/// FM projection, resume-vs-scratch, service round-trip) on random
+/// programs with disjunctive rules, recursion, constraint facts, and
+/// strict/equality selections. Failures shrink themselves and print the
+/// cqlfuzz replay command.
+class GeneratedCaseProperty : public ::testing::TestWithParam<int> {};
 
-TEST_P(RewriteEquivalenceProperty, PipelinesPreserveAnswers) {
-  auto parsed = ParseProgram(
-      "q(X, Y) :- t(X, Y), X + Y <= 14, X >= 1.\n"
-      "t(X, Y) :- e(X, Y), Y >= 0.\n"
-      "t(X, Y) :- e(X, Z), t(Z, Y), Z <= 9.\n"
-      "?- q(2, Y).\n");
-  ASSERT_TRUE(parsed.ok());
-  Program& program = parsed->program;
-  Query& query = parsed->queries[0];
-  Database db;
-  ASSERT_TRUE(AddBinaryRelation(program.symbols.get(), "e", 20, 10,
-                                static_cast<uint64_t>(GetParam()), &db)
-                  .ok());
-  auto baseline_run = Evaluate(program, db, {});
-  ASSERT_TRUE(baseline_run.ok());
-  auto baseline = QueryAnswers(*baseline_run, query);
-  ASSERT_TRUE(baseline.ok());
-  for (const char* spec : {"pred,qrp", "pred,qrp,mg", "mg,qrp", "balbin"}) {
-    auto steps = ParseSteps(spec);
-    ASSERT_TRUE(steps.ok());
-    auto rewritten = ApplyPipeline(program, query, *steps, {});
-    ASSERT_TRUE(rewritten.ok()) << spec << ": "
-                                << rewritten.status().ToString();
-    auto run = Evaluate(rewritten->program, db, {});
-    ASSERT_TRUE(run.ok()) << spec;
-    auto answers = QueryAnswers(*run, rewritten->query);
-    ASSERT_TRUE(answers.ok()) << spec;
-    EXPECT_TRUE(SameAnswers(*baseline, *answers))
-        << spec << " seed " << GetParam();
+TEST_P(GeneratedCaseProperty, AllPropertiesHold) {
+  uint64_t seed = Rng::DeriveSeed(0xC0FFEE, static_cast<uint64_t>(GetParam()));
+  FuzzCase c = GenerateCase(seed, {});
+  FuzzOptions fo;
+  for (const PropertyInfo& info : AllProperties()) {
+    PropertyOutcome out = info.fn(c, fo);
+    EXPECT_TRUE(out.ok) << info.name << ": "
+                        << FailureReport(info, c, fo, out.message);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RewriteEquivalenceProperty,
-                         ::testing::Range(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedCaseProperty,
+                         ::testing::Range(0, 10));
+
+/// `--seed N` must be a complete repro token: the same seed generates a
+/// byte-identical case (program, query, and EDB) on every run and platform.
+TEST(GeneratorDeterminism, SameSeedSameCase) {
+  for (uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    FuzzCase a = GenerateCase(seed, {});
+    FuzzCase b = GenerateCase(seed, {});
+    EXPECT_EQ(RenderCorpusFile(a, "x", testing::PlantedBug::kNone, ""),
+              RenderCorpusFile(b, "x", testing::PlantedBug::kNone, ""));
+  }
+}
+
+/// The planted-bug path: the differential harness must catch a deliberately
+/// broken pipeline within a few cases, and the shrinker must cut the repro
+/// down to a handful of rules (the cqlfuzz --self-check contract).
+TEST(SelfCheck, PlantedBugIsCaughtAndShrunk) {
+  const PropertyInfo* rewrite = FindProperty("rewrite_equiv");
+  ASSERT_NE(rewrite, nullptr);
+  FuzzOptions fo;
+  fo.bug = testing::PlantedBug::kDropConstraintAtom;
+  bool caught = false;
+  for (int i = 0; i < 50 && !caught; ++i) {
+    FuzzCase c = GenerateCase(
+        Rng::DeriveSeed(42, static_cast<uint64_t>(i)), {});
+    PropertyOutcome out = rewrite->fn(c, fo);
+    if (out.ok) continue;
+    caught = true;
+    ShrinkStats stats;
+    FuzzCase shrunk = ShrinkCase(c, *rewrite, fo, {}, &stats);
+    EXPECT_LE(shrunk.program.rules.size(), 10u);
+    EXPECT_GT(stats.attempts, 0);
+    // The shrunk case still fails — minimization preserved the bug.
+    PropertyOutcome again = rewrite->fn(shrunk, fo);
+    EXPECT_FALSE(again.ok);
+  }
+  EXPECT_TRUE(caught)
+      << "planted drop-constraint-atom bug not caught in 50 cases";
+}
 
 /// Theorem 4.4 property: rewriting never increases the computed fact count,
 /// and ground evaluations stay ground.

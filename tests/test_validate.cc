@@ -1,0 +1,162 @@
+#include "eval/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "eval/loader.h"
+#include "eval/seminaive.h"
+#include "transform/pipeline.h"
+
+namespace cqlopt {
+namespace {
+
+Program Parse(const std::string& text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed->program);
+}
+
+TEST(ValidateProgram, AcceptsWellFormedPrograms) {
+  Program program = Parse(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y), X >= 0.\n"
+      "q(X) :- t(X, Y), Y <= 4.\n");
+  EXPECT_TRUE(ValidateProgram(program).ok());
+}
+
+TEST(ValidateProgram, AcceptsConstraintFacts) {
+  // Body-free constraint facts bind their head variables through the
+  // constraint store, not through body literals.
+  Program program = Parse("bound(X) :- X >= 0, X <= 7.\n");
+  EXPECT_TRUE(ValidateProgram(program).ok());
+}
+
+TEST(ValidateProgram, RejectsUnboundHeadVariable) {
+  Program program = Parse("p(X, Y) :- e(X).\n");
+  Status status = ValidateProgram(program);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("unbound"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find("Y"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ValidateProgram, ConstraintBindingCountsAsBound) {
+  // A head variable mentioned only in the constraint part is bound: the
+  // rule derives a (possibly non-ground) constraint fact over it.
+  Program program = Parse("p(X, Y) :- e(X), Y <= 3.\n");
+  EXPECT_TRUE(ValidateProgram(program).ok());
+}
+
+TEST(ValidateProgram, RejectsConstraintOnlyRecursion) {
+  Program program = Parse(
+      "p(X) :- p(X), X >= 0.\n"
+      "q(X) :- p(X), X <= 4.\n");
+  Status status = ValidateProgram(program);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("no exit rule"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.ToString().find("p"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ValidateProgram, RejectsMutualRecursionWithoutExit) {
+  Program program = Parse(
+      "a(X) :- b(X), X >= 0.\n"
+      "b(X) :- a(X), X <= 9.\n");
+  Status status = ValidateProgram(program);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("no exit rule"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ValidateProgram, ExitRuleGroundsRecursion) {
+  Program program = Parse(
+      "p(X) :- e(X).\n"
+      "p(X) :- p(Y), X - Y = 1, X <= 9.\n");
+  EXPECT_TRUE(ValidateProgram(program).ok());
+}
+
+TEST(ValidateProgram, OptionsRelaxFreeHeadVars) {
+  // The magic rewrite legitimately emits head positions bound nowhere in
+  // the rule (unbound adornment positions); the engine path validates
+  // with this check off.
+  Program program = Parse("m_fib(G, X) :- m_fib(N, H), N - G = 1, N >= 1.\n"
+                          "m_fib(X, Y) :- e(X, Y).\n");
+  ValidateOptions relaxed;
+  relaxed.reject_free_head_vars = false;
+  EXPECT_TRUE(ValidateProgram(program, relaxed).ok());
+}
+
+TEST(ValidateProgram, OptionsRelaxConstraintOnlyRecursion) {
+  Program program = Parse("p(X) :- p(X), X >= 0.\n");
+  ValidateOptions relaxed;
+  relaxed.reject_constraint_only_recursion = false;
+  EXPECT_TRUE(ValidateProgram(program, relaxed).ok());
+}
+
+TEST(EvaluatePreflight, CleanStatusInsteadOfBadFixpoint) {
+  // Evaluate rejects constraint-only recursion up front with a clean
+  // Status (no assertion, no silent empty fixpoint).
+  Program program = Parse(
+      "p(X) :- p(X), X >= 0.\n"
+      "q(X) :- p(X), X <= 4.\n");
+  Database db;
+  auto run = Evaluate(program, db, {});
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().ToString().find("no exit rule"), std::string::npos)
+      << run.status().ToString();
+}
+
+TEST(EvaluatePreflight, AcceptsMagicStyleFreeHeadPositions) {
+  // The engine path must keep accepting magic-rewrite output, which
+  // contains free head positions for unbound adornment arguments.
+  auto parsed = ParseProgram(
+      "fib(N, F) :- N = 0, F = 0.\n"
+      "fib(N, F) :- N = 1, F = 1.\n"
+      "fib(N, F) :- fib(N1, F1), fib(N2, F2), N - N1 = 1, N - N2 = 2,\n"
+      "             F - F1 - F2 = 0, N >= 2, N <= 8.\n"
+      "?- fib(N, F), N = 6.\n");
+  ASSERT_TRUE(parsed.ok());
+  auto steps = ParseSteps("mg");
+  ASSERT_TRUE(steps.ok());
+  auto rewritten = ApplyPipeline(parsed->program, parsed->queries[0], *steps,
+                                 {});
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  Database db;
+  auto run = Evaluate(rewritten->program, db, {});
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+}
+
+TEST(PipelinePrune, BalbinVacuousComponentIsPruned) {
+  // Regression for a fuzz-found interplay (cqlfuzz seed
+  // 3511415465901126993): the balbin C-transformation can prove every
+  // exit rule of a recursive component dead under the query's pushed
+  // selections, leaving a primed component whose only rules are in-SCC —
+  // constraint-only recursion that the engine pre-flight rejects.
+  // ApplyPipeline now prunes such underivable shells, so its output must
+  // always pass the engine pre-flight.
+  auto parsed = ParseProgram(
+      "g2: p1(X4, X3, X3) :- e0(X3), X4 = 0.\n"
+      "g3: p1(X4, X4, X2) :- p1(X4, X2, X4).\n"
+      "g5: p2(X4, X1, X1) :- p1(X1, X2, X4), -X1 + X6 <= 0, X1 = 4.\n"
+      "?- p2(A, B, C).\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto steps = ParseSteps("balbin");
+  ASSERT_TRUE(steps.ok());
+  auto rewritten = ApplyPipeline(parsed->program, parsed->queries[0], *steps,
+                                 {});
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  ValidateOptions engine;
+  engine.reject_free_head_vars = false;
+  EXPECT_TRUE(ValidateProgram(rewritten->program, engine).ok());
+  Database db;
+  auto loaded = LoadDatabaseText("e0(3). e0(4).\n",
+                                 rewritten->program.symbols, &db);
+  ASSERT_TRUE(loaded.ok());
+  auto run = Evaluate(rewritten->program, db, {});
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+}
+
+}  // namespace
+}  // namespace cqlopt
