@@ -1,6 +1,7 @@
 #include "eval/rule_application.h"
 
 #include "ast/arg_map.h"
+#include "util/failpoint.h"
 
 namespace cqlopt {
 namespace {
@@ -212,6 +213,14 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
 Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
                  bool require_delta, const EmitFn& emit, bool use_index,
                  EvalStats* stats, bool delta_rotate) {
+  // Fault-injection hook: an allocation failure while materializing this
+  // rule's join state. Near-free when disarmed (util/failpoint.h).
+  if (failpoint::ShouldFail(failpoint::kEvalRuleAlloc)) {
+    return Status::ResourceExhausted(
+        "injected allocation failure applying rule " +
+        (rule.label.empty() ? std::string("<unlabeled>") : rule.label) +
+        " (failpoint " + failpoint::kEvalRuleAlloc + ")");
+  }
   JoinContext ctx{&rule, &db,      max_birth, require_delta,
                   &emit, use_index, stats,     {}};
   if (rule.body.empty()) {

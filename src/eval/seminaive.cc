@@ -1,5 +1,7 @@
 #include "eval/seminaive.h"
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <set>
@@ -13,6 +15,121 @@
 
 namespace cqlopt {
 namespace {
+
+/// Cooperative enforcement of EvalOptions' governance limits (cancel token,
+/// wall-clock deadline, derived-fact budget).
+///
+/// Check granularity:
+///  - Fine(): called from the emit callback on every derivation. Costs one
+///    branch when no limit is set; when governed, samples the clock / token
+///    only every kFineInterval derivations (a relaxed shared tick), and
+///    otherwise just reads the trip flag — so a trip in one parallel worker
+///    makes every other worker bail on its next derivation.
+///  - RuleBoundary(): called before each rule application (serially between
+///    rules, and at task start inside pool workers) — an unconditional
+///    clock/token sample, so even derivation-free rule batches stay
+///    responsive.
+///  - IterationBoundary(): called serially after each iteration commits;
+///    adds the derived-fact budget, which deliberately lives ONLY here so
+///    the abort lands on the same iteration — with the same committed
+///    database — at any thread count.
+///
+/// The returned Status carries the cause ("wall-clock deadline of 50ms
+/// expired"); the strategy loops annotate it with the position
+/// (stratum / global iteration / facts stored) before surfacing it.
+class Governor {
+ public:
+  Governor(const EvalOptions& options, long baseline_inserted)
+      : cancel_(options.cancel),
+        deadline_ms_(options.deadline_ms),
+        max_facts_(options.max_derived_facts),
+        baseline_inserted_(baseline_inserted),
+        active_(options.deadline_ms > 0 || options.max_derived_facts > 0 ||
+                options.cancel.can_cancel()) {
+    if (deadline_ms_ > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms_);
+    }
+  }
+
+  bool active() const { return active_; }
+
+  Status Fine() {
+    if (!active_) return Status::OK();
+    if (tripped_.load(std::memory_order_relaxed)) return TrippedStatus();
+    if ((tick_.fetch_add(1, std::memory_order_relaxed) & (kFineInterval - 1)) !=
+        0) {
+      return Status::OK();
+    }
+    return Sample();
+  }
+
+  Status RuleBoundary() {
+    if (!active_) return Status::OK();
+    if (tripped_.load(std::memory_order_relaxed)) return TrippedStatus();
+    return Sample();
+  }
+
+  Status IterationBoundary(long inserted_total) {
+    if (!active_) return Status::OK();
+    CQLOPT_RETURN_IF_ERROR(RuleBoundary());
+    if (max_facts_ > 0 && inserted_total - baseline_inserted_ > max_facts_) {
+      return Status::ResourceExhausted(
+          "derived-fact budget of " + std::to_string(max_facts_) +
+          " exceeded (" + std::to_string(inserted_total - baseline_inserted_) +
+          " facts stored by this call)");
+    }
+    return Status::OK();
+  }
+
+  /// True for codes a governed (or fault-injected) abort produces — the
+  /// errors whose message the strategy loops annotate with the abort
+  /// position and whose partial stats flow into EvalOptions::abort_stats.
+  static bool IsAbortCode(StatusCode code) {
+    return code == StatusCode::kDeadlineExceeded ||
+           code == StatusCode::kCancelled ||
+           code == StatusCode::kResourceExhausted;
+  }
+
+ private:
+  static constexpr long kFineInterval = 64;  // power of two (mask below)
+
+  /// Samples the token and the clock; records the first trip so concurrent
+  /// workers short-circuit without re-sampling.
+  Status Sample() {
+    if (cancel_.cancel_requested()) {
+      tripped_.store(kTripCancelled, std::memory_order_relaxed);
+      return TrippedStatus();
+    }
+    if (deadline_ms_ > 0 && std::chrono::steady_clock::now() >= deadline_) {
+      tripped_.store(kTripDeadline, std::memory_order_relaxed);
+      return TrippedStatus();
+    }
+    return Status::OK();
+  }
+
+  Status TrippedStatus() const {
+    if (tripped_.load(std::memory_order_relaxed) == kTripCancelled ||
+        cancel_.cancel_requested()) {
+      return Status::Cancelled("evaluation cancelled via CancelToken");
+    }
+    return Status::DeadlineExceeded("wall-clock deadline of " +
+                                    std::to_string(deadline_ms_) +
+                                    "ms expired");
+  }
+
+  static constexpr int kTripDeadline = 1;
+  static constexpr int kTripCancelled = 2;
+
+  CancelToken cancel_;
+  const long deadline_ms_;
+  const long max_facts_;
+  const long baseline_inserted_;
+  const bool active_;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::atomic<long> tick_{0};
+  std::atomic<int> tripped_{0};
+};
 
 /// A derivation buffered during one iteration, reconciled at iteration end.
 struct Pending {
@@ -115,13 +232,18 @@ void Reconcile(std::vector<Pending>* pending, const Database& db,
 /// const database snapshot.
 Status ApplyOneRule(const Program& program, size_t rule_index,
                     const Database& db, int iteration, bool require_delta,
-                    bool use_index, bool delta_rotate,
+                    bool use_index, bool delta_rotate, Governor* governor,
                     std::vector<Pending>* pending, EvalStats* stats) {
+  // Rule-batch boundary check: keeps long serial rule sequences (and pool
+  // tasks dequeued after a sibling tripped) responsive even when individual
+  // rules derive nothing.
+  CQLOPT_RETURN_IF_ERROR(governor->RuleBoundary());
   const Rule& rule = program.rules[rule_index];
   const std::string rule_key =
       rule.label.empty() ? "rule#" + std::to_string(rule_index) : rule.label;
   auto emit = [&](Fact fact,
                   const std::vector<Relation::FactRef>& parents) -> Status {
+    CQLOPT_RETURN_IF_ERROR(governor->Fine());
     ++stats->derivations;
     ++stats->derivations_per_rule[rule_key];
     pending->push_back(Pending{rule.label, std::move(fact), parents, "",
@@ -151,7 +273,8 @@ Result<long> RunIteration(const Program& program,
                           int iteration, bool fire_constraint_facts,
                           bool require_delta, bool use_index,
                           bool delta_rotate, const EvalOptions& options,
-                          ThreadPool* pool, EvalResult* result) {
+                          Governor* governor, ThreadPool* pool,
+                          EvalResult* result) {
   std::vector<size_t> active;
   active.reserve(rule_indexes.size());
   for (size_t rule_index : rule_indexes) {
@@ -171,15 +294,17 @@ Result<long> RunIteration(const Program& program,
       WorkerOutput* out = &outputs[t];
       size_t rule_index = active[t];
       pool->Submit([&program, rule_index, iteration, require_delta, use_index,
-                    delta_rotate, out, db = &result->db] {
+                    delta_rotate, governor, out, db = &result->db] {
         out->status = ApplyOneRule(program, rule_index, *db, iteration,
                                    require_delta, use_index, delta_rotate,
-                                   &out->pending, &out->stats);
+                                   governor, &out->pending, &out->stats);
       });
     }
     pool->Wait();
     // Merge counters before surfacing any error, mirroring the serial
-    // path's partially-incremented stats on failure.
+    // path's partially-incremented stats on failure. The partial Pending
+    // buffers of tripped workers are merged too, then discarded with the
+    // whole iteration when the error returns below — nothing half-commits.
     Status failed = Status::OK();
     for (WorkerOutput& out : outputs) {
       result->stats.MergeWorkerCounters(out.stats);
@@ -191,7 +316,7 @@ Result<long> RunIteration(const Program& program,
     for (size_t rule_index : active) {
       CQLOPT_RETURN_IF_ERROR(ApplyOneRule(program, rule_index, result->db,
                                           iteration, require_delta, use_index,
-                                          delta_rotate, &pending,
+                                          delta_rotate, governor, &pending,
                                           &result->stats));
     }
   }
@@ -223,6 +348,28 @@ Result<long> RunIteration(const Program& program,
   return inserted;
 }
 
+/// Annotates a governed (or fault-injected) abort Status with the position
+/// it landed at, mirrors the position into the partial stats, and copies
+/// those stats out through options.abort_stats — on failure the Result
+/// carries no EvalResult, so this is the only way the counters escape.
+Status GovernedAbort(const Status& cause, const std::string& position,
+                     const EvalOptions& options, EvalResult* result) {
+  result->stats.aborted = true;
+  result->stats.abort_point = position;
+  for (const auto& [pred, rel] : result->db.relations()) {
+    result->stats.facts_per_pred[pred] = static_cast<long>(rel.size());
+  }
+  if (options.abort_stats != nullptr) *options.abort_stats = result->stats;
+  return Status(cause.code(), cause.message() + " at " + position);
+}
+
+/// "<N> facts stored (<M> derivations made)" — the facts-so-far tail every
+/// abort and cap message carries.
+std::string FactsSoFar(const EvalResult& result) {
+  return std::to_string(result.db.TotalFacts()) + " facts stored (" +
+         std::to_string(result.stats.derivations) + " derivations made)";
+}
+
 /// SCC-stratified semi-naive evaluation: condense the predicate dependency
 /// graph, assign every rule to the component of its head predicate, and run
 /// one semi-naive fixpoint per component in bottom-up topological order.
@@ -232,7 +379,8 @@ Result<long> RunIteration(const Program& program,
 /// strata.
 Result<EvalResult> EvaluateStratified(const Program& program,
                                       const Database& edb,
-                                      const EvalOptions& options) {
+                                      const EvalOptions& options,
+                                      Governor* governor) {
   EvalResult result;
   result.db = edb;  // EDB facts carry birth -1.
 
@@ -274,15 +422,32 @@ Result<EvalResult> EvaluateStratified(const Program& program,
         capped = true;
         break;
       }
-      CQLOPT_ASSIGN_OR_RETURN(
-          long inserted,
-          RunIteration(program, rules_of[c], global_iteration,
-                       /*fire_constraint_facts=*/local == 0,
-                       /*require_delta=*/local > 0, /*use_index=*/true,
-                       /*delta_rotate=*/false, options, pool.get(), &result));
+      const int this_iteration = global_iteration;
+      auto position = [&] {
+        return "stratum " + std::to_string(c + 1) + "/" +
+               std::to_string(components.size()) + " (local iteration " +
+               std::to_string(local) + "), global iteration " +
+               std::to_string(this_iteration) + ", " + FactsSoFar(result);
+      };
+      Result<long> ran = RunIteration(
+          program, rules_of[c], global_iteration,
+          /*fire_constraint_facts=*/local == 0,
+          /*require_delta=*/local > 0, /*use_index=*/true,
+          /*delta_rotate=*/false, options, governor, pool.get(), &result);
+      if (!ran.ok()) {
+        if (Governor::IsAbortCode(ran.status().code())) {
+          return GovernedAbort(ran.status(), position(), options, &result);
+        }
+        return ran.status();
+      }
+      long inserted = *ran;
       ++global_iteration;
       ++stratum_iterations;
       result.stats.iterations = global_iteration;
+      Status boundary = governor->IterationBoundary(result.stats.inserted);
+      if (!boundary.ok()) {
+        return GovernedAbort(boundary, position(), options, &result);
+      }
       if (inserted == 0 || !recursive) break;
     }
     result.stats.scc_iterations.push_back(stratum_iterations);
@@ -299,7 +464,8 @@ Result<EvalResult> EvaluateStratified(const Program& program,
 /// linear-scan joins, always serial (the oracles define the reference
 /// behaviour the parallel stratified path must reproduce).
 Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
-                                  const EvalOptions& options) {
+                                  const EvalOptions& options,
+                                  Governor* governor) {
   EvalResult result;
   result.db = edb;  // EDB facts carry birth -1.
 
@@ -308,13 +474,27 @@ Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
   for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
     bool require_delta =
         options.strategy == EvalStrategy::kSemiNaive && iteration > 0;
-    CQLOPT_ASSIGN_OR_RETURN(
-        long inserted,
-        RunIteration(program, all_rules, iteration,
-                     /*fire_constraint_facts=*/iteration == 0, require_delta,
-                     /*use_index=*/false, /*delta_rotate=*/false, options,
-                     /*pool=*/nullptr, &result));
+    auto position = [&] {
+      return "global iteration " + std::to_string(iteration) +
+             " (single global stratum), " + FactsSoFar(result);
+    };
+    Result<long> ran = RunIteration(
+        program, all_rules, iteration,
+        /*fire_constraint_facts=*/iteration == 0, require_delta,
+        /*use_index=*/false, /*delta_rotate=*/false, options, governor,
+        /*pool=*/nullptr, &result);
+    if (!ran.ok()) {
+      if (Governor::IsAbortCode(ran.status().code())) {
+        return GovernedAbort(ran.status(), position(), options, &result);
+      }
+      return ran.status();
+    }
+    long inserted = *ran;
     result.stats.iterations = iteration + 1;
+    Status boundary = governor->IterationBoundary(result.stats.inserted);
+    if (!boundary.ok()) {
+      return GovernedAbort(boundary, position(), options, &result);
+    }
     if (inserted == 0) {
       result.stats.reached_fixpoint = true;
       break;
@@ -340,6 +520,16 @@ Status CheckEvalOptions(const EvalOptions& options) {
     return Status::InvalidArgument("EvalOptions::threads must be >= 0, got " +
                                    std::to_string(options.threads));
   }
+  if (options.deadline_ms < 0) {
+    return Status::InvalidArgument(
+        "EvalOptions::deadline_ms must be >= 0 (0 = no deadline), got " +
+        std::to_string(options.deadline_ms));
+  }
+  if (options.max_derived_facts < 0) {
+    return Status::InvalidArgument(
+        "EvalOptions::max_derived_facts must be >= 0 (0 = unlimited), got " +
+        std::to_string(options.max_derived_facts));
+  }
   return Status::OK();
 }
 
@@ -356,10 +546,11 @@ Result<EvalResult> Evaluate(const Program& program, const Database& edb,
   // The decision cache is process-wide; attribute its activity to this
   // evaluation by differencing the counters around the run.
   DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  Governor governor(options, /*baseline_inserted=*/0);
   Result<EvalResult> result =
       options.strategy == EvalStrategy::kStratified
-          ? EvaluateStratified(program, edb, options)
-          : EvaluateGlobal(program, edb, options);
+          ? EvaluateStratified(program, edb, options, &governor)
+          : EvaluateGlobal(program, edb, options, &governor);
   if (result.ok()) {
     DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
     result->stats.cache_hits = after.hits - before.hits;
@@ -379,11 +570,30 @@ Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
       program, {/*reject_free_head_vars=*/false,
                 /*reject_constraint_only_recursion=*/true}));
   if (!base.stats.reached_fixpoint) {
+    // Say exactly where the base run stopped — callers picking a bigger
+    // max_iterations (or diagnosing a governed abort) need the position,
+    // not just the precondition.
+    std::string where = base.stats.aborted
+                            ? "was aborted at " + base.stats.abort_point
+                            : "hit its iteration cap at global iteration " +
+                                  std::to_string(base.stats.iterations);
+    if (!base.stats.scc_iterations.empty()) {
+      where += ", stratum iterations [";
+      for (size_t i = 0; i < base.stats.scc_iterations.size(); ++i) {
+        if (i > 0) where += ",";
+        where += std::to_string(base.stats.scc_iterations[i]);
+      }
+      where += "]";
+    }
     return Status::InvalidArgument(
         "ResumeEvaluate requires a base evaluation that reached its "
-        "fixpoint; re-evaluate from scratch instead");
+        "fixpoint, but the base " +
+        where + "; " + FactsSoFar(base) +
+        "; re-evaluate from scratch (with a higher max_iterations) instead");
   }
   DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  const long baseline_inserted = base.stats.inserted;
+  Governor governor(options, baseline_inserted);
   EvalResult result = std::move(base);
 
   // The batch joins the database as-if derived in the first unused
@@ -410,15 +620,30 @@ Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
   result.stats.reached_fixpoint = false;
   for (int resumed = 0; resumed < options.max_iterations; ++resumed) {
     int iteration = ingest_iteration + 1 + resumed;
+    auto position = [&] {
+      return "resumed iteration " + std::to_string(resumed) +
+             " (global iteration " + std::to_string(iteration) + "), " +
+             FactsSoFar(result);
+    };
     // Constraint facts fired in the base run's iteration 0; re-firing them
     // would only produce duplicates.
-    CQLOPT_ASSIGN_OR_RETURN(
-        long inserted,
-        RunIteration(program, all_rules, iteration,
-                     /*fire_constraint_facts=*/false, /*require_delta=*/true,
-                     /*use_index=*/true, /*delta_rotate=*/true, options,
-                     pool.get(), &result));
+    Result<long> ran = RunIteration(
+        program, all_rules, iteration,
+        /*fire_constraint_facts=*/false, /*require_delta=*/true,
+        /*use_index=*/true, /*delta_rotate=*/true, options, &governor,
+        pool.get(), &result);
+    if (!ran.ok()) {
+      if (Governor::IsAbortCode(ran.status().code())) {
+        return GovernedAbort(ran.status(), position(), options, &result);
+      }
+      return ran.status();
+    }
+    long inserted = *ran;
     result.stats.iterations = iteration + 1;
+    Status boundary = governor.IterationBoundary(result.stats.inserted);
+    if (!boundary.ok()) {
+      return GovernedAbort(boundary, position(), options, &result);
+    }
     if (inserted == 0) {
       result.stats.reached_fixpoint = true;
       break;

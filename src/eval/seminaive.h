@@ -7,6 +7,7 @@
 #include "ast/program.h"
 #include "eval/database.h"
 #include "eval/stats.h"
+#include "util/cancel.h"
 
 namespace cqlopt {
 
@@ -57,6 +58,39 @@ struct EvalOptions {
   /// stats are byte-identical to the serial run at any thread count.
   /// Must be >= 0; 0 and 1 both mean the serial path.
   int threads = 1;
+
+  // --- Resource governance. The three limits below are checked
+  // cooperatively: at iteration boundaries, at rule-batch boundaries, and
+  // (for deadline/cancel) every ~64 derivations inside rule application —
+  // including inside parallel workers, which observe a shared trip flag so
+  // a stratum aborts cleanly at any thread count (partial Pending buffers
+  // are discarded; nothing half-commits). A governed abort returns a typed
+  // error Status (kDeadlineExceeded / kResourceExhausted / kCancelled)
+  // whose message pinpoints the stratum, global iteration, and facts
+  // stored; `abort_stats` receives the partial counters. All limits are
+  // off by default, costing one branch per derivation. ---
+
+  /// Cooperative cancellation handle. Default-constructed tokens are inert;
+  /// pass CancelToken::Cancellable() and call RequestCancel() from any
+  /// thread to abort the evaluation with kCancelled.
+  CancelToken cancel;
+  /// Wall-clock budget in milliseconds, measured from the Evaluate /
+  /// ResumeEvaluate entry on a monotonic clock; on expiry the evaluation
+  /// aborts with kDeadlineExceeded. Must be >= 0; 0 means no deadline.
+  long deadline_ms = 0;
+  /// Budget on facts *stored by this call* (EvalStats::inserted growth;
+  /// ResumeEvaluate counts only the resumed portion). Checked at the serial
+  /// iteration boundary, so the abort point — and the partial database — is
+  /// identical at any thread count. Exceeding it aborts with
+  /// kResourceExhausted. Must be >= 0; 0 means unlimited. Since every
+  /// stored fact has bounded footprint this doubles as the memory budget.
+  long max_derived_facts = 0;
+  /// When a governed abort (or an injected eval/rule-alloc fault) makes
+  /// Evaluate/ResumeEvaluate return an error, the partial EvalStats — with
+  /// `aborted` and `abort_point` set — are copied here, because the
+  /// Result carries no EvalResult on failure. Untouched on success. May be
+  /// null (the default) when the caller only needs the Status.
+  EvalStats* abort_stats = nullptr;
 };
 
 /// One derivation event in the trace.

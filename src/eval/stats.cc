@@ -20,7 +20,8 @@ std::string EvalStats::ToString(const SymbolTable& symbols) const {
                     " subsumed=" + std::to_string(subsumed) +
                     " duplicates=" + std::to_string(duplicates) +
                     " iterations=" + std::to_string(iterations) +
-                    (reached_fixpoint ? " fixpoint" : " CAPPED") +
+                    (reached_fixpoint ? " fixpoint"
+                                      : (aborted ? " ABORTED" : " CAPPED")) +
                     (all_ground ? " all-ground" : " CONSTRAINT-FACTS");
   if (!scc_iterations.empty()) {
     out += " scc-iterations=[";
@@ -47,6 +48,9 @@ std::string EvalStats::ToString(const SymbolTable& symbols) const {
            " scan-candidates=" + std::to_string(scan_candidates) +
            " indexed-scan-equivalent=" +
            std::to_string(indexed_scan_equivalent);
+  }
+  if (aborted && !abort_point.empty()) {
+    out += " abort-point=\"" + abort_point + "\"";
   }
   for (const auto& [pred, count] : facts_per_pred) {
     out += " " + symbols.PredicateName(pred) + "=" + std::to_string(count);

@@ -63,6 +63,18 @@ struct EvalStats {
   long cache_misses = 0;
   long cache_evictions = 0;
 
+  // --- Resource-governance accounting (EvalOptions::{cancel, deadline_ms,
+  // max_derived_facts}). Untouched when the evaluation runs to fixpoint or
+  // hits only the iteration cap. ---
+
+  /// True when the evaluation was aborted by a governance limit (deadline,
+  /// fact budget, or cancellation) rather than finishing or being capped.
+  bool aborted = false;
+  /// Where the abort landed, e.g.
+  /// "stratum 3/7, global iteration 12, 4831 facts stored". Empty unless
+  /// `aborted`. The same text is embedded in the returned Status message.
+  std::string abort_point;
+
   /// Folds the join/derivation counters of one parallel worker into this —
   /// the deterministic-merge half of eval/seminaive.cc's parallel
   /// iteration. All folded fields are sums, so merge order cannot change

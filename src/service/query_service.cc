@@ -4,8 +4,31 @@
 #include <utility>
 
 #include "ast/parser.h"
+#include "util/failpoint.h"
 
 namespace cqlopt {
+namespace {
+
+/// Flattens a staged Database into commit order: relations by PredId,
+/// facts in insertion order — deterministic, so a WAL replay that parses
+/// the same text re-commits the same sequence.
+std::vector<Fact> FactsOf(const Database& staged) {
+  std::vector<Fact> batch;
+  for (const auto& [pred, rel] : staged.relations()) {
+    for (const Relation::Entry& entry : rel.entries()) {
+      batch.push_back(entry.fact);
+    }
+  }
+  return batch;
+}
+
+bool IsGovernedAbort(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled ||
+         code == StatusCode::kResourceExhausted;
+}
+
+}  // namespace
 
 const char* ServePathName(ServePath path) {
   switch (path) {
@@ -52,15 +75,25 @@ Result<std::unique_ptr<QueryService>> QueryService::FromText(
 
 Result<std::unique_ptr<QueryService>> QueryService::FromParts(
     Program program, Database edb, ServiceOptions options) {
-  if (options.eval.max_iterations < 0 || options.eval.threads < 0) {
+  if (options.eval.max_iterations < 0 || options.eval.threads < 0 ||
+      options.eval.deadline_ms < 0 || options.eval.max_derived_facts < 0) {
     return Status::InvalidArgument(
-        "ServiceOptions::eval has negative max_iterations or threads");
+        "ServiceOptions::eval has a negative max_iterations, threads, "
+        "deadline_ms, or max_derived_facts");
   }
   // Traces are never served and rendering them would read the symbol table
-  // from inside the (unlocked) evaluation.
+  // from inside the (unlocked) evaluation. Abort stats can't be handed to
+  // concurrent queries through one shared pointer either.
   options.eval.record_trace = false;
-  return std::unique_ptr<QueryService>(new QueryService(
+  options.eval.abort_stats = nullptr;
+  std::unique_ptr<Wal> wal;
+  if (!options.wal_dir.empty()) {
+    CQLOPT_ASSIGN_OR_RETURN(wal, Wal::Open(options.wal_dir));
+  }
+  auto service = std::unique_ptr<QueryService>(new QueryService(
       std::move(program), std::move(edb), std::move(options)));
+  service->wal_ = std::move(wal);
+  return service;
 }
 
 std::shared_ptr<const QueryService::EpochSnapshot> QueryService::Head() const {
@@ -112,6 +145,14 @@ Result<uint64_t> QueryService::Prepare(const std::string& query_text,
     ++(hit ? stats_.prepared_hits : stats_.prepared_misses);
   }
   return entry->fingerprint;
+}
+
+Status QueryService::NoteEvalError(const Status& status) {
+  if (IsGovernedAbort(status.code())) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.governed_aborts;
+  }
+  return status;
 }
 
 bool QueryService::CollectDeltas(const EpochSnapshot& head, int64_t from,
@@ -167,10 +208,13 @@ Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
                 ? std::move(*std::const_pointer_cast<EvalResult>(entry->eval))
                 : EvalResult(*entry->eval);
         entry->eval = nullptr;
-        CQLOPT_ASSIGN_OR_RETURN(
-            EvalResult resumed,
-            ResumeEvaluate(entry->prepared.program, std::move(base), delta,
-                           options_.eval));
+        // On error the materialization stays cleared: the next query for
+        // this entry simply goes cold — a deadline/budget abort never
+        // poisons the entry or the service.
+        Result<EvalResult> resumed_result = ResumeEvaluate(
+            entry->prepared.program, std::move(base), delta, options_.eval);
+        if (!resumed_result.ok()) return NoteEvalError(resumed_result.status());
+        EvalResult resumed = std::move(*resumed_result);
         resumed.db.set_epoch(head->id);
         outcome.path = ServePath::kResumed;
         outcome.iterations_run = resumed.stats.iterations - base_iterations;
@@ -178,9 +222,10 @@ Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
       } else {
         EvalOptions opts = options_.eval;
         opts.strategy = EvalStrategy::kStratified;
-        CQLOPT_ASSIGN_OR_RETURN(
-            EvalResult cold,
-            Evaluate(entry->prepared.program, head->edb, opts));
+        Result<EvalResult> cold_result =
+            Evaluate(entry->prepared.program, head->edb, opts);
+        if (!cold_result.ok()) return NoteEvalError(cold_result.status());
+        EvalResult cold = std::move(*cold_result);
         cold.db.set_epoch(head->id);
         outcome.path =
             prepared_hit ? ServePath::kPreparedEval : ServePath::kCold;
@@ -233,18 +278,41 @@ Result<IngestOutcome> QueryService::Ingest(const std::string& facts_text) {
         int loaded, LoadDatabaseText(facts_text, program_.symbols, &staged));
     (void)loaded;
   }
-  std::vector<Fact> batch;
-  for (const auto& [pred, rel] : staged.relations()) {
-    for (const Relation::Entry& entry : rel.entries()) {
-      batch.push_back(entry.fact);
-    }
-  }
-  return IngestFacts(batch);
+  // The verbatim text is the WAL payload: replay parses it with the same
+  // loader against the same prior state, so it re-commits these exact
+  // facts.
+  return CommitBatch(FactsOf(staged), facts_text);
 }
 
 Result<IngestOutcome> QueryService::IngestFacts(
     const std::vector<Fact>& batch) {
+  if (wal_ == nullptr) return CommitBatch(batch, std::string());
+  // Durable path: render the batch to loader syntax and commit what that
+  // text *parses back to* — recovery replays text, so logging anything the
+  // parse doesn't reproduce exactly would fork the recovered state.
+  std::string text;
+  Database staged;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    for (const Fact& fact : batch) {
+      text += RenderFactStatement(fact, *program_.symbols);
+      text += '\n';
+    }
+    Result<int> loaded = LoadDatabaseText(text, program_.symbols, &staged);
+    if (!loaded.ok()) {
+      return Status::Internal(
+          "WAL-bound batch failed to round-trip through the loader: " +
+          loaded.status().ToString());
+    }
+  }
+  return CommitBatch(FactsOf(staged), text);
+}
+
+Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
+                                                const std::string& payload) {
   IngestOutcome out;
+  bool compact_due = false;
+  long wal_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(head_mutex_);
     Database next = head_->edb;  // deep copy; readers keep the old snapshot
@@ -258,8 +326,21 @@ Result<IngestOutcome> QueryService::IngestFacts(
     }
     out.accepted = static_cast<int>(accepted.size());
     if (accepted.empty()) {
-      out.epoch = head_->id;  // no-op commit burns no epoch
+      out.epoch = head_->id;  // no-op commit burns no epoch (and no WAL I/O)
       return out;
+    }
+    const bool log_this = wal_ != nullptr && !replaying_;
+    if (log_this) {
+      // Durability barrier: the record must be on disk before any reader
+      // can observe the new epoch. An append failure (real or injected)
+      // aborts the commit — the epoch never existed.
+      CQLOPT_RETURN_IF_ERROR(wal_->Append(payload));
+      if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
+        return Status::Internal(
+            std::string("injected crash between WAL append and epoch "
+                        "commit (failpoint ") +
+            failpoint::kWalCrashBeforeCommit + ")");
+      }
     }
     auto deltas = std::make_shared<EpochDelta>();
     deltas->id = head_->id + 1;
@@ -272,13 +353,129 @@ Result<IngestOutcome> QueryService::IngestFacts(
     head->deltas = std::move(deltas);
     head_ = std::move(head);
     out.epoch = head_->id;
+    if (log_this) {
+      wal_bytes = wal_->log_bytes();
+      compact_due = options_.wal_compact_bytes > 0 &&
+                    wal_bytes > options_.wal_compact_bytes;
+      if (failpoint::ShouldFail(failpoint::kWalCrashAfterCommit)) {
+        return Status::Internal(
+            std::string("injected crash after epoch commit (failpoint ") +
+            failpoint::kWalCrashAfterCommit + ")");
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.ingests;
     stats_.epoch = out.epoch;
+    if (wal_ != nullptr && !replaying_) {
+      ++stats_.wal_appends;
+      stats_.wal_bytes = wal_bytes;
+    }
   }
+  if (compact_due) CQLOPT_RETURN_IF_ERROR(Compact());
   return out;
+}
+
+Status QueryService::Recover(RecoverOutcome* out) {
+  RecoverOutcome recovered;
+  if (wal_ == nullptr || recovered_) {
+    recovered.epoch = epoch();
+    if (out != nullptr) *out = recovered;
+    return Status::OK();
+  }
+  // 1. The compaction snapshot, if any, replaces the constructor-provided
+  //    EDB outright: it captured that EDB plus every batch compacted away.
+  bool snapshot_found = false;
+  int64_t snapshot_epoch = 0;
+  std::string snapshot_text;
+  CQLOPT_RETURN_IF_ERROR(
+      wal_->ReadSnapshot(&snapshot_found, &snapshot_epoch, &snapshot_text));
+  if (snapshot_found) {
+    Database edb;
+    {
+      std::lock_guard<std::mutex> lock(symbols_mutex_);
+      Result<int> loaded =
+          LoadDatabaseText(snapshot_text, program_.symbols, &edb);
+      if (!loaded.ok()) {
+        return Status::Internal("WAL snapshot failed to load: " +
+                                loaded.status().ToString());
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(head_mutex_);
+      auto deltas = std::make_shared<EpochDelta>();
+      deltas->id = snapshot_epoch;  // chain bottoms out at the snapshot
+      auto head = std::make_shared<EpochSnapshot>();
+      head->id = snapshot_epoch;
+      head->edb = std::move(edb);
+      head->edb.set_epoch(snapshot_epoch);
+      head->deltas = std::move(deltas);
+      head_ = std::move(head);
+    }
+    recovered.snapshot_loaded = true;
+    recovered.snapshot_epoch = snapshot_epoch;
+  }
+  // 2. Replay the intact log records through the normal commit path —
+  //    identical parsing, dedup, and epoch numbering as the original run.
+  CQLOPT_ASSIGN_OR_RETURN(WalReadOutcome read, wal_->ReadAll());
+  recovered.truncated_bytes = read.truncated_bytes;
+  recovered.warning = read.warning;
+  replaying_ = true;
+  for (const std::string& payload : read.payloads) {
+    Result<IngestOutcome> replayed = Ingest(payload);
+    if (!replayed.ok()) {
+      replaying_ = false;
+      return Status::Internal("WAL replay failed at record " +
+                              std::to_string(recovered.batches_replayed) +
+                              ": " + replayed.status().ToString());
+    }
+    ++recovered.batches_replayed;
+  }
+  replaying_ = false;
+  recovered_ = true;
+  recovered.epoch = epoch();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.wal_replayed_batches += recovered.batches_replayed;
+    stats_.wal_bytes = wal_->log_bytes();
+    stats_.epoch = recovered.epoch;
+  }
+  if (out != nullptr) *out = recovered;
+  return Status::OK();
+}
+
+Status QueryService::Compact() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("no WAL configured; nothing to compact");
+  }
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    std::string text;
+    {
+      // Lock order: head_mutex_ > symbols_mutex_ (rendering reads names).
+      std::lock_guard<std::mutex> sym(symbols_mutex_);
+      text = RenderDatabaseText(head_->edb, *program_.symbols);
+    }
+    CQLOPT_RETURN_IF_ERROR(wal_->WriteSnapshot(head_->id, text));
+    // Only after the snapshot is durably in place do the records become
+    // redundant; a crash between the two leaves snapshot + stale log, and
+    // replaying the stale records is harmless (they dedup to no-ops).
+    CQLOPT_RETURN_IF_ERROR(wal_->Reset());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.wal_compactions;
+    stats_.wal_bytes = wal_->log_bytes();
+  }
+  return Status::OK();
+}
+
+std::string QueryService::RenderStateText() const {
+  std::shared_ptr<const EpochSnapshot> head = Head();
+  std::lock_guard<std::mutex> lock(symbols_mutex_);
+  return "epoch=" + std::to_string(head->id) + "\n" +
+         RenderDatabaseText(head->edb, *program_.symbols);
 }
 
 ServiceStats QueryService::Stats() const {
@@ -288,6 +485,7 @@ ServiceStats QueryService::Stats() const {
     snapshot = stats_;
   }
   snapshot.epoch = epoch();
+  snapshot.wal_enabled = wal_ != nullptr;
   PreparedCache::Counters cache = prepared_.Snapshot();
   snapshot.prepared_entries = cache.entries;
   return snapshot;

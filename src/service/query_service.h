@@ -11,6 +11,7 @@
 #include "eval/loader.h"
 #include "eval/seminaive.h"
 #include "service/prepared.h"
+#include "service/wal.h"
 #include "transform/pipeline.h"
 
 namespace cqlopt {
@@ -25,6 +26,15 @@ struct ServiceOptions {
   PipelineOptions pipeline;
   /// Bound on distinct prepared programs kept resident.
   size_t prepared_capacity = 64;
+  /// Directory of the write-ahead log (service/wal.h). Empty (the default)
+  /// disables durability. When set, every ingest batch is appended and
+  /// fsynced *before* its epoch becomes visible, and Recover() replays the
+  /// log on startup.
+  std::string wal_dir;
+  /// Auto-compaction threshold: after a commit leaves wal.log larger than
+  /// this many bytes, the EDB is snapshotted and the log reset. 0 (the
+  /// default) means compact only on explicit Compact() calls.
+  long wal_compact_bytes = 0;
 };
 
 /// Which serving path answered a query.
@@ -72,6 +82,21 @@ struct IngestOutcome {
   int64_t epoch = 0;
 };
 
+/// What Recover() found and rebuilt (all zero when the WAL is disabled).
+struct RecoverOutcome {
+  /// Head epoch after replay.
+  int64_t epoch = 0;
+  /// WAL records replayed (after the snapshot, if any).
+  int batches_replayed = 0;
+  bool snapshot_loaded = false;
+  /// Epoch the loaded snapshot captured (0 when none).
+  int64_t snapshot_epoch = 0;
+  /// Torn/corrupt tail bytes truncated from the log (0 on a clean log).
+  long truncated_bytes = 0;
+  /// Truncation warning for the operator's log; empty when clean.
+  std::string warning;
+};
+
 /// Service counters (monotone; snapshot via Stats()).
 struct ServiceStats {
   long queries = 0;
@@ -84,8 +109,17 @@ struct ServiceStats {
   /// Fixpoint iterations spent in resumed evaluations (the incremental
   /// work; compare against cold_eval iterations to see the saving).
   long resumed_iterations = 0;
+  /// Queries aborted by a governance limit (deadline / budget / cancel) —
+  /// they returned a typed error without touching the served state.
+  long governed_aborts = 0;
   int64_t epoch = 0;
   size_t prepared_entries = 0;
+  // WAL counters (zero when durability is off).
+  bool wal_enabled = false;
+  long wal_appends = 0;
+  long wal_bytes = 0;  // current wal.log size
+  long wal_compactions = 0;
+  long wal_replayed_batches = 0;
 };
 
 /// The embeddable query service the `cqld` server wraps: a resident CQL
@@ -136,11 +170,40 @@ class QueryService {
                                const std::string& steps_spec);
 
   /// Parses facts in the loader syntax and commits them as a new epoch.
-  /// Readers holding older snapshots are unaffected.
+  /// Readers holding older snapshots are unaffected. With a WAL configured,
+  /// the batch text is appended and fsynced before the epoch is published —
+  /// an error means the epoch did NOT become visible (though the record may
+  /// sit in the log if the fault hit between fsync and commit; recovery
+  /// then surfaces it, which is the durable-write contract).
   Result<IngestOutcome> Ingest(const std::string& facts_text);
 
-  /// Commits pre-built facts as a new epoch (bench/test entry point).
+  /// Commits pre-built facts as a new epoch (bench/test entry point). With
+  /// a WAL configured the batch is first rendered to loader syntax and
+  /// re-parsed, and the *re-parsed* facts are committed — this keeps the
+  /// recovery invariant "committed state == parse(logged text)" exact, so
+  /// replay reproduces the epochs byte for byte.
   Result<IngestOutcome> IngestFacts(const std::vector<Fact>& batch);
+
+  /// Replays the WAL directory into this freshly constructed service:
+  /// loads the compaction snapshot (if present) as the base EDB at its
+  /// epoch, then re-commits every intact log record in order, reproducing
+  /// the pre-crash epoch sequence; a torn tail is truncated and reported
+  /// via `out->warning`. Call once, before serving traffic (it is not
+  /// synchronized against concurrent ingests); extra calls are no-ops that
+  /// re-report the recovered epoch. No-op when the WAL is disabled.
+  Status Recover(RecoverOutcome* out = nullptr);
+
+  /// Compacts the WAL: snapshots the current EDB (atomic replace), then
+  /// resets the log — bounded recovery time regardless of ingest history.
+  /// Also runs automatically when ServiceOptions::wal_compact_bytes is set.
+  Status Compact();
+
+  /// Renders the head state as `epoch=<id>` plus every EDB fact in loader
+  /// syntax (wal.h RenderDatabaseText) — the oracle the crash-recovery
+  /// property compares. Two services with the same committed history render
+  /// identically even when their raw symbol ids differ (recovery re-interns
+  /// names in replay order).
+  std::string RenderStateText() const;
 
   int64_t epoch() const;
   ServiceStats Stats() const;
@@ -173,10 +236,22 @@ class QueryService {
       bool* prepared_hit);
 
   /// Deltas of epochs (from, to], oldest first; false if the chain no
-  /// longer reaches `from` (cannot happen today — the chain is never
-  /// pruned — but resume falls back to a cold evaluation if it ever does).
+  /// longer reaches `from` (e.g. the materialization predates the snapshot
+  /// a recovery rebased the chain on) — resume then falls back to a cold
+  /// evaluation.
   bool CollectDeltas(const EpochSnapshot& head, int64_t from,
                      std::vector<Fact>* out) const;
+
+  /// Counts a governed abort (deadline / budget / cancellation) in the
+  /// stats and passes the error through — Execute's failure funnel.
+  Status NoteEvalError(const Status& status);
+
+  /// The shared commit path of Ingest/IngestFacts/replay: dedups `batch`
+  /// against the head EDB, WAL-appends `payload` (unless replaying or the
+  /// batch was a no-op), and publishes the next epoch. Hosts the
+  /// crash-before/after-commit failpoints.
+  Result<IngestOutcome> CommitBatch(const std::vector<Fact>& batch,
+                                    const std::string& payload);
 
   Program program_;
   const ServiceOptions options_;
@@ -187,6 +262,16 @@ class QueryService {
 
   mutable std::mutex head_mutex_;  // guards head_ swap + writer commits
   std::shared_ptr<const EpochSnapshot> head_;
+
+  /// Durability (null when ServiceOptions::wal_dir is empty). Appends
+  /// happen under head_mutex_ — the WAL and the epoch chain advance in
+  /// lockstep. Lock order when both are needed: head_mutex_ >
+  /// symbols_mutex_ (Compact renders the EDB under both).
+  std::unique_ptr<Wal> wal_;
+  /// True while Recover() re-commits logged batches (suppresses re-logging
+  /// them), and set once it finishes (makes later calls no-ops).
+  bool replaying_ = false;
+  bool recovered_ = false;
 
   PreparedCache prepared_;
 

@@ -13,22 +13,29 @@
 #include <thread>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace cqlopt {
 
-namespace {
-
-bool WriteAll(int fd, const std::string& data) {
+bool WriteFull(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
-    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    size_t want = data.size() - sent;
+    // Fault injection: clamp the transfer to one byte so tests drive the
+    // short-write continuation path deterministically.
+    if (failpoint::ShouldFail(failpoint::kServerShortWrite)) want = 1;
+    ssize_t n = ::send(fd, data.data() + sent, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
     }
+    if (n == 0) return false;  // peer cannot make progress
     sent += static_cast<size_t>(n);
   }
   return true;
 }
+
+namespace {
 
 /// Reads lines from `fd` and answers each until SHUTDOWN, a read error, or
 /// the peer closing. Returns true if this connection requested shutdown.
@@ -56,7 +63,7 @@ bool ServeConnection(QueryService& service, int fd) {
       payload += out_line;
       payload += '\n';
     }
-    if (!WriteAll(fd, payload)) break;
+    if (!WriteFull(fd, payload)) break;
   }
   ::close(fd);
   return shutdown_requested;

@@ -8,6 +8,14 @@
 
 namespace cqlopt {
 
+/// Writes all of `data` to socket `fd`, looping on short writes and EINTR —
+/// a partial transfer is normal backpressure, not a protocol error. Uses
+/// send(2) with MSG_NOSIGNAL so a peer that disconnected mid-response
+/// surfaces as EPIPE here instead of a process-killing SIGPIPE. Returns
+/// false on a real write error. The "server/short-write" failpoint
+/// (util/failpoint.h) forces 1-byte transfers to exercise the loop.
+bool WriteFull(int fd, const std::string& data);
+
 /// Serves the line protocol (service/protocol.h) over a unix-domain socket
 /// at `socket_path`, one thread per accepted connection. Removes a stale
 /// socket file before binding and unlinks it on return. Blocks until a

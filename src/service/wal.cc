@@ -1,0 +1,347 @@
+#include "service/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ast/arg_map.h"
+#include "ast/printer.h"
+#include "ast/rule.h"
+#include "util/failpoint.h"
+
+namespace cqlopt {
+namespace {
+
+// Both headers are 8 bytes so record parsing starts at the same offset.
+constexpr char kLogMagic[8] = {'C', 'Q', 'L', 'W', 'A', 'L', '1', '\n'};
+constexpr char kSnapMagic[8] = {'C', 'Q', 'L', 'S', 'N', 'A', 'P', '1'};
+constexpr size_t kMagicSize = sizeof(kLogMagic);
+constexpr size_t kRecordHeader = 8;  // u32 len + u32 crc32, little-endian
+// A record longer than this is certainly a corrupt length field, not data.
+constexpr uint32_t kMaxRecordBytes = 1u << 30;
+
+/// CRC-32 (IEEE 802.3, reflected), the checksum gzip/zlib use.
+uint32_t Crc32(const char* data, size_t size) {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+    return entries;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// write(2) looping on EINTR and short writes.
+Status WriteBytes(int fd, const char* data, size_t size, const char* what) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(int fd, const char* what) {
+  std::string out;
+  char chunk[1 << 16];
+  off_t offset = 0;
+  while (true) {
+    ssize_t n = ::pread(fd, chunk, sizeof(chunk), offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what);
+    }
+    if (n == 0) return out;
+    out.append(chunk, static_cast<size_t>(n));
+    offset += n;
+  }
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc < 0) return Errno("fsync dir " + dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RenderFactStatement(const Fact& fact, const SymbolTable& symbols) {
+  // Rebuild the fact as the body-free rule the loader parses facts from:
+  // fresh rule variables W1..Wk (ids above the 1..arity position range —
+  // see rule.h), constraints converted position→variable via PTOL.
+  Rule rule;
+  std::vector<VarId> args;
+  args.reserve(static_cast<size_t>(fact.arity));
+  for (int i = 1; i <= fact.arity; ++i) {
+    VarId var = 1024 + i;
+    args.push_back(var);
+    rule.var_names[var] = "W" + std::to_string(i);
+  }
+  rule.head = Literal(fact.pred, std::move(args));
+  rule.constraints = PtolConjunction(rule.head, fact.constraint);
+  return RenderRule(rule, symbols);
+}
+
+std::string RenderDatabaseText(const Database& db,
+                               const SymbolTable& symbols) {
+  std::string out;
+  for (const auto& [pred, rel] : db.relations()) {
+    for (const Relation::Entry& entry : rel.entries()) {
+      out += RenderFactStatement(entry.fact, symbols);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("WAL directory is empty");
+  if (::mkdir(dir.c_str(), 0755) < 0 && errno != EEXIST) {
+    return Errno("mkdir " + dir);
+  }
+  std::string path = dir + "/wal.log";
+  int fd = ::open(path.c_str(), O_RDWR | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return Errno("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) < 0) {
+    ::close(fd);
+    return Errno("fstat " + path);
+  }
+  if (st.st_size == 0) {
+    Status wrote = WriteBytes(fd, kLogMagic, kMagicSize, "write WAL header");
+    if (!wrote.ok() || ::fsync(fd) < 0) {
+      ::close(fd);
+      return wrote.ok() ? Errno("fsync " + path) : wrote;
+    }
+    st.st_size = static_cast<off_t>(kMagicSize);
+  } else {
+    char magic[kMagicSize];
+    ssize_t n = ::pread(fd, magic, kMagicSize, 0);
+    if (n != static_cast<ssize_t>(kMagicSize) ||
+        std::memcmp(magic, kLogMagic, kMagicSize) != 0) {
+      ::close(fd);
+      return Status::Internal(path + " is not a CQLWAL1 log");
+    }
+  }
+  return std::unique_ptr<Wal>(new Wal(dir, fd, static_cast<long>(st.st_size)));
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string Wal::log_path() const { return dir_ + "/wal.log"; }
+std::string Wal::snapshot_path() const { return dir_ + "/snapshot.cql"; }
+
+Status Wal::Append(const std::string& payload) {
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("WAL record too large: " +
+                                   std::to_string(payload.size()) + " bytes");
+  }
+  std::string record;
+  record.reserve(kRecordHeader + payload.size());
+  PutU32(static_cast<uint32_t>(payload.size()), &record);
+  PutU32(Crc32(payload.data(), payload.size()), &record);
+  record += payload;
+
+  if (failpoint::ShouldFail(failpoint::kWalShortWrite)) {
+    // Simulated crash mid-append: a prefix of the record reaches the file,
+    // then the process "dies". Recovery must drop the torn tail.
+    size_t torn = record.size() / 2;
+    if (torn == 0) torn = 1;
+    Status wrote = WriteBytes(fd_, record.data(), torn, "torn WAL append");
+    log_bytes_ += static_cast<long>(torn);
+    if (!wrote.ok()) return wrote;
+    return Status::Internal("injected torn write: " + std::to_string(torn) +
+                            " of " + std::to_string(record.size()) +
+                            " record bytes reached the log (failpoint " +
+                            failpoint::kWalShortWrite + ")");
+  }
+  CQLOPT_RETURN_IF_ERROR(
+      WriteBytes(fd_, record.data(), record.size(), "WAL append"));
+  log_bytes_ += static_cast<long>(record.size());
+  if (failpoint::ShouldFail(failpoint::kWalFsync)) {
+    return Status::Internal(
+        std::string("injected fsync failure after WAL append (failpoint ") +
+        failpoint::kWalFsync + ")");
+  }
+  if (::fsync(fd_) < 0) return Errno("fsync " + log_path());
+  return Status::OK();
+}
+
+Result<WalReadOutcome> Wal::ReadAll() {
+  CQLOPT_ASSIGN_OR_RETURN(std::string contents,
+                          ReadWholeFile(fd_, "read WAL"));
+  if (contents.size() < kMagicSize ||
+      std::memcmp(contents.data(), kLogMagic, kMagicSize) != 0) {
+    return Status::Internal(log_path() + " is not a CQLWAL1 log");
+  }
+  WalReadOutcome out;
+  size_t offset = kMagicSize;
+  std::string problem;
+  while (offset < contents.size()) {
+    if (contents.size() - offset < kRecordHeader) {
+      problem = "torn record header";
+      break;
+    }
+    uint32_t len = GetU32(contents.data() + offset);
+    uint32_t crc = GetU32(contents.data() + offset + 4);
+    if (len > kMaxRecordBytes) {
+      problem = "corrupt record length " + std::to_string(len);
+      break;
+    }
+    if (contents.size() - offset - kRecordHeader < len) {
+      problem = "torn record payload (" +
+                std::to_string(contents.size() - offset - kRecordHeader) +
+                " of " + std::to_string(len) + " bytes)";
+      break;
+    }
+    const char* payload = contents.data() + offset + kRecordHeader;
+    if (Crc32(payload, len) != crc) {
+      problem = "checksum mismatch";
+      break;
+    }
+    out.payloads.emplace_back(payload, len);
+    offset += kRecordHeader + len;
+  }
+  if (offset < contents.size()) {
+    // Torn/corrupt tail — the signature of a crash mid-append. Dropping it
+    // is safe: the batch was never committed (commits wait for fsync).
+    out.truncated_bytes = static_cast<long>(contents.size() - offset);
+    out.warning = "WAL " + log_path() + ": dropped " +
+                  std::to_string(out.truncated_bytes) +
+                  " trailing byte(s) at offset " + std::to_string(offset) +
+                  " (" + problem + "); recovered " +
+                  std::to_string(out.payloads.size()) + " intact record(s)";
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) < 0) {
+      return Errno("ftruncate " + log_path());
+    }
+    if (::fsync(fd_) < 0) return Errno("fsync " + log_path());
+    log_bytes_ = static_cast<long>(offset);
+  }
+  return out;
+}
+
+Status Wal::WriteSnapshot(int64_t epoch, const std::string& statements) {
+  std::string payload;
+  payload.reserve(8 + statements.size());
+  PutU64(static_cast<uint64_t>(epoch), &payload);
+  payload += statements;
+  std::string file;
+  file.reserve(kMagicSize + kRecordHeader + payload.size());
+  file.append(kSnapMagic, kMagicSize);
+  PutU32(static_cast<uint32_t>(payload.size()), &file);
+  PutU32(Crc32(payload.data(), payload.size()), &file);
+  file += payload;
+
+  // Classic atomic replace: temp file, fsync, rename, fsync directory. A
+  // crash at any point leaves either the old snapshot or the new one.
+  std::string tmp = dir_ + "/snapshot.tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open " + tmp);
+  Status wrote = WriteBytes(fd, file.data(), file.size(), "write snapshot");
+  if (wrote.ok() && ::fsync(fd) < 0) wrote = Errno("fsync " + tmp);
+  ::close(fd);
+  CQLOPT_RETURN_IF_ERROR(wrote);
+  if (::rename(tmp.c_str(), snapshot_path().c_str()) < 0) {
+    return Errno("rename " + tmp);
+  }
+  return FsyncDir(dir_);
+}
+
+Status Wal::ReadSnapshot(bool* found, int64_t* epoch,
+                         std::string* statements) {
+  *found = false;
+  int fd = ::open(snapshot_path().c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Errno("open " + snapshot_path());
+  }
+  Result<std::string> contents = ReadWholeFile(fd, "read snapshot");
+  ::close(fd);
+  CQLOPT_RETURN_IF_ERROR(contents.status());
+  const std::string& data = *contents;
+  // A damaged snapshot is not recoverable by truncation: the WAL records it
+  // compacted away are gone, so surface it loudly instead of serving a
+  // silently incomplete database.
+  if (data.size() < kMagicSize + kRecordHeader ||
+      std::memcmp(data.data(), kSnapMagic, kMagicSize) != 0) {
+    return Status::Internal(snapshot_path() + " is not a CQLSNAP1 snapshot");
+  }
+  uint32_t len = GetU32(data.data() + kMagicSize);
+  uint32_t crc = GetU32(data.data() + kMagicSize + 4);
+  if (len < 8 || data.size() - kMagicSize - kRecordHeader != len) {
+    return Status::Internal(snapshot_path() + " is truncated or overlong");
+  }
+  const char* payload = data.data() + kMagicSize + kRecordHeader;
+  if (Crc32(payload, len) != crc) {
+    return Status::Internal(snapshot_path() + " fails its checksum");
+  }
+  *epoch = static_cast<int64_t>(GetU64(payload));
+  statements->assign(payload + 8, len - 8);
+  *found = true;
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  if (::ftruncate(fd_, static_cast<off_t>(kMagicSize)) < 0) {
+    return Errno("ftruncate " + log_path());
+  }
+  if (::fsync(fd_) < 0) return Errno("fsync " + log_path());
+  log_bytes_ = static_cast<long>(kMagicSize);
+  return Status::OK();
+}
+
+}  // namespace cqlopt

@@ -1,0 +1,111 @@
+#ifndef CQLOPT_SERVICE_WAL_H_
+#define CQLOPT_SERVICE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/database.h"
+#include "util/status.h"
+
+namespace cqlopt {
+
+/// Renders `fact` as one loader-syntax statement (eval/loader.h), i.e. a
+/// body-free rule whose constraints are the fact's positional constraints
+/// converted to variables: `p(W1, W2) :- W1 = madison, W2 <= 3.`. Unlike
+/// Fact::ToString (whose `$i` / `;` forms do not parse), the output is
+/// accepted by LoadDatabaseText and re-parses to the same fact — the WAL
+/// and snapshot files are made of exactly these statements.
+std::string RenderFactStatement(const Fact& fact, const SymbolTable& symbols);
+
+/// Renders every fact of `db` as one statement per line, relations in
+/// PredId order and facts in insertion order — the deterministic snapshot
+/// body Compact() writes.
+std::string RenderDatabaseText(const Database& db, const SymbolTable& symbols);
+
+/// What Wal::ReadAll found in the log.
+struct WalReadOutcome {
+  /// The payload of every intact record, append order.
+  std::vector<std::string> payloads;
+  /// Bytes of torn/corrupt tail dropped from the log file (0 on a clean
+  /// shutdown). The file was truncated back to the last intact record.
+  long truncated_bytes = 0;
+  /// Human-readable description of the truncation; empty when clean.
+  std::string warning;
+};
+
+/// The write-ahead log backing a QueryService's durability (DESIGN.md §10).
+///
+/// One directory holds two files:
+///  - `wal.log`: an 8-byte magic header followed by length-prefixed records
+///    `[u32 len][u32 crc32][payload]` (little-endian), one per committed
+///    ingest batch, payload being the batch's `.cql` statements. Append()
+///    fsyncs before returning — a batch is never visible to readers unless
+///    it is durable first.
+///  - `snapshot.cql`: the compacted EDB at some epoch, one checksummed
+///    record `[u32 len][u32 crc32][u64 epoch][statements]` after its own
+///    magic. Written to a temp file, fsynced, then atomically renamed, so
+///    a crash mid-compaction leaves the previous snapshot intact.
+///
+/// Recovery (QueryService::Recover) loads the snapshot if present, then
+/// replays the intact prefix of wal.log; a torn or corrupt tail record —
+/// the signature of a crash mid-append — is truncated with a warning, never
+/// treated as data.
+///
+/// Fault injection: Append() honours the "wal/short-write" (record cut off
+/// mid-write) and "wal/fsync" (write completes, fsync fails) failpoints;
+/// the crash-before/after-commit points live in the service commit path.
+class Wal {
+ public:
+  /// Opens (creating if needed) the log in `dir`; creates `dir` itself if
+  /// missing. Validates the magic header of an existing log.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& dir);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one checksummed record and fsyncs the log. On failure
+  /// (injected or real) the log may hold a torn record that the next
+  /// ReadAll() truncates.
+  Status Append(const std::string& payload);
+
+  /// Reads every intact record and truncates any torn/corrupt tail in
+  /// place. Safe to call repeatedly.
+  Result<WalReadOutcome> ReadAll();
+
+  /// Atomically replaces the snapshot file with `statements` tagged by the
+  /// epoch it captures.
+  Status WriteSnapshot(int64_t epoch, const std::string& statements);
+
+  /// Loads the snapshot. `*found` is false (and the rest untouched) when no
+  /// snapshot exists; a corrupt snapshot is an error — unlike a torn log
+  /// tail it cannot be safely dropped, because the log it compacted away is
+  /// gone.
+  Status ReadSnapshot(bool* found, int64_t* epoch, std::string* statements);
+
+  /// Empties the log back to its magic header (after a successful
+  /// compaction made the records redundant) and fsyncs.
+  Status Reset();
+
+  /// Current log file size in bytes (header included) — the compaction
+  /// trigger.
+  long log_bytes() const { return log_bytes_; }
+
+  const std::string& dir() const { return dir_; }
+  std::string log_path() const;
+  std::string snapshot_path() const;
+
+ private:
+  Wal(std::string dir, int fd, long log_bytes)
+      : dir_(std::move(dir)), fd_(fd), log_bytes_(log_bytes) {}
+
+  std::string dir_;
+  int fd_ = -1;  // wal.log, O_RDWR, positioned at EOF for appends
+  long log_bytes_ = 0;
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_SERVICE_WAL_H_

@@ -1,6 +1,9 @@
 #include "testing/properties.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "ast/printer.h"
@@ -10,6 +13,7 @@
 #include "service/query_service.h"
 #include "testing/oracle.h"
 #include "transform/pipeline.h"
+#include "util/failpoint.h"
 
 namespace cqlopt {
 namespace testing {
@@ -504,6 +508,298 @@ PropertyOutcome ServiceRoundtrip(const FuzzCase& c, const FuzzOptions& fo) {
   return PropertyOutcome::Ok();
 }
 
+// ---------------------------------------------------------------------------
+// crash_recovery: WAL durability under injected faults at every site.
+
+/// A mkdtemp'd WAL directory, removed (known files + dir) on scope exit so
+/// a million-iteration fuzz run does not litter /tmp.
+struct TempWalDir {
+  std::string path;
+  TempWalDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                       "/cqlopt-crash-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) path.assign(buf.data());
+  }
+  ~TempWalDir() {
+    if (path.empty()) return;
+    for (const char* name : {"/wal.log", "/snapshot.cql", "/snapshot.tmp"}) {
+      ::unlink((path + name).c_str());
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+Result<std::unique_ptr<QueryService>> MakeWalService(const FuzzCase& c,
+                                                     const FuzzOptions& fo,
+                                                     const Database& base_db,
+                                                     const std::string& dir) {
+  ServiceOptions sopts;
+  sopts.eval = EngineOptions(fo, EvalStrategy::kStratified);
+  sopts.wal_dir = dir;
+  return QueryService::FromParts(c.program, base_db, sopts);
+}
+
+/// The crash-recovery metamorphic property (`cqlfuzz --faults`): for every
+/// WAL fail-point site and every ingest batch, crash the commit of that
+/// batch at that site, recover a fresh service from the surviving files,
+/// and require the recovered state to equal the never-crashed run —
+/// batches whose record reached the log durably are recovered, a torn
+/// record is truncated (and reported), and nothing else changes. The
+/// scenario then finishes the remaining ingests and must converge to the
+/// reference's final state. A seeded mid-run Compact() covers
+/// snapshot-plus-tail-records recovery; eval/rule-alloc coverage at the end
+/// checks an injected evaluation fault is a typed, non-poisoning error.
+PropertyOutcome CrashRecovery(const FuzzCase& c, const FuzzOptions& fo) {
+  // Partition the EDB into an initial database plus ingest batches of
+  // genuinely new facts. (A batch that dedups to a no-op burns no epoch and
+  // writes no record, so it could never crash — filter those out up front.)
+  Rng rng(Rng::DeriveSeed(c.seed, 0xFA11));
+  std::vector<Fact> initial;
+  std::vector<std::vector<Fact>> raw(3);
+  for (const Fact& fact : c.edb) {
+    if (rng.Chance(30)) {
+      initial.push_back(fact);
+    } else {
+      raw[static_cast<size_t>(rng.Uniform(0, 2))].push_back(fact);
+    }
+  }
+  Database seen;
+  Database base_db;
+  for (const Fact& fact : initial) {
+    if (seen.AddFact(fact) == InsertOutcome::kInserted) base_db.AddFact(fact);
+  }
+  std::vector<std::vector<Fact>> batches;
+  for (std::vector<Fact>& candidates : raw) {
+    std::vector<Fact> fresh;
+    for (const Fact& fact : candidates) {
+      if (seen.AddFact(fact) == InsertOutcome::kInserted) {
+        fresh.push_back(fact);
+      }
+    }
+    if (!fresh.empty()) batches.push_back(std::move(fresh));
+  }
+  if (batches.empty()) {
+    return PropertyOutcome::Skip("EDB too small to form an ingest batch");
+  }
+
+  failpoint::DisarmAll();
+
+  // Reference: the never-crashed run, WAL on (so it takes the exact
+  // render/re-parse commit path recovery will replay). state_after[j] is
+  // the rendered head state once j batches are committed.
+  TempWalDir ref_dir;
+  if (ref_dir.path.empty()) {
+    return PropertyOutcome::Fail("mkdtemp failed for the reference WAL");
+  }
+  auto ref = MakeWalService(c, fo, base_db, ref_dir.path);
+  if (!ref.ok()) {
+    return PropertyOutcome::Fail("reference FromParts failed: " +
+                                 ref.status().message());
+  }
+  std::vector<std::string> state_after;
+  state_after.push_back((*ref)->RenderStateText());
+  for (const std::vector<Fact>& batch : batches) {
+    auto committed = (*ref)->IngestFacts(batch);
+    if (!committed.ok()) {
+      return PropertyOutcome::Fail("reference ingest failed: " +
+                                   committed.status().message());
+    }
+    state_after.push_back((*ref)->RenderStateText());
+  }
+  std::string query_line = RenderQuery(c.query, *c.program.symbols);
+  std::vector<std::string> ref_answers;
+  bool capped = false;
+  std::string error;
+  if (!ServiceQuery(**ref, query_line, &ref_answers, &capped, &error)) {
+    return PropertyOutcome::Fail("reference query: " + error);
+  }
+  if (capped) {
+    return PropertyOutcome::Skip("iteration cap hit before fixpoint");
+  }
+
+  // The crash matrix: every WAL site x every batch index. Whether the
+  // crashed batch survives recovery is the site's documented semantics: a
+  // short write leaves a torn record (truncated on recovery), the other
+  // three fire only after the record is durably in the log.
+  struct WalSite {
+    const char* site;
+    bool record_survives;
+  };
+  const WalSite kWalSites[] = {
+      {failpoint::kWalShortWrite, false},
+      {failpoint::kWalFsync, true},
+      {failpoint::kWalCrashBeforeCommit, true},
+      {failpoint::kWalCrashAfterCommit, true},
+  };
+  for (size_t s = 0; s < 4; ++s) {
+    const WalSite& ws = kWalSites[s];
+    for (size_t k = 0; k < batches.size(); ++k) {
+      Rng srng(Rng::DeriveSeed(c.seed, 0xC0DE00 + s * 16 + k));
+      TempWalDir dir;
+      if (dir.path.empty()) {
+        return PropertyOutcome::Fail("mkdtemp failed for a crash scenario");
+      }
+      auto victim = MakeWalService(c, fo, base_db, dir.path);
+      if (!victim.ok()) {
+        return PropertyOutcome::Fail("victim FromParts failed: " +
+                                     victim.status().message());
+      }
+      // Seeded mid-run compaction: recovery must then stack the replayed
+      // tail records on top of the snapshot. compact_before == k snapshots
+      // immediately before the crashed append — the juiciest layout.
+      const size_t compact_before =
+          srng.Chance(50) ? static_cast<size_t>(
+                                srng.Uniform(0, static_cast<int>(k)))
+                          : k + 1;
+      for (size_t j = 0; j < k; ++j) {
+        if (j == compact_before) {
+          Status compacted = (*victim)->Compact();
+          if (!compacted.ok()) {
+            return PropertyOutcome::Fail("pre-crash Compact failed: " +
+                                         compacted.message());
+          }
+        }
+        auto committed = (*victim)->IngestFacts(batches[j]);
+        if (!committed.ok()) {
+          return PropertyOutcome::Fail("pre-crash ingest failed: " +
+                                       committed.status().message());
+        }
+      }
+      if (compact_before == k) {
+        Status compacted = (*victim)->Compact();
+        if (!compacted.ok()) {
+          return PropertyOutcome::Fail("pre-crash Compact failed: " +
+                                       compacted.message());
+        }
+      }
+
+      failpoint::Arm(ws.site);
+      auto crashed = (*victim)->IngestFacts(batches[k]);
+      failpoint::DisarmAll();
+      if (crashed.ok()) {
+        return PropertyOutcome::Fail(
+            std::string(ws.site) + " was armed but the ingest of batch " +
+            std::to_string(k) + " succeeded");
+      }
+      // "Crash": abandon the wreck — only the files survive.
+      victim->reset();
+
+      auto revived = MakeWalService(c, fo, base_db, dir.path);
+      if (!revived.ok()) {
+        return PropertyOutcome::Fail("revived FromParts failed: " +
+                                     revived.status().message());
+      }
+      RecoverOutcome ro;
+      Status recovered = (*revived)->Recover(&ro);
+      if (!recovered.ok()) {
+        return PropertyOutcome::Fail(std::string(ws.site) +
+                                     " crash at batch " + std::to_string(k) +
+                                     ": recovery failed: " +
+                                     recovered.message());
+      }
+      const size_t committed_batches = k + (ws.record_survives ? 1 : 0);
+      if (!ws.record_survives && ro.truncated_bytes <= 0) {
+        return PropertyOutcome::Fail(
+            std::string(ws.site) +
+            ": expected a torn tail record, but recovery truncated nothing");
+      }
+      if (ws.record_survives && ro.truncated_bytes != 0) {
+        return PropertyOutcome::Fail(
+            std::string(ws.site) + ": recovery truncated " +
+            std::to_string(ro.truncated_bytes) +
+            " byte(s) of a record that should be intact");
+      }
+      std::string got = (*revived)->RenderStateText();
+      if (got != state_after[committed_batches]) {
+        return PropertyOutcome::Fail(
+            std::string(ws.site) + " crash at batch " + std::to_string(k) +
+            ": recovered state differs from the never-crashed state after " +
+            std::to_string(committed_batches) + " batches (recovered " +
+            got.substr(0, got.find('\n')) + ", expected " +
+            state_after[committed_batches].substr(
+                0, state_after[committed_batches].find('\n')) +
+            ")");
+      }
+
+      // Finish the run: the recovered service must accept the remaining
+      // batches and converge to the reference's final state.
+      for (size_t j = committed_batches; j < batches.size(); ++j) {
+        auto more = (*revived)->IngestFacts(batches[j]);
+        if (!more.ok()) {
+          return PropertyOutcome::Fail(std::string(ws.site) +
+                                       ": post-recovery ingest failed: " +
+                                       more.status().message());
+        }
+      }
+      if ((*revived)->RenderStateText() != state_after.back()) {
+        return PropertyOutcome::Fail(
+            std::string(ws.site) + " crash at batch " + std::to_string(k) +
+            ": final state after post-recovery ingests diverged from the "
+            "never-crashed run");
+      }
+      // Once per site (on the last batch), serve the query from the
+      // recovered service — recovery must leave it fully operational.
+      if (k + 1 == batches.size()) {
+        std::vector<std::string> revived_answers;
+        if (!ServiceQuery(**revived, query_line, &revived_answers, &capped,
+                          &error)) {
+          return PropertyOutcome::Fail(std::string(ws.site) +
+                                       ": post-recovery query: " + error);
+        }
+        if (!capped && revived_answers != ref_answers) {
+          return PropertyOutcome::Fail(
+              std::string(ws.site) +
+              ": post-recovery answers differ from the never-crashed run: " +
+              std::to_string(revived_answers.size()) + " vs " +
+              std::to_string(ref_answers.size()));
+        }
+      }
+    }
+  }
+
+  // eval/rule-alloc: an injected allocation failure inside rule application
+  // must surface as kResourceExhausted and leave the service healthy (the
+  // next evaluation of the same query succeeds and matches the reference).
+  ServiceOptions plain;
+  plain.eval = EngineOptions(fo, EvalStrategy::kStratified);
+  auto probe = QueryService::FromParts(c.program, BuildDatabase(c), plain);
+  if (!probe.ok()) {
+    return PropertyOutcome::Fail("probe FromParts failed: " +
+                                 probe.status().message());
+  }
+  failpoint::Arm(failpoint::kEvalRuleAlloc, /*skip=*/0, /*times=*/0);
+  auto denied = (*probe)->Execute(query_line, "");
+  long alloc_hits = failpoint::Hits(failpoint::kEvalRuleAlloc);
+  failpoint::DisarmAll();
+  if (alloc_hits > 0) {
+    if (denied.ok()) {
+      return PropertyOutcome::Fail(
+          "eval/rule-alloc was armed and hit, but Execute succeeded");
+    }
+    if (denied.status().code() != StatusCode::kResourceExhausted) {
+      return PropertyOutcome::Fail(
+          "eval/rule-alloc surfaced as " + denied.status().ToString() +
+          ", expected RESOURCE_EXHAUSTED");
+    }
+    std::vector<std::string> healed;
+    if (!ServiceQuery(**probe, query_line, &healed, &capped, &error)) {
+      return PropertyOutcome::Fail("query after injected alloc failure: " +
+                                   error);
+    }
+    if (!capped && healed != ref_answers) {
+      return PropertyOutcome::Fail(
+          "answers after an injected alloc failure differ from the "
+          "reference: " +
+          std::to_string(healed.size()) + " vs " +
+          std::to_string(ref_answers.size()));
+    }
+  }
+  return PropertyOutcome::Ok();
+}
+
 }  // namespace
 
 const char* PlantedBugName(PlantedBug bug) {
@@ -551,6 +847,10 @@ const std::vector<PropertyInfo>& AllProperties() {
           {"service_roundtrip",
            "cqld protocol answers match direct evaluation across an ingest",
            &ServiceRoundtrip},
+          {"crash_recovery",
+           "WAL recovery after an injected crash at every fail-point site "
+           "reproduces the never-crashed run",
+           &CrashRecovery},
       };
   return *properties;
 }

@@ -26,6 +26,10 @@ namespace testing {
 ///   resume_scratch      ResumeEvaluate(base, delta) ≡ scratch(base ∪ delta)
 ///   service_roundtrip   cqld HandleLine answers ≡ direct evaluation, across
 ///                       an INGEST epoch bump
+///   crash_recovery      recover(crash at any fail-point site) ≡ the
+///                       never-crashed run — WAL batches whose record is
+///                       durable survive, a torn tail is truncated, and the
+///                       recovered service keeps serving (cqlfuzz --faults)
 ///
 /// Outcomes are three-valued: ok, skipped (the comparison is not defined —
 /// a fixpoint hit its iteration cap, or a pipeline cleanly rejected the

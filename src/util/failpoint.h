@@ -1,0 +1,68 @@
+#ifndef CQLOPT_UTIL_FAILPOINT_H_
+#define CQLOPT_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cqlopt {
+
+/// Deterministic fail-point registry for fault-injection testing.
+///
+/// Production code sprinkles `failpoint::ShouldFail(site)` at the places a
+/// real fault could strike (a short write(2), a failing fsync, a crash
+/// between the WAL append and the epoch swap, an allocation failure in rule
+/// application). Tests arm a site with `Arm(site, skip, times)` and the
+/// Nth hit fires; everything is counted, so a crash-recovery property can
+/// enumerate exactly the injection points a scenario passes through and
+/// then replay the scenario crashing at each one in turn.
+///
+/// Disarmed cost: one relaxed atomic load (`armed_count_ == 0` fast path),
+/// so the hooks are compiled into release builds and the fuzzer exercises
+/// the same binaries the benchmarks measure.
+///
+/// The registry is process-wide and NOT synchronized against concurrent
+/// Arm/Disarm during a governed operation — arm before the operation under
+/// test and disarm after, from one thread. `ShouldFail` itself is
+/// thread-safe (sites fire-and-count under a mutex once armed).
+namespace failpoint {
+
+// Catalogue of injection sites (DESIGN.md section 10.4). Keep in sync with
+// AllSites() in failpoint.cc.
+inline constexpr const char* kWalShortWrite = "wal/short-write";
+inline constexpr const char* kWalFsync = "wal/fsync";
+inline constexpr const char* kWalCrashBeforeCommit = "wal/crash-before-commit";
+inline constexpr const char* kWalCrashAfterCommit = "wal/crash-after-commit";
+inline constexpr const char* kServerShortWrite = "server/short-write";
+inline constexpr const char* kEvalRuleAlloc = "eval/rule-alloc";
+
+/// Every registered site name, in the order above.
+const std::vector<std::string>& AllSites();
+
+/// Arms `site`: the first `skip` hits pass through, then the next `times`
+/// hits fire (ShouldFail returns true), then the site auto-disarms.
+/// times <= 0 means fire on every hit after `skip` until Disarm.
+void Arm(const std::string& site, long skip = 0, long times = 1);
+
+/// Disarms `site` (hit counters are kept until ResetCounters).
+void Disarm(const std::string& site);
+
+/// Disarms every site and clears all hit counters.
+void DisarmAll();
+
+/// True when the calling code should simulate a fault at `site`. Counts the
+/// hit either way. Near-free when nothing is armed.
+bool ShouldFail(const std::string& site);
+
+/// Total times `site` was reached (armed or not) since ResetCounters.
+long Hits(const std::string& site);
+
+/// Clears hit counters without touching armed state.
+void ResetCounters();
+
+}  // namespace failpoint
+}  // namespace cqlopt
+
+#endif  // CQLOPT_UTIL_FAILPOINT_H_

@@ -21,6 +21,11 @@ enum class StatusCode {
   kNotFound,
   kUnimplemented,
   kInternal,
+  /// A cooperative wall-clock deadline (EvalOptions::deadline_ms) expired
+  /// before the evaluation finished.
+  kDeadlineExceeded,
+  /// The evaluation's CancelToken was cancelled by another thread.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "PARSE_ERROR", ...).
@@ -58,6 +63,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

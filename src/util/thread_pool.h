@@ -22,6 +22,14 @@ namespace cqlopt {
 /// through state captured by the task). Submit after Wait() is allowed —
 /// the pool is reusable batch to batch. The destructor drains outstanding
 /// tasks before joining the workers.
+///
+/// Cooperative-abort contract: the pool never cancels a task — when a batch
+/// must stop early (a worker hit a deadline / cancellation / injected
+/// fault), the aborting task records the trip in state shared by the batch,
+/// and every task checks that state at entry and at its periodic check
+/// points, returning immediately once tripped (see Governor in
+/// eval/seminaive.cc). Wait() then returns with the queue drained cheaply
+/// rather than leaving tasks running at unknown points.
 class ThreadPool {
  public:
   /// Spawns max(1, threads) workers.

@@ -5,7 +5,11 @@
 // from-scratch kStratified evaluation of the grown database — across the
 // program corpus, all three subsumption modes, and 1/2/8 worker threads.
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdlib>
 #include <fstream>
 #include <random>
 #include <set>
@@ -23,6 +27,7 @@
 #include "eval/seminaive.h"
 #include "service/protocol.h"
 #include "service/server.h"
+#include "util/failpoint.h"
 
 namespace cqlopt {
 namespace {
@@ -523,6 +528,216 @@ TEST(ProtocolTest, StatsAndShutdown) {
             ProtocolAction::kShutdown);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0], "OK bye");
+}
+
+// ---------------------------------------------------------------------------
+// WAL-backed durability: the epoch lifecycle across crash/recover edges.
+
+/// mkdtemp'd WAL directory, removed with its known files on scope exit.
+struct TempWalDir {
+  std::string path;
+  TempWalDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                       "/cqlopt-svc-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) path.assign(buf.data());
+  }
+  ~TempWalDir() {
+    if (path.empty()) return;
+    for (const char* name : {"/wal.log", "/snapshot.cql", "/snapshot.tmp"}) {
+      ::unlink((path + name).c_str());
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+std::unique_ptr<QueryService> DurableFlights(const std::string& wal_dir,
+                                             long compact_bytes = 0) {
+  ServiceOptions options;
+  options.wal_dir = wal_dir;
+  options.wal_compact_bytes = compact_bytes;
+  return FlightsService(options);
+}
+
+TEST(WalRecoveryTest, EmptyWalRecoversToEpochZero) {
+  TempWalDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto service = DurableFlights(dir.path);
+  RecoverOutcome outcome;
+  ASSERT_TRUE(service->Recover(&outcome).ok());
+  EXPECT_EQ(outcome.epoch, 0);
+  EXPECT_EQ(outcome.batches_replayed, 0);
+  EXPECT_FALSE(outcome.snapshot_loaded);
+  EXPECT_EQ(outcome.truncated_bytes, 0);
+  EXPECT_TRUE(outcome.warning.empty());
+  // A freshly recovered empty log serves exactly the constructor EDB.
+  auto served = service->Execute(kFlightsQuery, "pred,qrp,mg");
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->epoch, 0);
+}
+
+TEST(WalRecoveryTest, ReplayReproducesTheEpochSequence) {
+  TempWalDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  std::string pre_crash;
+  {
+    auto service = DurableFlights(dir.path);
+    ASSERT_TRUE(service->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+    ASSERT_TRUE(service->Ingest("singleleg(sea, msn, 210, 140).\n"
+                                "singleleg(den, jfk, 240, 160).\n")
+                    .ok());
+    EXPECT_EQ(service->epoch(), 2);
+    pre_crash = service->RenderStateText();
+  }  // "crash": only the WAL directory survives
+  auto revived = DurableFlights(dir.path);
+  RecoverOutcome outcome;
+  ASSERT_TRUE(revived->Recover(&outcome).ok());
+  EXPECT_EQ(outcome.epoch, 2);
+  EXPECT_EQ(outcome.batches_replayed, 2);
+  EXPECT_EQ(revived->RenderStateText(), pre_crash);
+  ServiceStats stats = revived->Stats();
+  EXPECT_TRUE(stats.wal_enabled);
+  EXPECT_EQ(stats.wal_replayed_batches, 2);
+}
+
+TEST(WalRecoveryTest, RecoversSnapshotPlusTailBatches) {
+  TempWalDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  std::string pre_crash;
+  {
+    auto service = DurableFlights(dir.path);
+    ASSERT_TRUE(service->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+    ASSERT_TRUE(service->Compact().ok());
+    // Tail batches after the compaction land in the (reset) log.
+    ASSERT_TRUE(service->Ingest("singleleg(sea, msn, 210, 140).\n").ok());
+    ASSERT_TRUE(service->Ingest("singleleg(den, jfk, 240, 160).\n").ok());
+    EXPECT_EQ(service->epoch(), 3);
+    EXPECT_EQ(service->Stats().wal_compactions, 1);
+    pre_crash = service->RenderStateText();
+  }
+  auto revived = DurableFlights(dir.path);
+  RecoverOutcome outcome;
+  ASSERT_TRUE(revived->Recover(&outcome).ok());
+  EXPECT_TRUE(outcome.snapshot_loaded);
+  EXPECT_EQ(outcome.snapshot_epoch, 1);
+  EXPECT_EQ(outcome.batches_replayed, 2);
+  EXPECT_EQ(outcome.epoch, 3);
+  EXPECT_EQ(revived->RenderStateText(), pre_crash);
+}
+
+TEST(WalRecoveryTest, AutoCompactionTriggersPastTheThreshold) {
+  TempWalDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  // Any commit pushing wal.log past ~1 byte compacts, so every batch does.
+  auto service = DurableFlights(dir.path, /*compact_bytes=*/1);
+  ASSERT_TRUE(service->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+  ASSERT_TRUE(service->Ingest("singleleg(sea, msn, 210, 140).\n").ok());
+  EXPECT_EQ(service->Stats().wal_compactions, 2);
+  std::string pre_crash = service->RenderStateText();
+  service.reset();
+
+  auto revived = DurableFlights(dir.path, /*compact_bytes=*/1);
+  RecoverOutcome outcome;
+  ASSERT_TRUE(revived->Recover(&outcome).ok());
+  EXPECT_TRUE(outcome.snapshot_loaded);
+  EXPECT_EQ(outcome.snapshot_epoch, 2);
+  EXPECT_EQ(outcome.batches_replayed, 0);
+  EXPECT_EQ(revived->RenderStateText(), pre_crash);
+}
+
+TEST(WalRecoveryTest, DoubleRecoverIsIdempotent) {
+  TempWalDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  {
+    auto service = DurableFlights(dir.path);
+    ASSERT_TRUE(service->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+  }
+  auto revived = DurableFlights(dir.path);
+  RecoverOutcome first;
+  ASSERT_TRUE(revived->Recover(&first).ok());
+  EXPECT_EQ(first.epoch, 1);
+  EXPECT_EQ(first.batches_replayed, 1);
+  std::string state = revived->RenderStateText();
+
+  // A second Recover must not replay again (no duplicate epochs burned).
+  RecoverOutcome second;
+  ASSERT_TRUE(revived->Recover(&second).ok());
+  EXPECT_EQ(second.epoch, 1);
+  EXPECT_EQ(second.batches_replayed, 0);
+  EXPECT_EQ(revived->RenderStateText(), state);
+  EXPECT_EQ(revived->epoch(), 1);
+}
+
+TEST(WalRecoveryTest, RecoverIsANoOpWithoutAWal) {
+  auto service = FlightsService();
+  RecoverOutcome outcome;
+  ASSERT_TRUE(service->Recover(&outcome).ok());
+  EXPECT_EQ(outcome.epoch, 0);
+  EXPECT_EQ(outcome.batches_replayed, 0);
+  EXPECT_FALSE(service->Stats().wal_enabled);
+  EXPECT_EQ(service->Compact().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WalRecoveryTest, IngestsAfterRecoveryAppendToTheLog) {
+  TempWalDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  {
+    auto service = DurableFlights(dir.path);
+    ASSERT_TRUE(service->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+  }
+  {
+    auto revived = DurableFlights(dir.path);
+    ASSERT_TRUE(revived->Recover(nullptr).ok());
+    // Replayed batches must not have been re-logged: the next recovery
+    // sees exactly two records, not three.
+    ASSERT_TRUE(revived->Ingest("singleleg(sea, msn, 210, 140).\n").ok());
+    EXPECT_EQ(revived->epoch(), 2);
+  }
+  auto third = DurableFlights(dir.path);
+  RecoverOutcome outcome;
+  ASSERT_TRUE(third->Recover(&outcome).ok());
+  EXPECT_EQ(outcome.batches_replayed, 2);
+  EXPECT_EQ(outcome.epoch, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Socket I/O: WriteFull against short writes and injected faults.
+
+TEST(ServerIoTest, WriteFullSurvivesInjectedShortWrites) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = "OK answers=2\na(1).\na(2).\nEND\n";
+  // Force 1-byte transfers for the whole message: the loop must keep
+  // pushing until every byte is out.
+  failpoint::Arm(failpoint::kServerShortWrite, /*skip=*/0, /*times=*/0);
+  std::thread writer([&] {
+    EXPECT_TRUE(WriteFull(fds[0], payload));
+    ::close(fds[0]);
+  });
+  std::string received;
+  char chunk[64];
+  ssize_t n;
+  while ((n = ::read(fds[1], chunk, sizeof(chunk))) > 0) {
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  writer.join();
+  failpoint::DisarmAll();
+  ::close(fds[1]);
+  EXPECT_EQ(received, payload);
+}
+
+TEST(ServerIoTest, WriteFullReportsAClosedPeerInsteadOfSignalling) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  // Writing into a closed peer raises EPIPE, not SIGPIPE (MSG_NOSIGNAL):
+  // surviving this call IS the assertion; the false return is the protocol
+  // loop's signal to drop the session.
+  std::string big(1 << 20, 'x');
+  EXPECT_FALSE(WriteFull(fds[0], big));
+  ::close(fds[0]);
 }
 
 TEST(ProtocolTest, ServeStreamsRunsASession) {

@@ -24,9 +24,19 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
         StatusCode::kTypeError, StatusCode::kResourceExhausted,
         StatusCode::kNotFound, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, GovernanceFactories) {
+  Status deadline = Status::DeadlineExceeded("past due");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DEADLINE_EXCEEDED: past due");
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "CANCELLED: caller gave up");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -7,6 +7,7 @@
 //        "QUERY pred,qrp,mg ?- cheaporshort(msn, sea, T, C)."
 //        "STATS" "SHUTDOWN"
 
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -66,6 +67,9 @@ int Exchange(int fd, const std::string& request, std::string* buffer) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A server that dies mid-exchange must surface as "connection lost", not
+  // kill the client: writes to the closed socket get EPIPE instead.
+  std::signal(SIGPIPE, SIG_IGN);
   std::string socket_path;
   std::vector<std::string> requests;
   for (int i = 1; i < argc; ++i) {

@@ -5,6 +5,12 @@
 //   cqld --program programs/flights.cql --edb programs/flights_edb.cql
 //        --socket /tmp/cqld.sock
 //   cqld --program programs/flights.cql --stdio
+//
+// Durability and operational limits (README "Operational limits"):
+//   --wal-dir DIR            write-ahead-log every ingest; replay on start
+//   --wal-compact-bytes N    auto-compact the log past N bytes
+//   --query-deadline-ms N    per-query wall-clock deadline
+//   --max-derived-facts N    per-query derived-fact budget
 
 #include <fstream>
 #include <iostream>
@@ -22,7 +28,9 @@ int Usage(const char* argv0) {
       << " (--socket <path> | --stdio)\n"
       << "       [--threads N] [--max-iterations N]"
       << " [--subsumption none|single-fact|set-implication]\n"
-      << "       [--prepared-capacity N]\n";
+      << "       [--prepared-capacity N] [--wal-dir DIR]"
+      << " [--wal-compact-bytes N]\n"
+      << "       [--query-deadline-ms N] [--max-derived-facts N]\n";
   return 2;
 }
 
@@ -69,6 +77,18 @@ int main(int argc, char** argv) {
       } else {
         return Usage(argv[0]);
       }
+    } else if (arg == "--wal-dir") {
+      if (const char* v = next()) options.wal_dir = v;
+      else return Usage(argv[0]);
+    } else if (arg == "--wal-compact-bytes") {
+      if (const char* v = next()) options.wal_compact_bytes = std::atol(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--query-deadline-ms") {
+      if (const char* v = next()) options.eval.deadline_ms = std::atol(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--max-derived-facts") {
+      if (const char* v = next()) options.eval.max_derived_facts = std::atol(v);
+      else return Usage(argv[0]);
     } else if (arg == "--subsumption") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -109,6 +129,25 @@ int main(int argc, char** argv) {
   if (!service.ok()) {
     std::cerr << "cqld: " << service.status().ToString() << "\n";
     return 1;
+  }
+
+  if (!options.wal_dir.empty()) {
+    cqlopt::RecoverOutcome recovered;
+    cqlopt::Status status = (*service)->Recover(&recovered);
+    if (!status.ok()) {
+      std::cerr << "cqld: WAL recovery failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    if (!recovered.warning.empty()) {
+      std::cerr << "cqld: " << recovered.warning << "\n";
+    }
+    std::cerr << "cqld: recovered epoch " << recovered.epoch << " from "
+              << options.wal_dir << " ("
+              << (recovered.snapshot_loaded
+                      ? "snapshot at epoch " +
+                            std::to_string(recovered.snapshot_epoch) + " + "
+                      : "")
+              << recovered.batches_replayed << " replayed batch(es))\n";
   }
 
   cqlopt::Status served;

@@ -6,6 +6,7 @@
 // command line is printed.
 //
 //   cqlfuzz --seed 42 --iters 1000 --property all
+//   cqlfuzz --seed 42 --iters 250 --faults        # crash-recovery only
 //   cqlfuzz --seed 7331 --iters 1 --property rewrite_equiv   # replay
 //   cqlfuzz --self-check --corpus-out tests/fuzz_corpus      # harness test
 //   cqlfuzz --replay tests/fuzz_corpus/selfcheck-qrp-drop-atom.cql
@@ -67,7 +68,7 @@ int Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " [--seed N] [--iters N] [--property NAME|all] [--corpus-out DIR]\n"
-      << "       [--self-check] [--replay FILE.cql] [--list]\n";
+      << "       [--faults] [--self-check] [--replay FILE.cql] [--list]\n";
   return 2;
 }
 
@@ -90,6 +91,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->corpus_out = v;
     } else if (flag == "--replay" && value(&v)) {
       args->replay = v;
+    } else if (flag == "--faults") {
+      // Fault-injection mode: shorthand for the crash-recovery property
+      // (WAL crash at every fail-point site, recover, compare to the
+      // never-crashed run). The CI fault job runs exactly this.
+      args->property = "crash_recovery";
     } else if (flag == "--self-check") {
       args->self_check = true;
     } else if (flag == "--list") {
