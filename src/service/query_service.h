@@ -119,6 +119,10 @@ struct ServiceStats {
   long wal_appends = 0;
   long wal_bytes = 0;  // current wal.log size
   long wal_compactions = 0;
+  /// Auto-compactions that failed after their triggering commit was
+  /// already durable and visible (the ingest still succeeded; the log
+  /// simply was not reset and stays replayable).
+  long wal_compaction_failures = 0;
   long wal_replayed_batches = 0;
 };
 
@@ -195,7 +199,11 @@ class QueryService {
 
   /// Compacts the WAL: snapshots the current EDB (atomic replace), then
   /// resets the log — bounded recovery time regardless of ingest history.
-  /// Also runs automatically when ServiceOptions::wal_compact_bytes is set.
+  /// Also runs automatically when ServiceOptions::wal_compact_bytes is set;
+  /// an auto-compaction failure never fails the triggering ingest (its
+  /// epoch is already durable) — it is counted in
+  /// ServiceStats::wal_compaction_failures and retried on the next commit
+  /// past the threshold.
   Status Compact();
 
   /// Renders the head state as `epoch=<id>` plus every EDB fact in loader

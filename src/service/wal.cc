@@ -159,7 +159,14 @@ Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir) {
     ::close(fd);
     return Errno("fstat " + path);
   }
-  if (st.st_size == 0) {
+  if (st.st_size < static_cast<off_t>(kMagicSize)) {
+    // 1-7 bytes means a crash mid-way through writing the initial header;
+    // no record can exist yet, so restart the file as empty instead of
+    // bricking every future Open with a bad-magic error.
+    if (st.st_size > 0 && ::ftruncate(fd, 0) < 0) {
+      ::close(fd);
+      return Errno("ftruncate " + path);
+    }
     Status wrote = WriteBytes(fd, kLogMagic, kMagicSize, "write WAL header");
     if (!wrote.ok() || ::fsync(fd) < 0) {
       ::close(fd);
@@ -186,6 +193,11 @@ std::string Wal::log_path() const { return dir_ + "/wal.log"; }
 std::string Wal::snapshot_path() const { return dir_ + "/snapshot.cql"; }
 
 Status Wal::Append(const std::string& payload) {
+  if (!failed_.ok()) {
+    return Status::Internal(
+        "WAL rejects appends after an earlier failure (recover first): " +
+        failed_.message());
+  }
   if (payload.size() > kMaxRecordBytes) {
     return Status::InvalidArgument("WAL record too large: " +
                                    std::to_string(payload.size()) + " bytes");
@@ -195,30 +207,59 @@ Status Wal::Append(const std::string& payload) {
   PutU32(static_cast<uint32_t>(payload.size()), &record);
   PutU32(Crc32(payload.data(), payload.size()), &record);
   record += payload;
+  const long pre_offset = log_bytes_;
 
   if (failpoint::ShouldFail(failpoint::kWalShortWrite)) {
     // Simulated crash mid-append: a prefix of the record reaches the file,
-    // then the process "dies". Recovery must drop the torn tail.
+    // then the process "dies" — the torn bytes must stay for recovery to
+    // drop, so no rollback here, but the handle is dead: an append after a
+    // torn record would be acknowledged yet lost (ReadAll stops at the
+    // first corrupt record).
     size_t torn = record.size() / 2;
     if (torn == 0) torn = 1;
     Status wrote = WriteBytes(fd_, record.data(), torn, "torn WAL append");
     log_bytes_ += static_cast<long>(torn);
-    if (!wrote.ok()) return wrote;
-    return Status::Internal("injected torn write: " + std::to_string(torn) +
-                            " of " + std::to_string(record.size()) +
-                            " record bytes reached the log (failpoint " +
-                            failpoint::kWalShortWrite + ")");
+    failed_ = wrote.ok()
+                  ? Status::Internal(
+                        "injected torn write: " + std::to_string(torn) +
+                        " of " + std::to_string(record.size()) +
+                        " record bytes reached the log (failpoint " +
+                        failpoint::kWalShortWrite + ")")
+                  : wrote;
+    return failed_;
   }
-  CQLOPT_RETURN_IF_ERROR(
-      WriteBytes(fd_, record.data(), record.size(), "WAL append"));
+  Status wrote = WriteBytes(fd_, record.data(), record.size(), "WAL append");
+  if (!wrote.ok()) return FailAppend(pre_offset, std::move(wrote));
   log_bytes_ += static_cast<long>(record.size());
   if (failpoint::ShouldFail(failpoint::kWalFsync)) {
-    return Status::Internal(
+    // Simulated crash between write and fsync: the intact-but-undurable
+    // record stays (recovery may legitimately surface it), the handle dies.
+    failed_ = Status::Internal(
         std::string("injected fsync failure after WAL append (failpoint ") +
         failpoint::kWalFsync + ")");
+    return failed_;
   }
-  if (::fsync(fd_) < 0) return Errno("fsync " + log_path());
+  if (::fsync(fd_) < 0) {
+    return FailAppend(pre_offset, Errno("fsync " + log_path()));
+  }
   return Status::OK();
+}
+
+Status Wal::FailAppend(long pre_offset, Status cause) {
+  // A real mid-append failure left an unknown prefix of the record in the
+  // file. Acknowledged commits must never land after torn bytes (ReadAll
+  // truncates at the first corrupt record, silently discarding them), so
+  // roll back to the pre-append offset; if that fails too, poison the
+  // handle and reject every further append.
+  if (::ftruncate(fd_, static_cast<off_t>(pre_offset)) == 0 &&
+      ::fsync(fd_) == 0) {
+    log_bytes_ = pre_offset;
+    return cause;
+  }
+  failed_ = Status::Internal(cause.message() + "; rollback to offset " +
+                             std::to_string(pre_offset) +
+                             " failed: " + std::strerror(errno));
+  return failed_;
 }
 
 Result<WalReadOutcome> Wal::ReadAll() {
@@ -266,11 +307,18 @@ Result<WalReadOutcome> Wal::ReadAll() {
                   " (" + problem + "); recovered " +
                   std::to_string(out.payloads.size()) + " intact record(s)";
     if (::ftruncate(fd_, static_cast<off_t>(offset)) < 0) {
-      return Errno("ftruncate " + log_path());
+      failed_ = Errno("ftruncate " + log_path());
+      return failed_;
     }
-    if (::fsync(fd_) < 0) return Errno("fsync " + log_path());
+    if (::fsync(fd_) < 0) {
+      failed_ = Errno("fsync " + log_path());
+      return failed_;
+    }
     log_bytes_ = static_cast<long>(offset);
   }
+  // Every record is intact and any torn tail is gone — the log is
+  // consistent again, so appending may resume.
+  failed_ = Status::OK();
   return out;
 }
 
@@ -341,6 +389,7 @@ Status Wal::Reset() {
   }
   if (::fsync(fd_) < 0) return Errno("fsync " + log_path());
   log_bytes_ = static_cast<long>(kMagicSize);
+  failed_ = Status::OK();  // an empty log is trivially consistent
   return Status::OK();
 }
 

@@ -66,9 +66,13 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Appends one checksummed record and fsyncs the log. On failure
-  /// (injected or real) the log may hold a torn record that the next
-  /// ReadAll() truncates.
+  /// Appends one checksummed record and fsyncs the log. A real write or
+  /// fsync failure (ENOSPC, EIO, ...) rolls the log back to the pre-append
+  /// offset, so torn bytes can never precede later acknowledged records;
+  /// if even the rollback fails, the handle is poisoned and every further
+  /// Append is rejected until ReadAll()/Reset() restores a consistent log.
+  /// Injected failures simulate a crash instead: the torn/undurable record
+  /// stays on disk for recovery to judge, and the handle is poisoned.
   Status Append(const std::string& payload);
 
   /// Reads every intact record and truncates any torn/corrupt tail in
@@ -101,9 +105,18 @@ class Wal {
   Wal(std::string dir, int fd, long log_bytes)
       : dir_(std::move(dir)), fd_(fd), log_bytes_(log_bytes) {}
 
+  /// Rolls the log back to `pre_offset` after a real append failure and
+  /// returns `cause`; poisons the handle when the rollback itself fails.
+  Status FailAppend(long pre_offset, Status cause);
+
   std::string dir_;
   int fd_ = -1;  // wal.log, O_RDWR, positioned at EOF for appends
   long log_bytes_ = 0;
+  /// Non-OK once the log may hold torn bytes this handle cannot remove
+  /// (failed rollback, or an injected crash). Append refuses while set;
+  /// a successful ReadAll()/Reset() — which re-establish a consistent
+  /// log — clears it.
+  Status failed_;
 };
 
 }  // namespace cqlopt

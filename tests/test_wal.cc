@@ -141,6 +141,59 @@ TEST(WalTest, ChecksumMismatchDropsTheTailRecord) {
       << read->warning;
 }
 
+TEST(WalTest, HeaderShorterThanMagicReopensAsAnEmptyLog) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  // A crash while writing the initial 8-byte magic leaves a shorter file;
+  // nothing was ever committed, so Open must restart it, not brick it.
+  std::string path = dir.path + "/wal.log";
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, "CQL", 3), 3);
+  ::close(fd);
+
+  auto wal = OpenWal(dir.path);
+  ASSERT_NE(wal, nullptr);
+  auto read = wal->ReadAll();
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->payloads.empty());
+  EXPECT_EQ(read->truncated_bytes, 0);
+  ASSERT_TRUE(wal->Append("revived(1).\n").ok());
+  auto again = wal->ReadAll();
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->payloads.size(), 1u);
+  EXPECT_EQ(again->payloads[0], "revived(1).\n");
+}
+
+TEST(WalTest, AppendsAreRejectedAfterATornWriteUntilReadAll) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto wal = OpenWal(dir.path);
+  ASSERT_TRUE(wal->Append("kept(1).\n").ok());
+  failpoint::Arm(failpoint::kWalShortWrite);
+  Status torn = wal->Append("lost(2).\n");
+  failpoint::DisarmAll();
+  ASSERT_FALSE(torn.ok());
+
+  // The handle is poisoned: a record acknowledged after the torn bytes
+  // would be silently discarded by recovery, so Append must refuse.
+  Status refused = wal->Append("after(3).\n");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.message().find("rejects appends"), std::string::npos)
+      << refused.message();
+
+  // ReadAll truncates the torn tail and re-opens the handle for appends.
+  auto read = wal->ReadAll();
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->payloads.size(), 1u);
+  EXPECT_GT(read->truncated_bytes, 0);
+  ASSERT_TRUE(wal->Append("after(3).\n").ok());
+  auto again = wal->ReadAll();
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->payloads.size(), 2u);
+  EXPECT_EQ(again->payloads[1], "after(3).\n");
+}
+
 TEST(WalTest, ShortWriteFailpointLeavesATornRecord) {
   TempDir dir;
   ASSERT_FALSE(dir.path.empty());
