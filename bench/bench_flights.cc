@@ -203,6 +203,7 @@ int main(int argc, char** argv) {
     cqlopt::Database db =
         cqlopt::bench::MakeNetwork(in.program.symbols.get(), 12, 48, 42);
     cqlopt::bench::WriteBenchJson("flights", in.program, db);
+    cqlopt::bench::WritePrepassJson("flights", in.program, db);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -219,6 +219,14 @@ bool ImpliesAtom(const std::vector<LinearConstraint>& constraints,
 std::vector<LinearConstraint> RemoveRedundant(
     std::vector<LinearConstraint> constraints) {
   if (!Tidy(&constraints)) return constraints;
+  // Simplification runs per derivation (Conjunction::Simplify in EmitHead)
+  // over large pre-simplification conjunctions whose content repeats across
+  // derivations, so these decisions stay on the memoized exact procedures:
+  // probing the interval prepass per atom here costs O(atoms^2) rational
+  // propagation per Simplify and is mostly inconclusive (redundancy needs
+  // the rarely-provable "not implied" direction), while a repeated exact
+  // decision is one cache hit. The prepass instead guards the callers'
+  // entry points (Conjunction::IsSatisfiable, Implies).
   if (!IsSatisfiable(constraints)) {
     // Canonical "false": 0 < 0 ... represented as constant 0 with kLt is
     // trivially false only if constant is >= 0; use 1 <= 0.

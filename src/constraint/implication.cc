@@ -3,6 +3,7 @@
 #include "constraint/decision_cache.h"
 #include "constraint/fingerprint.h"
 #include "constraint/fourier_motzkin.h"
+#include "constraint/interval.h"
 
 namespace cqlopt {
 namespace {
@@ -33,7 +34,7 @@ bool HasSymbolicAtoms(const Conjunction& c) {
 bool RefuteAll(std::vector<LinearConstraint> base,
                const std::vector<std::vector<LinearConstraint>>& disjuncts,
                size_t idx) {
-  if (!fm::IsSatisfiable(base)) return true;
+  if (!prepass::IsSatisfiable(base)) return true;
   if (idx == disjuncts.size()) return false;
   for (const LinearConstraint& atom : disjuncts[idx]) {
     for (const LinearConstraint& piece : atom.Negations()) {
@@ -71,7 +72,11 @@ bool ImpliesUncached(const Conjunction& a, const Conjunction& b) {
     }
     if (!EntailsEquality(a, a_atoms, member, root)) return false;
   }
-  // Linear atoms of b.
+  // Linear atoms of b. These stay on the memoized exact procedure: this
+  // body only runs after the pair-level interval prepass (TryImplies in
+  // Implies) was inconclusive, which already checked each of these atoms
+  // against a's propagated box — re-propagating per atom here would be
+  // pure overhead.
   for (const LinearConstraint& atom : b.linear()) {
     if (!fm::ImpliesAtom(a_atoms, atom)) return false;
   }
@@ -81,6 +86,9 @@ bool ImpliesUncached(const Conjunction& a, const Conjunction& b) {
 }  // namespace
 
 bool Implies(const Conjunction& a, const Conjunction& b) {
+  // Approximate tier first: a conclusive interval-propagation answer equals
+  // the exact decision and skips both the cache probe and the FM fallback.
+  if (std::optional<bool> fast = prepass::TryImplies(a, b)) return *fast;
   // Memoized on the conjunction fingerprints: the decision depends only on
   // the canonical stores the fingerprint covers. Subsumption probes the
   // same (new fact, stored fact) constraint pairs across iterations and

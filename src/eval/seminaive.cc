@@ -8,6 +8,7 @@
 
 #include "constraint/decision_cache.h"
 #include "constraint/implication.h"
+#include "constraint/interval.h"
 #include "eval/rule_application.h"
 #include "eval/validate.h"
 #include "graph/scc.h"
@@ -544,8 +545,13 @@ Result<EvalResult> Evaluate(const Program& program, const Database& edb,
       program, {/*reject_free_head_vars=*/false,
                 /*reject_constraint_only_recursion=*/true}));
   // The decision cache is process-wide; attribute its activity to this
-  // evaluation by differencing the counters around the run.
+  // evaluation by differencing the counters around the run. Same deal for
+  // the interval-prepass counters; the EvalOptions::prepass toggle holds
+  // the process-wide enable flag down for the duration of the call.
+  std::optional<prepass::PrepassDisabler> prepass_off;
+  if (!options.prepass) prepass_off.emplace();
   DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  prepass::Counters pre_before = prepass::Snapshot();
   Governor governor(options, /*baseline_inserted=*/0);
   Result<EvalResult> result =
       options.strategy == EvalStrategy::kStratified
@@ -556,6 +562,10 @@ Result<EvalResult> Evaluate(const Program& program, const Database& edb,
     result->stats.cache_hits = after.hits - before.hits;
     result->stats.cache_misses = after.misses - before.misses;
     result->stats.cache_evictions = after.evictions - before.evictions;
+    prepass::Counters pre_after = prepass::Snapshot();
+    result->stats.prepass_conclusive =
+        pre_after.conclusive() - pre_before.conclusive();
+    result->stats.prepass_fallback = pre_after.fallback - pre_before.fallback;
   }
   return result;
 }
@@ -591,7 +601,10 @@ Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
         where + "; " + FactsSoFar(base) +
         "; re-evaluate from scratch (with a higher max_iterations) instead");
   }
+  std::optional<prepass::PrepassDisabler> prepass_off;
+  if (!options.prepass) prepass_off.emplace();
   DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  prepass::Counters pre_before = prepass::Snapshot();
   const long baseline_inserted = base.stats.inserted;
   Governor governor(options, baseline_inserted);
   EvalResult result = std::move(base);
@@ -657,6 +670,10 @@ Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
   result.stats.cache_hits += after.hits - before.hits;
   result.stats.cache_misses += after.misses - before.misses;
   result.stats.cache_evictions += after.evictions - before.evictions;
+  prepass::Counters pre_after = prepass::Snapshot();
+  result.stats.prepass_conclusive +=
+      pre_after.conclusive() - pre_before.conclusive();
+  result.stats.prepass_fallback += pre_after.fallback - pre_before.fallback;
   return result;
 }
 

@@ -58,6 +58,16 @@ struct EvalOptions {
   /// stats are byte-identical to the serial run at any thread count.
   /// Must be >= 0; 0 and 1 both mean the serial path.
   int threads = 1;
+  /// Two-tier constraint decisions (DESIGN.md §11): when true (default)
+  /// satisfiability / implication queries try the interval-propagation
+  /// prepass first, falling back to exact cached Fourier–Motzkin only on
+  /// inconclusive probes. Conclusive prepass answers are proven equal to
+  /// the exact decision, so toggling this never changes facts, births, or
+  /// traces — only wall-clock and the prepass/cache counters. The flag is
+  /// applied process-wide for the duration of the call (like the
+  /// DecisionCache enable flag), so concurrent evaluations in one process
+  /// should agree on it.
+  bool prepass = true;
 
   // --- Resource governance. The three limits below are checked
   // cooperatively: at iteration boundaries, at rule-batch boundaries, and

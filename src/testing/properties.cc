@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ast/printer.h"
+#include "constraint/decision_cache.h"
 #include "constraint/implication.h"
 #include "core/equivalence.h"
 #include "service/protocol.h"
@@ -800,6 +801,73 @@ PropertyOutcome CrashRecovery(const FuzzCase& c, const FuzzOptions& fo) {
   return PropertyOutcome::Ok();
 }
 
+// ---------------------------------------------------------------------------
+// prepass_equiv: the interval prepass never changes an answer.
+
+/// Evaluates the case twice — interval prepass on, then off — and demands
+/// byte identity: same storage fingerprint (fact keys, order, births), same
+/// rendered trace, same core counters. Conclusive prepass verdicts are
+/// proven equal to the exact FM decision (DESIGN.md §11), so *any*
+/// divergence here is a soundness bug in interval.cc. The DecisionCache is
+/// cleared before each arm so the off-arm cannot coast on entries the
+/// on-arm filled (and vice versa) — both arms decide from cold.
+PropertyOutcome PrepassEquiv(const FuzzCase& c, const FuzzOptions& fo) {
+  Database db = BuildDatabase(c);
+  EvalOptions opts = EngineOptions(fo, EvalStrategy::kStratified);
+  opts.record_trace = true;
+
+  DecisionCache::Instance().Clear();
+  opts.prepass = true;
+  auto on = Evaluate(c.program, db, opts);
+  if (!on.ok()) {
+    return PropertyOutcome::Fail("prepass-on evaluation failed: " +
+                                 on.status().message());
+  }
+
+  DecisionCache::Instance().Clear();
+  opts.prepass = false;
+  auto off = Evaluate(c.program, db, opts);
+  if (!off.ok()) {
+    return PropertyOutcome::Fail("prepass-off evaluation failed: " +
+                                 off.status().message());
+  }
+
+  if (StorageFingerprint(*on) != StorageFingerprint(*off)) {
+    return PropertyOutcome::Fail(
+        "prepass-on storage differs from prepass-off: " +
+        CountsByPred(EvalToMap(*on)) + " vs " +
+        CountsByPred(EvalToMap(*off)));
+  }
+  if (RenderTrace(on->trace) != RenderTrace(off->trace)) {
+    return PropertyOutcome::Fail(
+        "prepass-on derivation trace differs from prepass-off");
+  }
+  const EvalStats& a = on->stats;
+  const EvalStats& b = off->stats;
+  if (a.derivations != b.derivations || a.inserted != b.inserted ||
+      a.subsumed != b.subsumed || a.duplicates != b.duplicates ||
+      a.iterations != b.iterations ||
+      a.reached_fixpoint != b.reached_fixpoint ||
+      a.all_ground != b.all_ground) {
+    return PropertyOutcome::Fail(
+        "prepass-on stats differ from prepass-off: " +
+        std::to_string(a.derivations) + "/" + std::to_string(a.inserted) +
+        "/" + std::to_string(a.subsumed) + " vs " +
+        std::to_string(b.derivations) + "/" + std::to_string(b.inserted) +
+        "/" + std::to_string(b.subsumed));
+  }
+  // The toggle must actually gate the tier: no prepass activity may be
+  // attributed to the off arm.
+  if (b.prepass_conclusive != 0 || b.prepass_fallback != 0) {
+    return PropertyOutcome::Fail(
+        "prepass-off arm recorded prepass activity");
+  }
+  if (!on->stats.reached_fixpoint) {
+    return PropertyOutcome::Skip("iteration cap hit before fixpoint");
+  }
+  return PropertyOutcome::Ok();
+}
+
 }  // namespace
 
 const char* PlantedBugName(PlantedBug bug) {
@@ -851,6 +919,10 @@ const std::vector<PropertyInfo>& AllProperties() {
            "WAL recovery after an injected crash at every fail-point site "
            "reproduces the never-crashed run",
            &CrashRecovery},
+          {"prepass_equiv",
+           "interval prepass on vs off: byte-identical facts, births, "
+           "traces, and core stats",
+           &PrepassEquiv},
       };
   return *properties;
 }

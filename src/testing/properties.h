@@ -30,6 +30,10 @@ namespace testing {
 ///                       never-crashed run — WAL batches whose record is
 ///                       durable survive, a torn tail is truncated, and the
 ///                       recovered service keeps serving (cqlfuzz --faults)
+///   prepass_equiv       evaluation with the interval prepass on ≡ off —
+///                       byte-identical facts, births, traces, and core
+///                       stats (the two-tier decision procedure of
+///                       DESIGN.md §11 never changes an answer)
 ///
 /// Outcomes are three-valued: ok, skipped (the comparison is not defined —
 /// a fixpoint hit its iteration cap, or a pipeline cleanly rejected the

@@ -6,6 +6,7 @@
 #include "ast/arg_map.h"
 #include "ast/normalize.h"
 #include "constraint/decision_cache.h"
+#include "constraint/interval.h"
 
 namespace cqlopt {
 namespace {
@@ -123,12 +124,17 @@ Result<InferenceResult> GenPredicateConstraints(
   // The decision cache is process-wide; attribute its activity to this
   // inference run by differencing the counters around it.
   DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  prepass::Counters pre_before = prepass::Snapshot();
   Result<InferenceResult> result =
       GenPredicateConstraintsImpl(program, edb_constraints, options);
   if (result.ok()) {
     DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
     result->cache_hits = after.hits - before.hits;
     result->cache_misses = after.misses - before.misses;
+    prepass::Counters pre_after = prepass::Snapshot();
+    result->prepass_conclusive =
+        pre_after.conclusive() - pre_before.conclusive();
+    result->prepass_fallback = pre_after.fallback - pre_before.fallback;
   }
   return result;
 }

@@ -35,6 +35,11 @@ struct InferenceResult {
   /// memo hit rate here is a direct measure of saved Fourier-Motzkin work).
   long cache_hits = 0;
   long cache_misses = 0;
+  /// Interval-prepass activity attributed to this inference run (DESIGN.md
+  /// §11): decisions answered conclusively by bound propagation vs. probes
+  /// that fell through to the exact cached Fourier–Motzkin tier.
+  long prepass_conclusive = 0;
+  long prepass_fallback = 0;
 };
 
 /// Procedure Gen_predicate_constraints (Section 4.4, Appendix C): iterates

@@ -4,6 +4,7 @@
 
 #include "ast/arg_map.h"
 #include "constraint/decision_cache.h"
+#include "constraint/interval.h"
 
 namespace cqlopt {
 namespace {
@@ -80,12 +81,17 @@ Result<InferenceResult> GenQrpConstraints(const Program& program,
   // As in GenPredicateConstraints: attribute the process-wide decision
   // cache's activity to this run by differencing its counters.
   DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  prepass::Counters pre_before = prepass::Snapshot();
   Result<InferenceResult> result =
       GenQrpConstraintsImpl(program, query_pred, options);
   if (result.ok()) {
     DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
     result->cache_hits = after.hits - before.hits;
     result->cache_misses = after.misses - before.misses;
+    prepass::Counters pre_after = prepass::Snapshot();
+    result->prepass_conclusive =
+        pre_after.conclusive() - pre_before.conclusive();
+    result->prepass_fallback = pre_after.fallback - pre_before.fallback;
   }
   return result;
 }

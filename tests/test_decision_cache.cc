@@ -11,6 +11,7 @@
 #include "constraint/fingerprint.h"
 #include "constraint/fourier_motzkin.h"
 #include "constraint/implication.h"
+#include "constraint/interval.h"
 #include "core/workload.h"
 #include "eval/seminaive.h"
 #include "testing/generator.h"
@@ -198,6 +199,11 @@ TEST(DecisionCacheTest, EvaluationUnchangedByCache) {
   options.strategy = EvalStrategy::kStratified;
   options.subsumption = SubsumptionMode::kSingleFact;
   options.record_trace = true;
+  // This test pins pure cache accounting (hit counts across cold/warm
+  // runs); the interval prepass would divert the easy decisions away from
+  // the cache, so it is held off here. PrepassCacheInteractionTest covers
+  // the combined regime.
+  options.prepass = false;
 
   EvalResult uncached;
   {
@@ -257,6 +263,9 @@ TEST(DecisionCacheTest, CapacityOneThrashMatchesCacheOff) {
   EvalOptions options;
   options.strategy = EvalStrategy::kStratified;
   options.subsumption = SubsumptionMode::kSingleFact;
+  // Pure cache-thrash accounting: keep the prepass out so every decision
+  // flows through the capacity-1 cache (see EvaluationUnchangedByCache).
+  options.prepass = false;
 
   auto fingerprint = [](const EvalResult& r) {
     std::string out;
@@ -303,6 +312,116 @@ TEST(DecisionCacheTest, CapacityOneThrashMatchesCacheOff) {
   EXPECT_EQ(uncached.stats.iterations, thrashed.stats.iterations);
 }
 
+TEST(PrepassCacheInteractionTest, ConclusiveDecisionsNeverTouchTheCache) {
+  // A prepass-conclusive decision must not pollute the cache: no lookup
+  // (no hit/miss counted) and no fill (no entry stored). x >= 1 && x <= 0
+  // is conclusively UNSAT by bound propagation; x >= 2 => x >= 0 is
+  // conclusively implied.
+  DecisionCache::Instance().Clear();
+  DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  prepass::Counters pre_before = prepass::Snapshot();
+
+  EXPECT_FALSE(prepass::IsSatisfiable({
+      Atom({{1, -1}}, 1, CmpOp::kLe),
+      Atom({{1, 1}}, 0, CmpOp::kLe),
+  }));
+  EXPECT_TRUE(prepass::ImpliesAtom({Atom({{1, -1}}, 2, CmpOp::kLe)},
+                                   Atom({{1, -1}}, 0, CmpOp::kLe)));
+
+  DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.entries, 0);
+  prepass::Counters pre_after = prepass::Snapshot();
+  EXPECT_EQ(pre_after.unsat, pre_before.unsat + 1);
+  EXPECT_EQ(pre_after.implied, pre_before.implied + 1);
+  EXPECT_EQ(pre_after.fallback, pre_before.fallback);
+}
+
+TEST(PrepassCacheInteractionTest, InconclusiveProbesFallThroughToTheCache) {
+  // x <= y - 1 && y <= x - 1 defeats interval propagation (the bounds walk
+  // down forever), so the wrapper must count a fallback and let the exact
+  // cached tier decide — filling the cache exactly as before the prepass
+  // existed.
+  std::vector<LinearConstraint> divergent = {
+      Atom({{1, 1}, {2, -1}}, 1, CmpOp::kLe),
+      Atom({{2, 1}, {1, -1}}, 1, CmpOp::kLe),
+  };
+  DecisionCache::Instance().Clear();
+  DecisionCache::Counters before = DecisionCache::Instance().Snapshot();
+  prepass::Counters pre_before = prepass::Snapshot();
+
+  EXPECT_FALSE(prepass::IsSatisfiable(divergent));  // FM decides: UNSAT
+
+  DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
+  prepass::Counters pre_after = prepass::Snapshot();
+  EXPECT_EQ(pre_after.fallback, pre_before.fallback + 1);
+  EXPECT_GT(after.misses, before.misses);
+  EXPECT_GT(after.entries, 0);
+
+  // Re-asking hits the cache (the prepass stays inconclusive, so the memo
+  // serves the repeat exactly as it always did).
+  EXPECT_FALSE(prepass::IsSatisfiable(divergent));
+  DecisionCache::Counters again = DecisionCache::Instance().Snapshot();
+  EXPECT_GT(again.hits, after.hits);
+}
+
+TEST(PrepassCacheInteractionTest, HitAccountingConsistentUnderBothArms) {
+  // With the prepass short-circuiting the easy queries, the cache sees
+  // only the hard remainder: the prepass-on arm must record no more
+  // lookups than the prepass-off arm, while facts, births, and derivation
+  // stats stay byte-identical. (Lookups = hits + misses; conclusive
+  // decisions subtract from that total, never add.)
+  auto parsed = ParseProgram(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "s(X) :- t(X, Y), X >= 2, Y <= 9.\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Program& program = parsed->program;
+  Database db;
+  ASSERT_TRUE(
+      AddLayeredGraph(program.symbols.get(), "e", 4, 3, 2, 11, &db).ok());
+
+  EvalOptions options;
+  options.strategy = EvalStrategy::kStratified;
+  options.subsumption = SubsumptionMode::kSingleFact;
+  options.record_trace = true;
+
+  DecisionCache::Instance().Clear();
+  options.prepass = true;
+  auto on = Evaluate(program, db, options);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+  DecisionCache::Instance().Clear();
+  options.prepass = false;
+  auto off = Evaluate(program, db, options);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  // Byte-identical evaluation either way.
+  EXPECT_EQ(RenderTrace(on->trace), RenderTrace(off->trace));
+  EXPECT_EQ(on->stats.derivations, off->stats.derivations);
+  EXPECT_EQ(on->stats.inserted, off->stats.inserted);
+  EXPECT_EQ(on->stats.subsumed, off->stats.subsumed);
+  EXPECT_EQ(on->stats.iterations, off->stats.iterations);
+  for (const auto& [pred, rel] : on->db.relations()) {
+    const Relation* other = off->db.Find(pred);
+    ASSERT_NE(other, nullptr);
+    ASSERT_EQ(rel.size(), other->size());
+    for (size_t i = 0; i < rel.size(); ++i) {
+      EXPECT_EQ(rel.entries()[i].fact.Key(), other->entries()[i].fact.Key());
+      EXPECT_EQ(rel.entries()[i].birth, other->entries()[i].birth);
+    }
+  }
+
+  // Counter semantics: the on arm took the fast tier at least once, the
+  // off arm never did, and the on arm asked the cache no more often.
+  EXPECT_GT(on->stats.prepass_conclusive, 0);
+  EXPECT_EQ(off->stats.prepass_conclusive, 0);
+  EXPECT_EQ(off->stats.prepass_fallback, 0);
+  EXPECT_LE(on->stats.cache_hits + on->stats.cache_misses,
+            off->stats.cache_hits + off->stats.cache_misses);
+}
+
 TEST(DecisionCacheTest, FuzzPropertyHoldsUnderCapacityOneThrash) {
   // strategy_confluence internally pins byte-identical storage across
   // naive / semi-naive / stratified / 2- and 8-thread runs; executing it
@@ -315,6 +434,10 @@ TEST(DecisionCacheTest, FuzzPropertyHoldsUnderCapacityOneThrash) {
   ASSERT_NE(confluence, nullptr);
   DecisionCache::Counters before;
   {
+    // Prepass held off for the same reason as the thrash test above: the
+    // assertion is that the *cache* evicts, which needs the decisions to
+    // actually reach it.
+    prepass::PrepassDisabler no_prepass;
     DecisionCacheCapacityOverride tiny(1);
     before = DecisionCache::Instance().Snapshot();
     cqlopt::testing::PropertyOutcome outcome = confluence->fn(c, {});

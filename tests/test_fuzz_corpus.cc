@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "constraint/interval.h"
 #include "testing/corpus.h"
 #include "testing/properties.h"
 
@@ -22,6 +24,9 @@ using testing::PropertyOutcome;
 /// `% bug:` header are harness self-checks: the named property must still
 /// FAIL under the planted bug (the differential oracle keeps catching it).
 /// Plain files are fixed engine bugs: the property must hold, forever.
+/// Each repro is replayed under both decision-procedure arms — interval
+/// prepass enabled and disabled — since the corpus verdicts must be
+/// independent of which tier answered the constraint queries.
 TEST(FuzzCorpus, ReplaysEveryRepro) {
   auto files = ListCorpusFiles(CQLOPT_FUZZ_CORPUS_DIR);
   ASSERT_TRUE(files.ok()) << files.status().ToString();
@@ -34,17 +39,22 @@ TEST(FuzzCorpus, ReplaysEveryRepro) {
     const PropertyInfo* property = FindProperty(loaded->property);
     ASSERT_NE(property, nullptr)
         << "unknown property " << loaded->property;
-    FuzzOptions fuzz;
-    fuzz.bug = loaded->bug;
-    PropertyOutcome outcome = property->fn(loaded->c, fuzz);
-    EXPECT_FALSE(outcome.skipped)
-        << "repro skipped instead of checked: " << outcome.message;
-    if (loaded->bug != PlantedBug::kNone) {
-      EXPECT_FALSE(outcome.ok)
-          << "planted-bug repro no longer fails; the self-check harness "
-             "has lost its teeth";
-    } else {
-      EXPECT_TRUE(outcome.ok) << outcome.message;
+    for (bool prepass_on : {true, false}) {
+      SCOPED_TRACE(prepass_on ? "prepass=on" : "prepass=off");
+      std::optional<prepass::PrepassDisabler> prepass_off;
+      if (!prepass_on) prepass_off.emplace();
+      FuzzOptions fuzz;
+      fuzz.bug = loaded->bug;
+      PropertyOutcome outcome = property->fn(loaded->c, fuzz);
+      EXPECT_FALSE(outcome.skipped)
+          << "repro skipped instead of checked: " << outcome.message;
+      if (loaded->bug != PlantedBug::kNone) {
+        EXPECT_FALSE(outcome.ok)
+            << "planted-bug repro no longer fails; the self-check harness "
+               "has lost its teeth";
+      } else {
+        EXPECT_TRUE(outcome.ok) << outcome.message;
+      }
     }
   }
 }

@@ -61,25 +61,34 @@ TEST(GovernanceTest, FactBudgetAbortsWithResourceExhausted) {
 TEST(GovernanceTest, FactBudgetAbortIsThreadCountInvariant) {
   // The budget is only checked at the serial iteration boundary, so the
   // abort point — and the partial database the service would discard — is
-  // byte-identical at any thread count.
+  // byte-identical at any thread count. Re-proven with the interval
+  // prepass on and off: the fast decision tier changes which machinery
+  // answers constraint queries, never how many facts an iteration stores,
+  // so the abort point is invariant across that dimension too.
   Program p = Counter();
   std::string first_point;
   long first_inserted = -1;
-  for (int threads : {1, 2, 8}) {
-    EvalOptions options = Governed();
-    options.threads = threads;
-    options.max_derived_facts = 25;
-    EvalStats partial;
-    options.abort_stats = &partial;
-    auto result = Evaluate(p, Database(), options);
-    ASSERT_FALSE(result.ok()) << "threads=" << threads;
-    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
-    if (first_inserted < 0) {
-      first_point = partial.abort_point;
-      first_inserted = partial.inserted;
-    } else {
-      EXPECT_EQ(partial.abort_point, first_point) << "threads=" << threads;
-      EXPECT_EQ(partial.inserted, first_inserted) << "threads=" << threads;
+  for (bool prepass : {true, false}) {
+    for (int threads : {1, 2, 8}) {
+      EvalOptions options = Governed();
+      options.threads = threads;
+      options.prepass = prepass;
+      options.max_derived_facts = 25;
+      EvalStats partial;
+      options.abort_stats = &partial;
+      auto result = Evaluate(p, Database(), options);
+      ASSERT_FALSE(result.ok())
+          << "threads=" << threads << " prepass=" << prepass;
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+      if (first_inserted < 0) {
+        first_point = partial.abort_point;
+        first_inserted = partial.inserted;
+      } else {
+        EXPECT_EQ(partial.abort_point, first_point)
+            << "threads=" << threads << " prepass=" << prepass;
+        EXPECT_EQ(partial.inserted, first_inserted)
+            << "threads=" << threads << " prepass=" << prepass;
+      }
     }
   }
 }

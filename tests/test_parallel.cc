@@ -12,6 +12,7 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -96,6 +97,12 @@ Database SyntheticEdb(const Program& program, uint64_t seed) {
 void ExpectParallelMatchesSerial(const Program& program, const Database& db,
                                  const std::string& label,
                                  int max_iterations = 48) {
+  // The serial prepass-on run is the single baseline for the whole matrix:
+  // subsumption modes × threads {2, 8} × prepass {on, off}. The prepass
+  // arms must be byte-identical to each other (conclusive interval answers
+  // equal the exact FM decision), and every parallel run byte-identical to
+  // its serial arm — so the deterministic-parallelism contract is proven
+  // with the fast decision path active and inactive.
   for (auto [mode_name, mode] :
        {std::pair<const char*, SubsumptionMode>{"none",
                                                 SubsumptionMode::kNone},
@@ -107,27 +114,39 @@ void ExpectParallelMatchesSerial(const Program& program, const Database& db,
     options.subsumption = mode;
     options.max_iterations = max_iterations;
     options.record_trace = true;
+    options.prepass = true;
+    options.threads = 1;
     auto serial = Evaluate(program, db, options);
     ASSERT_TRUE(serial.ok()) << serial.status().ToString();
-    for (int threads : {2, 8}) {
-      SCOPED_TRACE("threads=" + std::to_string(threads));
-      options.threads = threads;
-      auto parallel = Evaluate(program, db, options);
-      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
-      EXPECT_TRUE(
-          ResultsIdentical(*serial, *parallel, *program.symbols));
-      EXPECT_EQ(RenderTrace(serial->trace), RenderTrace(parallel->trace));
-      const EvalStats& s = serial->stats;
-      const EvalStats& p = parallel->stats;
-      EXPECT_EQ(s.derivations, p.derivations);
-      EXPECT_EQ(s.inserted, p.inserted);
-      EXPECT_EQ(s.subsumed, p.subsumed);
-      EXPECT_EQ(s.duplicates, p.duplicates);
-      EXPECT_EQ(s.iterations, p.iterations);
-      EXPECT_EQ(s.reached_fixpoint, p.reached_fixpoint);
-      EXPECT_EQ(s.all_ground, p.all_ground);
-      EXPECT_EQ(s.scc_iterations, p.scc_iterations);
-      EXPECT_EQ(s.derivations_per_rule, p.derivations_per_rule);
+    for (bool prepass : {true, false}) {
+      // prepass-on t=1 is the baseline itself; the off arm re-proves the
+      // serial run too (t=1) before the parallel ones.
+      for (int threads : prepass ? std::vector<int>{2, 8}
+                                 : std::vector<int>{1, 2, 8}) {
+        SCOPED_TRACE(std::string(prepass ? "prepass=on" : "prepass=off") +
+                     " / threads=" + std::to_string(threads));
+        options.prepass = prepass;
+        options.threads = threads;
+        auto run = Evaluate(program, db, options);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        EXPECT_TRUE(ResultsIdentical(*serial, *run, *program.symbols));
+        EXPECT_EQ(RenderTrace(serial->trace), RenderTrace(run->trace));
+        const EvalStats& s = serial->stats;
+        const EvalStats& p = run->stats;
+        EXPECT_EQ(s.derivations, p.derivations);
+        EXPECT_EQ(s.inserted, p.inserted);
+        EXPECT_EQ(s.subsumed, p.subsumed);
+        EXPECT_EQ(s.duplicates, p.duplicates);
+        EXPECT_EQ(s.iterations, p.iterations);
+        EXPECT_EQ(s.reached_fixpoint, p.reached_fixpoint);
+        EXPECT_EQ(s.all_ground, p.all_ground);
+        EXPECT_EQ(s.scc_iterations, p.scc_iterations);
+        EXPECT_EQ(s.derivations_per_rule, p.derivations_per_rule);
+        if (!prepass) {
+          EXPECT_EQ(p.prepass_conclusive, 0);
+          EXPECT_EQ(p.prepass_fallback, 0);
+        }
+      }
     }
   }
 }
