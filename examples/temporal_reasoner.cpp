@@ -104,8 +104,9 @@ int main(int argc, char** argv) {
   for (const auto& [pred, rel] : run->db.relations()) {
     const std::string& name = opt.program().symbols->PredicateName(pred);
     if (name.rfind("reach", 0) != 0) continue;
-    for (const Relation::Entry& entry : rel.entries()) {
-      std::printf("  %s\n", entry.fact.ToString(*opt.program().symbols).c_str());
+    for (size_t i = 0; i < rel.size(); ++i) {
+      std::printf("  %s\n",
+                  rel.fact(i).ToString(*opt.program().symbols).c_str());
     }
   }
   auto answers = cqlopt::QueryAnswers(*run, rewritten->query);

@@ -44,6 +44,19 @@ std::optional<Rational> Interval::Point() const {
   return lo_;
 }
 
+bool Interval::Contains(const Rational& value) const {
+  if (!lo_inf_ && (lo_strict_ ? value <= lo_ : value < lo_)) return false;
+  if (!hi_inf_ && (hi_strict_ ? value >= hi_ : value > hi_)) return false;
+  return true;
+}
+
+bool Interval::Intersects(const Interval& other) const {
+  Interval meet = *this;
+  if (!other.lo_inf_) meet.TightenLower(other.lo_, other.lo_strict_);
+  if (!other.hi_inf_) meet.TightenUpper(other.hi_, other.hi_strict_);
+  return !meet.IsEmpty();
+}
+
 std::string Interval::ToString() const {
   std::string out = lo_inf_ ? "(-inf" : (lo_strict_ ? "(" : "[") +
                                             lo_.ToString();

@@ -44,6 +44,12 @@ class Interval {
   /// nullopt otherwise.
   std::optional<Rational> Point() const;
 
+  /// True iff `value` satisfies both bounds.
+  bool Contains(const Rational& value) const;
+
+  /// True iff some rational lies in both intervals (the meet is nonempty).
+  bool Intersects(const Interval& other) const;
+
   /// E.g. "[2, 5)", "(-inf, 3]", "(-inf, +inf)".
   std::string ToString() const;
 

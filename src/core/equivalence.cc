@@ -12,8 +12,8 @@ Result<std::vector<Fact>> QueryAnswers(const EvalResult& result,
   if (rel == nullptr) return answers;
   CQLOPT_ASSIGN_OR_RETURN(Conjunction filter,
                           LtopConjunction(query.literal, query.constraints));
-  for (const Relation::Entry& entry : rel->entries()) {
-    Fact answer = entry.fact;
+  for (size_t i = 0; i < rel->size(); ++i) {
+    Fact answer = rel->fact(i);
     CQLOPT_RETURN_IF_ERROR(answer.constraint.AddConjunction(filter));
     if (!answer.constraint.IsSatisfiable()) continue;
     answer.constraint.Simplify();

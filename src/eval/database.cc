@@ -60,4 +60,22 @@ bool Database::AllGround() const {
   return true;
 }
 
+long Database::IntervalBuildNs() const {
+  long total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel.interval_build_ns();
+  return total;
+}
+
+size_t Database::ApproxBytes() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel.ApproxBytes();
+  return total;
+}
+
+size_t Database::SharedBytes() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel.SharedBytes();
+  return total;
+}
+
 }  // namespace cqlopt

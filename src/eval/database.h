@@ -74,6 +74,20 @@ class Database {
   /// True if every stored fact is ground (Theorem 4.4's property).
   bool AllGround() const;
 
+  /// Total nanoseconds the relations spent building interval-index state
+  /// (Relation::interval_build_ns summed) — surfaced through
+  /// EvalStats::interval_index_build_ns.
+  long IntervalBuildNs() const;
+
+  /// Approximate resident bytes across all relations (chunked columns,
+  /// fact payloads, provenance, indexes) — the bytes-per-fact numerator the
+  /// benches report. An estimate, not exact allocator accounting.
+  size_t ApproxBytes() const;
+
+  /// Approximate bytes held in chunks shared with other Database copies —
+  /// the storage a snapshot epoch reuses instead of duplicating.
+  size_t SharedBytes() const;
+
  private:
   std::map<PredId, Relation> relations_;
   int64_t epoch_ = 0;

@@ -3,14 +3,16 @@
 namespace cqlopt {
 namespace {
 
-Result<const Relation::Entry*> Lookup(const Database& db,
-                                      Relation::FactRef ref) {
+/// Resolves `ref` to its relation, or NotFound when the ref names no stored
+/// row. The row index is returned through `ref` validation — callers read
+/// the row via the relation's columnar accessors.
+Result<const Relation*> Lookup(const Database& db, Relation::FactRef ref) {
   const Relation* rel = db.Find(ref.pred);
-  if (rel == nullptr || ref.index >= rel->entries().size()) {
+  if (rel == nullptr || ref.index >= rel->size()) {
     return Status::NotFound("no such fact: pred " + std::to_string(ref.pred) +
                             " index " + std::to_string(ref.index));
   }
-  return &rel->entries()[ref.index];
+  return rel;
 }
 
 Status RenderNode(const Database& db, Relation::FactRef ref,
@@ -19,20 +21,21 @@ Status RenderNode(const Database& db, Relation::FactRef ref,
   if (depth > 256) {
     return Status::Internal("derivation tree too deep (cycle?)");
   }
-  CQLOPT_ASSIGN_OR_RETURN(const Relation::Entry* entry, Lookup(db, ref));
+  CQLOPT_ASSIGN_OR_RETURN(const Relation* rel, Lookup(db, ref));
   if (!is_root) {
     *out += prefix;
     *out += is_last ? "`- " : "|- ";
   }
-  *out += entry->fact.ToString(symbols);
-  if (!entry->rule_label.empty()) *out += "  [" + entry->rule_label + "]";
+  *out += rel->fact(ref.index).ToString(symbols);
+  const std::string& rule_label = rel->rule_label(ref.index);
+  if (!rule_label.empty()) *out += "  [" + rule_label + "]";
   *out += "\n";
   std::string child_prefix =
       is_root ? "" : prefix + (is_last ? "   " : "|  ");
-  for (size_t i = 0; i < entry->parents.size(); ++i) {
-    CQLOPT_RETURN_IF_ERROR(RenderNode(db, entry->parents[i], symbols,
-                                      child_prefix,
-                                      i + 1 == entry->parents.size(),
+  const std::vector<Relation::FactRef>& parents = rel->parents(ref.index);
+  for (size_t i = 0; i < parents.size(); ++i) {
+    CQLOPT_RETURN_IF_ERROR(RenderNode(db, parents[i], symbols, child_prefix,
+                                      i + 1 == parents.size(),
                                       /*is_root=*/false, out, depth + 1));
   }
   return Status::OK();
@@ -51,9 +54,9 @@ Result<std::string> RenderDerivationTree(const Database& db,
 }
 
 Result<int> DerivationTreeSize(const Database& db, Relation::FactRef ref) {
-  CQLOPT_ASSIGN_OR_RETURN(const Relation::Entry* entry, Lookup(db, ref));
+  CQLOPT_ASSIGN_OR_RETURN(const Relation* rel, Lookup(db, ref));
   int size = 1;
-  for (const Relation::FactRef& parent : entry->parents) {
+  for (const Relation::FactRef& parent : rel->parents(ref.index)) {
     CQLOPT_ASSIGN_OR_RETURN(int child, DerivationTreeSize(db, parent));
     size += child;
   }
@@ -66,8 +69,8 @@ std::optional<Relation::FactRef> FindFactByText(const Database& db,
                                                 const SymbolTable& symbols) {
   const Relation* rel = db.Find(pred);
   if (rel == nullptr) return std::nullopt;
-  for (size_t i = 0; i < rel->entries().size(); ++i) {
-    if (rel->entries()[i].fact.ToString(symbols) == text) {
+  for (size_t i = 0; i < rel->size(); ++i) {
+    if (rel->fact(i).ToString(symbols) == text) {
       return Relation::FactRef{pred, i};
     }
   }

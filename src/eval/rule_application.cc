@@ -1,6 +1,7 @@
 #include "eval/rule_application.h"
 
 #include "ast/arg_map.h"
+#include "constraint/interval.h"
 #include "util/failpoint.h"
 
 namespace cqlopt {
@@ -21,7 +22,14 @@ struct JoinContext {
   bool require_delta;
   const EmitFn* emit;
   bool use_index;
+  bool interval_index;
   EvalStats* stats;
+  /// Per-enumeration-depth candidate buffers, owned by ApplyRule and reused
+  /// across every probe at the same depth, so candidate materialization is
+  /// amortized allocation-free. Distinct depths need distinct buffers: the
+  /// recursion at depth d+1 probes while depth d is still iterating its
+  /// list. Sized body.size(); null for body-free rules.
+  std::vector<std::vector<size_t>>* scratch = nullptr;
   /// suffix_has_delta[i] — some literal j >= i references a relation whose
   /// max_birth() reaches max_birth, i.e. that literal MAY still contribute a
   /// delta fact (Relation::max_birth() never under-reports, so false means
@@ -102,13 +110,12 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
     acc_number[static_cast<size_t>(i)] = accumulated.QuickNumericValue(v);
   }
   // Size snapshot: the emit-visibility contract (rule_application.h) lets
-  // callers append facts mid-application; those get entry indexes >=
+  // callers append facts mid-application; those get row indexes >=
   // snapshot and birth > max_birth, so both enumeration paths below exclude
   // them.
-  size_t snapshot = rel->entries().size();
+  size_t snapshot = rel->size();
   auto try_entry = [&](size_t i) -> Status {
-    const Relation::Entry& entry = rel->entries()[i];
-    int birth = entry.birth;
+    int birth = rel->birth(i);
     if (birth > ctx.max_birth) return Status::OK();
     if (filter == BirthFilter::kDelta && birth != ctx.max_birth) {
       return Status::OK();
@@ -116,28 +123,30 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
     if (filter == BirthFilter::kOld && birth == ctx.max_birth) {
       return Status::OK();
     }
-    if (entry.fact.arity != lit.arity()) return Status::OK();
+    const Fact& fact = rel->fact(i);
+    if (fact.arity != lit.arity()) return Status::OK();
     bool clash = false;
-    for (size_t a = 0; a < entry.signature.size(); ++a) {
-      const Relation::ArgSignature& sig = entry.signature[a];
-      if (acc_symbol[a] && sig.symbol && *acc_symbol[a] != *sig.symbol) {
-        clash = true;
-        break;
+    for (int a = 0; a < lit.arity(); ++a) {
+      size_t ai = static_cast<size_t>(a);
+      if (!acc_symbol[ai] && !acc_number[ai]) continue;
+      switch (rel->tag(i, a + 1)) {
+        case Relation::ColTag::kSymbol:
+          // A symbol can never equal a number.
+          clash = acc_number[ai].has_value() ||
+                  *acc_symbol[ai] != rel->symbol_at(i, a + 1);
+          break;
+        case Relation::ColTag::kNumber:
+          clash = acc_symbol[ai].has_value() ||
+                  *acc_number[ai] != rel->number_at(i, a + 1);
+          break;
+        default:
+          break;  // unbound / interval-ranged: no quick-value clash
       }
-      if (acc_number[a] && sig.number && *acc_number[a] != *sig.number) {
-        clash = true;
-        break;
-      }
-      // A symbol can never equal a number.
-      if ((acc_symbol[a] && sig.number) || (acc_number[a] && sig.symbol)) {
-        clash = true;
-        break;
-      }
+      if (clash) break;
     }
     if (clash) return Status::OK();
     Conjunction next = accumulated;
-    Status st =
-        next.AddConjunction(rel->entries()[i].fact.constraint.Rename(to_args));
+    Status st = next.AddConjunction(fact.constraint.Rename(to_args));
     if (!st.ok()) return st;
     if (next.known_unsat() || !next.IsSatisfiable()) return Status::OK();
     // Assigned by body-literal position (not enumeration depth): at the
@@ -189,9 +198,18 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
       }
     }
   }
+  // Mid-application emits may append to `rel` while the loops below run, and
+  // an append can reallocate the very posting list Probe returned — so the
+  // candidate ids are copied into this depth's reusable buffer first
+  // (amortized allocation-free; ids < snapshot stay valid because row
+  // storage is append-only).
+  std::vector<size_t>& candidates = (*ctx.scratch)[index];
   if (probe_pos > 0) {
-    std::vector<size_t> candidates = rel->Probe(probe_pos, probe_value,
-                                                snapshot);
+    const std::vector<size_t>& probed =
+        rel->Probe(probe_pos, probe_value, snapshot, &candidates);
+    if (&probed != &candidates) {
+      candidates.assign(probed.begin(), probed.end());
+    }
     if (ctx.stats != nullptr) {
       ++ctx.stats->index_probes;
       ctx.stats->index_candidates += static_cast<long>(candidates.size());
@@ -200,14 +218,67 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
     for (size_t i : candidates) {
       CQLOPT_RETURN_IF_ERROR(try_entry(i));
     }
-  } else {
-    if (ctx.stats != nullptr) {
-      ++ctx.stats->scan_probes;
-      ctx.stats->scan_candidates += static_cast<long>(snapshot);
+    return Status::OK();
+  }
+  // No uniquely-bound position. Before falling back to the full scan, try
+  // the interval index: a numeric position the accumulated state bounds to
+  // a proper sub-range (a pushed selection like `T <= 60`, or bounds
+  // propagated from already-joined facts) prunes every fact whose stored
+  // point or bound summary lies outside the range — each such fact's
+  // conjunction with the accumulated state is unsatisfiable, so only
+  // leaf-rejected candidates are skipped and derivation order is preserved
+  // (IntervalProbe re-sorts into insertion order).
+  if (ctx.use_index && ctx.interval_index) {
+    int ival_pos = 0;  // 1-based; 0 = nothing usable
+    size_t ival_cost = 0;
+    Interval ival_query;
+    std::optional<IntervalDomain> domain;
+    for (int a = 0; a < lit.arity(); ++a) {
+      size_t ai = static_cast<size_t>(a);
+      if (acc_symbol[ai]) continue;  // symbol-typed: no numeric range
+      if (!rel->HasIntervalIndex(a + 1)) continue;
+      if (!domain.has_value()) {
+        domain = IntervalDomain::Propagate(accumulated.LinearWithEqualities());
+        // The accumulated state passed a satisfiability check upstream, so
+        // an empty box cannot occur; bail to the scan defensively if it
+        // somehow does rather than prune on a meaningless domain.
+        if (domain->definitely_empty()) break;
+      }
+      const Interval& iv = domain->Of(accumulated.Find(lit.args[ai]));
+      if (iv.lower_infinite() && iv.upper_infinite()) continue;
+      size_t cost = rel->IntervalProbeCost(a + 1, iv);
+      if (ival_pos == 0 || cost < ival_cost) {
+        ival_pos = a + 1;
+        ival_cost = cost;
+        ival_query = iv;
+      }
     }
-    for (size_t i = 0; i < snapshot; ++i) {
-      CQLOPT_RETURN_IF_ERROR(try_entry(i));
+    if (ival_pos > 0 && ival_cost < snapshot &&
+        !(domain.has_value() && domain->definitely_empty())) {
+      long runs_pruned = 0;
+      const std::vector<size_t>& probed = rel->IntervalProbe(
+          ival_pos, ival_query, snapshot, &candidates, &runs_pruned);
+      if (&probed != &candidates) {
+        candidates.assign(probed.begin(), probed.end());
+      }
+      if (ctx.stats != nullptr) {
+        ++ctx.stats->interval_probes;
+        ctx.stats->interval_candidates += static_cast<long>(candidates.size());
+        ctx.stats->interval_scan_equivalent += static_cast<long>(snapshot);
+        ctx.stats->interval_runs_pruned += runs_pruned;
+      }
+      for (size_t i : candidates) {
+        CQLOPT_RETURN_IF_ERROR(try_entry(i));
+      }
+      return Status::OK();
     }
+  }
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->scan_probes;
+    ctx.stats->scan_candidates += static_cast<long>(snapshot);
+  }
+  for (size_t i = 0; i < snapshot; ++i) {
+    CQLOPT_RETURN_IF_ERROR(try_entry(i));
   }
   return Status::OK();
 }
@@ -216,7 +287,7 @@ Status JoinFrom(const JoinContext& ctx, size_t index,
 
 Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
                  bool require_delta, const EmitFn& emit, bool use_index,
-                 EvalStats* stats, bool delta_rotate) {
+                 EvalStats* stats, bool delta_rotate, bool interval_index) {
   // Fault-injection hook: an allocation failure while materializing this
   // rule's join state. Near-free when disarmed (util/failpoint.h).
   if (failpoint::ShouldFail(failpoint::kEvalRuleAlloc)) {
@@ -225,11 +296,13 @@ Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
         (rule.label.empty() ? std::string("<unlabeled>") : rule.label) +
         " (failpoint " + failpoint::kEvalRuleAlloc + ")");
   }
-  JoinContext ctx{&rule, &db,      max_birth, require_delta,
-                  &emit, use_index, stats,     {}};
+  JoinContext ctx{&rule,     &db,   max_birth,      require_delta,
+                  &emit,     use_index, interval_index, stats, {}};
   if (rule.body.empty()) {
     return EmitHead(ctx, rule.constraints, {});
   }
+  std::vector<std::vector<size_t>> scratch(rule.body.size());
+  ctx.scratch = &scratch;
   // Delta capability per body literal: when no body relation's max_birth()
   // reaches max_birth, no combination can contain a delta fact, so the rule
   // derives nothing this iteration — skip before touching any index or

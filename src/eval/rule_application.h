@@ -64,6 +64,19 @@ using EmitFn =
 /// is non-null, probe/candidate counters (and nothing else) are
 /// accumulated into it.
 ///
+/// Interval pruning (`interval_index`, meaningful only with `use_index`):
+/// when no position is bound to a unique value, the accumulated state's
+/// interval box (IntervalDomain::Propagate over its linear part) is
+/// intersected against the relation's per-position interval index
+/// (DESIGN.md §12) at the most selective numerically-ranged position — a
+/// pushed selection like `T <= 60` then skips whole sorted runs of facts
+/// whose stored value or propagated bound summary cannot meet the range.
+/// Every skipped fact would have failed the leaf satisfiability check
+/// (its value/box at the position is disjoint from a sound
+/// over-approximation of the accumulated solutions), and surviving
+/// candidates are re-sorted into insertion order, so derivations and
+/// their order are again identical to the scan.
+///
 /// Emit-visibility contract: a `emit` callback MAY insert facts into `db`
 /// immediately (streaming evaluation); such facts are not visible to the
 /// in-flight application provided they are inserted with birth >
@@ -77,7 +90,7 @@ using EmitFn =
 Status ApplyRule(const Rule& rule, const Database& db, int max_birth,
                  bool require_delta, const EmitFn& emit,
                  bool use_index = false, EvalStats* stats = nullptr,
-                 bool delta_rotate = false);
+                 bool delta_rotate = false, bool interval_index = false);
 
 }  // namespace cqlopt
 

@@ -171,8 +171,8 @@ void Reconcile(std::vector<Pending>* pending, const Database& db,
       std::vector<Conjunction> others;
       const Relation* rel = db.Find(p.fact.pred);
       if (rel != nullptr) {
-        for (const Relation::Entry& e : rel->entries()) {
-          others.push_back(e.fact.constraint);
+        for (size_t e = 0; e < rel->size(); ++e) {
+          others.push_back(rel->fact(e).constraint);
         }
       }
       for (size_t j = 0; j < pending->size(); ++j) {
@@ -197,9 +197,9 @@ void Reconcile(std::vector<Pending>* pending, const Database& db,
     if (p.outcome != InsertOutcome::kInserted) continue;
     const Relation* rel = db.Find(p.fact.pred);
     if (rel == nullptr) continue;
-    for (const Relation::Entry& e : rel->entries()) {
-      if (p.ground && e.ground) continue;
-      if (Implies(p.fact.constraint, e.fact.constraint)) {
+    for (size_t e = 0; e < rel->size(); ++e) {
+      if (p.ground && rel->ground(e)) continue;
+      if (Implies(p.fact.constraint, rel->fact(e).constraint)) {
         p.outcome = InsertOutcome::kSubsumed;
         break;
       }
@@ -233,8 +233,9 @@ void Reconcile(std::vector<Pending>* pending, const Database& db,
 /// const database snapshot.
 Status ApplyOneRule(const Program& program, size_t rule_index,
                     const Database& db, int iteration, bool require_delta,
-                    bool use_index, bool delta_rotate, Governor* governor,
-                    std::vector<Pending>* pending, EvalStats* stats) {
+                    bool use_index, bool delta_rotate, bool interval_index,
+                    Governor* governor, std::vector<Pending>* pending,
+                    EvalStats* stats) {
   // Rule-batch boundary check: keeps long serial rule sequences (and pool
   // tasks dequeued after a sibling tripped) responsive even when individual
   // rules derive nothing.
@@ -252,7 +253,7 @@ Status ApplyOneRule(const Program& program, size_t rule_index,
     return Status::OK();
   };
   return ApplyRule(rule, db, /*max_birth=*/iteration - 1, require_delta, emit,
-                   use_index, stats, delta_rotate);
+                   use_index, stats, delta_rotate, interval_index);
 }
 
 /// One fixpoint iteration over `rule_indexes`: applies the rules under the
@@ -273,9 +274,9 @@ Result<long> RunIteration(const Program& program,
                           const std::vector<size_t>& rule_indexes,
                           int iteration, bool fire_constraint_facts,
                           bool require_delta, bool use_index,
-                          bool delta_rotate, const EvalOptions& options,
-                          Governor* governor, ThreadPool* pool,
-                          EvalResult* result) {
+                          bool delta_rotate, bool interval_index,
+                          const EvalOptions& options, Governor* governor,
+                          ThreadPool* pool, EvalResult* result) {
   std::vector<size_t> active;
   active.reserve(rule_indexes.size());
   for (size_t rule_index : rule_indexes) {
@@ -295,10 +296,12 @@ Result<long> RunIteration(const Program& program,
       WorkerOutput* out = &outputs[t];
       size_t rule_index = active[t];
       pool->Submit([&program, rule_index, iteration, require_delta, use_index,
-                    delta_rotate, governor, out, db = &result->db] {
+                    delta_rotate, interval_index, governor, out,
+                    db = &result->db] {
         out->status = ApplyOneRule(program, rule_index, *db, iteration,
                                    require_delta, use_index, delta_rotate,
-                                   governor, &out->pending, &out->stats);
+                                   interval_index, governor, &out->pending,
+                                   &out->stats);
       });
     }
     pool->Wait();
@@ -317,8 +320,8 @@ Result<long> RunIteration(const Program& program,
     for (size_t rule_index : active) {
       CQLOPT_RETURN_IF_ERROR(ApplyOneRule(program, rule_index, result->db,
                                           iteration, require_delta, use_index,
-                                          delta_rotate, governor, &pending,
-                                          &result->stats));
+                                          delta_rotate, interval_index,
+                                          governor, &pending, &result->stats));
     }
   }
   Reconcile(&pending, result->db, options.subsumption);
@@ -360,6 +363,7 @@ Status GovernedAbort(const Status& cause, const std::string& position,
   for (const auto& [pred, rel] : result->db.relations()) {
     result->stats.facts_per_pred[pred] = static_cast<long>(rel.size());
   }
+  result->stats.interval_index_build_ns = result->db.IntervalBuildNs();
   if (options.abort_stats != nullptr) *options.abort_stats = result->stats;
   return Status(cause.code(), cause.message() + " at " + position);
 }
@@ -434,7 +438,8 @@ Result<EvalResult> EvaluateStratified(const Program& program,
           program, rules_of[c], global_iteration,
           /*fire_constraint_facts=*/local == 0,
           /*require_delta=*/local > 0, /*use_index=*/true,
-          /*delta_rotate=*/false, options, governor, pool.get(), &result);
+          /*delta_rotate=*/false, options.interval_index, options, governor,
+          pool.get(), &result);
       if (!ran.ok()) {
         if (Governor::IsAbortCode(ran.status().code())) {
           return GovernedAbort(ran.status(), position(), options, &result);
@@ -458,6 +463,7 @@ Result<EvalResult> EvaluateStratified(const Program& program,
   for (const auto& [pred, rel] : result.db.relations()) {
     result.stats.facts_per_pred[pred] = static_cast<long>(rel.size());
   }
+  result.stats.interval_index_build_ns = result.db.IntervalBuildNs();
   return result;
 }
 
@@ -482,8 +488,8 @@ Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
     Result<long> ran = RunIteration(
         program, all_rules, iteration,
         /*fire_constraint_facts=*/iteration == 0, require_delta,
-        /*use_index=*/false, /*delta_rotate=*/false, options, governor,
-        /*pool=*/nullptr, &result);
+        /*use_index=*/false, /*delta_rotate=*/false, /*interval_index=*/false,
+        options, governor, /*pool=*/nullptr, &result);
     if (!ran.ok()) {
       if (Governor::IsAbortCode(ran.status().code())) {
         return GovernedAbort(ran.status(), position(), options, &result);
@@ -505,6 +511,7 @@ Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
   for (const auto& [pred, rel] : result.db.relations()) {
     result.stats.facts_per_pred[pred] = static_cast<long>(rel.size());
   }
+  result.stats.interval_index_build_ns = result.db.IntervalBuildNs();
   return result;
 }
 
@@ -643,8 +650,8 @@ Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
     Result<long> ran = RunIteration(
         program, all_rules, iteration,
         /*fire_constraint_facts=*/false, /*require_delta=*/true,
-        /*use_index=*/true, /*delta_rotate=*/true, options, &governor,
-        pool.get(), &result);
+        /*use_index=*/true, /*delta_rotate=*/true, options.interval_index,
+        options, &governor, pool.get(), &result);
     if (!ran.ok()) {
       if (Governor::IsAbortCode(ran.status().code())) {
         return GovernedAbort(ran.status(), position(), options, &result);
@@ -666,6 +673,7 @@ Result<EvalResult> ResumeEvaluate(const Program& program, EvalResult base,
   for (const auto& [pred, rel] : result.db.relations()) {
     result.stats.facts_per_pred[pred] = static_cast<long>(rel.size());
   }
+  result.stats.interval_index_build_ns = result.db.IntervalBuildNs();
   DecisionCache::Counters after = DecisionCache::Instance().Snapshot();
   result.stats.cache_hits += after.hits - before.hits;
   result.stats.cache_misses += after.misses - before.misses;

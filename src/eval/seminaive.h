@@ -68,6 +68,17 @@ struct EvalOptions {
   /// DecisionCache enable flag), so concurrent evaluations in one process
   /// should agree on it.
   bool prepass = true;
+  /// Interval-indexed candidate pruning (DESIGN.md §12): when true
+  /// (default), body literals with no uniquely-bound position — where the
+  /// hash index cannot help — intersect the accumulated state's interval
+  /// box against the relations' per-position interval indexes, skipping
+  /// whole sorted runs of facts a pushed range selection rules out. Only
+  /// candidates the leaf satisfiability check would reject are skipped and
+  /// enumeration order is preserved, so toggling this never changes facts,
+  /// births, or traces — only wall-clock and the interval_* counters.
+  /// Applies to the kStratified strategy and to ResumeEvaluate (the paths
+  /// that use indexes at all); the oracle strategies always scan.
+  bool interval_index = true;
 
   // --- Resource governance. The three limits below are checked
   // cooperatively: at iteration boundaries, at rule-batch boundaries, and

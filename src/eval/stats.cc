@@ -9,6 +9,10 @@ void EvalStats::MergeWorkerCounters(const EvalStats& worker) {
   index_candidates += worker.index_candidates;
   scan_candidates += worker.scan_candidates;
   indexed_scan_equivalent += worker.indexed_scan_equivalent;
+  interval_probes += worker.interval_probes;
+  interval_candidates += worker.interval_candidates;
+  interval_scan_equivalent += worker.interval_scan_equivalent;
+  interval_runs_pruned += worker.interval_runs_pruned;
   for (const auto& [rule, count] : worker.derivations_per_rule) {
     derivations_per_rule[rule] += count;
   }
@@ -56,6 +60,13 @@ std::string EvalStats::ToString(const SymbolTable& symbols) const {
            " scan-candidates=" + std::to_string(scan_candidates) +
            " indexed-scan-equivalent=" +
            std::to_string(indexed_scan_equivalent);
+  }
+  if (interval_probes > 0) {
+    out += " interval-probes=" + std::to_string(interval_probes) +
+           " interval-candidates=" + std::to_string(interval_candidates) +
+           " interval-scan-equivalent=" +
+           std::to_string(interval_scan_equivalent) +
+           " interval-runs-pruned=" + std::to_string(interval_runs_pruned);
   }
   if (aborted && !abort_point.empty()) {
     out += " abort-point=\"" + abort_point + "\"";

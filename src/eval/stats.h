@@ -52,6 +52,27 @@ struct EvalStats {
   /// Candidates the replaced scans would have enumerated for the indexed
   /// probes; `index_candidates` vs this number attributes the index win.
   long indexed_scan_equivalent = 0;
+
+  // --- Interval-index accounting (DESIGN.md §12): the columnar per-position
+  // interval indexes serving body-literal resolutions whose accumulated
+  // state bounds a numeric position without pinning it to a point (e.g. a
+  // pushed selection `T <= 60`). Zero when EvalOptions::interval_index is
+  // off or no literal carries a usable range. ---
+
+  /// Body-literal resolutions served by an interval-index probe.
+  long interval_probes = 0;
+  /// Join candidate facts those probes enumerated.
+  long interval_candidates = 0;
+  /// Candidates the replaced scans would have enumerated — the interval
+  /// pruning win is this number vs `interval_candidates`.
+  long interval_scan_equivalent = 0;
+  /// Sealed sorted runs rejected wholesale by probe binary searches (no
+  /// per-row work at all for those rows).
+  long interval_runs_pruned = 0;
+  /// Nanoseconds spent building interval-index state (insertion-time bound
+  /// propagation, run sealing/merging) across the database's relations —
+  /// the price paid for the pruning, reported so benches can net it out.
+  long interval_index_build_ns = 0;
   /// Derivations per rule, keyed by rule label (or "rule#<index>" for
   /// unlabeled rules) — lets benches attribute wins rule by rule.
   std::map<std::string, long> derivations_per_rule;

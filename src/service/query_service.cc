@@ -15,8 +15,8 @@ namespace {
 std::vector<Fact> FactsOf(const Database& staged) {
   std::vector<Fact> batch;
   for (const auto& [pred, rel] : staged.relations()) {
-    for (const Relation::Entry& entry : rel.entries()) {
-      batch.push_back(entry.fact);
+    for (size_t i = 0; i < rel.size(); ++i) {
+      batch.push_back(rel.fact(i));
     }
   }
   return batch;

@@ -138,8 +138,8 @@ std::string RenderDatabaseText(const Database& db,
                                const SymbolTable& symbols) {
   std::string out;
   for (const auto& [pred, rel] : db.relations()) {
-    for (const Relation::Entry& entry : rel.entries()) {
-      out += RenderFactStatement(entry.fact, symbols);
+    for (size_t i = 0; i < rel.size(); ++i) {
+      out += RenderFactStatement(rel.fact(i), symbols);
       out += '\n';
     }
   }

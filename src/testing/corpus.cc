@@ -114,8 +114,8 @@ Result<CorpusCase> LoadCorpusFile(const std::string& path) {
   CQLOPT_RETURN_IF_ERROR(
       LoadDatabaseText(edb_text, out.c.program.symbols, &db).status());
   for (const auto& [pred, rel] : db.relations()) {
-    for (const auto& entry : rel.entries()) {
-      out.c.edb.push_back(entry.fact);
+    for (size_t i = 0; i < rel.size(); ++i) {
+      out.c.edb.push_back(rel.fact(i));
     }
   }
   return out;

@@ -38,10 +38,10 @@ std::string StorageFingerprint(const EvalResult& r) {
   for (const auto& [pred, rel] : r.db.relations()) {
     out += std::to_string(pred);
     out += '{';
-    for (const auto& entry : rel.entries()) {
-      out += entry.fact.Key();
+    for (size_t i = 0; i < rel.size(); ++i) {
+      out += rel.fact(i).Key();
       out += '@';
-      out += std::to_string(entry.birth);
+      out += std::to_string(rel.birth(i));
       out += ';';
     }
     out += '}';
@@ -868,6 +868,75 @@ PropertyOutcome PrepassEquiv(const FuzzCase& c, const FuzzOptions& fo) {
   return PropertyOutcome::Ok();
 }
 
+// ---------------------------------------------------------------------------
+// interval_equiv: interval-indexed probe pruning never changes an answer.
+
+/// Evaluates the case twice — interval-index pruning on, then off — and
+/// demands byte identity: same storage fingerprint (fact keys, order,
+/// births), same rendered trace, same core counters. A pruned row is one
+/// whose column value (or propagated bound summary) is disjoint from a
+/// sound over-approximation of the accumulated join state (DESIGN.md §12),
+/// so the per-tuple satisfiability check would have rejected it anyway —
+/// *any* divergence here is a soundness bug in the index maintenance or the
+/// AdmittedRange binary search in relation.cc. Both arms run from a cold
+/// DecisionCache so neither coasts on the other's memo entries.
+PropertyOutcome IntervalEquiv(const FuzzCase& c, const FuzzOptions& fo) {
+  Database db = BuildDatabase(c);
+  EvalOptions opts = EngineOptions(fo, EvalStrategy::kStratified);
+  opts.record_trace = true;
+
+  DecisionCache::Instance().Clear();
+  opts.interval_index = true;
+  auto on = Evaluate(c.program, db, opts);
+  if (!on.ok()) {
+    return PropertyOutcome::Fail("interval-on evaluation failed: " +
+                                 on.status().message());
+  }
+
+  DecisionCache::Instance().Clear();
+  opts.interval_index = false;
+  auto off = Evaluate(c.program, db, opts);
+  if (!off.ok()) {
+    return PropertyOutcome::Fail("interval-off evaluation failed: " +
+                                 off.status().message());
+  }
+
+  if (StorageFingerprint(*on) != StorageFingerprint(*off)) {
+    return PropertyOutcome::Fail(
+        "interval-on storage differs from interval-off: " +
+        CountsByPred(EvalToMap(*on)) + " vs " +
+        CountsByPred(EvalToMap(*off)));
+  }
+  if (RenderTrace(on->trace) != RenderTrace(off->trace)) {
+    return PropertyOutcome::Fail(
+        "interval-on derivation trace differs from interval-off");
+  }
+  const EvalStats& a = on->stats;
+  const EvalStats& b = off->stats;
+  if (a.derivations != b.derivations || a.inserted != b.inserted ||
+      a.subsumed != b.subsumed || a.duplicates != b.duplicates ||
+      a.iterations != b.iterations ||
+      a.reached_fixpoint != b.reached_fixpoint ||
+      a.all_ground != b.all_ground) {
+    return PropertyOutcome::Fail(
+        "interval-on stats differ from interval-off: " +
+        std::to_string(a.derivations) + "/" + std::to_string(a.inserted) +
+        "/" + std::to_string(a.subsumed) + " vs " +
+        std::to_string(b.derivations) + "/" + std::to_string(b.inserted) +
+        "/" + std::to_string(b.subsumed));
+  }
+  // The toggle must actually gate the access path: the off arm may not
+  // record any interval-probe activity.
+  if (b.interval_probes != 0 || b.interval_candidates != 0) {
+    return PropertyOutcome::Fail(
+        "interval-off arm recorded interval-probe activity");
+  }
+  if (!on->stats.reached_fixpoint) {
+    return PropertyOutcome::Skip("iteration cap hit before fixpoint");
+  }
+  return PropertyOutcome::Ok();
+}
+
 }  // namespace
 
 const char* PlantedBugName(PlantedBug bug) {
@@ -923,6 +992,10 @@ const std::vector<PropertyInfo>& AllProperties() {
            "interval prepass on vs off: byte-identical facts, births, "
            "traces, and core stats",
            &PrepassEquiv},
+          {"interval_equiv",
+           "interval-indexed probe pruning on vs off: byte-identical facts, "
+           "births, traces, and core stats",
+           &IntervalEquiv},
       };
   return *properties;
 }
@@ -943,8 +1016,8 @@ Database BuildDatabase(const FuzzCase& c) {
 std::map<PredId, std::vector<Fact>> EvalToMap(const EvalResult& result) {
   std::map<PredId, std::vector<Fact>> out;
   for (const auto& [pred, rel] : result.db.relations()) {
-    for (const auto& entry : rel.entries()) {
-      out[pred].push_back(entry.fact);
+    for (size_t i = 0; i < rel.size(); ++i) {
+      out[pred].push_back(rel.fact(i));
     }
   }
   return out;

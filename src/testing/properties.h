@@ -34,6 +34,11 @@ namespace testing {
 ///                       byte-identical facts, births, traces, and core
 ///                       stats (the two-tier decision procedure of
 ///                       DESIGN.md §11 never changes an answer)
+///   interval_equiv      evaluation with interval-indexed probe pruning on
+///                       ≡ off — byte-identical facts, births, traces, and
+///                       core stats (the columnar interval index of
+///                       DESIGN.md §12 only skips rows the per-tuple
+///                       satisfiability check would reject)
 ///
 /// Outcomes are three-valued: ok, skipped (the comparison is not defined —
 /// a fixpoint hit its iteration cap, or a pipeline cleanly rejected the

@@ -40,6 +40,14 @@ struct InferenceResult {
   /// that fell through to the exact cached Fourier–Motzkin tier.
   long prepass_conclusive = 0;
   long prepass_fallback = 0;
+  /// Interval-index activity (DESIGN.md §12). Pure constraint inference
+  /// stores no facts, so these stay zero here; they are populated when an
+  /// InferenceResult is reported alongside an evaluation run (the --json
+  /// bench writers copy the evaluation's EvalStats counters in so one
+  /// record carries the whole pipeline's pruning story).
+  long interval_probes = 0;
+  long interval_candidates = 0;
+  long interval_runs_pruned = 0;
 };
 
 /// Procedure Gen_predicate_constraints (Section 4.4, Appendix C): iterates

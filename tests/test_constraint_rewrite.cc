@@ -86,12 +86,12 @@ TEST(ConstraintRewriteTest, Example43NoIrrelevantFlightFactsComputed) {
           : flightp);
   ASSERT_NE(rel, nullptr);
   // No flight' fact with Time > 240 AND Cost > 150 may appear.
-  for (const Relation::Entry& entry : rel->entries()) {
-    Conjunction bad = entry.fact.constraint;
+  for (size_t i = 0; i < rel->size(); ++i) {
+    Conjunction bad = rel->fact(i).constraint;
     ASSERT_TRUE(bad.AddLinear(Atom({{3, -1}}, 240, CmpOp::kLt)).ok());
     ASSERT_TRUE(bad.AddLinear(Atom({{4, -1}}, 150, CmpOp::kLt)).ok());
     EXPECT_FALSE(bad.IsSatisfiable())
-        << entry.fact.ToString(*p.symbols);
+        << rel->fact(i).ToString(*p.symbols);
   }
 }
 

@@ -233,8 +233,8 @@ TEST(DecisionCacheTest, EvaluationUnchangedByCache) {
       ASSERT_NE(other, nullptr);
       ASSERT_EQ(rel.size(), other->size());
       for (size_t i = 0; i < rel.size(); ++i) {
-        EXPECT_EQ(rel.entries()[i].fact.Key(), other->entries()[i].fact.Key());
-        EXPECT_EQ(rel.entries()[i].birth, other->entries()[i].birth);
+        EXPECT_EQ(rel.fact(i).Key(), other->fact(i).Key());
+        EXPECT_EQ(rel.birth(i), other->birth(i));
       }
     }
   }
@@ -272,10 +272,10 @@ TEST(DecisionCacheTest, CapacityOneThrashMatchesCacheOff) {
     for (const auto& [pred, rel] : r.db.relations()) {
       out += std::to_string(pred);
       out += '{';
-      for (const auto& entry : rel.entries()) {
-        out += entry.fact.Key();
+      for (size_t i = 0; i < rel.size(); ++i) {
+        out += rel.fact(i).Key();
         out += '@';
-        out += std::to_string(entry.birth);
+        out += std::to_string(rel.birth(i));
         out += ';';
       }
       out += '}';
@@ -408,8 +408,8 @@ TEST(PrepassCacheInteractionTest, HitAccountingConsistentUnderBothArms) {
     ASSERT_NE(other, nullptr);
     ASSERT_EQ(rel.size(), other->size());
     for (size_t i = 0; i < rel.size(); ++i) {
-      EXPECT_EQ(rel.entries()[i].fact.Key(), other->entries()[i].fact.Key());
-      EXPECT_EQ(rel.entries()[i].birth, other->entries()[i].birth);
+      EXPECT_EQ(rel.fact(i).Key(), other->fact(i).Key());
+      EXPECT_EQ(rel.birth(i), other->birth(i));
     }
   }
 

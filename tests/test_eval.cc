@@ -72,7 +72,7 @@ TEST(EvalTest, ArithmeticInHeads) {
       result->db.Find(p.symbols->LookupPredicate("succ"));
   ASSERT_NE(rel, nullptr);
   ASSERT_EQ(rel->size(), 1u);
-  EXPECT_EQ(rel->entries()[0].fact.ToString(*p.symbols), "succ(1, 2)");
+  EXPECT_EQ(rel->fact(0).ToString(*p.symbols), "succ(1, 2)");
 }
 
 TEST(EvalTest, JoinOnSharedVariable) {
@@ -108,7 +108,7 @@ TEST(EvalTest, SymbolJoins) {
   const Relation* rel = result->db.Find(p.symbols->LookupPredicate("conn"));
   ASSERT_NE(rel, nullptr);
   ASSERT_EQ(rel->size(), 1u);
-  EXPECT_EQ(rel->entries()[0].fact.ToString(*p.symbols), "conn(msn, sea)");
+  EXPECT_EQ(rel->fact(0).ToString(*p.symbols), "conn(msn, sea)");
 }
 
 TEST(EvalTest, NonterminatingProgramHitsCap) {
@@ -166,7 +166,7 @@ TEST(EvalTest, SubsumptionWithinIterationPrefersGeneralFact) {
   EXPECT_EQ(result->stats.subsumed, 1);
   // The kept fact is the general one.
   const Relation* rel = result->db.Find(p.symbols->LookupPredicate("p"));
-  EXPECT_FALSE(rel->entries()[0].fact.IsGround());
+  EXPECT_FALSE(rel->fact(0).IsGround());
 }
 
 TEST(EvalTest, NaiveAndSemiNaiveAgree) {
@@ -191,8 +191,10 @@ TEST(EvalTest, NaiveAndSemiNaiveAgree) {
   // Same fact sets, entry by entry (keys are canonical).
   std::set<std::string> keys_a;
   std::set<std::string> keys_b;
-  for (const auto& e : a->db.Find(t)->entries()) keys_a.insert(e.fact.Key());
-  for (const auto& e : b->db.Find(t)->entries()) keys_b.insert(e.fact.Key());
+  const Relation* ra = a->db.Find(t);
+  const Relation* rb = b->db.Find(t);
+  for (size_t i = 0; i < ra->size(); ++i) keys_a.insert(ra->fact(i).Key());
+  for (size_t i = 0; i < rb->size(); ++i) keys_b.insert(rb->fact(i).Key());
   EXPECT_EQ(keys_a, keys_b);
 }
 

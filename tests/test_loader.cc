@@ -24,9 +24,9 @@ TEST(LoaderTest, LoadsGroundFacts) {
   ASSERT_NE(singleleg, SymbolTable::kNoPred);
   EXPECT_EQ(db.FactsFor(singleleg), 2u);
   const Relation* rel = db.Find(singleleg);
-  EXPECT_EQ(rel->entries()[0].fact.ToString(*symbols),
+  EXPECT_EQ(rel->fact(0).ToString(*symbols),
             "singleleg(msn, ord, 50, 80)");
-  EXPECT_EQ(rel->entries()[0].birth, -1);
+  EXPECT_EQ(rel->birth(0), -1);
 }
 
 TEST(LoaderTest, LoadsConstraintFacts) {

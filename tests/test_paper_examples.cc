@@ -269,7 +269,7 @@ TEST(PaperTable2, StratifiedTraceMatchesOracle) {
     ASSERT_NE(other, nullptr);
     ASSERT_EQ(rel.size(), other->size());
     for (size_t i = 0; i < rel.size(); ++i) {
-      EXPECT_EQ(rel.entries()[i].fact.Key(), other->entries()[i].fact.Key());
+      EXPECT_EQ(rel.fact(i).Key(), other->fact(i).Key());
     }
   }
   // The constant-bound m_fib literals in r1/r2/mr3_2 make the index path

@@ -79,15 +79,14 @@ Database SyntheticEdb(const Program& program, uint64_t seed) {
              << " entries";
     }
     for (size_t i = 0; i < na; ++i) {
-      const Relation::Entry& ea = a->entries()[i];
-      const Relation::Entry& eb = b->entries()[i];
-      if (ea.fact.Key() != eb.fact.Key() || ea.birth != eb.birth ||
-          ea.rule_label != eb.rule_label) {
+      if (a->fact(i).Key() != b->fact(i).Key() ||
+          a->birth(i) != b->birth(i) ||
+          a->rule_label(i) != b->rule_label(i)) {
         return ::testing::AssertionFailure()
                << symbols.PredicateName(pred) << " entry " << i << ": "
-               << ea.fact.Key() << "@" << ea.birth << " [" << ea.rule_label
-               << "] vs " << eb.fact.Key() << "@" << eb.birth << " ["
-               << eb.rule_label << "]";
+               << a->fact(i).Key() << "@" << a->birth(i) << " ["
+               << a->rule_label(i) << "] vs " << b->fact(i).Key() << "@"
+               << b->birth(i) << " [" << b->rule_label(i) << "]";
       }
     }
   }

@@ -84,11 +84,11 @@ TEST(ProvenanceTest, ParentsInBodyLiteralOrder) {
   const Relation* rel = run->db.Find(j);
   ASSERT_NE(rel, nullptr);
   ASSERT_EQ(rel->size(), 1u);
-  const auto& entry = rel->entries()[0];
-  ASSERT_EQ(entry.parents.size(), 2u);
-  EXPECT_EQ(entry.parents[0].pred, p.symbols->LookupPredicate("e"));
-  EXPECT_EQ(entry.parents[1].pred, p.symbols->LookupPredicate("f"));
-  EXPECT_EQ(entry.rule_label, "r");
+  const auto& parents = rel->parents(0);
+  ASSERT_EQ(parents.size(), 2u);
+  EXPECT_EQ(parents[0].pred, p.symbols->LookupPredicate("e"));
+  EXPECT_EQ(parents[1].pred, p.symbols->LookupPredicate("f"));
+  EXPECT_EQ(rel->rule_label(0), "r");
 }
 
 TEST(ProvenanceTest, InvalidRefIsNotFound) {

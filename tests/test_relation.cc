@@ -90,8 +90,8 @@ TEST(RelationTest, SetImplicationCoversWithUnion) {
 TEST(RelationTest, BirthRecorded) {
   Relation rel;
   (void)rel.Insert(MakeFact(3), 4, SubsumptionMode::kNone);
-  ASSERT_EQ(rel.entries().size(), 1u);
-  EXPECT_EQ(rel.entries()[0].birth, 4);
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel.birth(0), 4);
 }
 
 TEST(RelationTest, AllGround) {
@@ -135,25 +135,41 @@ Fact RangeFact(int lo, int hi) {
   return Fact(0, 1, c);
 }
 
-/// The linear scan the index replaces: entries()[0..limit) surviving the
-/// ArgSignature pre-filter at `position`.
+/// The linear scan the index replaces: rows [0, limit) surviving the value
+/// column pre-filter at `position`.
 std::vector<size_t> ScanWithPrefilter(const Relation& rel, int position,
                                       const Relation::ArgSignature& value,
                                       size_t limit) {
   std::vector<size_t> out;
-  size_t n = std::min(limit, rel.entries().size());
+  size_t n = std::min(limit, rel.size());
   for (size_t i = 0; i < n; ++i) {
-    const auto& sig = rel.entries()[i].signature;
-    size_t p = static_cast<size_t>(position - 1);
-    if (p < sig.size() &&
-        (sig[p].symbol.has_value() || sig[p].number.has_value())) {
-      if (sig[p].symbol != value.symbol || sig[p].number != value.number) {
-        continue;
-      }
+    switch (rel.tag(i, position)) {
+      case Relation::ColTag::kSymbol:
+        if (!value.symbol.has_value() ||
+            rel.symbol_at(i, position) != *value.symbol) {
+          continue;
+        }
+        break;
+      case Relation::ColTag::kNumber:
+        if (!value.number.has_value() ||
+            !(rel.number_at(i, position) == *value.number)) {
+          continue;
+        }
+        break;
+      default:
+        break;  // absent / unbound / interval-bound: never pre-filtered
     }
     out.push_back(i);
   }
   return out;
+}
+
+/// Probe through a local scratch buffer, copied out for comparison.
+std::vector<size_t> ProbeVec(const Relation& rel, int position,
+                             const Relation::ArgSignature& value,
+                             size_t limit) {
+  std::vector<size_t> scratch;
+  return rel.Probe(position, value, limit, &scratch);
 }
 
 Relation::ArgSignature NumberValue(int n) {
@@ -176,7 +192,7 @@ TEST(RelationIndexTest, ProbeEqualsScanWithPrefilter) {
        {NumberValue(3), NumberValue(7), NumberValue(99), SymbolValue(4),
         SymbolValue(5)}) {
     for (size_t limit : {size_t{0}, size_t{3}, rel.size(), size_t{100}}) {
-      EXPECT_EQ(rel.Probe(1, value, limit),
+      EXPECT_EQ(ProbeVec(rel, 1, value, limit),
                 ScanWithPrefilter(rel, 1, value, limit));
     }
   }
@@ -188,11 +204,11 @@ TEST(RelationIndexTest, ConstraintOnlyBoundEnumeratedForEveryValue) {
   // The range fact's position 1 has no direct binding: it must appear in
   // every probe, even for values outside the range — the caller's
   // constraint conjunction, not the index, decides satisfiability.
-  EXPECT_EQ(rel.Probe(1, NumberValue(5), rel.size()),
+  EXPECT_EQ(ProbeVec(rel, 1, NumberValue(5), rel.size()),
             std::vector<size_t>({0}));
-  EXPECT_EQ(rel.Probe(1, NumberValue(99), rel.size()),
+  EXPECT_EQ(ProbeVec(rel, 1, NumberValue(99), rel.size()),
             std::vector<size_t>({0}));
-  EXPECT_EQ(rel.Probe(1, SymbolValue(1), rel.size()),
+  EXPECT_EQ(ProbeVec(rel, 1, SymbolValue(1), rel.size()),
             std::vector<size_t>({0}));
 }
 
@@ -210,8 +226,8 @@ TEST(RelationIndexTest, RejectedFactsAreNeverIndexed) {
             InsertOutcome::kSubsumed);
   // Only the two stored entries are reachable through the index.
   EXPECT_EQ(rel.size(), 2u);
-  EXPECT_EQ(rel.Probe(1, NumberValue(3), rel.size()),
-            std::vector<size_t>({0, 1}));  // entry 1 is unbound (x <= 5)
+  EXPECT_EQ(ProbeVec(rel, 1, NumberValue(3), rel.size()),
+            std::vector<size_t>({0, 1}));  // row 1 is interval-bound (x <= 5)
   EXPECT_EQ(rel.ProbeCost(1, NumberValue(3)), 2u);
 }
 
@@ -224,7 +240,7 @@ TEST(RelationIndexTest, ProbeCostMatchesUnlimitedProbe) {
   for (const auto& value : {NumberValue(1), NumberValue(2), SymbolValue(2),
                             SymbolValue(9), NumberValue(42)}) {
     EXPECT_EQ(rel.ProbeCost(1, value),
-              rel.Probe(1, value, rel.size()).size());
+              ProbeVec(rel, 1, value, rel.size()).size());
   }
 }
 
@@ -232,9 +248,9 @@ TEST(RelationIndexTest, SymbolAndNumberKeysNeverCollide) {
   Relation rel;
   (void)rel.Insert(NumberFact(7), 0, SubsumptionMode::kNone);
   (void)rel.Insert(SymbolFact(7), 0, SubsumptionMode::kNone);
-  EXPECT_EQ(rel.Probe(1, NumberValue(7), rel.size()),
+  EXPECT_EQ(ProbeVec(rel, 1, NumberValue(7), rel.size()),
             std::vector<size_t>({0}));
-  EXPECT_EQ(rel.Probe(1, SymbolValue(7), rel.size()),
+  EXPECT_EQ(ProbeVec(rel, 1, SymbolValue(7), rel.size()),
             std::vector<size_t>({1}));
 }
 
@@ -246,17 +262,19 @@ TEST(RelationIndexTest, MergedResultIsAscendingInsertionOrder) {
   (void)rel.Insert(RangeFact(0, 2), 0, SubsumptionMode::kNone);   // 2
   (void)rel.Insert(NumberFact(6), 0, SubsumptionMode::kNone);     // 3
   (void)rel.Insert(RangeFact(0, 3), 0, SubsumptionMode::kNone);   // 4
-  EXPECT_EQ(rel.Probe(1, NumberValue(5), rel.size()),
+  EXPECT_EQ(ProbeVec(rel, 1, NumberValue(5), rel.size()),
             std::vector<size_t>({0, 1, 2, 4}));
   // The snapshot limit cuts the merged stream, not just one side.
-  EXPECT_EQ(rel.Probe(1, NumberValue(5), 2), std::vector<size_t>({0, 1}));
-  EXPECT_EQ(rel.Probe(1, NumberValue(6), 4), std::vector<size_t>({0, 2, 3}));
+  EXPECT_EQ(ProbeVec(rel, 1, NumberValue(5), 2), std::vector<size_t>({0, 1}));
+  EXPECT_EQ(ProbeVec(rel, 1, NumberValue(6), 4),
+            std::vector<size_t>({0, 2, 3}));
 }
 
 TEST(RelationIndexTest, ProbeBeyondSeenArityIsEmpty) {
   Relation rel;
   (void)rel.Insert(NumberFact(3), 0, SubsumptionMode::kNone);
-  EXPECT_EQ(rel.Probe(2, NumberValue(3), rel.size()), std::vector<size_t>{});
+  EXPECT_EQ(ProbeVec(rel, 2, NumberValue(3), rel.size()),
+            std::vector<size_t>{});
   EXPECT_EQ(rel.ProbeCost(2, NumberValue(3)), 0u);
 }
 
@@ -271,8 +289,8 @@ TEST(DatabaseTest, AddGroundFactBuildsConstraints) {
   const Relation* rel = db.Find(leg);
   ASSERT_NE(rel, nullptr);
   ASSERT_EQ(rel->size(), 1u);
-  EXPECT_TRUE(rel->entries()[0].fact.IsGround());
-  EXPECT_EQ(rel->entries()[0].birth, -1);
+  EXPECT_TRUE(rel->fact(0).IsGround());
+  EXPECT_EQ(rel->birth(0), -1);
   EXPECT_EQ(db.TotalFacts(), 1u);
   EXPECT_EQ(db.FactsFor(leg), 1u);
   EXPECT_TRUE(db.AllGround());

@@ -47,8 +47,8 @@ std::string ProgramPath(const std::string& name) {
 std::vector<Fact> AllFacts(const Database& db) {
   std::vector<Fact> out;
   for (const auto& [pred, rel] : db.relations()) {
-    for (const Relation::Entry& entry : rel.entries()) {
-      out.push_back(entry.fact);
+    for (size_t i = 0; i < rel.size(); ++i) {
+      out.push_back(rel.fact(i));
     }
   }
   return out;
@@ -78,8 +78,8 @@ std::set<std::string> KeysOf(const Database& db, PredId pred) {
   std::set<std::string> out;
   const Relation* rel = db.Find(pred);
   if (rel == nullptr) return out;
-  for (const Relation::Entry& entry : rel->entries()) {
-    out.insert(entry.fact.Key());
+  for (size_t i = 0; i < rel->size(); ++i) {
+    out.insert(rel->fact(i).Key());
   }
   return out;
 }
@@ -88,8 +88,8 @@ std::vector<Fact> FactsOf(const Database& db, PredId pred) {
   std::vector<Fact> out;
   const Relation* rel = db.Find(pred);
   if (rel == nullptr) return out;
-  for (const Relation::Entry& entry : rel->entries()) {
-    out.push_back(entry.fact);
+  for (size_t i = 0; i < rel->size(); ++i) {
+    out.push_back(rel->fact(i));
   }
   return out;
 }

@@ -60,8 +60,8 @@ std::vector<Fact> FactsOf(const Database& db, PredId pred) {
   std::vector<Fact> out;
   const Relation* rel = db.Find(pred);
   if (rel == nullptr) return out;
-  for (const Relation::Entry& entry : rel->entries()) {
-    out.push_back(entry.fact);
+  for (size_t i = 0; i < rel->size(); ++i) {
+    out.push_back(rel->fact(i));
   }
   return out;
 }
@@ -70,8 +70,8 @@ std::set<std::string> KeysOf(const Database& db, PredId pred) {
   std::set<std::string> out;
   const Relation* rel = db.Find(pred);
   if (rel == nullptr) return out;
-  for (const Relation::Entry& entry : rel->entries()) {
-    out.insert(entry.fact.Key());
+  for (size_t i = 0; i < rel->size(); ++i) {
+    out.insert(rel->fact(i).Key());
   }
   return out;
 }
@@ -138,8 +138,8 @@ void ExpectStrategiesAgree(const Program& program, const Database& db,
     std::string out;
     for (const auto& [pred, rel] : r.db.relations()) {
       out += std::to_string(pred) + "{";
-      for (const Relation::Entry& entry : rel.entries()) {
-        out += entry.fact.Key() + "@" + std::to_string(entry.birth) + ";";
+      for (size_t i = 0; i < rel.size(); ++i) {
+        out += rel.fact(i).Key() + "@" + std::to_string(rel.birth(i)) + ";";
       }
       out += "}";
     }

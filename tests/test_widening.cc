@@ -125,9 +125,9 @@ TEST(WideningTest, DerivedFibConstraintIsSound) {
   ASSERT_NE(rel, nullptr);
   EXPECT_GE(rel->size(), 12u);
   const auto& disjuncts = widened->constraints.at(fib).disjuncts();
-  for (const Relation::Entry& entry : rel->entries()) {
-    EXPECT_TRUE(ImpliesDisjunction(entry.fact.constraint, disjuncts))
-        << entry.fact.ToString(*p.symbols);
+  for (size_t i = 0; i < rel->size(); ++i) {
+    EXPECT_TRUE(ImpliesDisjunction(rel->fact(i).constraint, disjuncts))
+        << rel->fact(i).ToString(*p.symbols);
   }
 }
 

@@ -18,8 +18,8 @@ TEST(WorkloadTest, FlightNetworkShape) {
   ASSERT_NE(rel, nullptr);
   EXPECT_LE(rel->size(), 40u);
   EXPECT_GT(rel->size(), 35u);  // duplicate draws are rare at these ranges
-  for (const Relation::Entry& entry : rel->entries()) {
-    const Fact& f = entry.fact;
+  for (size_t i = 0; i < rel->size(); ++i) {
+    const Fact& f = rel->fact(i);
     EXPECT_TRUE(f.IsGround());
     // No self loops; times and costs within the configured ranges.
     auto src = f.constraint.GetSymbol(1);
@@ -50,8 +50,7 @@ TEST(WorkloadTest, DeterministicInSeed) {
   const Relation* r2 = d2.Find(leg2);
   ASSERT_EQ(r1->size(), r2->size());
   for (size_t i = 0; i < r1->size(); ++i) {
-    EXPECT_EQ(r1->entries()[i].fact.ToString(s1),
-              r2->entries()[i].fact.ToString(s2));
+    EXPECT_EQ(r1->fact(i).ToString(s1), r2->fact(i).ToString(s2));
   }
 }
 
@@ -65,8 +64,10 @@ TEST(WorkloadTest, DifferentSeedsDiffer) {
   ASSERT_TRUE(AddFlightNetwork(&symbols, b, &d2).ok());
   PredId leg = symbols.LookupPredicate("singleleg");
   std::string s1, s2;
-  for (const auto& e : d1.Find(leg)->entries()) s1 += e.fact.ToString(symbols);
-  for (const auto& e : d2.Find(leg)->entries()) s2 += e.fact.ToString(symbols);
+  const Relation* w1 = d1.Find(leg);
+  const Relation* w2 = d2.Find(leg);
+  for (size_t i = 0; i < w1->size(); ++i) s1 += w1->fact(i).ToString(symbols);
+  for (size_t i = 0; i < w2->size(); ++i) s2 += w2->fact(i).ToString(symbols);
   EXPECT_NE(s1, s2);
 }
 
@@ -79,9 +80,9 @@ TEST(WorkloadTest, BinaryRelationDomainRespected) {
   // Duplicate draws collapse (the database stores sets of facts).
   EXPECT_LE(rel->size(), 50u);
   EXPECT_GT(rel->size(), 25u);
-  for (const auto& entry : rel->entries()) {
+  for (size_t i = 0; i < rel->size(); ++i) {
     for (VarId pos : {1, 2}) {
-      auto v = entry.fact.constraint.GetNumericValue(pos);
+      auto v = rel->fact(i).constraint.GetNumericValue(pos);
       ASSERT_TRUE(v.has_value());
       EXPECT_GE(*v, Rational(0));
       EXPECT_LT(*v, Rational(10));
@@ -108,9 +109,9 @@ TEST(WorkloadTest, LayeredGraphEdgesRespectLayers) {
   // (layers-1) * width * fanout draws, minus duplicate-collapsed edges.
   EXPECT_LE(rel->size(), 3u * 3u * 2u);
   EXPECT_GT(rel->size(), 0u);
-  for (const auto& entry : rel->entries()) {
-    auto u = entry.fact.constraint.GetNumericValue(1);
-    auto v = entry.fact.constraint.GetNumericValue(2);
+  for (size_t i = 0; i < rel->size(); ++i) {
+    auto u = rel->fact(i).constraint.GetNumericValue(1);
+    auto v = rel->fact(i).constraint.GetNumericValue(2);
     ASSERT_TRUE(u.has_value() && v.has_value());
     // v is in the layer after u.
     int64_t ui, vi;
