@@ -45,8 +45,45 @@ std::string Hex(uint64_t value) {
 
 }  // namespace
 
+namespace {
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+void EmitSchedulerStats(const SchedulerStats& sched,
+                        std::vector<std::string>* out) {
+  out->push_back("sched_workers=" + std::to_string(sched.workers));
+  out->push_back("sched_queue_limit=" + std::to_string(sched.queue_limit));
+  out->push_back("sched_queued=" + std::to_string(sched.queued));
+  out->push_back("sched_in_flight=" + std::to_string(sched.in_flight));
+  out->push_back("sched_admitted=" + std::to_string(sched.admitted));
+  out->push_back("sched_shed=" + std::to_string(sched.shed));
+  out->push_back("sched_preempted=" + std::to_string(sched.preempted));
+  out->push_back("sched_completed=" + std::to_string(sched.completed));
+  for (int c = 0; c < SchedulerStats::kClasses; ++c) {
+    const std::string prefix =
+        std::string("sched_") +
+        PriorityClassName(static_cast<PriorityClass>(c)) + "_";
+    const SchedulerStats::PerClass& pc = sched.priority[c];
+    out->push_back(prefix + "submitted=" + std::to_string(pc.submitted));
+    out->push_back(prefix + "shed=" + std::to_string(pc.shed));
+    out->push_back(prefix + "completed=" + std::to_string(pc.completed));
+    out->push_back(prefix + "cost=" + std::to_string(pc.cost));
+    out->push_back(prefix + "wait_ms=" + FormatMs(pc.wait_ms));
+    out->push_back(prefix + "run_ms=" + FormatMs(pc.run_ms));
+  }
+}
+
+}  // namespace
+
 ProtocolAction HandleLine(QueryService& service, const std::string& line,
-                          std::vector<std::string>* out) {
+                          std::vector<std::string>* out,
+                          LineOutcome* outcome) {
+  LineOutcome scratch;
+  if (outcome == nullptr) outcome = &scratch;
   std::string command;
   std::string rest;
   SplitWord(Trim(line), &command, &rest);
@@ -80,15 +117,16 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
                        " cached=" + (cached ? "1" : "0"));
       }
     } else {
-      Result<QueryOutcome> outcome = service.Execute(query, steps);
-      if (!outcome.ok()) {
-        EmitError(outcome.status(), out);
+      Result<QueryOutcome> result = service.Execute(query, steps);
+      if (!result.ok()) {
+        EmitError(result.status(), out);
       } else {
-        out->push_back(std::string("OK path=") + ServePathName(outcome->path) +
-                       " epoch=" + std::to_string(outcome->epoch) +
-                       " answers=" + std::to_string(outcome->answers.size()) +
-                       " fixpoint=" + (outcome->reached_fixpoint ? "1" : "0"));
-        for (const std::string& answer : outcome->answers) {
+        outcome->derived_facts = result->facts_stored;
+        out->push_back(std::string("OK path=") + ServePathName(result->path) +
+                       " epoch=" + std::to_string(result->epoch) +
+                       " answers=" + std::to_string(result->answers.size()) +
+                       " fixpoint=" + (result->reached_fixpoint ? "1" : "0"));
+        for (const std::string& answer : result->answers) {
           out->push_back(answer);
         }
       }
@@ -104,14 +142,31 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
       out->push_back("END");
       return ProtocolAction::kContinue;
     }
-    Result<IngestOutcome> outcome = service.Ingest(rest);
-    if (!outcome.ok()) {
-      EmitError(outcome.status(), out);
+    Result<IngestOutcome> result = service.Ingest(rest);
+    if (!result.ok()) {
+      EmitError(result.status(), out);
     } else {
-      out->push_back("OK accepted=" + std::to_string(outcome->accepted) +
-                     " duplicates=" + std::to_string(outcome->duplicates) +
-                     " epoch=" + std::to_string(outcome->epoch));
+      outcome->derived_facts = result->accepted;
+      out->push_back("OK accepted=" + std::to_string(result->accepted) +
+                     " duplicates=" + std::to_string(result->duplicates) +
+                     " epoch=" + std::to_string(result->epoch));
     }
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "PRIORITY") {
+    PriorityClass priority;
+    if (!ParsePriorityClass(rest, &priority)) {
+      EmitError(Status::InvalidArgument(
+                    "PRIORITY needs one of interactive, normal, batch"),
+                out);
+      out->push_back("END");
+      return ProtocolAction::kContinue;
+    }
+    outcome->priority_changed = true;
+    outcome->priority = priority;
+    out->push_back(std::string("OK priority=") + PriorityClassName(priority));
     out->push_back("END");
     return ProtocolAction::kContinue;
   }
@@ -128,9 +183,11 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
     out->push_back("resumes=" + std::to_string(stats.resumes));
     out->push_back("resumed_iterations=" +
                    std::to_string(stats.resumed_iterations));
+    out->push_back("governed_aborts=" + std::to_string(stats.governed_aborts));
     out->push_back("epoch=" + std::to_string(stats.epoch));
     out->push_back("prepared_entries=" +
                    std::to_string(stats.prepared_entries));
+    if (stats.scheduler.attached) EmitSchedulerStats(stats.scheduler, out);
     out->push_back("END");
     return ProtocolAction::kContinue;
   }
@@ -141,9 +198,9 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
     return ProtocolAction::kShutdown;
   }
 
-  EmitError(Status::InvalidArgument(
-                "unknown command '" + command +
-                "' (expected PREPARE, QUERY, INGEST, STATS, or SHUTDOWN)"),
+  EmitError(Status::InvalidArgument("unknown command '" + command +
+                                    "' (expected PREPARE, QUERY, INGEST, "
+                                    "PRIORITY, STATS, or SHUTDOWN)"),
             out);
   out->push_back("END");
   return ProtocolAction::kContinue;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "service/query_service.h"
+#include "service/scheduler.h"
 
 namespace cqlopt {
 
@@ -17,8 +18,14 @@ namespace cqlopt {
 ///   PREPARE <steps> <query>     memoize the rewrite pipeline
 ///   QUERY <steps> <query>       serve a query; answers follow, one per line
 ///   INGEST <facts>              commit `.`-terminated facts as a new epoch
+///   PRIORITY <class>            set this connection's scheduling class
+///                               (interactive | normal | batch)
 ///   STATS                       one `key=value` line per service counter
 ///   SHUTDOWN                    acknowledge and stop the server
+///
+/// Under overload the server refuses work instead of stalling: a request
+/// past the admission bound is answered `ERR RESOURCE_EXHAUSTED ...` +
+/// `END` without being executed (service/scheduler.h).
 ///
 /// `<steps>` is the comma-separated rewrite spec with no spaces
 /// (`pred,qrp,mg`), or `-` for the identity pipeline; `<query>` is CQL
@@ -34,12 +41,27 @@ enum class ProtocolAction {
   kShutdown,
 };
 
+/// Side channel from one handled line back to the transport driving it —
+/// facts for the scheduler's fair-share charge, and PRIORITY changes for
+/// the connection to apply. The stdio loop ignores it.
+struct LineOutcome {
+  /// Facts stored by the evaluation this line triggered (QUERY) or
+  /// accepted into the new epoch (INGEST); 0 otherwise.
+  long derived_facts = 0;
+  /// True when the line was a successful PRIORITY verb; `priority` then
+  /// holds the class the connection should switch to.
+  bool priority_changed = false;
+  PriorityClass priority = PriorityClass::kNormal;
+};
+
 /// Handles one request line against `service`, appending the response lines
 /// (including the trailing `END`) to `out`. Pure request/response logic —
 /// no I/O — so the protocol is unit-testable without sockets; the server
-/// and the stdio loop both drive it.
+/// and the stdio loop both drive it. `outcome`, when non-null, reports
+/// transport-relevant side effects of the line.
 ProtocolAction HandleLine(QueryService& service, const std::string& line,
-                          std::vector<std::string>* out);
+                          std::vector<std::string>* out,
+                          LineOutcome* outcome = nullptr);
 
 }  // namespace cqlopt
 

@@ -198,6 +198,7 @@ Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
                         CollectDeltas(*head, entry->eval_epoch, &delta);
       if (can_resume) {
         int base_iterations = entry->eval->stats.iterations;
+        long base_inserted = entry->eval->stats.inserted;
         // Readers copy `entry->eval` only under this mutex, so a use count
         // of 1 proves nobody else holds the materialization and the resume
         // can consume it in place of deep-copying the whole database. (The
@@ -218,6 +219,7 @@ Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
         resumed.db.set_epoch(head->id);
         outcome.path = ServePath::kResumed;
         outcome.iterations_run = resumed.stats.iterations - base_iterations;
+        outcome.facts_stored = resumed.stats.inserted - base_inserted;
         eval = std::make_shared<EvalResult>(std::move(resumed));
       } else {
         EvalOptions opts = options_.eval;
@@ -230,6 +232,7 @@ Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
         outcome.path =
             prepared_hit ? ServePath::kPreparedEval : ServePath::kCold;
         outcome.iterations_run = cold.stats.iterations;
+        outcome.facts_stored = cold.stats.inserted;
         eval = std::make_shared<EvalResult>(std::move(cold));
       }
       entry->eval = eval;
@@ -493,15 +496,26 @@ std::string QueryService::RenderStateText() const {
 
 ServiceStats QueryService::Stats() const {
   ServiceStats snapshot;
+  std::function<void(ServiceStats*)> augmenter;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     snapshot = stats_;
+    augmenter = stats_augmenter_;
   }
   snapshot.epoch = epoch();
   snapshot.wal_enabled = wal_ != nullptr;
   PreparedCache::Counters cache = prepared_.Snapshot();
   snapshot.prepared_entries = cache.entries;
+  // Invoked outside stats_mutex_: the augmenter takes its own locks (the
+  // scheduler's), and must not call back into this service.
+  if (augmenter) augmenter(&snapshot);
   return snapshot;
+}
+
+void QueryService::SetStatsAugmenter(
+    std::function<void(ServiceStats*)> augmenter) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_augmenter_ = std::move(augmenter);
 }
 
 }  // namespace cqlopt

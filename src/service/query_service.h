@@ -2,6 +2,7 @@
 #define CQLOPT_SERVICE_QUERY_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -69,6 +70,10 @@ struct QueryOutcome {
   bool reached_fixpoint = false;
   /// Fixpoint iterations run by this call (0 for kEpochHit).
   int iterations_run = 0;
+  /// Facts stored by this call's evaluation (0 for kEpochHit; the resumed
+  /// path counts only the facts the resume itself inserted). The scheduler
+  /// charges this to the client's fair-share account.
+  long facts_stored = 0;
 };
 
 /// Outcome of one committed ingest batch.
@@ -95,6 +100,34 @@ struct RecoverOutcome {
   long truncated_bytes = 0;
   /// Truncation warning for the operator's log; empty when clean.
   std::string warning;
+};
+
+/// Scheduler counters, merged into ServiceStats snapshots by an attached
+/// Scheduler (service/scheduler.h) via QueryService::SetStatsAugmenter.
+/// All zero when the service runs without one (stdio / embedded use).
+struct SchedulerStats {
+  bool attached = false;
+  int workers = 0;
+  long queue_limit = 0;  // configured admission-queue bound
+  long queued = 0;       // tasks waiting right now
+  long in_flight = 0;    // tasks executing right now
+  long admitted = 0;
+  long shed = 0;       // refused outright: queue full, no preemptable victim
+  long preempted = 0;  // evicted from the queue by a higher priority class
+  long completed = 0;
+  /// Priority classes, scheduler.h PriorityClass order: interactive,
+  /// normal, batch.
+  static constexpr int kClasses = 3;
+  struct PerClass {
+    long submitted = 0;
+    long shed = 0;  // refusals + preemptions charged to this class
+    long completed = 0;
+    /// Fair-share cost charged (1 per dequeue + derived facts, in units of
+    /// scheduler.h kFactsPerCostUnit).
+    long cost = 0;
+    double wait_ms = 0;  // total submit -> dequeue time
+    double run_ms = 0;   // total dequeue -> completion time
+  } priority[kClasses];
 };
 
 /// Service counters (monotone; snapshot via Stats()).
@@ -124,6 +157,8 @@ struct ServiceStats {
   /// simply was not reset and stays replayable).
   long wal_compaction_failures = 0;
   long wal_replayed_batches = 0;
+  /// Admission/scheduling counters of the attached scheduler, if any.
+  SchedulerStats scheduler;
 };
 
 /// The embeddable query service the `cqld` server wraps: a resident CQL
@@ -217,6 +252,12 @@ class QueryService {
   ServiceStats Stats() const;
   const Program& program() const { return program_; }
 
+  /// Registers a hook that Stats() invokes on every snapshot (after the
+  /// service counters are filled) — how an attached Scheduler injects its
+  /// SchedulerStats without the service depending on the scheduler. Pass
+  /// nullptr to detach. The hook must not call back into this service.
+  void SetStatsAugmenter(std::function<void(ServiceStats*)> augmenter);
+
  private:
   /// Append-only chain of committed batches, newest first: walking `prev`
   /// from the head snapshot's node yields the deltas needed to resume a
@@ -285,6 +326,7 @@ class QueryService {
 
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
+  std::function<void(ServiceStats*)> stats_augmenter_;  // guarded by stats_mutex_
 };
 
 }  // namespace cqlopt

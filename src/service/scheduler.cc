@@ -1,0 +1,223 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+
+#include "util/failpoint.h"
+
+namespace cqlopt {
+
+namespace {
+
+/// Stride scale: a dequeue advances a class's virtual time by
+/// kStrideScale / weight, so relative progress is weight-proportional and
+/// integer arithmetic keeps the schedule deterministic.
+constexpr long kStrideScale = 1 << 20;
+
+SchedulerOptions Sanitize(SchedulerOptions options) {
+  options.workers = std::max(1, options.workers);
+  options.queue_depth = std::max(1, options.queue_depth);
+  for (long& w : options.weights) w = std::max<long>(1, w);
+  return options;
+}
+
+double ToMs(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+const char* PriorityClassName(PriorityClass priority) {
+  switch (priority) {
+    case PriorityClass::kInteractive:
+      return "interactive";
+    case PriorityClass::kNormal:
+      return "normal";
+    case PriorityClass::kBatch:
+      return "batch";
+  }
+  return "normal";
+}
+
+bool ParsePriorityClass(const std::string& name, PriorityClass* out) {
+  if (name == "interactive") {
+    *out = PriorityClass::kInteractive;
+  } else if (name == "normal") {
+    *out = PriorityClass::kNormal;
+  } else if (name == "batch") {
+    *out = PriorityClass::kBatch;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(Sanitize(options)) {
+  for (int c = 0; c < kPriorityClasses; ++c) {
+    strides_[c] = kStrideScale / options_.weights[c];
+  }
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  Attach(nullptr);
+  Stop();
+}
+
+bool Scheduler::TrySubmit(Task task) {
+  const int c = static_cast<int>(task.priority);
+  std::function<void()> victim_shed;
+  std::function<void()> refused_shed;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++per_class_[c].submitted;
+    size_t waiting = 0;
+    for (const auto& queue : queues_) waiting += queue.size();
+    if (stopping_) {
+      ++shed_;
+      ++per_class_[c].shed;
+      refused_shed = std::move(task.shed);
+    } else if (waiting < static_cast<size_t>(options_.queue_depth)) {
+      admitted = true;
+    } else {
+      // Queue full: preempt the *newest* queued task of the lowest class
+      // strictly below the submission — newest first so a class's FIFO
+      // order is preserved for whatever survives.
+      for (int victim = kPriorityClasses - 1; victim > c; --victim) {
+        if (queues_[victim].empty()) continue;
+        ++preempted_;
+        ++per_class_[victim].shed;
+        victim_shed = std::move(queues_[victim].back().task.shed);
+        queues_[victim].pop_back();
+        admitted = true;
+        break;
+      }
+      if (!admitted) {
+        ++shed_;
+        ++per_class_[c].shed;
+        refused_shed = std::move(task.shed);
+      }
+    }
+    if (admitted) {
+      queues_[c].push_back({std::move(task), std::chrono::steady_clock::now()});
+      // A class waking from empty joins at the global pass: idle time banks
+      // no credit, so a burst after a quiet period cannot starve the rest.
+      if (queues_[c].size() == 1) vt_[c] = std::max(vt_[c], pass_);
+      ++admitted_;
+      cv_.notify_one();
+    }
+  }
+  // Shed callbacks run outside the lock (they typically post a response).
+  if (victim_shed) victim_shed();
+  if (refused_shed) refused_shed();
+  return admitted;
+}
+
+void Scheduler::Charge(PriorityClass priority, long facts) {
+  if (facts <= 0) return;
+  const int c = static_cast<int>(priority);
+  const long units = (facts + kFactsPerCostUnit - 1) / kFactsPerCostUnit;
+  std::lock_guard<std::mutex> lock(mu_);
+  per_class_[c].cost += units;
+  vt_[c] += units * strides_[c];
+}
+
+void Scheduler::Attach(QueryService* service) {
+  if (attached_service_ != nullptr && attached_service_ != service) {
+    attached_service_->SetStatsAugmenter(nullptr);
+  }
+  attached_service_ = service;
+  if (service != nullptr) {
+    service->SetStatsAugmenter(
+        [this](ServiceStats* stats) { stats->scheduler = Snapshot(); });
+  }
+}
+
+SchedulerStats Scheduler::Snapshot() const {
+  SchedulerStats stats;
+  stats.attached = true;
+  stats.workers = options_.workers;
+  stats.queue_limit = options_.queue_depth;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& queue : queues_) {
+    stats.queued += static_cast<long>(queue.size());
+  }
+  stats.in_flight = in_flight_;
+  stats.admitted = admitted_;
+  stats.shed = shed_;
+  stats.preempted = preempted_;
+  stats.completed = completed_;
+  for (int c = 0; c < kPriorityClasses; ++c) {
+    stats.priority[c] = per_class_[c];
+  }
+  return stats;
+}
+
+void Scheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+int Scheduler::PickClass() const {
+  int best = -1;
+  for (int c = 0; c < kPriorityClasses; ++c) {
+    if (queues_[c].empty()) continue;
+    if (best < 0 || vt_[c] < vt_[best]) best = c;  // tie: higher priority
+  }
+  return best;
+}
+
+void Scheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || PickClass() >= 0; });
+    // Freeze point: while "scheduler/worker-hold" is armed, spin *before*
+    // dequeuing so tests can fill the admission queue and observe
+    // deterministic shed/preemption decisions.
+    {
+      lock.unlock();
+      bool held = false;
+      while (failpoint::ShouldFail(failpoint::kSchedulerWorkerHold)) {
+        held = true;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+      lock.lock();
+      if (held) continue;  // re-evaluate the queues after thawing
+    }
+    const int c = PickClass();
+    if (c < 0) {
+      // Spurious wake or another worker drained the queues. Stop only once
+      // empty: already-admitted tasks always run (drain semantics).
+      if (stopping_) return;
+      continue;
+    }
+    Queued item = std::move(queues_[c].front());
+    queues_[c].pop_front();
+    pass_ = vt_[c];  // virtual start of the task now running
+    vt_[c] += strides_[c];
+    ++per_class_[c].cost;
+    ++in_flight_;
+    const auto dequeued = std::chrono::steady_clock::now();
+    per_class_[c].wait_ms += ToMs(dequeued - item.enqueued);
+    lock.unlock();
+    if (item.task.run) item.task.run();
+    const auto finished = std::chrono::steady_clock::now();
+    lock.lock();
+    per_class_[c].run_ms += ToMs(finished - dequeued);
+    --in_flight_;
+    ++completed_;
+    ++per_class_[c].completed;
+  }
+}
+
+}  // namespace cqlopt

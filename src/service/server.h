@@ -1,10 +1,12 @@
 #ifndef CQLOPT_SERVICE_SERVER_H_
 #define CQLOPT_SERVICE_SERVER_H_
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
 #include "service/protocol.h"
+#include "service/scheduler.h"
 
 namespace cqlopt {
 
@@ -16,15 +18,52 @@ namespace cqlopt {
 /// (util/failpoint.h) forces 1-byte transfers to exercise the loop.
 bool WriteFull(int fd, const std::string& data);
 
-/// Serves the line protocol (service/protocol.h) over a unix-domain socket
-/// at `socket_path`, one thread per accepted connection. Removes a stale
-/// socket file before binding and unlinks it on return. Blocks until a
-/// client sends SHUTDOWN (any connection shuts the whole server down — cqld
-/// is a single-tenant daemon) and all connection threads have drained.
+/// The endpoints a ServeLoop actually bound, reported through
+/// ServerOptions::on_ready — `tcp_port` resolves an ephemeral request
+/// (tcp_port = 0) to the kernel-assigned port.
+struct ServerEndpoints {
+  std::string socket_path;  // empty when no unix listener
+  int tcp_port = -1;        // -1 when no TCP listener
+};
+
+struct ServerOptions {
+  /// Unix-domain listener path; empty disables. A stale socket file from a
+  /// previous run is removed before binding, and the file is unlinked on
+  /// return.
+  std::string socket_path;
+  /// TCP listener port (all interfaces); -1 disables, 0 binds an ephemeral
+  /// port (reported via on_ready).
+  int tcp_port = -1;
+  /// listen(2) backlog for both listeners.
+  int listen_backlog = 64;
+  /// Worker pool + admission control (service/scheduler.h).
+  SchedulerOptions scheduler;
+  /// Invoked once from the serving thread after every listener is bound
+  /// and before the first accept — how tests and cqld learn the ephemeral
+  /// TCP port. May be empty.
+  std::function<void(const ServerEndpoints&)> on_ready;
+};
+
+/// Serves the line protocol over a non-blocking epoll event loop: one
+/// thread accepts connections and frames lines, a Scheduler worker pool
+/// executes them (reads concurrent over snapshot epochs, ingests
+/// serialized by the service's single-writer commit path), and responses
+/// flush back in per-connection request order however the workers
+/// interleave. Requests past the admission bound are shed with a typed
+/// `ERR RESOURCE_EXHAUSTED` response instead of stalling the accept loop
+/// (DESIGN.md §13). Blocks until a client sends SHUTDOWN (any connection
+/// stops the whole server — cqld is a single-tenant daemon); admitted work
+/// drains before return.
+Status ServeLoop(QueryService& service, const ServerOptions& options);
+
+/// ServeLoop over a unix socket with default scheduling options — the
+/// legacy single-listener entry point, kept for callers that predate
+/// ServerOptions.
 Status ServeUnixSocket(QueryService& service, const std::string& socket_path);
 
 /// Serves the line protocol over an istream/ostream pair — `cqld --stdio`
-/// and the protocol tests. Returns after SHUTDOWN or end of input.
+/// and the protocol tests. Single-threaded, no scheduler: lines execute
+/// inline in arrival order. Returns after SHUTDOWN or end of input.
 Status ServeStreams(QueryService& service, std::istream& in,
                     std::ostream& out);
 

@@ -3,7 +3,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
 #include <utility>
 
 #include "ast/printer.h"
@@ -12,6 +16,7 @@
 #include "core/equivalence.h"
 #include "service/protocol.h"
 #include "service/query_service.h"
+#include "service/scheduler.h"
 #include "testing/oracle.h"
 #include "transform/pipeline.h"
 #include "util/failpoint.h"
@@ -510,6 +515,144 @@ PropertyOutcome ServiceRoundtrip(const FuzzCase& c, const FuzzOptions& fo) {
 }
 
 // ---------------------------------------------------------------------------
+// scheduler_equiv: a random concurrent client schedule through the worker
+// pool must leave the service observably equal to a serial replay.
+
+PropertyOutcome SchedulerEquiv(const FuzzCase& c, const FuzzOptions& fo) {
+  // Dedup the EDB by key and round-robin it into disjoint batches: each
+  // batch is exactly one INGEST epoch, whatever order the pool commits
+  // them in, so the epoch count is schedule-independent.
+  std::vector<Fact> unique;
+  {
+    std::set<std::string> seen;
+    for (const Fact& fact : c.edb) {
+      if (seen.insert(fact.Key()).second) unique.push_back(fact);
+    }
+  }
+  constexpr size_t kBatches = 3;
+  std::vector<std::string> ingest_lines;
+  for (size_t b = 0; b < kBatches; ++b) {
+    std::string line = "INGEST";
+    for (size_t i = b; i < unique.size(); i += kBatches) {
+      line += " " + unique[i].ToString(*c.program.symbols) + ".";
+    }
+    if (line != "INGEST") ingest_lines.push_back(std::move(line));
+  }
+
+  ServiceOptions sopts;
+  sopts.eval = EngineOptions(fo, EvalStrategy::kStratified);
+  auto concurrent = QueryService::FromParts(c.program, Database(), sopts);
+  if (!concurrent.ok()) {
+    return PropertyOutcome::Fail("FromParts failed: " +
+                                 concurrent.status().message());
+  }
+  std::string query_line = RenderQuery(c.query, *c.program.symbols);
+
+  std::atomic<int> shed{0};
+  std::mutex bad_mutex;
+  std::vector<std::string> bad;
+  {
+    SchedulerOptions sched;
+    const int worker_choices[] = {1, 2, 8};
+    sched.workers = worker_choices[c.seed % 3];
+    sched.queue_depth = 32;  // > total tasks: admission can never shed
+    Scheduler scheduler(sched);
+    auto submit = [&](const std::string& line, PriorityClass priority) {
+      Scheduler::Task task;
+      task.priority = priority;
+      task.run = [&, line] {
+        std::vector<std::string> out;
+        HandleLine(**concurrent, line, &out);
+        if (out.empty() || out.back() != "END" ||
+            out[0].rfind("OK", 0) != 0) {
+          std::lock_guard<std::mutex> hold(bad_mutex);
+          bad.push_back(line + " -> " +
+                        (out.empty() ? std::string("(no response)")
+                                     : out[0]));
+        }
+      };
+      task.shed = [&] { shed.fetch_add(1); };
+      scheduler.TrySubmit(std::move(task));
+    };
+    // Two clients race: one commits the ingest epochs, one queries every
+    // intermediate state. The scheduler (not the submission order) picks
+    // the interleaving; mid-run answers are only checked for framing.
+    std::thread ingester([&] {
+      for (const std::string& line : ingest_lines) {
+        submit(line, PriorityClass::kNormal);
+      }
+    });
+    std::thread querier([&] {
+      for (size_t i = 0; i <= ingest_lines.size(); ++i) {
+        submit("QUERY - " + query_line, PriorityClass::kInteractive);
+      }
+    });
+    ingester.join();
+    querier.join();
+    scheduler.Stop();  // drains every admitted task
+  }
+  if (shed.load() != 0) {
+    return PropertyOutcome::Fail(
+        "scheduler shed " + std::to_string(shed.load()) +
+        " tasks below its admission bound");
+  }
+  if (!bad.empty()) {
+    return PropertyOutcome::Fail("concurrent protocol error: " + bad[0]);
+  }
+
+  std::vector<std::string> concurrent_answers;
+  bool concurrent_capped = false;
+  std::string error;
+  if (!ServiceQuery(**concurrent, query_line, &concurrent_answers,
+                    &concurrent_capped, &error)) {
+    return PropertyOutcome::Fail("protocol after concurrent run: " + error);
+  }
+
+  // Serial replay, built only after the pool drained: both services share
+  // the program's SymbolTable, and interning is not synchronized across
+  // service instances.
+  auto serial = QueryService::FromParts(c.program, Database(), sopts);
+  if (!serial.ok()) {
+    return PropertyOutcome::Fail("serial FromParts failed: " +
+                                 serial.status().message());
+  }
+  for (const std::string& line : ingest_lines) {
+    std::vector<std::string> out;
+    HandleLine(**serial, line, &out);
+    if (out.empty() || out[0].rfind("OK", 0) != 0) {
+      return PropertyOutcome::Fail(
+          "serial INGEST rejected: " +
+          (out.empty() ? std::string("(no response)") : out[0]));
+    }
+  }
+  std::vector<std::string> serial_answers;
+  bool serial_capped = false;
+  if (!ServiceQuery(**serial, query_line, &serial_answers, &serial_capped,
+                    &error)) {
+    return PropertyOutcome::Fail("serial protocol: " + error);
+  }
+  if (concurrent_capped || serial_capped) {
+    return PropertyOutcome::Skip("iteration cap hit before fixpoint");
+  }
+  if (concurrent_answers != serial_answers) {
+    return PropertyOutcome::Fail(
+        "concurrent answers differ from serial replay: " +
+        std::to_string(concurrent_answers.size()) + " vs " +
+        std::to_string(serial_answers.size()));
+  }
+  const auto expected_epoch = static_cast<int64_t>(ingest_lines.size());
+  if ((*concurrent)->epoch() != expected_epoch ||
+      (*serial)->epoch() != expected_epoch) {
+    return PropertyOutcome::Fail(
+        "epoch mismatch: concurrent " +
+        std::to_string((*concurrent)->epoch()) + ", serial " +
+        std::to_string((*serial)->epoch()) + ", expected " +
+        std::to_string(expected_epoch));
+  }
+  return PropertyOutcome::Ok();
+}
+
+// ---------------------------------------------------------------------------
 // crash_recovery: WAL durability under injected faults at every site.
 
 /// A mkdtemp'd WAL directory, removed (known files + dir) on scope exit so
@@ -996,6 +1139,10 @@ const std::vector<PropertyInfo>& AllProperties() {
            "interval-indexed probe pruning on vs off: byte-identical facts, "
            "births, traces, and core stats",
            &IntervalEquiv},
+          {"scheduler_equiv",
+           "random concurrent client schedules through the worker pool "
+           "match a serial replay (answers and epoch count)",
+           &SchedulerEquiv},
       };
   return *properties;
 }

@@ -39,6 +39,13 @@ namespace testing {
 ///                       core stats (the columnar interval index of
 ///                       DESIGN.md §12 only skips rows the per-tuple
 ///                       satisfiability check would reject)
+///   scheduler_equiv     a random concurrent client schedule (disjoint
+///                       INGEST batches racing QUERYs through the worker
+///                       pool, 1/2/8 workers by seed) ≡ a serial replay of
+///                       the same batches — same final answers, same epoch
+///                       count, every in-flight response correctly framed
+///                       (the scheduler of DESIGN.md §13 only reorders,
+///                       never corrupts)
 ///
 /// Outcomes are three-valued: ok, skipped (the comparison is not defined —
 /// a fixpoint hit its iteration cap, or a pipeline cleanly rejected the

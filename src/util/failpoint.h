@@ -37,6 +37,9 @@ inline constexpr const char* kWalCrashBeforeCommit = "wal/crash-before-commit";
 inline constexpr const char* kWalCrashAfterCommit = "wal/crash-after-commit";
 inline constexpr const char* kServerShortWrite = "server/short-write";
 inline constexpr const char* kEvalRuleAlloc = "eval/rule-alloc";
+/// Scheduler workers spin (without dequeuing) while this is armed, so tests
+/// can fill the admission queue and observe deterministic shed counts.
+inline constexpr const char* kSchedulerWorkerHold = "scheduler/worker-hold";
 
 /// Every registered site name, in the order above.
 const std::vector<std::string>& AllSites();

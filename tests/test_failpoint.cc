@@ -32,13 +32,14 @@ TEST_F(FailpointTest, DisarmedNeverFires) {
 
 TEST_F(FailpointTest, CatalogueMatchesTheNamedConstants) {
   const std::vector<std::string>& sites = failpoint::AllSites();
-  ASSERT_EQ(sites.size(), 6u);
+  ASSERT_EQ(sites.size(), 7u);
   EXPECT_EQ(sites[0], failpoint::kWalShortWrite);
   EXPECT_EQ(sites[1], failpoint::kWalFsync);
   EXPECT_EQ(sites[2], failpoint::kWalCrashBeforeCommit);
   EXPECT_EQ(sites[3], failpoint::kWalCrashAfterCommit);
   EXPECT_EQ(sites[4], failpoint::kServerShortWrite);
   EXPECT_EQ(sites[5], failpoint::kEvalRuleAlloc);
+  EXPECT_EQ(sites[6], failpoint::kSchedulerWorkerHold);
 }
 
 TEST_F(FailpointTest, ArmFiresOnceThenAutoDisarms) {

@@ -1,0 +1,402 @@
+// Tests for the admission-controlled fair-share scheduler (src/service/
+// scheduler.h). The deterministic cases freeze the worker pool with the
+// "scheduler/worker-hold" failpoint — frozen workers never dequeue, so the
+// admission queue fills to exactly its bound and shed/preemption decisions
+// are reproducible — then thaw and assert the stride-scheduling dequeue
+// order. The concurrency cases check the subsystem's core promise: any
+// interleaving of queries and ingests through the scheduler lands on a
+// final state byte-identical to a serial replay, at 1, 2, and 8 workers.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "util/failpoint.h"
+
+namespace cqlopt {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+std::string ProgramPath(const std::string& name) {
+  return std::string(CQLOPT_PROGRAMS_DIR) + "/" + name;
+}
+
+const char kFlightsQuery[] = "?- cheaporshort(msn, sea, Time, Cost).";
+
+std::unique_ptr<QueryService> FlightsService() {
+  auto service = QueryService::FromText(ReadFile(ProgramPath("flights.cql")),
+                                        ReadFile(ProgramPath("flights_edb.cql")),
+                                        {});
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return std::move(*service);
+}
+
+bool WaitUntil(const std::function<bool()>& pred, int timeout_ms = 20000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+/// Records task completions in execution order.
+struct OrderLog {
+  std::mutex mu;
+  std::vector<std::string> order;
+
+  std::function<void()> Run(std::string label) {
+    return [this, label = std::move(label)] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(label);
+    };
+  }
+
+  std::vector<std::string> Snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return order;
+  }
+};
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(SchedulerTest, PriorityClassNamesRoundTrip) {
+  for (PriorityClass priority :
+       {PriorityClass::kInteractive, PriorityClass::kNormal,
+        PriorityClass::kBatch}) {
+    PriorityClass parsed;
+    ASSERT_TRUE(ParsePriorityClass(PriorityClassName(priority), &parsed));
+    EXPECT_EQ(parsed, priority);
+  }
+  PriorityClass parsed;
+  EXPECT_FALSE(ParsePriorityClass("urgent", &parsed));
+  EXPECT_FALSE(ParsePriorityClass("", &parsed));
+}
+
+TEST_F(SchedulerTest, ExecutesSubmittedTasks) {
+  SchedulerOptions options;
+  options.workers = 2;
+  options.queue_depth = 32;
+  Scheduler scheduler(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    Scheduler::Task task;
+    task.run = [&ran] { ran.fetch_add(1); };
+    EXPECT_TRUE(scheduler.TrySubmit(std::move(task)));
+  }
+  ASSERT_TRUE(WaitUntil([&] { return ran.load() == 10; }));
+  SchedulerStats stats = scheduler.Snapshot();
+  EXPECT_EQ(stats.admitted, 10);
+  EXPECT_EQ(stats.completed, 10);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.preempted, 0);
+  EXPECT_EQ(stats.priority[static_cast<int>(PriorityClass::kNormal)].submitted,
+            10);
+  EXPECT_GE(stats.priority[static_cast<int>(PriorityClass::kNormal)].cost, 10);
+}
+
+TEST_F(SchedulerTest, ShedsDeterministicallyAtTheAdmissionBound) {
+  SchedulerOptions options;
+  options.workers = 2;
+  options.queue_depth = 4;
+  Scheduler scheduler(options);
+  // Freeze the pool: no dequeue can happen while the hold is armed, so the
+  // queue holds exactly queue_depth tasks and the rest shed synchronously.
+  failpoint::Arm(failpoint::kSchedulerWorkerHold, 0, 0);
+  std::atomic<int> ran{0};
+  std::vector<int> shed_order;
+  for (int i = 0; i < 7; ++i) {
+    Scheduler::Task task;
+    task.run = [&ran] { ran.fetch_add(1); };
+    task.shed = [&shed_order, i] { shed_order.push_back(i); };
+    bool admitted = scheduler.TrySubmit(std::move(task));
+    EXPECT_EQ(admitted, i < 4) << "submission " << i;
+  }
+  SchedulerStats frozen = scheduler.Snapshot();
+  EXPECT_EQ(frozen.queued, 4);
+  EXPECT_EQ(frozen.admitted, 4);
+  EXPECT_EQ(frozen.shed, 3);
+  EXPECT_EQ(shed_order, (std::vector<int>{4, 5, 6}));
+
+  failpoint::DisarmAll();
+  ASSERT_TRUE(WaitUntil([&] { return ran.load() == 4; }));
+  SchedulerStats thawed = scheduler.Snapshot();
+  EXPECT_EQ(thawed.completed, 4);
+  EXPECT_EQ(thawed.shed, 3);  // thawing releases work, not refusals
+}
+
+TEST_F(SchedulerTest, PreemptsTheNewestLowerClassTask) {
+  SchedulerOptions options;
+  options.workers = 1;
+  options.queue_depth = 2;
+  Scheduler scheduler(options);
+  failpoint::Arm(failpoint::kSchedulerWorkerHold, 0, 0);
+  OrderLog log;
+  std::atomic<bool> b1_shed{false};
+  for (const char* label : {"B0", "B1"}) {
+    Scheduler::Task task;
+    task.priority = PriorityClass::kBatch;
+    task.run = log.Run(label);
+    if (std::string(label) == "B1") {
+      task.shed = [&b1_shed] { b1_shed.store(true); };
+    }
+    ASSERT_TRUE(scheduler.TrySubmit(std::move(task)));
+  }
+  // Queue full of batch work; an interactive arrival evicts the *newest*
+  // batch task (B1) instead of being refused.
+  Scheduler::Task interactive;
+  interactive.priority = PriorityClass::kInteractive;
+  interactive.run = log.Run("I0");
+  EXPECT_TRUE(scheduler.TrySubmit(std::move(interactive)));
+  EXPECT_TRUE(b1_shed.load());
+  SchedulerStats frozen = scheduler.Snapshot();
+  EXPECT_EQ(frozen.preempted, 1);
+  EXPECT_EQ(frozen.queued, 2);
+  EXPECT_EQ(frozen.shed, 0);  // preemption is not a refusal
+  EXPECT_EQ(frozen.priority[static_cast<int>(PriorityClass::kBatch)].shed, 1);
+
+  failpoint::DisarmAll();
+  ASSERT_TRUE(WaitUntil([&] { return log.Snapshot().size() == 2; }));
+  // Both classes start at virtual time 0; the tie goes to the higher
+  // priority, so the interactive task runs before the surviving batch one.
+  EXPECT_EQ(log.Snapshot(), (std::vector<std::string>{"I0", "B0"}));
+}
+
+TEST_F(SchedulerTest, StrideScheduleInterleavesByWeight) {
+  SchedulerOptions options;
+  options.workers = 1;
+  options.queue_depth = 32;
+  // Default weights: interactive 8, batch 1 — batch gets one dequeue per
+  // eight interactive ones once both queues are loaded.
+  Scheduler scheduler(options);
+  failpoint::Arm(failpoint::kSchedulerWorkerHold, 0, 0);
+  OrderLog log;
+  for (int i = 0; i < 9; ++i) {
+    Scheduler::Task task;
+    task.priority = PriorityClass::kInteractive;
+    task.run = log.Run("I" + std::to_string(i));
+    ASSERT_TRUE(scheduler.TrySubmit(std::move(task)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    Scheduler::Task task;
+    task.priority = PriorityClass::kBatch;
+    task.run = log.Run("B" + std::to_string(i));
+    ASSERT_TRUE(scheduler.TrySubmit(std::move(task)));
+  }
+  failpoint::DisarmAll();
+  ASSERT_TRUE(WaitUntil([&] { return log.Snapshot().size() == 11; }));
+  EXPECT_EQ(log.Snapshot(),
+            (std::vector<std::string>{"I0", "B0", "I1", "I2", "I3", "I4",
+                                      "I5", "I6", "I7", "I8", "B1"}));
+}
+
+TEST_F(SchedulerTest, DerivedFactChargesPushAClassBehind) {
+  SchedulerOptions options;
+  options.workers = 1;
+  options.queue_depth = 8;
+  Scheduler scheduler(options);
+  // A large fact bill against interactive: its virtual time jumps far
+  // ahead, so the next contested dequeue goes to batch despite the weights.
+  scheduler.Charge(PriorityClass::kInteractive, 1000 * kFactsPerCostUnit);
+  EXPECT_EQ(
+      scheduler.Snapshot().priority[static_cast<int>(PriorityClass::kInteractive)]
+          .cost,
+      1000);
+
+  failpoint::Arm(failpoint::kSchedulerWorkerHold, 0, 0);
+  OrderLog log;
+  Scheduler::Task interactive;
+  interactive.priority = PriorityClass::kInteractive;
+  interactive.run = log.Run("I0");
+  ASSERT_TRUE(scheduler.TrySubmit(std::move(interactive)));
+  Scheduler::Task batch;
+  batch.priority = PriorityClass::kBatch;
+  batch.run = log.Run("B0");
+  ASSERT_TRUE(scheduler.TrySubmit(std::move(batch)));
+  failpoint::DisarmAll();
+  ASSERT_TRUE(WaitUntil([&] { return log.Snapshot().size() == 2; }));
+  EXPECT_EQ(log.Snapshot(), (std::vector<std::string>{"B0", "I0"}));
+}
+
+TEST_F(SchedulerTest, StopDrainsAdmittedWorkAndShedsNewSubmissions) {
+  SchedulerOptions options;
+  options.workers = 1;
+  options.queue_depth = 8;
+  Scheduler scheduler(options);
+  failpoint::Arm(failpoint::kSchedulerWorkerHold, 0, 0);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 3; ++i) {
+    Scheduler::Task task;
+    task.run = [&ran] { ran.fetch_add(1); };
+    ASSERT_TRUE(scheduler.TrySubmit(std::move(task)));
+  }
+  failpoint::DisarmAll();
+  scheduler.Stop();
+  // Stop drains: every admitted task ran before the workers exited.
+  EXPECT_EQ(ran.load(), 3);
+  std::atomic<bool> late_shed{false};
+  Scheduler::Task late;
+  late.run = [&ran] { ran.fetch_add(1); };
+  late.shed = [&late_shed] { late_shed.store(true); };
+  EXPECT_FALSE(scheduler.TrySubmit(std::move(late)));
+  EXPECT_TRUE(late_shed.load());
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST_F(SchedulerTest, AttachInjectsCountersIntoServiceStats) {
+  auto service = FlightsService();
+  EXPECT_FALSE(service->Stats().scheduler.attached);
+  {
+    SchedulerOptions options;
+    options.workers = 3;
+    options.queue_depth = 5;
+    Scheduler scheduler(options);
+    scheduler.Attach(service.get());
+    ServiceStats stats = service->Stats();
+    EXPECT_TRUE(stats.scheduler.attached);
+    EXPECT_EQ(stats.scheduler.workers, 3);
+    EXPECT_EQ(stats.scheduler.queue_limit, 5);
+    // The STATS verb renders the injected counters.
+    std::vector<std::string> lines;
+    HandleLine(*service, "STATS", &lines);
+    bool found = false;
+    for (const std::string& line : lines) {
+      if (line == "sched_workers=3") found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+  // The scheduler detaches on destruction; stats fall back to zeros.
+  EXPECT_FALSE(service->Stats().scheduler.attached);
+}
+
+// ---------------------------------------------------------------------------
+// The subsystem promise: concurrent interleaved queries and ingests through
+// the scheduler reach a final state byte-identical to a serial replay, at
+// every worker count.
+
+std::string IngestLine(int thread, int round) {
+  std::string tag = std::to_string(thread) + std::to_string(round);
+  return "INGEST singleleg(cc" + tag + "a, cc" + tag + "b, " +
+         std::to_string(100 + thread * 10 + round) + ", " +
+         std::to_string(50 + thread) + ").";
+}
+
+std::vector<std::string> SortedLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+class SchedulerEquivalenceTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_P(SchedulerEquivalenceTest, ConcurrentScheduleMatchesSerialReplay) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  auto concurrent = FlightsService();
+  SchedulerOptions options;
+  options.workers = GetParam();
+  options.queue_depth = 256;
+  std::atomic<int> completed{0};
+  std::atomic<int> malformed{0};
+  {
+    Scheduler scheduler(options);
+    scheduler.Attach(concurrent.get());
+    // Submitter threads race: each interleaves disjoint ingest batches with
+    // queries under a different priority class.
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int r = 0; r < kRounds; ++r) {
+          for (const std::string& line :
+               {IngestLine(t, r), std::string("QUERY pred,qrp,mg ") +
+                                      kFlightsQuery}) {
+            Scheduler::Task task;
+            task.priority = static_cast<PriorityClass>(t % kPriorityClasses);
+            task.run = [&, line] {
+              std::vector<std::string> lines;
+              LineOutcome outcome;
+              HandleLine(*concurrent, line, &lines, &outcome);
+              // Every mid-run response must be well-formed: OK + END
+              // framing, whatever epoch it observed.
+              if (lines.empty() || lines.front().rfind("OK", 0) != 0 ||
+                  lines.back() != "END") {
+                malformed.fetch_add(1);
+              }
+              completed.fetch_add(1);
+            };
+            ASSERT_TRUE(scheduler.TrySubmit(std::move(task)));
+          }
+        }
+      });
+    }
+    for (std::thread& thread : submitters) thread.join();
+    ASSERT_TRUE(WaitUntil(
+        [&] { return completed.load() == kThreads * kRounds * 2; }));
+    SchedulerStats stats = scheduler.Snapshot();
+    EXPECT_EQ(stats.shed, 0);
+    EXPECT_EQ(stats.completed, kThreads * kRounds * 2);
+  }
+  EXPECT_EQ(malformed.load(), 0);
+
+  // Serial replay: the same ingest batches in a fixed order on a fresh
+  // service. Batches are disjoint, so each burns exactly one epoch in any
+  // order and the final EDB is interleaving-independent.
+  auto serial = FlightsService();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int r = 0; r < kRounds; ++r) {
+      std::vector<std::string> lines;
+      HandleLine(*serial, IngestLine(t, r), &lines);
+      ASSERT_EQ(lines.front().rfind("OK", 0), 0u) << lines.front();
+    }
+  }
+  auto concurrent_answers = concurrent->Execute(kFlightsQuery, "pred,qrp,mg");
+  auto serial_answers = serial->Execute(kFlightsQuery, "pred,qrp,mg");
+  ASSERT_TRUE(concurrent_answers.ok());
+  ASSERT_TRUE(serial_answers.ok());
+  EXPECT_EQ(concurrent_answers->answers, serial_answers->answers);
+  EXPECT_EQ(concurrent_answers->epoch, serial_answers->epoch);
+  EXPECT_EQ(concurrent->epoch(), kThreads * kRounds);
+  // RenderStateText lists facts in insertion order, which legitimately
+  // differs across interleavings — compare the sorted fact lines.
+  EXPECT_EQ(SortedLines(concurrent->RenderStateText()),
+            SortedLines(serial->RenderStateText()));
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, SchedulerEquivalenceTest,
+                         ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "workers" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cqlopt

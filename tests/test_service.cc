@@ -5,11 +5,18 @@
 // from-scratch kStratified evaluation of the grown database — across the
 // program corpus, all three subsumption modes, and 1/2/8 worker threads.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <future>
 #include <fstream>
 #include <random>
 #include <set>
@@ -757,6 +764,373 @@ TEST(ProtocolTest, ServeStreamsRunsASession) {
   EXPECT_NE(transcript.find("OK path=resumed epoch=1"), std::string::npos);
   EXPECT_NE(transcript.find("OK bye"), std::string::npos);
   EXPECT_EQ(transcript.find("after shutdown"), std::string::npos);
+}
+
+TEST(ProtocolTest, PriorityVerbReportsTheClassChange) {
+  auto service = FlightsService();
+  std::vector<std::string> lines;
+  LineOutcome outcome;
+  HandleLine(*service, "PRIORITY batch", &lines, &outcome);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "OK priority=batch");
+  EXPECT_EQ(lines[1], "END");
+  EXPECT_TRUE(outcome.priority_changed);
+  EXPECT_EQ(outcome.priority, PriorityClass::kBatch);
+
+  lines.clear();
+  outcome = {};
+  HandleLine(*service, "PRIORITY urgent", &lines, &outcome);
+  EXPECT_EQ(lines[0].rfind("ERR INVALID_ARGUMENT", 0), 0u) << lines[0];
+  EXPECT_FALSE(outcome.priority_changed);
+}
+
+// ---------------------------------------------------------------------------
+// The epoll serve loop: accept churn, TCP, pipelining, overload shedding,
+// and concurrent clients against a serial replay.
+
+/// Runs ServeLoop on a background thread and blocks until the listeners
+/// are bound (so tests know the socket path / ephemeral TCP port is live).
+struct TestServer {
+  TestServer(QueryService& service, ServerOptions opts)
+      : options(std::move(opts)) {
+    std::promise<ServerEndpoints> promise;
+    std::future<ServerEndpoints> future = promise.get_future();
+    options.on_ready = [&promise](const ServerEndpoints& endpoints) {
+      promise.set_value(endpoints);
+    };
+    thread = std::thread([this, &service] {
+      status = ServeLoop(service, options);
+    });
+    ready = future.wait_for(std::chrono::seconds(20)) ==
+            std::future_status::ready;
+    if (ready) endpoints = future.get();
+  }
+
+  ~TestServer() {
+    if (thread.joinable()) thread.join();
+  }
+
+  ServerOptions options;
+  ServerEndpoints endpoints;
+  bool ready = false;
+  Status status = Status::OK();
+  std::thread thread;
+};
+
+int ConnectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectTcp(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one END-framed response (its lines, END excluded). `buffer`
+/// carries partial reads between calls on the same connection. Empty on
+/// transport failure.
+std::vector<std::string> ReadResponse(int fd, std::string* buffer) {
+  std::vector<std::string> lines;
+  char chunk[4096];
+  for (;;) {
+    size_t newline = buffer->find('\n');
+    if (newline == std::string::npos) {
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return {};
+      buffer->append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer->substr(0, newline);
+    buffer->erase(0, newline + 1);
+    if (line == "END") return lines;
+    lines.push_back(line);
+  }
+}
+
+struct ServerFixtureDirs {
+  TempWalDir dir;  // reused as a scratch directory for socket files
+  std::string SocketPath() const { return dir.path + "/cqld.sock"; }
+};
+
+TEST(ServeLoopTest, ConnectionChurnDoesNotAccumulateState) {
+  ServerFixtureDirs scratch;
+  auto service = FlightsService();
+  ServerOptions options;
+  options.socket_path = scratch.SocketPath();
+  TestServer server(*service, options);
+  ASSERT_TRUE(server.ready);
+
+  // The old thread-per-connection loop kept one dead thread per finished
+  // connection until shutdown; the epoll loop must serve an arbitrary
+  // churn of short-lived connections off one thread + the worker pool.
+  const std::string query =
+      std::string("QUERY pred,qrp,mg ") + kFlightsQuery + "\n";
+  for (int i = 0; i < 50; ++i) {
+    int fd = ConnectUnix(scratch.SocketPath());
+    ASSERT_GE(fd, 0) << "connection " << i;
+    ASSERT_TRUE(SendAll(fd, query));
+    std::string buffer;
+    std::vector<std::string> response = ReadResponse(fd, &buffer);
+    ASSERT_FALSE(response.empty()) << "connection " << i;
+    EXPECT_EQ(response.front().rfind("OK path=", 0), 0u) << response.front();
+    ::close(fd);
+  }
+
+  int fd = ConnectUnix(scratch.SocketPath());
+  ASSERT_GE(fd, 0);
+  std::string buffer;
+  ASSERT_TRUE(SendAll(fd, "STATS\n"));
+  std::vector<std::string> stats = ReadResponse(fd, &buffer);
+  bool saw_queries = false;
+  for (const std::string& line : stats) {
+    if (line == "queries=50") saw_queries = true;
+  }
+  EXPECT_TRUE(saw_queries);
+  ASSERT_TRUE(SendAll(fd, "SHUTDOWN\n"));
+  std::vector<std::string> bye = ReadResponse(fd, &buffer);
+  ASSERT_FALSE(bye.empty());
+  EXPECT_EQ(bye.front(), "OK bye");
+  ::close(fd);
+  server.thread.join();
+  EXPECT_TRUE(server.status.ok()) << server.status.ToString();
+}
+
+TEST(ServeLoopTest, TcpListenerServesOnAnEphemeralPort) {
+  auto service = FlightsService();
+  ServerOptions options;
+  options.tcp_port = 0;  // kernel-assigned; reported through on_ready
+  options.listen_backlog = 8;
+  TestServer server(*service, options);
+  ASSERT_TRUE(server.ready);
+  ASSERT_GT(server.endpoints.tcp_port, 0);
+
+  int fd = ConnectTcp(server.endpoints.tcp_port);
+  ASSERT_GE(fd, 0);
+  std::string buffer;
+  ASSERT_TRUE(SendAll(fd, std::string("QUERY pred,qrp,mg ") + kFlightsQuery +
+                              "\nSHUTDOWN\n"));
+  std::vector<std::string> response = ReadResponse(fd, &buffer);
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response.front().rfind("OK path=", 0), 0u);
+  std::vector<std::string> bye = ReadResponse(fd, &buffer);
+  ASSERT_FALSE(bye.empty());
+  EXPECT_EQ(bye.front(), "OK bye");
+  ::close(fd);
+  server.thread.join();
+  EXPECT_TRUE(server.status.ok()) << server.status.ToString();
+}
+
+TEST(ServeLoopTest, PipelinedRequestsFlushInRequestOrder) {
+  ServerFixtureDirs scratch;
+  auto service = FlightsService();
+  ServerOptions options;
+  options.socket_path = scratch.SocketPath();
+  options.scheduler.workers = 4;
+  TestServer server(*service, options);
+  ASSERT_TRUE(server.ready);
+
+  int fd = ConnectUnix(scratch.SocketPath());
+  ASSERT_GE(fd, 0);
+  // One write, five requests: however the worker pool interleaves them,
+  // responses must come back in request order.
+  ASSERT_TRUE(SendAll(
+      fd, std::string("QUERY pred,qrp,mg ") + kFlightsQuery + "\n" +
+              "PRIORITY interactive\n" +
+              "INGEST singleleg(pipea, pipeb, 100, 50).\n" +
+              "QUERY pred,qrp,mg " + kFlightsQuery + "\nSHUTDOWN\n"));
+  std::string buffer;
+  std::vector<std::string> first = ReadResponse(fd, &buffer);
+  std::vector<std::string> second = ReadResponse(fd, &buffer);
+  std::vector<std::string> third = ReadResponse(fd, &buffer);
+  std::vector<std::string> fourth = ReadResponse(fd, &buffer);
+  std::vector<std::string> fifth = ReadResponse(fd, &buffer);
+  ASSERT_FALSE(fifth.empty());
+  EXPECT_EQ(first.front().rfind("OK path=", 0), 0u) << first.front();
+  EXPECT_EQ(second.front(), "OK priority=interactive");
+  EXPECT_EQ(third.front().rfind("OK accepted=1", 0), 0u) << third.front();
+  // Pipelined requests are admitted concurrently (so a burst can shed),
+  // and the pool may interleave their execution — the guarantee is that
+  // *responses* flush in request order, not that execution is serial, so
+  // the second query may see epoch 0 or 1.
+  EXPECT_EQ(fourth.front().rfind("OK path=", 0), 0u) << fourth.front();
+  EXPECT_EQ(fifth.front(), "OK bye");
+  ::close(fd);
+  server.thread.join();
+  EXPECT_TRUE(server.status.ok()) << server.status.ToString();
+}
+
+TEST(ServeLoopTest, OverloadShedsTypedErrorsWithoutStallingAccept) {
+  failpoint::DisarmAll();
+  ServerFixtureDirs scratch;
+  auto service = FlightsService();
+  ServerOptions options;
+  options.socket_path = scratch.SocketPath();
+  options.scheduler.workers = 2;
+  options.scheduler.queue_depth = 4;
+  TestServer server(*service, options);
+  ASSERT_TRUE(server.ready);
+
+  int a = ConnectUnix(scratch.SocketPath());
+  ASSERT_GE(a, 0);
+  // Freeze the workers, then burst past the admission bound: 4 requests
+  // queue, the rest must shed synchronously with a typed error.
+  failpoint::Arm(failpoint::kSchedulerWorkerHold, 0, 0);
+  std::string burst;
+  for (int i = 0; i < 10; ++i) {
+    burst += std::string("QUERY pred,qrp,mg ") + kFlightsQuery + "\n";
+  }
+  ASSERT_TRUE(SendAll(a, burst));
+  // Give the loop time to frame and submit the whole burst.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // The accept loop must stay responsive while the pool is saturated: a
+  // new client's request is refused *immediately* with RESOURCE_EXHAUSTED
+  // (its response cannot be stuck behind the frozen ones).
+  int b = ConnectUnix(scratch.SocketPath());
+  ASSERT_GE(b, 0);
+  std::string buffer_b;
+  ASSERT_TRUE(
+      SendAll(b, std::string("QUERY pred,qrp,mg ") + kFlightsQuery + "\n"));
+  std::vector<std::string> refused = ReadResponse(b, &buffer_b);
+  ASSERT_FALSE(refused.empty());
+  EXPECT_EQ(refused.front().rfind("ERR RESOURCE_EXHAUSTED", 0), 0u)
+      << refused.front();
+
+  failpoint::DisarmAll();
+  // Every burst request gets exactly one response, in order: the admitted
+  // prefix answers OK, the overflow is typed shed — zero stalled requests.
+  std::string buffer_a;
+  int ok = 0;
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::string> response = ReadResponse(a, &buffer_a);
+    ASSERT_FALSE(response.empty()) << "request " << i << " unanswered";
+    if (response.front().rfind("OK path=", 0) == 0) {
+      EXPECT_EQ(shed, 0) << "OK after a shed: responses out of order";
+      ++ok;
+    } else {
+      EXPECT_EQ(response.front().rfind("ERR RESOURCE_EXHAUSTED", 0), 0u)
+          << response.front();
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(shed, 6);
+
+  ASSERT_TRUE(SendAll(b, "SHUTDOWN\n"));
+  std::vector<std::string> bye = ReadResponse(b, &buffer_b);
+  ASSERT_FALSE(bye.empty());
+  EXPECT_EQ(bye.front(), "OK bye");
+  ::close(a);
+  ::close(b);
+  server.thread.join();
+  EXPECT_TRUE(server.status.ok()) << server.status.ToString();
+}
+
+TEST(ServeLoopTest, ConcurrentClientsMatchSerialReplay) {
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  ServerFixtureDirs scratch;
+  auto service = FlightsService();
+  ServerOptions options;
+  options.socket_path = scratch.SocketPath();
+  options.scheduler.workers = 8;
+  TestServer server(*service, options);
+  ASSERT_TRUE(server.ready);
+
+  auto ingest_line = [](int client, int round) {
+    std::string tag = std::to_string(client) + std::to_string(round);
+    return "INGEST singleleg(sv" + tag + "a, sv" + tag + "b, " +
+           std::to_string(110 + client * 10 + round) + ", " +
+           std::to_string(60 + client) + ").";
+  };
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      int fd = ConnectUnix(scratch.SocketPath());
+      if (fd < 0) {
+        errors.fetch_add(1);
+        return;
+      }
+      std::string buffer;
+      for (int r = 0; r < kRounds; ++r) {
+        for (const std::string& request :
+             {ingest_line(c, r),
+              std::string("QUERY pred,qrp,mg ") + kFlightsQuery}) {
+          if (!SendAll(fd, request + "\n")) {
+            errors.fetch_add(1);
+            break;
+          }
+          std::vector<std::string> response = ReadResponse(fd, &buffer);
+          if (response.empty() || response.front().rfind("OK", 0) != 0) {
+            errors.fetch_add(1);
+          }
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(errors.load(), 0);
+
+  // Serial replay of the same (disjoint) batches in a fixed order.
+  auto serial = FlightsService();
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRounds; ++r) {
+      std::vector<std::string> lines;
+      HandleLine(*serial, ingest_line(c, r), &lines);
+      ASSERT_EQ(lines.front().rfind("OK", 0), 0u) << lines.front();
+    }
+  }
+  auto concurrent_final = service->Execute(kFlightsQuery, "pred,qrp,mg");
+  auto serial_final = serial->Execute(kFlightsQuery, "pred,qrp,mg");
+  ASSERT_TRUE(concurrent_final.ok());
+  ASSERT_TRUE(serial_final.ok());
+  EXPECT_EQ(concurrent_final->answers, serial_final->answers);
+  EXPECT_EQ(service->epoch(), kClients * kRounds);
+  EXPECT_EQ(serial->epoch(), kClients * kRounds);
+
+  int fd = ConnectUnix(scratch.SocketPath());
+  ASSERT_GE(fd, 0);
+  std::string buffer;
+  ASSERT_TRUE(SendAll(fd, "SHUTDOWN\n"));
+  (void)ReadResponse(fd, &buffer);
+  ::close(fd);
+  server.thread.join();
+  EXPECT_TRUE(server.status.ok()) << server.status.ToString();
 }
 
 }  // namespace

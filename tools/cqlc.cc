@@ -6,8 +6,10 @@
 //        "PREPARE pred,qrp,mg ?- cheaporshort(msn, sea, T, C)."
 //        "QUERY pred,qrp,mg ?- cheaporshort(msn, sea, T, C)."
 //        "STATS" "SHUTDOWN"
+//   cqlc --tcp localhost:7777 "STATS"
 
 #include <csignal>
+#include <netdb.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -22,9 +24,46 @@ namespace {
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " --socket <path> [request ...]   (requests from stdin when"
-            << " none are given)\n";
+            << " (--socket <path> | --tcp <host:port>) [request ...]\n"
+            << "       (requests from stdin when none are given)\n";
   return 2;
+}
+
+/// Connects to host:port over TCP; -1 (with a message on stderr) on
+/// failure.
+int ConnectTcp(const std::string& endpoint) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    std::cerr << "cqlc: --tcp needs host:port, got '" << endpoint << "'\n";
+    return -1;
+  }
+  std::string host = endpoint.substr(0, colon);
+  std::string port = endpoint.substr(colon + 1);
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0) {
+    std::cerr << "cqlc: resolve " << endpoint << ": " << ::gai_strerror(rc)
+              << "\n";
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    std::cerr << "cqlc: connect " << endpoint << ": " << std::strerror(errno)
+              << "\n";
+  }
+  return fd;
 }
 
 bool WriteAll(int fd, const std::string& data) {
@@ -71,31 +110,42 @@ int main(int argc, char** argv) {
   // kill the client: writes to the closed socket get EPIPE instead.
   std::signal(SIGPIPE, SIG_IGN);
   std::string socket_path;
+  std::string tcp_endpoint;
   std::vector<std::string> requests;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--socket") {
       if (i + 1 >= argc) return Usage(argv[0]);
       socket_path = argv[++i];
+    } else if (arg == "--tcp") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      tcp_endpoint = argv[++i];
     } else {
       requests.push_back(arg);
     }
   }
-  if (socket_path.empty()) return Usage(argv[0]);
+  if (socket_path.empty() == tcp_endpoint.empty()) return Usage(argv[0]);
 
-  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::cerr << "cqlc: socket: " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::cerr << "cqlc: connect " << socket_path << ": "
-              << std::strerror(errno) << "\n";
-    ::close(fd);
-    return 1;
+  int fd;
+  if (!tcp_endpoint.empty()) {
+    fd = ConnectTcp(tcp_endpoint);
+    if (fd < 0) return 1;
+  } else {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      std::cerr << "cqlc: socket: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      std::cerr << "cqlc: connect " << socket_path << ": "
+                << std::strerror(errno) << "\n";
+      ::close(fd);
+      return 1;
+    }
   }
 
   int exit_code = 0;

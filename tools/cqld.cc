@@ -1,9 +1,10 @@
 // cqld: the CQL query server. Loads a program (and optionally an EDB),
 // then serves the line protocol (src/service/protocol.h) over a
-// unix-domain socket or stdio until a client sends SHUTDOWN.
+// unix-domain socket, TCP, or stdio until a client sends SHUTDOWN.
 //
 //   cqld --program programs/flights.cql --edb programs/flights_edb.cql
 //        --socket /tmp/cqld.sock
+//   cqld --program programs/flights.cql --tcp-port 7777 --workers 8
 //   cqld --program programs/flights.cql --stdio
 //
 // Durability and operational limits (README "Operational limits"):
@@ -11,7 +12,16 @@
 //   --wal-compact-bytes N    auto-compact the log past N bytes
 //   --query-deadline-ms N    per-query wall-clock deadline
 //   --max-derived-facts N    per-query derived-fact budget
+//
+// Scheduling and admission control (DESIGN.md §13):
+//   --workers N              scheduler worker threads (default 4)
+//   --queue-depth N          admission-queue bound; excess load is shed
+//                            with ERR RESOURCE_EXHAUSTED (default 64)
+//   --listen-backlog N       listen(2) backlog for both listeners
+//   --priority-weights A,B,C stride weights for interactive,normal,batch
 
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,12 +35,14 @@ int Usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " --program <file.cql> [--edb <file.cql>]"
-      << " (--socket <path> | --stdio)\n"
+      << " (--socket <path> | --tcp-port N | --stdio)\n"
       << "       [--threads N] [--max-iterations N]"
       << " [--subsumption none|single-fact|set-implication]\n"
       << "       [--prepared-capacity N] [--wal-dir DIR]"
       << " [--wal-compact-bytes N]\n"
-      << "       [--query-deadline-ms N] [--max-derived-facts N]\n";
+      << "       [--query-deadline-ms N] [--max-derived-facts N]\n"
+      << "       [--workers N] [--queue-depth N] [--listen-backlog N]\n"
+      << "       [--priority-weights A,B,C]\n";
   return 2;
 }
 
@@ -51,6 +63,7 @@ int main(int argc, char** argv) {
   std::string socket_path;
   bool stdio = false;
   cqlopt::ServiceOptions options;
+  cqlopt::ServerOptions server;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -65,6 +78,32 @@ int main(int argc, char** argv) {
       if (const char* v = next()) socket_path = v; else return Usage(argv[0]);
     } else if (arg == "--stdio") {
       stdio = true;
+    } else if (arg == "--tcp-port") {
+      if (const char* v = next()) server.tcp_port = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--workers") {
+      if (const char* v = next()) server.scheduler.workers = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--queue-depth") {
+      if (const char* v = next()) server.scheduler.queue_depth = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--listen-backlog") {
+      if (const char* v = next()) server.listen_backlog = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--priority-weights") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      long weights[cqlopt::kPriorityClasses];
+      if (std::sscanf(v, "%ld,%ld,%ld", &weights[0], &weights[1],
+                      &weights[2]) != 3 ||
+          weights[0] < 1 || weights[1] < 1 || weights[2] < 1) {
+        std::cerr << "cqld: --priority-weights needs three positive "
+                     "integers, e.g. 8,4,1\n";
+        return 2;
+      }
+      for (int c = 0; c < cqlopt::kPriorityClasses; ++c) {
+        server.scheduler.weights[c] = weights[c];
+      }
     } else if (arg == "--threads") {
       if (const char* v = next()) options.eval.threads = std::atoi(v);
       else return Usage(argv[0]);
@@ -109,7 +148,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (program_path.empty() || (socket_path.empty() == !stdio)) {
+  const bool has_listener = !socket_path.empty() || server.tcp_port >= 0;
+  if (program_path.empty() || stdio == has_listener) {
     return Usage(argv[0]);
   }
 
@@ -154,8 +194,18 @@ int main(int argc, char** argv) {
   if (stdio) {
     served = cqlopt::ServeStreams(**service, std::cin, std::cout);
   } else {
-    std::cerr << "cqld: serving on " << socket_path << "\n";
-    served = cqlopt::ServeUnixSocket(**service, socket_path);
+    server.socket_path = socket_path;
+    server.on_ready = [](const cqlopt::ServerEndpoints& endpoints) {
+      std::cerr << "cqld: serving on";
+      if (!endpoints.socket_path.empty()) {
+        std::cerr << " " << endpoints.socket_path;
+      }
+      if (endpoints.tcp_port >= 0) {
+        std::cerr << " tcp:" << endpoints.tcp_port;
+      }
+      std::cerr << "\n";
+    };
+    served = cqlopt::ServeLoop(**service, server);
   }
   if (!served.ok()) {
     std::cerr << "cqld: " << served.ToString() << "\n";
