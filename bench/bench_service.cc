@@ -176,6 +176,67 @@ double MeasureIngestTotal(QueryService& service) {
 }
 
 // ---------------------------------------------------------------------------
+// Retraction arm: incremental shrink vs re-evaluation from scratch.
+
+struct RetractArmResult {
+  double incremental_ms = 1e18;
+  double scratch_ms = 1e18;
+  size_t incremental_answers = 0;
+  size_t scratch_answers = 0;
+  int removed = 0;
+  int missing = 0;
+  long retract_resumes = 0;
+};
+
+/// Ingests one batch, materializes, retracts ONE leg of it (the typical
+/// feed correction), and measures the catch-up query (the retract-delta
+/// resume of DESIGN.md §14) against a cold evaluation of the identical
+/// surviving database — a fresh service that applies the same
+/// ingest+retract before its first query, so the two EDBs are
+/// byte-identical even if the random batch collided with a base leg. The
+/// batch is fixed across repetitions so the answer sets are directly
+/// comparable.
+RetractArmResult MeasureRetractArm() {
+  RetractArmResult out;
+  constexpr int kReps = 5;
+  const std::string batch = IngestBatch(500);
+  const std::string victim = batch.substr(0, batch.find('\n') + 1);
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto warm = MakeService();
+    (void)ValueOrDie(warm->Ingest(batch), "retract-arm ingest");
+    (void)ValueOrDie(warm->Execute(ServiceQuery(), kSteps),
+                     "retract-arm warm query");
+    RetractOutcome removed = ValueOrDie(warm->Retract(victim), "retract");
+    auto start = std::chrono::steady_clock::now();
+    QueryOutcome incremental =
+        ValueOrDie(warm->Execute(ServiceQuery(), kSteps),
+                   "retract-arm re-query");
+    double inc_ms = MillisSince(start);
+    if (inc_ms < out.incremental_ms) {
+      out.incremental_ms = inc_ms;
+      out.incremental_answers = incremental.answers.size();
+      out.removed = removed.removed;
+      out.missing = removed.missing;
+      out.retract_resumes = warm->Stats().retract_resumes;
+    }
+
+    auto scratch = MakeService();
+    (void)ValueOrDie(scratch->Ingest(batch), "retract-arm scratch ingest");
+    (void)ValueOrDie(scratch->Retract(victim),
+                     "retract-arm scratch retract");
+    start = std::chrono::steady_clock::now();
+    QueryOutcome cold = ValueOrDie(scratch->Execute(ServiceQuery(), kSteps),
+                                   "retract-arm scratch query");
+    double scr_ms = MillisSince(start);
+    if (scr_ms < out.scratch_ms) {
+      out.scratch_ms = scr_ms;
+      out.scratch_answers = cold.answers.size();
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Open-loop load generation against the epoll serve loop.
 
 constexpr int kLoadConnections = 8;
@@ -546,6 +607,20 @@ void PrintAndMaybeWriteJson(bool json) {
               "(%+.1f%%, target < 2%%)\n\n",
               ungoverned_ms, governed_ms, gov_pct);
 
+  RetractArmResult retract = MeasureRetractArm();
+  std::printf("=== retraction: incremental shrink vs scratch re-eval ===\n");
+  std::printf("retract %d fact(s): incremental %.3f ms, scratch %.3f ms "
+              "(%.1fx); answers %zu vs %zu (%s), retract_resumes=%ld\n\n",
+              retract.removed, retract.incremental_ms, retract.scratch_ms,
+              retract.incremental_ms > 0
+                  ? retract.scratch_ms / retract.incremental_ms
+                  : 0.0,
+              retract.incremental_answers, retract.scratch_answers,
+              retract.incremental_answers == retract.scratch_answers
+                  ? "match"
+                  : "MISMATCH",
+              retract.retract_resumes);
+
   std::string load_section;
   RunLoadSweep(&load_section);
 
@@ -581,6 +656,24 @@ void PrintAndMaybeWriteJson(bool json) {
       wal_stats.wal_appends, wal_stats.wal_bytes, ungoverned_ms,
       governed_ms, gov_pct);
   out += overheads;
+  char retract_json[512];
+  std::snprintf(
+      retract_json, sizeof(retract_json),
+      "  \"retract\": {\"removed\": %d, \"missing\": %d, "
+      "\"incremental_ms\": %.3f, \"scratch_ms\": %.3f, "
+      "\"speedup_vs_scratch\": %.2f, \"incremental_answers\": %zu, "
+      "\"scratch_answers\": %zu, \"answers_match\": %s, "
+      "\"retract_resumes\": %ld},\n",
+      retract.removed, retract.missing, retract.incremental_ms,
+      retract.scratch_ms,
+      retract.incremental_ms > 0
+          ? retract.scratch_ms / retract.incremental_ms
+          : 0.0,
+      retract.incremental_answers, retract.scratch_answers,
+      retract.incremental_answers == retract.scratch_answers ? "true"
+                                                             : "false",
+      retract.retract_resumes);
+  out += retract_json;
   out += load_section;
   out += "}\n";
   FILE* f = std::fopen("BENCH_service.json", "w");

@@ -26,8 +26,9 @@ Database::BatchOutcome Database::AddFacts(const std::vector<Fact>& batch,
                                           int birth) {
   BatchOutcome out;
   for (const Fact& fact : batch) {
-    InsertOutcome o = relations_[fact.pred].Insert(fact, birth,
-                                                   SubsumptionMode::kNone);
+    InsertOutcome o = relations_[fact.pred].Insert(
+        fact, birth, SubsumptionMode::kNone, /*rule_label=*/"",
+        /*parents=*/{}, /*edb=*/true);
     if (o == InsertOutcome::kInserted) {
       ++out.inserted;
     } else {

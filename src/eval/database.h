@@ -17,10 +17,14 @@ class Database {
   Database() = default;
 
   /// Inserts a fact; convenience for EDB loading (birth -1, no
-  /// subsumption pruning so the EDB is taken verbatim).
+  /// subsumption pruning so the EDB is taken verbatim). Rows entered here
+  /// are flagged as base facts — the targets retraction may name
+  /// (eval/retract.h).
   InsertOutcome AddFact(Fact fact) {
     return relations_[fact.pred].Insert(std::move(fact), /*birth=*/-1,
-                                        SubsumptionMode::kNone);
+                                        SubsumptionMode::kNone,
+                                        /*rule_label=*/"", /*parents=*/{},
+                                        /*edb=*/true);
   }
 
   InsertOutcome AddFact(Fact fact, int birth, SubsumptionMode mode,

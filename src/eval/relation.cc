@@ -122,7 +122,7 @@ void Relation::SealTail(IntervalIndex* idx) {
 
 InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
                                std::string rule_label,
-                               std::vector<FactRef> parents) {
+                               std::vector<FactRef> parents, bool edb) {
   std::string key = fact.Key();
   if (keys_.count(key) > 0) return InsertOutcome::kDuplicate;
   bool is_ground = fact.IsGround();
@@ -193,7 +193,7 @@ InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
 
   // Append the row.
   size_t id = size_;
-  keys_.insert(std::move(key));
+  keys_.emplace(std::move(key), id);
   if (birth > max_birth_) max_birth_ = birth;
   Chunk* tail = TailChunkForAppend();
   size_t row_in_chunk = tail->facts.size();
@@ -210,6 +210,9 @@ InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
   tail->facts.push_back(std::move(fact));
   tail->births.push_back(birth);
   tail->ground.push_back(is_ground ? 1 : 0);
+  tail->edb.push_back(edb ? 1 : 0);
+  tail->support.push_back(1);
+  tail->blocked.push_back(0);
   tail->rule_labels.push_back(std::move(rule_label));
   tail->parents.push_back(std::move(parents));
   for (size_t p = 0; p < tail->columns.size(); ++p) {
@@ -268,6 +271,41 @@ InsertOutcome Relation::Insert(Fact fact, int birth, SubsumptionMode mode,
   }
   interval_build_ns_ += ElapsedNs(start);
   return InsertOutcome::kInserted;
+}
+
+Relation::Chunk* Relation::ChunkForCounterUpdate(size_t chunk_index) {
+  if (chunks_[chunk_index].use_count() > 1) {
+    chunks_[chunk_index] = std::make_shared<Chunk>(*chunks_[chunk_index]);
+  }
+  return chunks_[chunk_index].get();
+}
+
+void Relation::BumpSupport(size_t i) {
+  ++ChunkForCounterUpdate(i >> kChunkShift)->support[i & kChunkMask];
+}
+
+void Relation::BumpBlocked(size_t i) {
+  ++ChunkForCounterUpdate(i >> kChunkShift)->blocked[i & kChunkMask];
+}
+
+Relation Relation::Spliced(const std::vector<uint8_t>& dead,
+                           const std::function<FactRef(FactRef)>& remap) const {
+  Relation out;
+  for (size_t i = 0; i < size_; ++i) {
+    if (i < dead.size() && dead[i] != 0) continue;
+    std::vector<FactRef> refs = parents(i);
+    if (remap) {
+      for (FactRef& ref : refs) ref = remap(ref);
+    }
+    out.Insert(fact(i), birth(i), SubsumptionMode::kNone, rule_label(i),
+               std::move(refs), edb(i));
+    Chunk* tail = out.chunks_.back().get();
+    size_t row_in_chunk = (out.size_ - 1) & kChunkMask;
+    tail->support[row_in_chunk] = support(i);
+    tail->blocked[row_in_chunk] = blocked(i);
+  }
+  out.opaque_subsumption_events_ = opaque_subsumption_events_;
+  return out;
 }
 
 Relation::IndexKey Relation::KeyOf(const ArgSignature& value) {
@@ -402,7 +440,9 @@ bool Relation::AllGround() const {
 size_t Relation::ApproxChunkBytes(const Chunk& chunk) {
   size_t bytes = sizeof(Chunk);
   bytes += chunk.births.capacity() * sizeof(int);
-  bytes += chunk.ground.capacity();
+  bytes += chunk.ground.capacity() + chunk.edb.capacity();
+  bytes += (chunk.support.capacity() + chunk.blocked.capacity()) *
+           sizeof(long);
   for (const Fact& fact : chunk.facts) bytes += ApproxFactBytes(fact);
   for (const std::string& label : chunk.rule_labels) {
     bytes += sizeof(std::string) + label.capacity();
@@ -421,8 +461,9 @@ size_t Relation::ApproxChunkBytes(const Chunk& chunk) {
 size_t Relation::ApproxBytes() const {
   size_t bytes = sizeof(Relation);
   for (const auto& chunk : chunks_) bytes += ApproxChunkBytes(*chunk);
-  for (const std::string& key : keys_) {
-    bytes += sizeof(std::string) + key.capacity() + 16;  // set node overhead
+  for (const auto& [key, row] : keys_) {
+    bytes += sizeof(std::string) + key.capacity() + sizeof(row) +
+             16;  // map node overhead
   }
   for (const PositionIndex& idx : index_) {
     bytes += idx.unbound.capacity() * sizeof(size_t);

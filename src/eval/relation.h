@@ -1,11 +1,11 @@
 #ifndef CQLOPT_EVAL_RELATION_H_
 #define CQLOPT_EVAL_RELATION_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "constraint/interval.h"
@@ -94,14 +94,23 @@ class Relation {
   };
 
   /// Attempts to insert; `birth` is the deriving iteration. `rule_label`
-  /// and `parents` record provenance (empty for EDB facts).
+  /// and `parents` record provenance (empty for EDB facts). `edb` marks a
+  /// base fact — a row retractions may target (eval/retract.h); the
+  /// derivation path never sets it.
   InsertOutcome Insert(Fact fact, int birth, SubsumptionMode mode,
                        std::string rule_label = "",
-                       std::vector<FactRef> parents = {});
+                       std::vector<FactRef> parents = {}, bool edb = false);
 
   /// True if a structurally identical fact is stored.
   bool ContainsKey(const std::string& key) const {
     return keys_.count(key) > 0;
+  }
+
+  /// Row index of the structurally identical stored fact, if any.
+  std::optional<size_t> RowOf(const std::string& key) const {
+    auto it = keys_.find(key);
+    if (it == keys_.end()) return std::nullopt;
+    return it->second;
   }
 
   /// Row storage is append-only: Insert never reorders or removes, so row
@@ -133,6 +142,48 @@ class Relation {
   const std::vector<FactRef>& parents(size_t i) const {
     return chunks_[i >> kChunkShift]->parents[i & kChunkMask];
   }
+
+  /// True if the row is a base (EDB) fact — the only rows a retraction may
+  /// name directly.
+  bool edb(size_t i) const {
+    return chunks_[i >> kChunkShift]->edb[i & kChunkMask] != 0;
+  }
+  /// Counting maintenance (DESIGN.md §14): number of derivation events that
+  /// produced this fact — 1 for the storing event (EDB load or the first
+  /// kInserted derivation) plus one per later duplicate-discarded event.
+  /// support() == 1 means the recorded parents are the row's *only*
+  /// derivation, so losing one of them kills the row without re-derivation.
+  long support(size_t i) const {
+    return chunks_[i >> kChunkShift]->support[i & kChunkMask];
+  }
+  /// Number of candidate derivations this row discarded by single-fact
+  /// subsumption. A retracted row with blocked() > 0 may have suppressed
+  /// facts a scratch run would store, so deleting it forces re-derivation.
+  long blocked(size_t i) const {
+    return chunks_[i >> kChunkShift]->blocked[i & kChunkMask];
+  }
+  /// Bump the counters above for row `i` (clones a shared chunk first, so
+  /// snapshot copies never observe the update).
+  void BumpSupport(size_t i);
+  void BumpBlocked(size_t i);
+
+  /// Subsumption events charged against this relation that cannot be pinned
+  /// on one stored row (a set-implication cover, or a subsumer that was
+  /// itself discarded). Any such event poisons row-level counting for the
+  /// whole relation: a retraction must fall back to re-derivation there.
+  long opaque_subsumption_events() const { return opaque_subsumption_events_; }
+  void NoteOpaqueSubsumption() { ++opaque_subsumption_events_; }
+
+  /// Rebuilds this relation without the rows marked in `dead` (indexed by
+  /// row; rows beyond dead.size() are kept), preserving births, provenance
+  /// labels, EDB flags, and the support/blocked counters of surviving rows.
+  /// `remap` (may be null) rewrites each surviving row's parent references —
+  /// callers pass the old-row -> new-row maps of *other* spliced relations;
+  /// it is never called on a reference into this relation. Surviving rows
+  /// are re-inserted in order, so indexes, chunk boundaries, and interval
+  /// runs end up exactly as if only the survivors had ever been inserted.
+  Relation Spliced(const std::vector<uint8_t>& dead,
+                   const std::function<FactRef(FactRef)>& remap) const;
 
   /// Column reads for the join pre-filter. `position` is 1-based; positions
   /// beyond the fact's arity read kAbsent. symbol_at / number_at are only
@@ -273,6 +324,9 @@ class Relation {
     std::vector<Fact> facts;
     std::vector<int> births;
     std::vector<uint8_t> ground;
+    std::vector<uint8_t> edb;     // base-fact flag (retraction targets)
+    std::vector<long> support;    // derivation events per row (counting)
+    std::vector<long> blocked;    // derivations this row subsumed away
     std::vector<std::string> rule_labels;
     std::vector<std::vector<FactRef>> parents;
     std::vector<Column> columns;
@@ -342,6 +396,10 @@ class Relation {
   /// with another Relation copy (copy-on-write).
   Chunk* TailChunkForAppend();
 
+  /// Exclusive ownership of an arbitrary chunk for a counter update
+  /// (clone-on-write when shared with a snapshot copy).
+  Chunk* ChunkForCounterUpdate(size_t chunk_index);
+
   /// Seals the tail of `idx` into a sorted run; merges all runs into one
   /// when their count exceeds kMaxRuns.
   void SealTail(IntervalIndex* idx);
@@ -351,11 +409,12 @@ class Relation {
 
   std::vector<std::shared_ptr<Chunk>> chunks_;
   size_t size_ = 0;
-  std::unordered_set<std::string> keys_;
+  std::unordered_map<std::string, size_t> keys_;  // structural key -> row
   std::vector<PositionIndex> index_;   // index_[p-1]; sized to max arity seen
   std::vector<IntervalIndex> ival_index_;  // parallel to index_
   int max_birth_ = -2;
   long interval_build_ns_ = 0;
+  long opaque_subsumption_events_ = 0;
 };
 
 }  // namespace cqlopt

@@ -1,387 +1,32 @@
 #include "eval/seminaive.h"
 
-#include <atomic>
-#include <chrono>
 #include <memory>
 #include <numeric>
-#include <set>
+#include <optional>
 
 #include "constraint/decision_cache.h"
-#include "constraint/implication.h"
 #include "constraint/interval.h"
-#include "eval/rule_application.h"
+#include "eval/fixpoint.h"
 #include "eval/validate.h"
-#include "graph/scc.h"
 #include "util/thread_pool.h"
 
 namespace cqlopt {
 namespace {
 
-/// Cooperative enforcement of EvalOptions' governance limits (cancel token,
-/// wall-clock deadline, derived-fact budget).
-///
-/// Check granularity:
-///  - Fine(): called from the emit callback on every derivation. Costs one
-///    branch when no limit is set; when governed, samples the clock / token
-///    only every kFineInterval derivations (a relaxed shared tick), and
-///    otherwise just reads the trip flag — so a trip in one parallel worker
-///    makes every other worker bail on its next derivation.
-///  - RuleBoundary(): called before each rule application (serially between
-///    rules, and at task start inside pool workers) — an unconditional
-///    clock/token sample, so even derivation-free rule batches stay
-///    responsive.
-///  - IterationBoundary(): called serially after each iteration commits;
-///    adds the derived-fact budget, which deliberately lives ONLY here so
-///    the abort lands on the same iteration — with the same committed
-///    database — at any thread count.
-///
-/// The returned Status carries the cause ("wall-clock deadline of 50ms
-/// expired"); the strategy loops annotate it with the position
-/// (stratum / global iteration / facts stored) before surfacing it.
-class Governor {
- public:
-  Governor(const EvalOptions& options, long baseline_inserted)
-      : cancel_(options.cancel),
-        deadline_ms_(options.deadline_ms),
-        max_facts_(options.max_derived_facts),
-        baseline_inserted_(baseline_inserted),
-        active_(options.deadline_ms > 0 || options.max_derived_facts > 0 ||
-                options.cancel.can_cancel()) {
-    if (deadline_ms_ > 0) {
-      deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(deadline_ms_);
-    }
-  }
-
-  bool active() const { return active_; }
-
-  Status Fine() {
-    if (!active_) return Status::OK();
-    if (tripped_.load(std::memory_order_relaxed)) return TrippedStatus();
-    if ((tick_.fetch_add(1, std::memory_order_relaxed) & (kFineInterval - 1)) !=
-        0) {
-      return Status::OK();
-    }
-    return Sample();
-  }
-
-  Status RuleBoundary() {
-    if (!active_) return Status::OK();
-    if (tripped_.load(std::memory_order_relaxed)) return TrippedStatus();
-    return Sample();
-  }
-
-  Status IterationBoundary(long inserted_total) {
-    if (!active_) return Status::OK();
-    CQLOPT_RETURN_IF_ERROR(RuleBoundary());
-    if (max_facts_ > 0 && inserted_total - baseline_inserted_ > max_facts_) {
-      return Status::ResourceExhausted(
-          "derived-fact budget of " + std::to_string(max_facts_) +
-          " exceeded (" + std::to_string(inserted_total - baseline_inserted_) +
-          " facts stored by this call)");
-    }
-    return Status::OK();
-  }
-
-  /// True for codes a governed (or fault-injected) abort produces — the
-  /// errors whose message the strategy loops annotate with the abort
-  /// position and whose partial stats flow into EvalOptions::abort_stats.
-  static bool IsAbortCode(StatusCode code) {
-    return code == StatusCode::kDeadlineExceeded ||
-           code == StatusCode::kCancelled ||
-           code == StatusCode::kResourceExhausted;
-  }
-
- private:
-  static constexpr long kFineInterval = 64;  // power of two (mask below)
-
-  /// Samples the token and the clock; records the first trip so concurrent
-  /// workers short-circuit without re-sampling.
-  Status Sample() {
-    if (cancel_.cancel_requested()) {
-      tripped_.store(kTripCancelled, std::memory_order_relaxed);
-      return TrippedStatus();
-    }
-    if (deadline_ms_ > 0 && std::chrono::steady_clock::now() >= deadline_) {
-      tripped_.store(kTripDeadline, std::memory_order_relaxed);
-      return TrippedStatus();
-    }
-    return Status::OK();
-  }
-
-  Status TrippedStatus() const {
-    if (tripped_.load(std::memory_order_relaxed) == kTripCancelled ||
-        cancel_.cancel_requested()) {
-      return Status::Cancelled("evaluation cancelled via CancelToken");
-    }
-    return Status::DeadlineExceeded("wall-clock deadline of " +
-                                    std::to_string(deadline_ms_) +
-                                    "ms expired");
-  }
-
-  static constexpr int kTripDeadline = 1;
-  static constexpr int kTripCancelled = 2;
-
-  CancelToken cancel_;
-  const long deadline_ms_;
-  const long max_facts_;
-  const long baseline_inserted_;
-  const bool active_;
-  std::chrono::steady_clock::time_point deadline_{};
-  std::atomic<long> tick_{0};
-  std::atomic<int> tripped_{0};
-};
-
-/// A derivation buffered during one iteration, reconciled at iteration end.
-struct Pending {
-  std::string rule_label;
-  Fact fact;
-  std::vector<Relation::FactRef> parents;
-  std::string key;
-  bool ground = false;
-  InsertOutcome outcome = InsertOutcome::kInserted;
-};
-
-/// End-of-iteration reconciliation: the derivations of one iteration are
-/// treated as a *set* (the paper's tables discard a fact as subsumed even
-/// when the subsuming fact was derived later in the same iteration, e.g.
-/// Table 1 iteration 3 discards m_fib(0,4) in favour of m_fib(0,V2)).
-void Reconcile(std::vector<Pending>* pending, const Database& db,
-               SubsumptionMode mode) {
-  // Pass 1: structural duplicates, against the database and earlier pending.
-  std::set<std::string> seen;
-  for (Pending& p : *pending) {
-    p.key = p.fact.Key();
-    p.ground = p.fact.IsGround();
-    const Relation* rel = db.Find(p.fact.pred);
-    bool in_db = rel != nullptr && rel->ContainsKey(p.key);
-    if (in_db || !seen.insert(p.key).second) {
-      p.outcome = InsertOutcome::kDuplicate;
-    }
-  }
-  if (mode == SubsumptionMode::kNone) return;
-  if (mode == SubsumptionMode::kSetImplication) {
-    // Disjunction-based subsumption: a derivation is discarded when the
-    // union of the database facts and the other surviving derivations
-    // already covers it. Processed in derivation order, so of two
-    // equivalent covers the earlier one survives.
-    for (size_t i = 0; i < pending->size(); ++i) {
-      Pending& p = (*pending)[i];
-      if (p.outcome != InsertOutcome::kInserted) continue;
-      std::vector<Conjunction> others;
-      const Relation* rel = db.Find(p.fact.pred);
-      if (rel != nullptr) {
-        for (size_t e = 0; e < rel->size(); ++e) {
-          others.push_back(rel->fact(e).constraint);
-        }
-      }
-      for (size_t j = 0; j < pending->size(); ++j) {
-        if (j == i) continue;
-        const Pending& q = (*pending)[j];
-        if (q.outcome != InsertOutcome::kInserted) continue;
-        if (q.fact.pred != p.fact.pred || q.fact.arity != p.fact.arity) {
-          continue;
-        }
-        others.push_back(q.fact.constraint);
-      }
-      if (!others.empty() && ImpliesDisjunction(p.fact.constraint, others)) {
-        p.outcome = InsertOutcome::kSubsumed;
-      }
-    }
-    return;
-  }
-  // Pass 2: subsumption against existing database facts. Ground-vs-ground
-  // pairs are skipped: a ground fact can only subsume a structurally
-  // identical one (see Relation::Insert).
-  for (Pending& p : *pending) {
-    if (p.outcome != InsertOutcome::kInserted) continue;
-    const Relation* rel = db.Find(p.fact.pred);
-    if (rel == nullptr) continue;
-    for (size_t e = 0; e < rel->size(); ++e) {
-      if (p.ground && rel->ground(e)) continue;
-      if (Implies(p.fact.constraint, rel->fact(e).constraint)) {
-        p.outcome = InsertOutcome::kSubsumed;
-        break;
-      }
-    }
-  }
-  // Pass 3: mutual subsumption within the iteration. Equivalent facts keep
-  // the earliest derivation.
-  for (size_t i = 0; i < pending->size(); ++i) {
-    Pending& p = (*pending)[i];
-    if (p.outcome != InsertOutcome::kInserted) continue;
-    for (size_t j = 0; j < pending->size(); ++j) {
-      if (j == i) continue;
-      const Pending& q = (*pending)[j];
-      if (q.outcome != InsertOutcome::kInserted) continue;
-      if (q.fact.pred != p.fact.pred || q.fact.arity != p.fact.arity) continue;
-      if (p.ground && q.ground) continue;
-      if (!Implies(p.fact.constraint, q.fact.constraint)) continue;
-      if (j > i && Implies(q.fact.constraint, p.fact.constraint)) {
-        continue;  // Equivalent and p came first: p wins.
-      }
-      p.outcome = InsertOutcome::kSubsumed;
-      break;
-    }
-  }
-}
-
-/// Applies one rule against the frozen pre-iteration database, buffering
-/// derivations into `pending` and counting into `stats`. The workhorse of
-/// both the serial and the parallel iteration: in the parallel case each
-/// worker gets its own `pending`/`stats`, so the only shared state is the
-/// const database snapshot.
-Status ApplyOneRule(const Program& program, size_t rule_index,
-                    const Database& db, int iteration, bool require_delta,
-                    bool use_index, bool delta_rotate, bool interval_index,
-                    Governor* governor, std::vector<Pending>* pending,
-                    EvalStats* stats) {
-  // Rule-batch boundary check: keeps long serial rule sequences (and pool
-  // tasks dequeued after a sibling tripped) responsive even when individual
-  // rules derive nothing.
-  CQLOPT_RETURN_IF_ERROR(governor->RuleBoundary());
-  const Rule& rule = program.rules[rule_index];
-  const std::string rule_key =
-      rule.label.empty() ? "rule#" + std::to_string(rule_index) : rule.label;
-  auto emit = [&](Fact fact,
-                  const std::vector<Relation::FactRef>& parents) -> Status {
-    CQLOPT_RETURN_IF_ERROR(governor->Fine());
-    ++stats->derivations;
-    ++stats->derivations_per_rule[rule_key];
-    pending->push_back(Pending{rule.label, std::move(fact), parents, "",
-                               false, InsertOutcome::kInserted});
-    return Status::OK();
-  };
-  return ApplyRule(rule, db, /*max_birth=*/iteration - 1, require_delta, emit,
-                   use_index, stats, delta_rotate, interval_index);
-}
-
-/// One fixpoint iteration over `rule_indexes`: applies the rules under the
-/// given delta discipline, reconciles the buffered derivations as a set,
-/// and commits the survivors with birth `iteration`. Constraint facts
-/// (body-free rules) fire only when `fire_constraint_facts` is set — the
-/// first iteration of their stratum / of the global loop. Returns the
-/// number of facts inserted.
-///
-/// When `pool` is non-null the rules are applied concurrently, one task per
-/// rule, each deriving into a worker-local buffer against the frozen
-/// pre-iteration database (no commits happen until all rules ran, exactly
-/// as in the serial path). The buffers are then merged in rule order —
-/// ApplyRule enumerates deterministically, so the merged pending list, and
-/// with it fact ids, birth stamps, traces, and stats, are byte-identical to
-/// the serial run at any thread count.
-Result<long> RunIteration(const Program& program,
-                          const std::vector<size_t>& rule_indexes,
-                          int iteration, bool fire_constraint_facts,
-                          bool require_delta, bool use_index,
-                          bool delta_rotate, bool interval_index,
-                          const EvalOptions& options, Governor* governor,
-                          ThreadPool* pool, EvalResult* result) {
-  std::vector<size_t> active;
-  active.reserve(rule_indexes.size());
-  for (size_t rule_index : rule_indexes) {
-    if (program.rules[rule_index].IsConstraintFact() && !fire_constraint_facts)
-      continue;
-    active.push_back(rule_index);
-  }
-  std::vector<Pending> pending;
-  if (pool != nullptr && active.size() > 1) {
-    struct WorkerOutput {
-      std::vector<Pending> pending;
-      EvalStats stats;
-      Status status = Status::OK();
-    };
-    std::vector<WorkerOutput> outputs(active.size());
-    for (size_t t = 0; t < active.size(); ++t) {
-      WorkerOutput* out = &outputs[t];
-      size_t rule_index = active[t];
-      pool->Submit([&program, rule_index, iteration, require_delta, use_index,
-                    delta_rotate, interval_index, governor, out,
-                    db = &result->db] {
-        out->status = ApplyOneRule(program, rule_index, *db, iteration,
-                                   require_delta, use_index, delta_rotate,
-                                   interval_index, governor, &out->pending,
-                                   &out->stats);
-      });
-    }
-    pool->Wait();
-    // Merge counters before surfacing any error, mirroring the serial
-    // path's partially-incremented stats on failure. The partial Pending
-    // buffers of tripped workers are merged too, then discarded with the
-    // whole iteration when the error returns below — nothing half-commits.
-    Status failed = Status::OK();
-    for (WorkerOutput& out : outputs) {
-      result->stats.MergeWorkerCounters(out.stats);
-      for (Pending& p : out.pending) pending.push_back(std::move(p));
-      if (failed.ok() && !out.status.ok()) failed = out.status;
-    }
-    CQLOPT_RETURN_IF_ERROR(failed);
-  } else {
-    for (size_t rule_index : active) {
-      CQLOPT_RETURN_IF_ERROR(ApplyOneRule(program, rule_index, result->db,
-                                          iteration, require_delta, use_index,
-                                          delta_rotate, interval_index,
-                                          governor, &pending, &result->stats));
-    }
-  }
-  Reconcile(&pending, result->db, options.subsumption);
-  long inserted = 0;
-  if (options.record_trace) result->trace.emplace_back();
-  for (Pending& p : pending) {
-    if (options.record_trace) {
-      result->trace.back().push_back(Derivation{
-          p.rule_label, p.fact.ToString(*program.symbols), p.outcome});
-    }
-    switch (p.outcome) {
-      case InsertOutcome::kInserted:
-        ++result->stats.inserted;
-        ++inserted;
-        if (!p.fact.IsGround()) result->stats.all_ground = false;
-        result->db.AddFact(std::move(p.fact), iteration,
-                           SubsumptionMode::kNone, p.rule_label,
-                           std::move(p.parents));
-        break;
-      case InsertOutcome::kSubsumed:
-        ++result->stats.subsumed;
-        break;
-      case InsertOutcome::kDuplicate:
-        ++result->stats.duplicates;
-        break;
-    }
-  }
-  return inserted;
-}
-
-/// Annotates a governed (or fault-injected) abort Status with the position
-/// it landed at, mirrors the position into the partial stats, and copies
-/// those stats out through options.abort_stats — on failure the Result
-/// carries no EvalResult, so this is the only way the counters escape.
-Status GovernedAbort(const Status& cause, const std::string& position,
-                     const EvalOptions& options, EvalResult* result) {
-  result->stats.aborted = true;
-  result->stats.abort_point = position;
-  for (const auto& [pred, rel] : result->db.relations()) {
-    result->stats.facts_per_pred[pred] = static_cast<long>(rel.size());
-  }
-  result->stats.interval_index_build_ns = result->db.IntervalBuildNs();
-  if (options.abort_stats != nullptr) *options.abort_stats = result->stats;
-  return Status(cause.code(), cause.message() + " at " + position);
-}
-
-/// "<N> facts stored (<M> derivations made)" — the facts-so-far tail every
-/// abort and cap message carries.
-std::string FactsSoFar(const EvalResult& result) {
-  return std::to_string(result.db.TotalFacts()) + " facts stored (" +
-         std::to_string(result.stats.derivations) + " derivations made)";
-}
+using eval_internal::CheckEvalOptions;
+using eval_internal::FactsSoFar;
+using eval_internal::Governor;
+using eval_internal::GovernedAbort;
+using eval_internal::RunIteration;
 
 /// SCC-stratified semi-naive evaluation: condense the predicate dependency
 /// graph, assign every rule to the component of its head predicate, and run
-/// one semi-naive fixpoint per component in bottom-up topological order.
-/// Lower strata are frozen when a stratum runs: their facts carry older
-/// births, so they join as "old" facts and are never re-derived. Iteration
-/// numbering (birth stamps, trace rows, max_iterations) is global across
-/// strata.
+/// one semi-naive fixpoint per component in bottom-up topological order
+/// (eval_internal::RunStrata — the same walk RetractEvaluate resumes
+/// mid-plan). Lower strata are frozen when a stratum runs: their facts
+/// carry older births, so they join as "old" facts and are never
+/// re-derived. Iteration numbering (birth stamps, trace rows,
+/// max_iterations) is global across strata.
 Result<EvalResult> EvaluateStratified(const Program& program,
                                       const Database& edb,
                                       const EvalOptions& options,
@@ -394,76 +39,10 @@ Result<EvalResult> EvaluateStratified(const Program& program,
   std::unique_ptr<ThreadPool> pool;
   if (options.threads > 1) pool = std::make_unique<ThreadPool>(options.threads);
 
-  DependencyGraph graph(program);
-  SccDecomposition sccs(graph);
-  // components() is in reverse topological order: front depends on nothing
-  // later, so walking front-to-back is the bottom-up strata order.
-  const auto& components = sccs.components();
-  std::vector<std::vector<size_t>> rules_of(components.size());
-  for (size_t rule_index = 0; rule_index < program.rules.size();
-       ++rule_index) {
-    int component = sccs.ComponentOf(program.rules[rule_index].head.pred);
-    rules_of[static_cast<size_t>(component)].push_back(rule_index);
-  }
-
-  int global_iteration = 0;
-  bool capped = false;
-  for (size_t c = 0; c < components.size() && !capped; ++c) {
-    if (rules_of[c].empty()) continue;  // pure-EDB component
-    // A stratum is recursive iff some rule's body mentions a predicate of
-    // the same component; non-recursive strata converge in one pass, so
-    // the empty fixpoint-confirmation iteration is skipped.
-    bool recursive = false;
-    for (size_t rule_index : rules_of[c]) {
-      for (const Literal& lit : program.rules[rule_index].body) {
-        if (sccs.ComponentOf(lit.pred) == static_cast<int>(c)) {
-          recursive = true;
-        }
-      }
-    }
-    long stratum_iterations = 0;
-    for (int local = 0;; ++local) {
-      if (global_iteration >= options.max_iterations) {
-        capped = true;
-        break;
-      }
-      const int this_iteration = global_iteration;
-      auto position = [&] {
-        return "stratum " + std::to_string(c + 1) + "/" +
-               std::to_string(components.size()) + " (local iteration " +
-               std::to_string(local) + "), global iteration " +
-               std::to_string(this_iteration) + ", " + FactsSoFar(result);
-      };
-      Result<long> ran = RunIteration(
-          program, rules_of[c], global_iteration,
-          /*fire_constraint_facts=*/local == 0,
-          /*require_delta=*/local > 0, /*use_index=*/true,
-          /*delta_rotate=*/false, options.interval_index, options, governor,
-          pool.get(), &result);
-      if (!ran.ok()) {
-        if (Governor::IsAbortCode(ran.status().code())) {
-          return GovernedAbort(ran.status(), position(), options, &result);
-        }
-        return ran.status();
-      }
-      long inserted = *ran;
-      ++global_iteration;
-      ++stratum_iterations;
-      result.stats.iterations = global_iteration;
-      Status boundary = governor->IterationBoundary(result.stats.inserted);
-      if (!boundary.ok()) {
-        return GovernedAbort(boundary, position(), options, &result);
-      }
-      if (inserted == 0 || !recursive) break;
-    }
-    result.stats.scc_iterations.push_back(stratum_iterations);
-  }
-  result.stats.reached_fixpoint = !capped;
-
-  for (const auto& [pred, rel] : result.db.relations()) {
-    result.stats.facts_per_pred[pred] = static_cast<long>(rel.size());
-  }
-  result.stats.interval_index_build_ns = result.db.IntervalBuildNs();
+  eval_internal::StratifiedPlan plan = eval_internal::PlanStratified(program);
+  CQLOPT_RETURN_IF_ERROR(eval_internal::RunStrata(
+      program, plan, /*first_component=*/0, /*start_iteration=*/0, options,
+      governor, pool.get(), &result));
   return result;
 }
 
@@ -513,32 +92,6 @@ Result<EvalResult> EvaluateGlobal(const Program& program, const Database& edb,
   }
   result.stats.interval_index_build_ns = result.db.IntervalBuildNs();
   return result;
-}
-
-/// Rejects option values the fixpoint loops cannot interpret (negative
-/// caps would loop forever; negative thread counts would size a pool
-/// undefinedly).
-Status CheckEvalOptions(const EvalOptions& options) {
-  if (options.max_iterations < 0) {
-    return Status::InvalidArgument(
-        "EvalOptions::max_iterations must be >= 0, got " +
-        std::to_string(options.max_iterations));
-  }
-  if (options.threads < 0) {
-    return Status::InvalidArgument("EvalOptions::threads must be >= 0, got " +
-                                   std::to_string(options.threads));
-  }
-  if (options.deadline_ms < 0) {
-    return Status::InvalidArgument(
-        "EvalOptions::deadline_ms must be >= 0 (0 = no deadline), got " +
-        std::to_string(options.deadline_ms));
-  }
-  if (options.max_derived_facts < 0) {
-    return Status::InvalidArgument(
-        "EvalOptions::max_derived_facts must be >= 0 (0 = unlimited), got " +
-        std::to_string(options.max_derived_facts));
-  }
-  return Status::OK();
 }
 
 }  // namespace

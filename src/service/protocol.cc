@@ -43,6 +43,21 @@ std::string Hex(uint64_t value) {
   return buf;
 }
 
+/// Parses a whole base-10 signed integer; false on junk, sign-only, or
+/// trailing characters (protocol arguments are exact, not prefixes).
+bool ParseInt64(const std::string& word, int64_t* value) {
+  if (word.empty()) return false;
+  size_t i = word[0] == '-' ? 1 : 0;
+  if (i == word.size()) return false;
+  int64_t parsed = 0;
+  for (; i < word.size(); ++i) {
+    if (word[i] < '0' || word[i] > '9') return false;
+    parsed = parsed * 10 + (word[i] - '0');
+  }
+  *value = word[0] == '-' ? -parsed : parsed;
+  return true;
+}
+
 }  // namespace
 
 namespace {
@@ -136,19 +151,82 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
   }
 
   if (command == "INGEST") {
+    // `INGEST TTL <ms> <facts>` commits facts that expire once the logical
+    // clock (TICK) passes now + ms; bare `INGEST <facts>` is permanent.
+    int64_t ttl_ms = 0;
+    if (rest.compare(0, 4, "TTL ") == 0) {
+      std::string ttl_word;
+      std::string facts;
+      SplitWord(Trim(rest.substr(4)), &ttl_word, &facts);
+      if (!ParseInt64(ttl_word, &ttl_ms) || ttl_ms <= 0 || facts.empty()) {
+        EmitError(Status::InvalidArgument(
+                      "INGEST TTL needs a positive millisecond count and "
+                      "`.`-terminated facts"),
+                  out);
+        out->push_back("END");
+        return ProtocolAction::kContinue;
+      }
+      rest = facts;
+    }
     if (rest.empty()) {
       EmitError(Status::InvalidArgument("INGEST needs `.`-terminated facts"),
                 out);
       out->push_back("END");
       return ProtocolAction::kContinue;
     }
-    Result<IngestOutcome> result = service.Ingest(rest);
+    Result<IngestOutcome> result =
+        ttl_ms > 0 ? service.IngestTtl(rest, ttl_ms) : service.Ingest(rest);
     if (!result.ok()) {
       EmitError(result.status(), out);
     } else {
       outcome->derived_facts = result->accepted;
       out->push_back("OK accepted=" + std::to_string(result->accepted) +
                      " duplicates=" + std::to_string(result->duplicates) +
+                     " epoch=" + std::to_string(result->epoch));
+    }
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "RETRACT") {
+    if (rest.empty()) {
+      EmitError(Status::InvalidArgument("RETRACT needs `.`-terminated facts"),
+                out);
+      out->push_back("END");
+      return ProtocolAction::kContinue;
+    }
+    Result<RetractOutcome> result = service.Retract(rest);
+    if (!result.ok()) {
+      EmitError(result.status(), out);
+    } else {
+      // Retraction work is charged like derivation: the removed facts are
+      // what downstream maintenance must repair.
+      outcome->derived_facts = result->removed;
+      out->push_back("OK removed=" + std::to_string(result->removed) +
+                     " missing=" + std::to_string(result->missing) +
+                     " epoch=" + std::to_string(result->epoch));
+    }
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "TICK") {
+    int64_t delta_ms = 0;
+    if (!rest.empty() && (!ParseInt64(rest, &delta_ms) || delta_ms < 0)) {
+      EmitError(Status::InvalidArgument(
+                    "TICK needs a non-negative millisecond delta (bare TICK "
+                    "reads the clock)"),
+                out);
+      out->push_back("END");
+      return ProtocolAction::kContinue;
+    }
+    Result<TickOutcome> result = service.AdvanceClock(delta_ms);
+    if (!result.ok()) {
+      EmitError(result.status(), out);
+    } else {
+      outcome->derived_facts = result->expired;
+      out->push_back("OK now_ms=" + std::to_string(result->now_ms) +
+                     " expired=" + std::to_string(result->expired) +
                      " epoch=" + std::to_string(result->epoch));
     }
     out->push_back("END");
@@ -184,6 +262,15 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
     out->push_back("resumed_iterations=" +
                    std::to_string(stats.resumed_iterations));
     out->push_back("governed_aborts=" + std::to_string(stats.governed_aborts));
+    out->push_back("retracts=" + std::to_string(stats.retracts));
+    out->push_back("retracted_facts=" + std::to_string(stats.retracted_facts));
+    out->push_back("retract_missing=" + std::to_string(stats.retract_missing));
+    out->push_back("retract_resumes=" + std::to_string(stats.retract_resumes));
+    out->push_back("ttl_ingests=" + std::to_string(stats.ttl_ingests));
+    out->push_back("ttl_pending=" + std::to_string(stats.ttl_pending));
+    out->push_back("ticks=" + std::to_string(stats.ticks));
+    out->push_back("expired_facts=" + std::to_string(stats.expired_facts));
+    out->push_back("clock_ms=" + std::to_string(stats.clock_ms));
     out->push_back("epoch=" + std::to_string(stats.epoch));
     out->push_back("prepared_entries=" +
                    std::to_string(stats.prepared_entries));
@@ -200,7 +287,8 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
 
   EmitError(Status::InvalidArgument("unknown command '" + command +
                                     "' (expected PREPARE, QUERY, INGEST, "
-                                    "PRIORITY, STATS, or SHUTDOWN)"),
+                                    "RETRACT, TICK, PRIORITY, STATS, or "
+                                    "SHUTDOWN)"),
             out);
   out->push_back("END");
   return ProtocolAction::kContinue;

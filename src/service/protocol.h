@@ -18,6 +18,12 @@ namespace cqlopt {
 ///   PREPARE <steps> <query>     memoize the rewrite pipeline
 ///   QUERY <steps> <query>       serve a query; answers follow, one per line
 ///   INGEST <facts>              commit `.`-terminated facts as a new epoch
+///   INGEST TTL <ms> <facts>     commit facts that expire once the logical
+///                               clock passes now + <ms>
+///   RETRACT <facts>             delete stored base facts (DESIGN.md §14);
+///                               naming absent facts is counted, not an error
+///   TICK <delta_ms>             advance the logical clock, expiring due
+///                               TTL facts; bare TICK reads the clock
 ///   PRIORITY <class>            set this connection's scheduling class
 ///                               (interactive | normal | batch)
 ///   STATS                       one `key=value` line per service counter
@@ -45,8 +51,9 @@ enum class ProtocolAction {
 /// facts for the scheduler's fair-share charge, and PRIORITY changes for
 /// the connection to apply. The stdio loop ignores it.
 struct LineOutcome {
-  /// Facts stored by the evaluation this line triggered (QUERY) or
-  /// accepted into the new epoch (INGEST); 0 otherwise.
+  /// Facts stored by the evaluation this line triggered (QUERY), accepted
+  /// into the new epoch (INGEST), or removed from it (RETRACT / TICK
+  /// expiry — shrink work is charged like growth); 0 otherwise.
   long derived_facts = 0;
   /// True when the line was a successful PRIORITY verb; `priority` then
   /// holds the class the connection should switch to.

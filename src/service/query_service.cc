@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ast/parser.h"
+#include "eval/retract.h"
 #include "util/failpoint.h"
 
 namespace cqlopt {
@@ -156,7 +157,7 @@ Status QueryService::NoteEvalError(const Status& status) {
 }
 
 bool QueryService::CollectDeltas(const EpochSnapshot& head, int64_t from,
-                                 std::vector<Fact>* out) const {
+                                 std::vector<DeltaBatch>* out) const {
   const EpochDelta* node = head.deltas.get();
   std::vector<const EpochDelta*> newer;
   while (node != nullptr && node->id > from) {
@@ -164,9 +165,16 @@ bool QueryService::CollectDeltas(const EpochSnapshot& head, int64_t from,
     node = node->prev.get();
   }
   if (node == nullptr || node->id != from) return false;
-  // Chain is newest-first; replay batches oldest-first (commit order).
+  // Chain is newest-first; replay batches oldest-first (commit order),
+  // merging runs of same-kind epochs into one catch-up step — one
+  // ResumeEvaluate covers any number of insert epochs, one RetractEvaluate
+  // any number of retraction epochs.
   for (auto it = newer.rbegin(); it != newer.rend(); ++it) {
-    out->insert(out->end(), (*it)->facts.begin(), (*it)->facts.end());
+    if (out->empty() || out->back().retract != (*it)->retract) {
+      out->push_back(DeltaBatch{(*it)->retract, {}});
+    }
+    out->back().facts.insert(out->back().facts.end(), (*it)->facts.begin(),
+                             (*it)->facts.end());
   }
   return true;
 }
@@ -190,12 +198,18 @@ Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
       outcome.path = ServePath::kEpochHit;
       eval = entry->eval;
     } else {
-      std::vector<Fact> delta;
+      // Cold evaluations and RetractEvaluate's purity check both run the
+      // serving engine's stratified strategy.
+      EvalOptions opts = options_.eval;
+      opts.strategy = EvalStrategy::kStratified;
+      std::vector<DeltaBatch> batches;
       bool can_resume = entry->eval != nullptr &&
                         entry->eval->stats.reached_fixpoint &&
                         entry->eval_epoch >= 0 &&
                         entry->eval_epoch < head->id &&
-                        CollectDeltas(*head, entry->eval_epoch, &delta);
+                        CollectDeltas(*head, entry->eval_epoch, &batches);
+      bool resumed_ok = false;
+      bool any_retract = false;
       if (can_resume) {
         int base_iterations = entry->eval->stats.iterations;
         long base_inserted = entry->eval->stats.inserted;
@@ -211,19 +225,41 @@ Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
         entry->eval = nullptr;
         // On error the materialization stays cleared: the next query for
         // this entry simply goes cold — a deadline/budget abort never
-        // poisons the entry or the service.
-        Result<EvalResult> resumed_result = ResumeEvaluate(
-            entry->prepared.program, std::move(base), delta, options_.eval);
-        if (!resumed_result.ok()) return NoteEvalError(resumed_result.status());
-        EvalResult resumed = std::move(*resumed_result);
-        resumed.db.set_epoch(head->id);
-        outcome.path = ServePath::kResumed;
-        outcome.iterations_run = resumed.stats.iterations - base_iterations;
-        outcome.facts_stored = resumed.stats.inserted - base_inserted;
-        eval = std::make_shared<EvalResult>(std::move(resumed));
-      } else {
-        EvalOptions opts = options_.eval;
-        opts.strategy = EvalStrategy::kStratified;
+        // poisons the entry or the service. Each committed epoch is applied
+        // with its own kind: insert runs resume the delta fixpoint,
+        // retraction runs repair it (eval/retract.h); a capped
+        // mid-chain result cannot feed the next step, so that falls back
+        // to a cold evaluation.
+        bool chain_ok = true;
+        for (size_t b = 0; b < batches.size(); ++b) {
+          if (b > 0 && !base.stats.reached_fixpoint) {
+            chain_ok = false;  // capped mid-chain: go cold instead
+            break;
+          }
+          any_retract = any_retract || batches[b].retract;
+          Result<EvalResult> stepped =
+              batches[b].retract
+                  ? RetractEvaluate(entry->prepared.program, std::move(base),
+                                    batches[b].facts, opts)
+                  : ResumeEvaluate(entry->prepared.program, std::move(base),
+                                   batches[b].facts, options_.eval);
+          if (!stepped.ok()) return NoteEvalError(stepped.status());
+          base = std::move(*stepped);
+        }
+        if (chain_ok) {
+          base.db.set_epoch(head->id);
+          outcome.path = ServePath::kResumed;
+          // Full-path retractions rebuild from scratch, so the counters can
+          // end below the base's; clamp — the scheduler charges these.
+          outcome.iterations_run =
+              std::max(0, base.stats.iterations - base_iterations);
+          outcome.facts_stored =
+              std::max(long{0}, base.stats.inserted - base_inserted);
+          eval = std::make_shared<EvalResult>(std::move(base));
+          resumed_ok = true;
+        }
+      }
+      if (!resumed_ok) {
         Result<EvalResult> cold_result =
             Evaluate(entry->prepared.program, head->edb, opts);
         if (!cold_result.ok()) return NoteEvalError(cold_result.status());
@@ -233,7 +269,12 @@ Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
             prepared_hit ? ServePath::kPreparedEval : ServePath::kCold;
         outcome.iterations_run = cold.stats.iterations;
         outcome.facts_stored = cold.stats.inserted;
+        any_retract = false;
         eval = std::make_shared<EvalResult>(std::move(cold));
+      }
+      if (any_retract) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.retract_resumes;
       }
       entry->eval = eval;
       entry->eval_epoch = head->id;
@@ -284,35 +325,105 @@ Result<IngestOutcome> QueryService::Ingest(const std::string& facts_text) {
   // The verbatim text is the WAL payload: replay parses it with the same
   // loader against the same prior state, so it re-commits these exact
   // facts.
-  return CommitBatch(FactsOf(staged), facts_text);
+  return CommitBatch(FactsOf(staged), facts_text, /*ttl_ms=*/0);
+}
+
+Result<IngestOutcome> QueryService::IngestTtl(const std::string& facts_text,
+                                              int64_t ttl_ms) {
+  if (ttl_ms <= 0) {
+    return Status::InvalidArgument("TTL must be > 0 ms, got " +
+                                   std::to_string(ttl_ms));
+  }
+  Database staged;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    CQLOPT_ASSIGN_OR_RETURN(
+        int loaded, LoadDatabaseText(facts_text, program_.symbols, &staged));
+    (void)loaded;
+  }
+  return CommitBatch(FactsOf(staged), facts_text, ttl_ms);
+}
+
+/// Renders `batch` to loader syntax and re-parses it, returning the
+/// re-parsed facts — the facts the WAL replay will reconstruct. Committing
+/// these (not the originals) keeps "committed state == parse(logged text)"
+/// exact. Must be called with symbols_mutex_ held.
+static Result<std::vector<Fact>> RoundTripBatchLocked(
+    const std::vector<Fact>& batch, Program* program, std::string* text) {
+  Database staged;
+  for (const Fact& fact : batch) {
+    *text += RenderFactStatement(fact, *program->symbols);
+    *text += '\n';
+  }
+  Result<int> loaded = LoadDatabaseText(*text, program->symbols, &staged);
+  if (!loaded.ok()) {
+    return Status::Internal(
+        "WAL-bound batch failed to round-trip through the loader: " +
+        loaded.status().ToString());
+  }
+  return FactsOf(staged);
 }
 
 Result<IngestOutcome> QueryService::IngestFacts(
     const std::vector<Fact>& batch) {
-  if (wal_ == nullptr) return CommitBatch(batch, std::string());
+  if (wal_ == nullptr) return CommitBatch(batch, std::string(), /*ttl_ms=*/0);
   // Durable path: render the batch to loader syntax and commit what that
   // text *parses back to* — recovery replays text, so logging anything the
   // parse doesn't reproduce exactly would fork the recovered state.
   std::string text;
+  std::vector<Fact> round_tripped;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    CQLOPT_ASSIGN_OR_RETURN(round_tripped,
+                            RoundTripBatchLocked(batch, &program_, &text));
+  }
+  return CommitBatch(round_tripped, text, /*ttl_ms=*/0);
+}
+
+Result<IngestOutcome> QueryService::IngestTtlFacts(
+    const std::vector<Fact>& batch, int64_t ttl_ms) {
+  if (ttl_ms <= 0) {
+    return Status::InvalidArgument("TTL must be > 0 ms, got " +
+                                   std::to_string(ttl_ms));
+  }
+  if (wal_ == nullptr) return CommitBatch(batch, std::string(), ttl_ms);
+  std::string text;
+  std::vector<Fact> round_tripped;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    CQLOPT_ASSIGN_OR_RETURN(round_tripped,
+                            RoundTripBatchLocked(batch, &program_, &text));
+  }
+  return CommitBatch(round_tripped, text, ttl_ms);
+}
+
+Result<RetractOutcome> QueryService::Retract(const std::string& facts_text) {
   Database staged;
   {
     std::lock_guard<std::mutex> lock(symbols_mutex_);
-    for (const Fact& fact : batch) {
-      text += RenderFactStatement(fact, *program_.symbols);
-      text += '\n';
-    }
-    Result<int> loaded = LoadDatabaseText(text, program_.symbols, &staged);
-    if (!loaded.ok()) {
-      return Status::Internal(
-          "WAL-bound batch failed to round-trip through the loader: " +
-          loaded.status().ToString());
-    }
+    CQLOPT_ASSIGN_OR_RETURN(
+        int loaded, LoadDatabaseText(facts_text, program_.symbols, &staged));
+    (void)loaded;
   }
-  return CommitBatch(FactsOf(staged), text);
+  return CommitRetract(FactsOf(staged), facts_text);
+}
+
+Result<RetractOutcome> QueryService::RetractFacts(
+    const std::vector<Fact>& batch) {
+  if (wal_ == nullptr) return CommitRetract(batch, std::string());
+  std::string text;
+  std::vector<Fact> round_tripped;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    CQLOPT_ASSIGN_OR_RETURN(round_tripped,
+                            RoundTripBatchLocked(batch, &program_, &text));
+  }
+  return CommitRetract(round_tripped, text);
 }
 
 Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
-                                                const std::string& payload) {
+                                                const std::string& statements,
+                                                int64_t ttl_ms) {
   IngestOutcome out;
   bool compact_due = false;
   long wal_bytes = 0;
@@ -336,7 +447,15 @@ Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
     if (log_this) {
       // Durability barrier: the record must be on disk before any reader
       // can observe the new epoch. An append failure (real or injected)
-      // aborts the commit — the epoch never existed.
+      // aborts the commit — the epoch never existed. Plain inserts keep
+      // the legacy bare-text payload (byte-identical to pre-§14 logs);
+      // TTL'd inserts carry the clock and TTL so replay re-registers the
+      // same deadlines.
+      std::string payload =
+          ttl_ms > 0
+              ? EncodeWalRecord({WalRecord::Kind::kInsertTtl, now_ms_, ttl_ms,
+                                 statements})
+              : statements;
       CQLOPT_RETURN_IF_ERROR(wal_->Append(payload));
       if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
         return Status::Internal(
@@ -347,7 +466,7 @@ Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
     }
     auto deltas = std::make_shared<EpochDelta>();
     deltas->id = head_->id + 1;
-    deltas->facts = std::move(accepted);
+    deltas->facts = accepted;
     deltas->prev = head_->deltas;
     auto head = std::make_shared<EpochSnapshot>();
     head->id = deltas->id;
@@ -356,6 +475,15 @@ Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
     head->deltas = std::move(deltas);
     head_ = std::move(head);
     out.epoch = head_->id;
+    if (ttl_ms > 0) {
+      // Deadlines register at the epoch commit, not the WAL append: an
+      // aborted commit must not leave a live deadline behind. Duplicates
+      // never reach here, so re-ingesting a stored fact does NOT refresh
+      // its deadline (§14: first-write-wins window semantics).
+      for (const Fact& fact : accepted) {
+        deadlines_.emplace(now_ms_ + ttl_ms, fact);
+      }
+    }
     if (log_this) {
       wal_bytes = wal_->log_bytes();
       compact_due = options_.wal_compact_bytes > 0 &&
@@ -370,6 +498,7 @@ Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.ingests;
+    if (ttl_ms > 0) ++stats_.ttl_ingests;
     stats_.epoch = out.epoch;
     if (wal_ != nullptr && !replaying_) {
       ++stats_.wal_appends;
@@ -389,6 +518,281 @@ Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
   return out;
 }
 
+namespace {
+
+/// Marks `fact`'s row in `db` dead in `masks`, returning false when the fact
+/// is not stored (or already marked). Masks are sized lazily per relation.
+bool MarkDead(const Database& db, const Fact& fact,
+              std::map<PredId, std::vector<uint8_t>>* masks) {
+  const Relation* rel = db.Find(fact.pred);
+  if (rel == nullptr) return false;
+  std::optional<size_t> row = rel->RowOf(fact.Key());
+  if (!row.has_value()) return false;
+  std::vector<uint8_t>& mask = (*masks)[fact.pred];
+  if (mask.empty()) mask.resize(rel->size(), 0);
+  if (mask[*row]) return false;
+  mask[*row] = 1;
+  return true;
+}
+
+/// The spliced successor EDB: relations with dead rows are rebuilt without
+/// them; relations spliced down to nothing are dropped outright, so the
+/// result is indistinguishable from an EDB that never held those facts
+/// (scratch re-evaluation compares equal, relation set included).
+Database SplicedEdb(const Database& base,
+                    const std::map<PredId, std::vector<uint8_t>>& masks) {
+  Database next;
+  for (const auto& [pred, rel] : base.relations()) {
+    auto it = masks.find(pred);
+    if (it == masks.end()) {
+      *next.FindMutable(pred) = rel;
+      continue;
+    }
+    Relation spliced = rel.Spliced(it->second, nullptr);
+    if (spliced.size() > 0) *next.FindMutable(pred) = std::move(spliced);
+  }
+  return next;
+}
+
+}  // namespace
+
+Result<RetractOutcome> QueryService::CommitRetract(
+    const std::vector<Fact>& batch, const std::string& statements) {
+  RetractOutcome out;
+  bool compact_due = false;
+  long wal_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    std::map<PredId, std::vector<uint8_t>> dead;
+    std::vector<Fact> removed;
+    for (const Fact& fact : batch) {
+      if (MarkDead(head_->edb, fact, &dead)) {
+        removed.push_back(fact);
+      } else {
+        ++out.missing;  // never inserted, already gone, or batch-duplicate
+      }
+    }
+    out.removed = static_cast<int>(removed.size());
+    if (removed.empty()) {
+      out.epoch = head_->id;  // no-op retraction burns no epoch, no WAL I/O
+      return out;
+    }
+    const bool log_this = wal_ != nullptr && !replaying_;
+    if (log_this) {
+      CQLOPT_RETURN_IF_ERROR(wal_->Append(
+          EncodeWalRecord({WalRecord::Kind::kRetract, 0, 0, statements})));
+      if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
+        return Status::Internal(
+            std::string("injected crash between WAL append and epoch "
+                        "commit (failpoint ") +
+            failpoint::kWalCrashBeforeCommit + ")");
+      }
+    }
+    auto deltas = std::make_shared<EpochDelta>();
+    deltas->id = head_->id + 1;
+    deltas->retract = true;
+    deltas->facts = std::move(removed);
+    deltas->prev = head_->deltas;
+    auto head = std::make_shared<EpochSnapshot>();
+    head->id = deltas->id;
+    head->edb = SplicedEdb(head_->edb, dead);
+    head->edb.set_epoch(head->id);
+    head->deltas = std::move(deltas);
+    head_ = std::move(head);
+    out.epoch = head_->id;
+    // Pending deadlines for the removed facts are left in place: the sweep
+    // skips entries whose fact is no longer stored, so they age out as
+    // harmless no-ops — cheaper than a multimap scan per retraction.
+    if (log_this) {
+      wal_bytes = wal_->log_bytes();
+      compact_due = options_.wal_compact_bytes > 0 &&
+                    wal_bytes > options_.wal_compact_bytes;
+      if (failpoint::ShouldFail(failpoint::kWalCrashAfterCommit)) {
+        return Status::Internal(
+            std::string("injected crash after epoch commit (failpoint ") +
+            failpoint::kWalCrashAfterCommit + ")");
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.retracts;
+    stats_.retracted_facts += out.removed;
+    stats_.retract_missing += out.missing;
+    stats_.epoch = out.epoch;
+    if (wal_ != nullptr && !replaying_) {
+      ++stats_.wal_appends;
+      stats_.wal_bytes = wal_bytes;
+    }
+  }
+  if (compact_due) {
+    Status compacted = Compact();
+    if (!compacted.ok()) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.wal_compaction_failures;
+    }
+  }
+  return out;
+}
+
+int64_t QueryService::now_ms() const {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  return now_ms_;
+}
+
+Result<TickOutcome> QueryService::AdvanceClock(int64_t delta_ms) {
+  if (delta_ms < 0) {
+    return Status::InvalidArgument("clock only moves forward; delta " +
+                                   std::to_string(delta_ms) + "ms");
+  }
+  int64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    if (delta_ms == 0) {
+      // Pure read: report the clock without logging a tick.
+      return TickOutcome{now_ms_, 0, head_->id};
+    }
+    target = now_ms_ + delta_ms;
+  }
+  return AdvanceClockTo(target);
+}
+
+Result<TickOutcome> QueryService::AdvanceClockTo(int64_t target_now_ms) {
+  TickOutcome out;
+  long wal_bytes = 0;
+  bool logged = false;
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    if (target_now_ms <= now_ms_) {
+      return TickOutcome{now_ms_, 0, head_->id};  // clock is monotone
+    }
+    // Sweep every deadline that the advance crosses. Entries whose fact is
+    // no longer stored (retracted, or expired by an earlier overlapping
+    // deadline) are stale — dropped without effect. Replay re-derives this
+    // exact sweep from the reconstructed deadline table, so the kExpire
+    // record needs only the target clock for determinism; it still carries
+    // the expired statements so the log is self-describing. The swept range
+    // is only erased at the commit point below — an append failure must
+    // leave the table (like every other piece of state) untouched.
+    std::map<PredId, std::vector<uint8_t>> dead;
+    std::vector<Fact> expired;
+    const auto sweep_end = deadlines_.upper_bound(target_now_ms);
+    for (auto it = deadlines_.begin(); it != sweep_end; ++it) {
+      if (MarkDead(head_->edb, it->second, &dead)) {
+        expired.push_back(it->second);
+      }
+    }
+    out.expired = static_cast<int>(expired.size());
+    const bool log_this = wal_ != nullptr && !replaying_;
+    if (expired.empty()) {
+      if (log_this) {
+        // The clock itself is durable state: without the tick record a
+        // recovered service would run behind and re-expire nothing early,
+        // but RenderStateText (and thus the crash differential) would
+        // diverge on clock_ms.
+        CQLOPT_RETURN_IF_ERROR(wal_->Append(EncodeWalRecord(
+            {WalRecord::Kind::kTick, target_now_ms, 0, std::string()})));
+        logged = true;
+        wal_bytes = wal_->log_bytes();
+        if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
+          return Status::Internal(
+              std::string("injected crash between WAL append and epoch "
+                          "commit (failpoint ") +
+              failpoint::kWalCrashBeforeCommit + ")");
+        }
+      }
+      deadlines_.erase(deadlines_.begin(), sweep_end);  // stale-only sweep
+      now_ms_ = target_now_ms;
+      out.now_ms = now_ms_;
+      out.epoch = head_->id;
+      if (log_this && failpoint::ShouldFail(failpoint::kWalCrashAfterCommit)) {
+        return Status::Internal(
+            std::string("injected crash after epoch commit (failpoint ") +
+            failpoint::kWalCrashAfterCommit + ")");
+      }
+    } else {
+      if (log_this) {
+        std::string statements;
+        {
+          // Lock order: head_mutex_ > symbols_mutex_.
+          std::lock_guard<std::mutex> sym(symbols_mutex_);
+          for (const Fact& fact : expired) {
+            statements += RenderFactStatement(fact, *program_.symbols);
+            statements += '\n';
+          }
+        }
+        CQLOPT_RETURN_IF_ERROR(wal_->Append(EncodeWalRecord(
+            {WalRecord::Kind::kExpire, target_now_ms, 0, statements})));
+        logged = true;
+        if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
+          return Status::Internal(
+              std::string("injected crash between WAL append and epoch "
+                          "commit (failpoint ") +
+              failpoint::kWalCrashBeforeCommit + ")");
+        }
+      }
+      auto deltas = std::make_shared<EpochDelta>();
+      deltas->id = head_->id + 1;
+      deltas->retract = true;
+      deltas->facts = std::move(expired);
+      deltas->prev = head_->deltas;
+      auto head = std::make_shared<EpochSnapshot>();
+      head->id = deltas->id;
+      head->edb = SplicedEdb(head_->edb, dead);
+      head->edb.set_epoch(head->id);
+      head->deltas = std::move(deltas);
+      head_ = std::move(head);
+      deadlines_.erase(deadlines_.begin(), sweep_end);
+      now_ms_ = target_now_ms;
+      out.now_ms = now_ms_;
+      out.epoch = head_->id;
+      if (log_this) {
+        wal_bytes = wal_->log_bytes();
+        if (failpoint::ShouldFail(failpoint::kWalCrashAfterCommit)) {
+          return Status::Internal(
+              std::string("injected crash after epoch commit (failpoint ") +
+              failpoint::kWalCrashAfterCommit + ")");
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.ticks;
+    stats_.expired_facts += out.expired;
+    stats_.epoch = out.epoch;
+    if (logged) {
+      ++stats_.wal_appends;
+      stats_.wal_bytes = wal_bytes;
+    }
+  }
+  return out;
+}
+
+Status QueryService::ReplayRecord(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecord::Kind::kInsert:
+      return Ingest(record.statements).status();
+    case WalRecord::Kind::kRetract:
+      return Retract(record.statements).status();
+    case WalRecord::Kind::kInsertTtl:
+      // Restore the commit-time clock first so the re-registered deadlines
+      // land at the original now_ms + ttl_ms.
+      {
+        std::lock_guard<std::mutex> lock(head_mutex_);
+        if (record.now_ms > now_ms_) now_ms_ = record.now_ms;
+      }
+      return IngestTtl(record.statements, record.ttl_ms).status();
+    case WalRecord::Kind::kExpire:
+    case WalRecord::Kind::kTick:
+      // Both replay as a clock advance: the sweep is re-derived from the
+      // reconstructed deadline table, deterministically reproducing the
+      // kExpire deletions (or nothing, for a tick).
+      return AdvanceClockTo(record.now_ms).status();
+  }
+  return Status::Internal("unhandled WAL record kind");
+}
+
 Status QueryService::Recover(RecoverOutcome* out) {
   RecoverOutcome recovered;
   if (wal_ == nullptr || recovered_) {
@@ -397,50 +801,68 @@ Status QueryService::Recover(RecoverOutcome* out) {
     return Status::OK();
   }
   // 1. The compaction snapshot, if any, replaces the constructor-provided
-  //    EDB outright: it captured that EDB plus every batch compacted away.
+  //    EDB outright: it captured that EDB plus every batch compacted away,
+  //    along with the streaming state (clock + pending TTL deadlines) that
+  //    the compacted records would otherwise have rebuilt.
   bool snapshot_found = false;
-  int64_t snapshot_epoch = 0;
-  std::string snapshot_text;
-  CQLOPT_RETURN_IF_ERROR(
-      wal_->ReadSnapshot(&snapshot_found, &snapshot_epoch, &snapshot_text));
+  WalSnapshot snapshot;
+  CQLOPT_RETURN_IF_ERROR(wal_->ReadSnapshot(&snapshot_found, &snapshot));
   if (snapshot_found) {
     Database edb;
+    std::multimap<int64_t, Fact> deadlines;
     {
       std::lock_guard<std::mutex> lock(symbols_mutex_);
       Result<int> loaded =
-          LoadDatabaseText(snapshot_text, program_.symbols, &edb);
+          LoadDatabaseText(snapshot.statements, program_.symbols, &edb);
       if (!loaded.ok()) {
         return Status::Internal("WAL snapshot failed to load: " +
                                 loaded.status().ToString());
+      }
+      for (const auto& [deadline_ms, statement] : snapshot.deadlines) {
+        Database one;
+        Result<int> fact_loaded =
+            LoadDatabaseText(statement, program_.symbols, &one);
+        if (!fact_loaded.ok() || one.TotalFacts() != 1) {
+          return Status::Internal(
+              "WAL snapshot deadline entry failed to load: " + statement);
+        }
+        for (const Fact& fact : FactsOf(one)) {
+          deadlines.emplace(deadline_ms, fact);
+        }
       }
     }
     {
       std::lock_guard<std::mutex> lock(head_mutex_);
       auto deltas = std::make_shared<EpochDelta>();
-      deltas->id = snapshot_epoch;  // chain bottoms out at the snapshot
+      deltas->id = snapshot.epoch;  // chain bottoms out at the snapshot
       auto head = std::make_shared<EpochSnapshot>();
-      head->id = snapshot_epoch;
+      head->id = snapshot.epoch;
       head->edb = std::move(edb);
-      head->edb.set_epoch(snapshot_epoch);
+      head->edb.set_epoch(snapshot.epoch);
       head->deltas = std::move(deltas);
       head_ = std::move(head);
+      now_ms_ = snapshot.now_ms;
+      deadlines_ = std::move(deadlines);
     }
     recovered.snapshot_loaded = true;
-    recovered.snapshot_epoch = snapshot_epoch;
+    recovered.snapshot_epoch = snapshot.epoch;
   }
-  // 2. Replay the intact log records through the normal commit path —
-  //    identical parsing, dedup, and epoch numbering as the original run.
+  // 2. Replay the intact log records through the normal commit paths —
+  //    identical parsing, dedup, epoch numbering, and expiry sweeps as the
+  //    original run.
   CQLOPT_ASSIGN_OR_RETURN(WalReadOutcome read, wal_->ReadAll());
   recovered.truncated_bytes = read.truncated_bytes;
   recovered.warning = read.warning;
   replaying_ = true;
   for (const std::string& payload : read.payloads) {
-    Result<IngestOutcome> replayed = Ingest(payload);
+    Result<WalRecord> record = DecodeWalRecord(payload);
+    Status replayed =
+        record.ok() ? ReplayRecord(*record) : record.status();
     if (!replayed.ok()) {
       replaying_ = false;
       return Status::Internal("WAL replay failed at record " +
                               std::to_string(recovered.batches_replayed) +
-                              ": " + replayed.status().ToString());
+                              ": " + replayed.ToString());
     }
     ++recovered.batches_replayed;
   }
@@ -464,13 +886,19 @@ Status QueryService::Compact() {
   long wal_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(head_mutex_);
-    std::string text;
+    WalSnapshot snapshot;
+    snapshot.epoch = head_->id;
+    snapshot.now_ms = now_ms_;
     {
       // Lock order: head_mutex_ > symbols_mutex_ (rendering reads names).
       std::lock_guard<std::mutex> sym(symbols_mutex_);
-      text = RenderDatabaseText(head_->edb, *program_.symbols);
+      snapshot.statements = RenderDatabaseText(head_->edb, *program_.symbols);
+      for (const auto& [deadline_ms, fact] : deadlines_) {
+        snapshot.deadlines.emplace_back(
+            deadline_ms, RenderFactStatement(fact, *program_.symbols));
+      }
     }
-    CQLOPT_RETURN_IF_ERROR(wal_->WriteSnapshot(head_->id, text));
+    CQLOPT_RETURN_IF_ERROR(wal_->WriteSnapshot(snapshot));
     // Only after the snapshot is durably in place do the records become
     // redundant; a crash between the two leaves snapshot + stale log, and
     // replaying the stale records is harmless (they dedup to no-ops).
@@ -488,10 +916,24 @@ Status QueryService::Compact() {
 }
 
 std::string QueryService::RenderStateText() const {
-  std::shared_ptr<const EpochSnapshot> head = Head();
+  std::shared_ptr<const EpochSnapshot> head;
+  int64_t clock_ms = 0;
+  std::vector<std::pair<int64_t, Fact>> deadlines;
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    head = head_;
+    clock_ms = now_ms_;
+    deadlines.assign(deadlines_.begin(), deadlines_.end());
+  }
   std::lock_guard<std::mutex> lock(symbols_mutex_);
-  return "epoch=" + std::to_string(head->id) + "\n" +
-         RenderDatabaseText(head->edb, *program_.symbols);
+  std::string text = "epoch=" + std::to_string(head->id) + "\nclock_ms=" +
+                     std::to_string(clock_ms) + "\n" +
+                     RenderDatabaseText(head->edb, *program_.symbols);
+  for (const auto& [deadline_ms, fact] : deadlines) {
+    text += "# ttl " + std::to_string(deadline_ms) + " " +
+            RenderFactStatement(fact, *program_.symbols) + "\n";
+  }
+  return text;
 }
 
 ServiceStats QueryService::Stats() const {
@@ -504,6 +946,11 @@ ServiceStats QueryService::Stats() const {
   }
   snapshot.epoch = epoch();
   snapshot.wal_enabled = wal_ != nullptr;
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    snapshot.clock_ms = now_ms_;
+    snapshot.ttl_pending = deadlines_.size();
+  }
   PreparedCache::Counters cache = prepared_.Snapshot();
   snapshot.prepared_entries = cache.entries;
   // Invoked outside stats_mutex_: the augmenter takes its own locks (the

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/equivalence.h"
@@ -87,6 +89,31 @@ struct IngestOutcome {
   int64_t epoch = 0;
 };
 
+/// Outcome of one committed retraction batch.
+struct RetractOutcome {
+  /// Base facts removed from the new epoch's EDB.
+  int removed = 0;
+  /// Batch entries that named no stored base fact (never inserted, already
+  /// retracted or expired, or repeated within the batch) — counted, never
+  /// an error, so retraction is idempotent.
+  int missing = 0;
+  /// The epoch the commit produced. Unchanged if nothing was removed (a
+  /// no-op retraction burns no epoch).
+  int64_t epoch = 0;
+};
+
+/// Outcome of one logical-clock advance (DESIGN.md §14: the service clock
+/// only moves via TICK / AdvanceClock, so window expiry is deterministic
+/// and replayable).
+struct TickOutcome {
+  /// Clock after the advance.
+  int64_t now_ms = 0;
+  /// TTL'd facts whose deadline elapsed and were retracted by this tick.
+  int expired = 0;
+  /// Head epoch after the tick (bumped only when something expired).
+  int64_t epoch = 0;
+};
+
 /// What Recover() found and rebuilt (all zero when the WAL is disabled).
 struct RecoverOutcome {
   /// Head epoch after replay.
@@ -157,6 +184,18 @@ struct ServiceStats {
   /// simply was not reset and stays replayable).
   long wal_compaction_failures = 0;
   long wal_replayed_batches = 0;
+  // Retraction / streaming-window counters (DESIGN.md §14).
+  long retracts = 0;          // committed retraction batches (incl. expiry)
+  long retracted_facts = 0;   // base facts removed by them
+  long retract_missing = 0;   // batch entries that named no stored base fact
+  long ttl_ingests = 0;       // committed INGEST TTL batches
+  long ticks = 0;             // clock advances (with or without expiry)
+  long expired_facts = 0;     // facts retracted by deadline sweeps
+  int64_t clock_ms = 0;       // current logical clock
+  size_t ttl_pending = 0;     // deadlines not yet elapsed
+  /// Materialization catch-ups that applied at least one retraction delta
+  /// (subset of `resumes`).
+  long retract_resumes = 0;
   /// Admission/scheduling counters of the attached scheduler, if any.
   SchedulerStats scheduler;
 };
@@ -223,6 +262,39 @@ class QueryService {
   /// replay reproduces the epochs byte for byte.
   Result<IngestOutcome> IngestFacts(const std::vector<Fact>& batch);
 
+  /// Like Ingest, but every accepted fact expires `ttl_ms` (> 0) logical
+  /// milliseconds from now: when AdvanceClock moves the clock past
+  /// now + ttl_ms the fact is retracted exactly as by Retract. Duplicates
+  /// of already-stored facts are dropped as usual and do NOT refresh any
+  /// existing deadline (re-ingesting a fact never extends its life — the
+  /// first deadline wins; documented sliding-window semantics).
+  Result<IngestOutcome> IngestTtl(const std::string& facts_text,
+                                  int64_t ttl_ms);
+  Result<IngestOutcome> IngestTtlFacts(const std::vector<Fact>& batch,
+                                       int64_t ttl_ms);
+
+  /// Parses facts in the loader syntax and retracts them from the EDB as a
+  /// new epoch. Facts that are stored are removed; entries matching nothing
+  /// count as `missing` (idempotent deletes). Readers holding older
+  /// snapshots are unaffected; materialized evaluations catch up with an
+  /// incremental RetractEvaluate on their next query. WAL semantics mirror
+  /// Ingest (record kind 0x02, durable before visible).
+  Result<RetractOutcome> Retract(const std::string& facts_text);
+
+  /// Retracts pre-built facts (bench/test entry point); the same
+  /// render-and-reparse dance as IngestFacts keeps replay exact.
+  Result<RetractOutcome> RetractFacts(const std::vector<Fact>& batch);
+
+  /// Advances the logical clock by `delta_ms` (>= 0; 0 reads the clock
+  /// without logging) and retracts every TTL'd fact whose deadline
+  /// elapsed. The sweep is one retraction epoch (kind 0x03 in the WAL,
+  /// carrying the new clock); a tick that expires nothing logs a clock
+  /// record (kind 0x05) and burns no epoch.
+  Result<TickOutcome> AdvanceClock(int64_t delta_ms);
+
+  /// Current logical clock (advanced only by AdvanceClock / recovery).
+  int64_t now_ms() const;
+
   /// Replays the WAL directory into this freshly constructed service:
   /// loads the compaction snapshot (if present) as the base EDB at its
   /// epoch, then re-commits every intact log record in order, reproducing
@@ -241,11 +313,13 @@ class QueryService {
   /// past the threshold.
   Status Compact();
 
-  /// Renders the head state as `epoch=<id>` plus every EDB fact in loader
-  /// syntax (wal.h RenderDatabaseText) — the oracle the crash-recovery
-  /// property compares. Two services with the same committed history render
-  /// identically even when their raw symbol ids differ (recovery re-interns
-  /// names in replay order).
+  /// Renders the head state as `epoch=<id>` and `clock_ms=<n>` lines, every
+  /// EDB fact in loader syntax (wal.h RenderDatabaseText), and one
+  /// `# ttl <deadline_ms> <statement>` line per pending deadline — the
+  /// oracle the crash-recovery and retract-vs-scratch properties compare.
+  /// Two services with the same committed history render identically even
+  /// when their raw symbol ids differ (recovery re-interns names in replay
+  /// order).
   std::string RenderStateText() const;
 
   int64_t epoch() const;
@@ -264,8 +338,19 @@ class QueryService {
   /// materialization from any older epoch. Nodes are immutable.
   struct EpochDelta {
     int64_t id = 0;
+    /// True for a retraction epoch (Retract / expiry sweep): `facts` were
+    /// removed from the EDB, not added, and catch-up applies them via
+    /// RetractEvaluate instead of ResumeEvaluate.
+    bool retract = false;
     std::vector<Fact> facts;
     std::shared_ptr<const EpochDelta> prev;
+  };
+
+  /// One catch-up step for a stale materialization: consecutive same-kind
+  /// epochs merged into a single Resume/RetractEvaluate call.
+  struct DeltaBatch {
+    bool retract = false;
+    std::vector<Fact> facts;
   };
 
   /// An immutable published EDB snapshot.
@@ -284,23 +369,43 @@ class QueryService {
       const std::string& query_text, const std::string& steps_spec,
       bool* prepared_hit);
 
-  /// Deltas of epochs (from, to], oldest first; false if the chain no
-  /// longer reaches `from` (e.g. the materialization predates the snapshot
-  /// a recovery rebased the chain on) — resume then falls back to a cold
-  /// evaluation.
+  /// Deltas of epochs (from, to], oldest first, consecutive same-kind
+  /// epochs merged; false if the chain no longer reaches `from` (e.g. the
+  /// materialization predates the snapshot a recovery rebased the chain on)
+  /// — resume then falls back to a cold evaluation.
   bool CollectDeltas(const EpochSnapshot& head, int64_t from,
-                     std::vector<Fact>* out) const;
+                     std::vector<DeltaBatch>* out) const;
 
   /// Counts a governed abort (deadline / budget / cancellation) in the
   /// stats and passes the error through — Execute's failure funnel.
   Status NoteEvalError(const Status& status);
 
-  /// The shared commit path of Ingest/IngestFacts/replay: dedups `batch`
-  /// against the head EDB, WAL-appends `payload` (unless replaying or the
-  /// batch was a no-op), and publishes the next epoch. Hosts the
+  /// The shared commit path of Ingest/IngestFacts/IngestTtl/replay: dedups
+  /// `batch` against the head EDB, WAL-appends the batch record (unless
+  /// replaying or the batch was a no-op), and publishes the next epoch.
+  /// `statements` is the loader-syntax text logged (and replayed) for the
+  /// batch. When `ttl_ms` > 0 every accepted fact gets a deadline at
+  /// now + ttl_ms and the record is logged as kInsertTtl. Hosts the
   /// crash-before/after-commit failpoints.
   Result<IngestOutcome> CommitBatch(const std::vector<Fact>& batch,
-                                    const std::string& payload);
+                                    const std::string& statements,
+                                    int64_t ttl_ms);
+
+  /// The shared retraction commit path of Retract/RetractFacts and the
+  /// expiry sweep: matches `batch` against the head EDB, WAL-appends the
+  /// retract record, and publishes a spliced EDB as the next epoch.
+  Result<RetractOutcome> CommitRetract(const std::vector<Fact>& batch,
+                                       const std::string& statements);
+
+  /// Moves the clock to `target_now_ms` (monotone; no-op when not ahead)
+  /// and commits the elapsed deadlines as one expiry epoch — the body of
+  /// AdvanceClock, also used by replay (which re-derives the sweep from the
+  /// reconstructed deadline table instead of trusting the logged text).
+  Result<TickOutcome> AdvanceClockTo(int64_t target_now_ms);
+
+  /// Applies one decoded WAL record through the normal commit paths —
+  /// Recover's replay switch.
+  Status ReplayRecord(const WalRecord& record);
 
   Program program_;
   const ServiceOptions options_;
@@ -311,6 +416,17 @@ class QueryService {
 
   mutable std::mutex head_mutex_;  // guards head_ swap + writer commits
   std::shared_ptr<const EpochSnapshot> head_;
+
+  /// Logical clock in milliseconds; advanced only by AdvanceClock (TICK)
+  /// and recovery — never by the wall clock, so expiry is deterministic.
+  /// Guarded by head_mutex_ (it moves in lockstep with expiry commits).
+  int64_t now_ms_ = 0;
+  /// Pending TTL deadlines: absolute expiry time -> the fact to retract.
+  /// Ordered (and, within one deadline, insertion-ordered) so sweeps and
+  /// snapshots are deterministic. An entry whose fact was meanwhile
+  /// retracted by hand is stale and skipped harmlessly at sweep time.
+  /// Guarded by head_mutex_.
+  std::multimap<int64_t, Fact> deadlines_;
 
   /// Durability (null when ServiceOptions::wal_dir is empty). Appends
   /// happen under head_mutex_ — the WAL and the epoch chain advance in

@@ -18,7 +18,21 @@ namespace {
 // Both headers are 8 bytes so record parsing starts at the same offset.
 constexpr char kLogMagic[8] = {'C', 'Q', 'L', 'W', 'A', 'L', '1', '\n'};
 constexpr char kSnapMagic[8] = {'C', 'Q', 'L', 'S', 'N', 'A', 'P', '1'};
+constexpr char kSnapMagic2[8] = {'C', 'Q', 'L', 'S', 'N', 'A', 'P', '2'};
 constexpr size_t kMagicSize = sizeof(kLogMagic);
+
+// Batch-kind bytes (WalRecord::Kind). Statement text always starts with a
+// printable byte (a predicate name, '%' comment, or whitespace), so the
+// C0 control range below is reserved for kind bytes: any payload whose
+// first byte falls in [0x01, 0x08] is a kinded record, everything else is a
+// legacy bare-text insert. 0x01 stays unassigned (too easy to confuse with
+// an off-by-one); future kinds take 0x06..0x08.
+constexpr char kKindRetract = 0x02;
+constexpr char kKindExpire = 0x03;
+constexpr char kKindInsertTtl = 0x04;
+constexpr char kKindTick = 0x05;
+
+bool IsKindByte(char c) { return c >= 0x01 && c <= 0x08; }
 constexpr size_t kRecordHeader = 8;  // u32 len + u32 crc32, little-endian
 // A record longer than this is certainly a corrupt length field, not data.
 constexpr uint32_t kMaxRecordBytes = 1u << 30;
@@ -144,6 +158,86 @@ std::string RenderDatabaseText(const Database& db,
     }
   }
   return out;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string out;
+  switch (record.kind) {
+    case WalRecord::Kind::kInsert:
+      // Legacy bare-text encoding: a pre-§14 reader replays it unchanged,
+      // and an insert-only log stays byte-identical to one a pre-§14 writer
+      // would produce.
+      return record.statements;
+    case WalRecord::Kind::kRetract:
+      out.push_back(kKindRetract);
+      out += record.statements;
+      return out;
+    case WalRecord::Kind::kExpire:
+      out.push_back(kKindExpire);
+      PutU64(static_cast<uint64_t>(record.now_ms), &out);
+      out += record.statements;
+      return out;
+    case WalRecord::Kind::kInsertTtl:
+      out.push_back(kKindInsertTtl);
+      PutU64(static_cast<uint64_t>(record.now_ms), &out);
+      PutU64(static_cast<uint64_t>(record.ttl_ms), &out);
+      out += record.statements;
+      return out;
+    case WalRecord::Kind::kTick:
+      out.push_back(kKindTick);
+      PutU64(static_cast<uint64_t>(record.now_ms), &out);
+      return out;
+  }
+  return out;  // unreachable
+}
+
+Result<WalRecord> DecodeWalRecord(const std::string& payload) {
+  WalRecord record;
+  if (payload.empty() || !IsKindByte(payload[0])) {
+    record.kind = WalRecord::Kind::kInsert;
+    record.statements = payload;
+    return record;
+  }
+  auto need = [&payload](size_t fixed, const char* kind) -> Status {
+    if (payload.size() >= fixed) return Status::OK();
+    return Status::InvalidArgument(
+        std::string("WAL ") + kind + " record is " +
+        std::to_string(payload.size()) + " byte(s), shorter than its " +
+        std::to_string(fixed) + "-byte fixed header");
+  };
+  switch (payload[0]) {
+    case kKindRetract:
+      record.kind = WalRecord::Kind::kRetract;
+      record.statements = payload.substr(1);
+      return record;
+    case kKindExpire:
+      CQLOPT_RETURN_IF_ERROR(need(1 + 8, "expire"));
+      record.kind = WalRecord::Kind::kExpire;
+      record.now_ms = static_cast<int64_t>(GetU64(payload.data() + 1));
+      record.statements = payload.substr(1 + 8);
+      return record;
+    case kKindInsertTtl:
+      CQLOPT_RETURN_IF_ERROR(need(1 + 16, "insert-ttl"));
+      record.kind = WalRecord::Kind::kInsertTtl;
+      record.now_ms = static_cast<int64_t>(GetU64(payload.data() + 1));
+      record.ttl_ms = static_cast<int64_t>(GetU64(payload.data() + 9));
+      record.statements = payload.substr(1 + 16);
+      return record;
+    case kKindTick:
+      CQLOPT_RETURN_IF_ERROR(need(1 + 8, "tick"));
+      record.kind = WalRecord::Kind::kTick;
+      record.now_ms = static_cast<int64_t>(GetU64(payload.data() + 1));
+      return record;
+    default:
+      return Status::InvalidArgument(
+          "WAL record carries unknown batch-kind byte 0x" +
+          [](unsigned v) {
+            const char* hex = "0123456789abcdef";
+            return std::string{hex[(v >> 4) & 0xF], hex[v & 0xF]};
+          }(static_cast<unsigned char>(payload[0])) +
+          " (known: insert text, retract 0x02, expire 0x03, insert-ttl "
+          "0x04, tick 0x05) — written by a newer cqld?");
+  }
 }
 
 Result<std::unique_ptr<Wal>> Wal::Open(const std::string& dir) {
@@ -294,6 +388,24 @@ Result<WalReadOutcome> Wal::ReadAll() {
       problem = "checksum mismatch";
       break;
     }
+    if (len > 0 && IsKindByte(payload[0]) && payload[0] != kKindRetract &&
+        payload[0] != kKindExpire && payload[0] != kKindInsertTtl &&
+        payload[0] != kKindTick) {
+      // Checksum-valid but unintelligible: a committed batch this build
+      // cannot replay (a newer writer's kind, most likely). Truncating it
+      // like a torn tail would silently drop an acknowledged batch and
+      // every record after it — refuse to recover instead.
+      return Status::InvalidArgument(
+          "WAL " + log_path() + ": record at offset " +
+          std::to_string(offset) + " carries unknown batch-kind byte 0x" +
+          [](unsigned v) {
+            const char* hex = "0123456789abcdef";
+            return std::string{hex[(v >> 4) & 0xF], hex[v & 0xF]};
+          }(static_cast<unsigned char>(payload[0])) +
+          " (known: insert text, retract 0x02, expire 0x03, insert-ttl "
+          "0x04, tick 0x05); refusing to drop a committed record — recover "
+          "with a build that understands it");
+    }
     out.payloads.emplace_back(payload, len);
     offset += kRecordHeader + len;
   }
@@ -322,14 +434,24 @@ Result<WalReadOutcome> Wal::ReadAll() {
   return out;
 }
 
-Status Wal::WriteSnapshot(int64_t epoch, const std::string& statements) {
+Status Wal::WriteSnapshot(const WalSnapshot& snapshot) {
+  // CQLSNAP2 payload: u64 epoch, u64 now_ms, u32 deadline count, then per
+  // deadline u64 deadline_ms + u32 length + statement bytes, then the EDB
+  // statements.
   std::string payload;
-  payload.reserve(8 + statements.size());
-  PutU64(static_cast<uint64_t>(epoch), &payload);
-  payload += statements;
+  payload.reserve(20 + snapshot.statements.size());
+  PutU64(static_cast<uint64_t>(snapshot.epoch), &payload);
+  PutU64(static_cast<uint64_t>(snapshot.now_ms), &payload);
+  PutU32(static_cast<uint32_t>(snapshot.deadlines.size()), &payload);
+  for (const auto& [deadline_ms, statement] : snapshot.deadlines) {
+    PutU64(static_cast<uint64_t>(deadline_ms), &payload);
+    PutU32(static_cast<uint32_t>(statement.size()), &payload);
+    payload += statement;
+  }
+  payload += snapshot.statements;
   std::string file;
   file.reserve(kMagicSize + kRecordHeader + payload.size());
-  file.append(kSnapMagic, kMagicSize);
+  file.append(kSnapMagic2, kMagicSize);
   PutU32(static_cast<uint32_t>(payload.size()), &file);
   PutU32(Crc32(payload.data(), payload.size()), &file);
   file += payload;
@@ -349,8 +471,7 @@ Status Wal::WriteSnapshot(int64_t epoch, const std::string& statements) {
   return FsyncDir(dir_);
 }
 
-Status Wal::ReadSnapshot(bool* found, int64_t* epoch,
-                         std::string* statements) {
+Status Wal::ReadSnapshot(bool* found, WalSnapshot* snapshot) {
   *found = false;
   int fd = ::open(snapshot_path().c_str(), O_RDONLY);
   if (fd < 0) {
@@ -364,21 +485,55 @@ Status Wal::ReadSnapshot(bool* found, int64_t* epoch,
   // A damaged snapshot is not recoverable by truncation: the WAL records it
   // compacted away are gone, so surface it loudly instead of serving a
   // silently incomplete database.
-  if (data.size() < kMagicSize + kRecordHeader ||
-      std::memcmp(data.data(), kSnapMagic, kMagicSize) != 0) {
-    return Status::Internal(snapshot_path() + " is not a CQLSNAP1 snapshot");
+  bool v2 = false;
+  if (data.size() >= kMagicSize &&
+      std::memcmp(data.data(), kSnapMagic2, kMagicSize) == 0) {
+    v2 = true;
+  } else if (data.size() < kMagicSize + kRecordHeader ||
+             std::memcmp(data.data(), kSnapMagic, kMagicSize) != 0) {
+    return Status::Internal(snapshot_path() +
+                            " is not a CQLSNAP1/CQLSNAP2 snapshot");
+  }
+  if (data.size() < kMagicSize + kRecordHeader) {
+    return Status::Internal(snapshot_path() + " is truncated or overlong");
   }
   uint32_t len = GetU32(data.data() + kMagicSize);
   uint32_t crc = GetU32(data.data() + kMagicSize + 4);
-  if (len < 8 || data.size() - kMagicSize - kRecordHeader != len) {
+  const size_t min_len = v2 ? 20 : 8;
+  if (len < min_len || data.size() - kMagicSize - kRecordHeader != len) {
     return Status::Internal(snapshot_path() + " is truncated or overlong");
   }
   const char* payload = data.data() + kMagicSize + kRecordHeader;
   if (Crc32(payload, len) != crc) {
     return Status::Internal(snapshot_path() + " fails its checksum");
   }
-  *epoch = static_cast<int64_t>(GetU64(payload));
-  statements->assign(payload + 8, len - 8);
+  *snapshot = WalSnapshot{};
+  snapshot->epoch = static_cast<int64_t>(GetU64(payload));
+  size_t pos = 8;
+  if (v2) {
+    snapshot->now_ms = static_cast<int64_t>(GetU64(payload + pos));
+    pos += 8;
+    uint32_t count = GetU32(payload + pos);
+    pos += 4;
+    snapshot->deadlines.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (len - pos < 12) {
+        return Status::Internal(snapshot_path() +
+                                " deadline table is truncated");
+      }
+      int64_t deadline_ms = static_cast<int64_t>(GetU64(payload + pos));
+      uint32_t stmt_len = GetU32(payload + pos + 8);
+      pos += 12;
+      if (len - pos < stmt_len) {
+        return Status::Internal(snapshot_path() +
+                                " deadline table is truncated");
+      }
+      snapshot->deadlines.emplace_back(deadline_ms,
+                                       std::string(payload + pos, stmt_len));
+      pos += stmt_len;
+    }
+  }
+  snapshot->statements.assign(payload + pos, len - pos);
   *found = true;
   return Status::OK();
 }

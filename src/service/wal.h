@@ -24,6 +24,55 @@ std::string RenderFactStatement(const Fact& fact, const SymbolTable& symbols);
 /// body Compact() writes.
 std::string RenderDatabaseText(const Database& db, const SymbolTable& symbols);
 
+/// One decoded WAL record — the unit QueryService commits and replays.
+///
+/// On disk a record payload is either bare statement text (the pre-§14
+/// insert-only format; its first byte is printable, so it can never clash
+/// with a kind byte) or a batch-kind byte from the control range 0x01..0x08
+/// followed by kind-specific fields. Writers only emit the kind byte when
+/// they must (plain inserts keep the legacy encoding), so logs written by a
+/// service that never retracts are byte-identical to pre-§14 logs.
+struct WalRecord {
+  enum class Kind {
+    kInsert,     // legacy bare text: `statements`
+    kRetract,    // 0x02 + statements
+    kExpire,     // 0x03 + u64 now_ms + statements (TTL sweep deletions)
+    kInsertTtl,  // 0x04 + u64 now_ms + u64 ttl_ms + statements
+    kTick,       // 0x05 + u64 now_ms (clock advance with no expiry)
+  };
+  Kind kind = Kind::kInsert;
+  /// Logical clock at commit (kExpire / kInsertTtl / kTick).
+  int64_t now_ms = 0;
+  /// Time-to-live of the batch's facts (kInsertTtl).
+  int64_t ttl_ms = 0;
+  /// Loader-syntax statements: the facts inserted, retracted, or expired.
+  std::string statements;
+};
+
+/// Serializes `record` to the payload bytes Append() stores. kInsert
+/// records encode as their bare statement text.
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// Parses a payload produced by EncodeWalRecord (or by a pre-§14 writer).
+/// An unknown batch-kind byte or a field truncated short of its fixed
+/// header is an InvalidArgument naming the kind — NOT data to truncate:
+/// the record passed its checksum, so the bytes are exactly what a (newer
+/// or corrupted-at-write) writer committed, and dropping the batch would
+/// silently fork the recovered state from the acknowledged one.
+Result<WalRecord> DecodeWalRecord(const std::string& payload);
+
+/// Everything a snapshot captures: the compacted EDB plus the streaming
+/// state that must survive a restart — the logical clock and the not yet
+/// expired TTL deadlines (deadline_ms + the fact's rendered statement).
+/// Written as CQLSNAP2; ReadSnapshot also accepts pre-§14 CQLSNAP1 files
+/// (clock 0, no deadlines).
+struct WalSnapshot {
+  int64_t epoch = 0;
+  int64_t now_ms = 0;
+  std::vector<std::pair<int64_t, std::string>> deadlines;
+  std::string statements;
+};
+
 /// What Wal::ReadAll found in the log.
 struct WalReadOutcome {
   /// The payload of every intact record, append order.
@@ -76,18 +125,20 @@ class Wal {
   Status Append(const std::string& payload);
 
   /// Reads every intact record and truncates any torn/corrupt tail in
-  /// place. Safe to call repeatedly.
+  /// place. Safe to call repeatedly. A checksum-valid record carrying an
+  /// unknown batch-kind byte fails with an InvalidArgument naming the byte
+  /// and its file offset — such a record was durably committed (likely by a
+  /// newer cqld), so unlike a torn tail it must never be dropped.
   Result<WalReadOutcome> ReadAll();
 
-  /// Atomically replaces the snapshot file with `statements` tagged by the
-  /// epoch it captures.
-  Status WriteSnapshot(int64_t epoch, const std::string& statements);
+  /// Atomically replaces the snapshot file with `snapshot` (CQLSNAP2).
+  Status WriteSnapshot(const WalSnapshot& snapshot);
 
-  /// Loads the snapshot. `*found` is false (and the rest untouched) when no
-  /// snapshot exists; a corrupt snapshot is an error — unlike a torn log
+  /// Loads the snapshot. `*found` is false (and `*snapshot` untouched) when
+  /// no snapshot exists; a corrupt snapshot is an error — unlike a torn log
   /// tail it cannot be safely dropped, because the log it compacted away is
-  /// gone.
-  Status ReadSnapshot(bool* found, int64_t* epoch, std::string* statements);
+  /// gone. Reads both CQLSNAP2 and pre-§14 CQLSNAP1 files.
+  Status ReadSnapshot(bool* found, WalSnapshot* snapshot);
 
   /// Empties the log back to its magic header (after a successful
   /// compaction made the records redundant) and fsyncs.

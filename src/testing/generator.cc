@@ -252,6 +252,42 @@ std::string RenderCaseProgram(const FuzzCase& c) {
   return out;
 }
 
+std::vector<Fact> GenerateRetractBatch(const FuzzCase& c, uint64_t salt) {
+  Rng rng(Rng::DeriveSeed(c.seed, salt));
+  std::vector<Fact> batch;
+  std::vector<std::pair<PredId, int>> preds;
+  for (const Fact& fact : c.edb) {
+    if (rng.Chance(45)) batch.push_back(fact);
+    bool known = false;
+    for (const auto& [pred, arity] : preds) known |= pred == fact.pred;
+    if (!known) preds.emplace_back(fact.pred, fact.arity);
+  }
+  // Never-inserted facts: in-domain draws may collide with a stored fact
+  // (then they retract it), the +100 offset never can.
+  int fresh = rng.Uniform(1, 3);
+  for (int i = 0; i < fresh && !preds.empty(); ++i) {
+    const auto& [pred, arity] =
+        preds[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int>(preds.size()) - 1))];
+    Conjunction conj;
+    for (int a = 1; a <= arity; ++a) {
+      int value = rng.Chance(50) ? rng.Uniform(0, 7) : rng.Uniform(100, 107);
+      (void)conj.AddLinear(LinearConstraint(
+          LinearExpr::Var(a) - LinearExpr::Constant(Rational(value)),
+          CmpOp::kEq));
+    }
+    batch.emplace_back(pred, arity, std::move(conj));
+  }
+  if (!batch.empty()) {
+    int repeats = rng.Uniform(0, 2);
+    for (int i = 0; i < repeats; ++i) {
+      batch.push_back(batch[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int>(batch.size()) - 1))]);
+    }
+  }
+  return batch;
+}
+
 std::string RenderCaseEdb(const FuzzCase& c) {
   std::string out;
   for (const Fact& fact : c.edb) {

@@ -78,6 +78,15 @@ std::string RenderCaseProgram(const FuzzCase& c);
 /// Renders the EDB facts as loader syntax, one `fact.` per line.
 std::string RenderCaseEdb(const FuzzCase& c);
 
+/// A random RETRACT batch for the case, deterministic in (c.seed, salt):
+/// a subset of the stored EDB facts, a few never-inserted facts over the
+/// same predicates (values drawn both inside and far outside the EDB
+/// domain), and occasional within-batch repeats — whose second occurrence
+/// names an already-retracted fact. Exactly the miss shapes retraction
+/// promises to count rather than reject (service/query_service.h
+/// RetractOutcome). May be empty for tiny EDBs.
+std::vector<Fact> GenerateRetractBatch(const FuzzCase& c, uint64_t salt);
+
 }  // namespace testing
 }  // namespace cqlopt
 

@@ -24,6 +24,12 @@ namespace testing {
 ///   fm_projection       Fourier–Motzkin projection ≡ pointwise ∃-check on
 ///                       sampled rational points (halves catch strictness)
 ///   resume_scratch      ResumeEvaluate(base, delta) ≡ scratch(base ∪ delta)
+///   retract_vs_scratch  RetractEvaluate(base, batch) ≡ scratch(EDB \ batch)
+///                       — byte-identical facts, births, and traces, with
+///                       miss counts exact for never-inserted and repeated
+///                       batch entries, retraction idempotent, and RETRACT
+///                       through the cqld protocol matching direct
+///                       evaluation of the surviving EDB
 ///   service_roundtrip   cqld HandleLine answers ≡ direct evaluation, across
 ///                       an INGEST epoch bump
 ///   crash_recovery      recover(crash at any fail-point site) ≡ the
@@ -79,6 +85,12 @@ struct FuzzOptions {
   /// when one does, the property reports skipped, not failed.
   int eval_max_iterations = 48;
   SubsumptionMode subsumption = SubsumptionMode::kSingleFact;
+  /// Worker threads for evaluations that don't pin their own count —
+  /// the replay matrix in tests/test_service.cc sweeps this.
+  int eval_threads = 1;
+  /// Interval-prepass toggle applied to every evaluation (prepass_equiv
+  /// overrides it per arm).
+  bool prepass = true;
   PlantedBug bug = PlantedBug::kNone;
 };
 

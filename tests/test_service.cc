@@ -34,6 +34,8 @@
 #include "eval/seminaive.h"
 #include "service/protocol.h"
 #include "service/server.h"
+#include "testing/generator.h"
+#include "testing/properties.h"
 #include "util/failpoint.h"
 
 namespace cqlopt {
@@ -223,6 +225,55 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name + "_" + std::get<1>(info.param).name + "_t" +
              std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Differential: retract_vs_scratch replayed across the full worker x
+// subsumption x prepass matrix. The property itself (testing/properties.cc)
+// pins RetractEvaluate to byte-identity with a scratch run on the surviving
+// EDB and checks RETRACT over the protocol; here it must hold at every
+// point of the configuration lattice, not just the fuzzer's defaults.
+
+using RetractMatrixParam = std::tuple<ModeParam, int, bool>;
+
+class RetractDifferentialTest
+    : public ::testing::TestWithParam<RetractMatrixParam> {};
+
+TEST_P(RetractDifferentialTest, RetractVsScratchHoldsAcrossSeeds) {
+  const auto& [mode, threads, prepass] = GetParam();
+  const cqlopt::testing::PropertyInfo* property =
+      cqlopt::testing::FindProperty("retract_vs_scratch");
+  ASSERT_NE(property, nullptr);
+  cqlopt::testing::FuzzOptions fo;
+  fo.subsumption = mode.mode;
+  fo.eval_threads = threads;
+  fo.prepass = prepass;
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    cqlopt::testing::FuzzCase c =
+        cqlopt::testing::GenerateCase(seed * 7919, {});
+    cqlopt::testing::PropertyOutcome outcome = property->fn(c, fo);
+    EXPECT_TRUE(outcome.ok)
+        << "seed " << seed * 7919 << ": " << outcome.message;
+    if (!outcome.skipped) ++checked;
+  }
+  // The sweep must actually exercise the property, not skip its way green.
+  EXPECT_GT(checked, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RetractDifferentialTest,
+    ::testing::Combine(
+        ::testing::Values(ModeParam{"none", SubsumptionMode::kNone},
+                          ModeParam{"single_fact",
+                                    SubsumptionMode::kSingleFact},
+                          ModeParam{"set_implication",
+                                    SubsumptionMode::kSetImplication}),
+        ::testing::Values(1, 2, 8), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<RetractMatrixParam>& info) {
+      return std::string(std::get<0>(info.param).name) + "_t" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_prepass" : "_noprepass");
     });
 
 TEST(ResumeEvaluateTest, EmptyDeltaReturnsBaseUnchanged) {

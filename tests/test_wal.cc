@@ -238,22 +238,21 @@ TEST(WalTest, SnapshotRoundtripsAndReplacesAtomically) {
   ASSERT_FALSE(dir.path.empty());
   auto wal = OpenWal(dir.path);
   bool found = true;
-  int64_t epoch = -1;
-  std::string statements;
-  ASSERT_TRUE(wal->ReadSnapshot(&found, &epoch, &statements).ok());
+  WalSnapshot snapshot;
+  ASSERT_TRUE(wal->ReadSnapshot(&found, &snapshot).ok());
   EXPECT_FALSE(found);
 
-  ASSERT_TRUE(wal->WriteSnapshot(3, "a(1).\n").ok());
-  ASSERT_TRUE(wal->ReadSnapshot(&found, &epoch, &statements).ok());
+  ASSERT_TRUE(wal->WriteSnapshot({3, 0, {}, "a(1).\n"}).ok());
+  ASSERT_TRUE(wal->ReadSnapshot(&found, &snapshot).ok());
   ASSERT_TRUE(found);
-  EXPECT_EQ(epoch, 3);
-  EXPECT_EQ(statements, "a(1).\n");
+  EXPECT_EQ(snapshot.epoch, 3);
+  EXPECT_EQ(snapshot.statements, "a(1).\n");
 
-  ASSERT_TRUE(wal->WriteSnapshot(7, "a(1).\nb(2).\n").ok());
-  ASSERT_TRUE(wal->ReadSnapshot(&found, &epoch, &statements).ok());
+  ASSERT_TRUE(wal->WriteSnapshot({7, 0, {}, "a(1).\nb(2).\n"}).ok());
+  ASSERT_TRUE(wal->ReadSnapshot(&found, &snapshot).ok());
   ASSERT_TRUE(found);
-  EXPECT_EQ(epoch, 7);
-  EXPECT_EQ(statements, "a(1).\nb(2).\n");
+  EXPECT_EQ(snapshot.epoch, 7);
+  EXPECT_EQ(snapshot.statements, "a(1).\nb(2).\n");
   // The temp file never survives a completed replace.
   EXPECT_EQ(FileSize(dir.path + "/snapshot.tmp"), -1);
 }
@@ -262,16 +261,15 @@ TEST(WalTest, CorruptSnapshotIsAnErrorNotAMiss) {
   TempDir dir;
   ASSERT_FALSE(dir.path.empty());
   auto wal = OpenWal(dir.path);
-  ASSERT_TRUE(wal->WriteSnapshot(2, "a(1).\n").ok());
+  ASSERT_TRUE(wal->WriteSnapshot({2, 0, {}, "a(1).\n"}).ok());
   int fd = ::open(wal->snapshot_path().c_str(), O_WRONLY);
   ASSERT_GE(fd, 0);
   ASSERT_EQ(::pwrite(fd, "Z", 1, 20), 1);  // inside the payload
   ::close(fd);
 
   bool found = false;
-  int64_t epoch = 0;
-  std::string statements;
-  Status read = wal->ReadSnapshot(&found, &epoch, &statements);
+  WalSnapshot snapshot;
+  Status read = wal->ReadSnapshot(&found, &snapshot);
   ASSERT_FALSE(read.ok());
   EXPECT_NE(read.message().find("checksum"), std::string::npos)
       << read.ToString();
@@ -309,6 +307,177 @@ TEST(WalTest, OpenRejectsAForeignFile) {
   ASSERT_FALSE(wal.ok());
   EXPECT_NE(wal.status().message().find("not a CQLWAL1 log"),
             std::string::npos);
+}
+
+TEST(WalRecordTest, MixedInsertRetractRecordsRoundtripThroughTheLog) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto wal = OpenWal(dir.path);
+  const std::vector<WalRecord> records = {
+      {WalRecord::Kind::kInsert, 0, 0, "a(1).\n"},
+      {WalRecord::Kind::kInsertTtl, 40, 100, "b(2).\n"},
+      {WalRecord::Kind::kRetract, 0, 0, "a(1).\n"},
+      {WalRecord::Kind::kExpire, 140, 0, "b(2).\n"},
+      {WalRecord::Kind::kTick, 200, 0, ""},
+  };
+  for (const WalRecord& record : records) {
+    ASSERT_TRUE(wal->Append(EncodeWalRecord(record)).ok());
+  }
+  // Recovery path: a fresh handle reads the payloads back and every one
+  // decodes to the record that was committed, fields intact.
+  wal.reset();
+  auto reopened = OpenWal(dir.path);
+  auto read = reopened->ReadAll();
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->payloads.size(), records.size());
+  EXPECT_EQ(read->truncated_bytes, 0);
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto decoded = DecodeWalRecord(read->payloads[i]);
+    ASSERT_TRUE(decoded.ok()) << "record " << i << ": "
+                              << decoded.status().ToString();
+    EXPECT_EQ(decoded->kind, records[i].kind) << "record " << i;
+    EXPECT_EQ(decoded->now_ms, records[i].now_ms) << "record " << i;
+    EXPECT_EQ(decoded->ttl_ms, records[i].ttl_ms) << "record " << i;
+    EXPECT_EQ(decoded->statements, records[i].statements) << "record " << i;
+  }
+  // Plain inserts keep the legacy encoding: the payload IS the bare text,
+  // so insert-only logs stay byte-compatible with pre-§14 readers.
+  EXPECT_EQ(read->payloads[0], "a(1).\n");
+}
+
+TEST(WalRecordTest, LegacyInsertOnlyLogDecodesAsInsertRecords) {
+  // A log written by a pre-§14 cqld holds bare statement text; every
+  // payload must decode as a kInsert with the text untouched (including
+  // the empty batch).
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto wal = OpenWal(dir.path);
+  const std::vector<std::string> payloads = {"p(1).\n", "",
+                                             "q(2, 3).\nq(4, 5).\n"};
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE(wal->Append(payload).ok());
+  }
+  auto read = wal->ReadAll();
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->payloads.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    auto decoded = DecodeWalRecord(read->payloads[i]);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->kind, WalRecord::Kind::kInsert);
+    EXPECT_EQ(decoded->statements, payloads[i]);
+    EXPECT_EQ(decoded->now_ms, 0);
+    EXPECT_EQ(decoded->ttl_ms, 0);
+  }
+}
+
+TEST(WalRecordTest, UnknownBatchKindByteFailsReadAllNamingTheOffset) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto wal = OpenWal(dir.path);
+  ASSERT_TRUE(wal->Append("fine(1).\n").ok());
+  // 0x06 is inside the reserved control range but unassigned — the
+  // signature of a log written by a newer cqld. The record is durable and
+  // checksum-valid, so ReadAll must fail loudly, NOT truncate it away.
+  ASSERT_TRUE(wal->Append(std::string("\x06", 1) + "future-data").ok());
+  const long size_before = FileSize(wal->log_path());
+  auto read = wal->ReadAll();
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(read.status().message().find("unknown batch-kind byte 0x06"),
+            std::string::npos)
+      << read.status().ToString();
+  EXPECT_NE(read.status().message().find("at offset"), std::string::npos)
+      << read.status().ToString();
+  EXPECT_EQ(FileSize(wal->log_path()), size_before);
+}
+
+TEST(WalRecordTest, TruncatedKindedRecordHeaderIsATypedDecodeError) {
+  // A kinded payload cut short of its fixed fields passed its checksum, so
+  // it is a decode error naming the kind — never silently dropped data.
+  auto short_ttl = DecodeWalRecord(std::string("\x04", 1) + "abc");
+  ASSERT_FALSE(short_ttl.ok());
+  EXPECT_EQ(short_ttl.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(short_ttl.status().message().find("insert-ttl"),
+            std::string::npos)
+      << short_ttl.status().ToString();
+  auto short_tick = DecodeWalRecord(std::string("\x05", 1));
+  ASSERT_FALSE(short_tick.ok());
+  EXPECT_NE(short_tick.status().message().find("tick"), std::string::npos);
+  auto unknown = DecodeWalRecord(std::string("\x07", 1) + "x");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("unknown batch-kind byte 0x07"),
+            std::string::npos)
+      << unknown.status().ToString();
+}
+
+TEST(WalSnapshotTest, V2RoundtripsClockAndDeadlines) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto wal = OpenWal(dir.path);
+  WalSnapshot written;
+  written.epoch = 5;
+  written.now_ms = 150;
+  written.deadlines = {{200, "a(1).\n"}, {240, "b(2).\n"}};
+  written.statements = "c(3).\n";
+  ASSERT_TRUE(wal->WriteSnapshot(written).ok());
+  bool found = false;
+  WalSnapshot read;
+  ASSERT_TRUE(wal->ReadSnapshot(&found, &read).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(read.epoch, written.epoch);
+  EXPECT_EQ(read.now_ms, written.now_ms);
+  EXPECT_EQ(read.deadlines, written.deadlines);
+  EXPECT_EQ(read.statements, written.statements);
+}
+
+TEST(WalSnapshotTest, LegacyV1SnapshotIsStillReadable) {
+  // A CQLSNAP1 file written by a pre-§14 cqld: magic, u32 len, u32 crc32,
+  // u64 epoch, statements. It must load with clock 0 and no deadlines.
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  std::string payload;
+  const uint64_t epoch = 7;
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>((epoch >> (8 * i)) & 0xFFu));
+  }
+  payload += "a(1).\nb(2).\n";
+  auto crc32 = [](const std::string& data) {
+    uint32_t crc = 0xFFFFFFFFu;
+    for (char ch : data) {
+      crc ^= static_cast<unsigned char>(ch);
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? 0xEDB88320u ^ (crc >> 1) : crc >> 1;
+      }
+    }
+    return crc ^ 0xFFFFFFFFu;
+  };
+  std::string file = "CQLSNAP1";
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    file.push_back(static_cast<char>((len >> (8 * i)) & 0xFFu));
+  }
+  for (int i = 0; i < 4; ++i) {
+    file.push_back(static_cast<char>((crc >> (8 * i)) & 0xFFu));
+  }
+  file += payload;
+  std::string path = dir.path + "/snapshot.cql";
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, file.data(), file.size()),
+            static_cast<ssize_t>(file.size()));
+  ::close(fd);
+
+  auto wal = OpenWal(dir.path);
+  bool found = false;
+  WalSnapshot snapshot;
+  Status read = wal->ReadSnapshot(&found, &snapshot);
+  ASSERT_TRUE(read.ok()) << read.ToString();
+  ASSERT_TRUE(found);
+  EXPECT_EQ(snapshot.epoch, 7);
+  EXPECT_EQ(snapshot.now_ms, 0);
+  EXPECT_TRUE(snapshot.deadlines.empty());
+  EXPECT_EQ(snapshot.statements, "a(1).\nb(2).\n");
 }
 
 TEST(WalTest, RenderedFactStatementsReparseToTheSameFacts) {

@@ -7,6 +7,8 @@
 //        "QUERY pred,qrp,mg ?- cheaporshort(msn, sea, T, C)."
 //        "STATS" "SHUTDOWN"
 //   cqlc --tcp localhost:7777 "STATS"
+//   cqlc --socket /tmp/cqld.sock "INGEST TTL 5000 reading(s1, 42)." \
+//        "TICK 5000" "RETRACT flight(msn, ord, 80, 95)."
 
 #include <csignal>
 #include <netdb.h>

@@ -7,8 +7,13 @@
 //   cqld --program programs/flights.cql --tcp-port 7777 --workers 8
 //   cqld --program programs/flights.cql --stdio
 //
+// Streaming (DESIGN.md §14): the protocol's RETRACT, TICK, and
+// INGEST TTL <ms> verbs delete base facts, advance the logical clock
+// (expiring due TTL facts), and commit window-bounded facts; all three
+// are WAL-logged and replayed like inserts.
+//
 // Durability and operational limits (README "Operational limits"):
-//   --wal-dir DIR            write-ahead-log every ingest; replay on start
+//   --wal-dir DIR            write-ahead-log every batch; replay on start
 //   --wal-compact-bytes N    auto-compact the log past N bytes
 //   --query-deadline-ms N    per-query wall-clock deadline
 //   --max-derived-facts N    per-query derived-fact budget
