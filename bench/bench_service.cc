@@ -39,6 +39,7 @@
 
 #include "bench_util.h"
 #include "service/protocol.h"
+#include "service/replica.h"
 #include "service/query_service.h"
 #include "service/server.h"
 
@@ -233,6 +234,137 @@ RetractArmResult MeasureRetractArm() {
       out.scratch_answers = cold.answers.size();
     }
   }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Replication arm: a WAL-shipping primary with an in-process follower
+// (DESIGN.md §15) — bootstrap catch-up cost, follower read throughput
+// against the primary's, the worst lag while tailing a write burst, and
+// the structural gates of bench/baselines/service_replication.json
+// (answers_match, zero divergences, failover write survival).
+
+struct ReplicationArmResult {
+  double bootstrap_ms = 0;         // snapshot install, level with history
+  double tail_drain_ms = 0;        // draining the write burst to lag 0
+  long records_applied = 0;
+  long snapshots_installed = 0;
+  long max_lag_records = 0;        // worst lag observed mid-burst
+  double primary_reads_per_s = 0;
+  double follower_reads_per_s = 0;
+  size_t primary_answers = 0;
+  size_t follower_answers = 0;
+  bool answers_match = false;
+  long divergences = 0;
+  bool failover_write_survived = false;
+};
+
+ReplicationArmResult MeasureReplicationArm() {
+  ReplicationArmResult out;
+  TempWalDir p_dir;
+  TempWalDir f_dir;
+  ServiceOptions p_opts;
+  p_opts.wal_dir = p_dir.path;
+  auto primary = MakeService(p_opts);
+  constexpr int kHistoryBatches = 10;
+  for (int i = 0; i < kHistoryBatches; ++i) {
+    (void)ValueOrDie(primary->Ingest(IngestBatch(i)), "replication history");
+  }
+
+  // The follower: same program, empty EDB, its own WAL — everything it
+  // knows must arrive over the feed.
+  ParsedInput in = ParseWithQueryOrDie(FlightsProgram());
+  ServiceOptions f_opts;
+  f_opts.wal_dir = f_dir.path;
+  auto follower = ValueOrDie(
+      QueryService::FromParts(std::move(in.program), Database(), f_opts),
+      "follower service");
+  // Small fetch batches so the burst below can genuinely outrun the
+  // follower and the lag counter measures something real.
+  ReplicatorOptions rep_opts;
+  rep_opts.max_records = 2;
+  Replicator replicator(
+      follower.get(),
+      std::make_unique<LocalReplicationSource>(primary.get()), rep_opts);
+  replicator.AttachHooks();
+  auto drain = [&replicator] {
+    for (;;) {
+      if (ValueOrDie(replicator.Step(), "replication step") == 0) return;
+    }
+  };
+
+  // Bootstrap: the first fetch renegotiates a full snapshot cut at the
+  // primary's head (the follower holds no generation yet).
+  auto start = std::chrono::steady_clock::now();
+  drain();
+  out.bootstrap_ms = MillisSince(start);
+
+  // Tail a write burst, stepping once per two commits so real lag builds
+  // up, then drain level. The lag numbers come from the replicator's own
+  // progress counters — the same ones HEALTH reports.
+  constexpr int kBurstBatches = 10;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kBurstBatches; ++i) {
+    (void)ValueOrDie(primary->Ingest(IngestBatch(kHistoryBatches + i)),
+                     "burst ingest");
+    if (i % 3 == 2) {
+      (void)ValueOrDie(replicator.Step(), "burst step");
+      ReplicatorProgress progress = replicator.Progress();
+      if (progress.lag_records > out.max_lag_records) {
+        out.max_lag_records = progress.lag_records;
+      }
+    }
+  }
+  drain();
+  out.tail_drain_ms = MillisSince(start);
+  {
+    ReplicatorProgress progress = replicator.Progress();
+    out.records_applied = progress.records_applied;
+    out.snapshots_installed = progress.snapshots_installed;
+  }
+
+  // Read throughput at the same epoch, warm on both sides. The answers
+  // must be byte-identical — the property the whole subsystem sells.
+  QueryOutcome p_warm =
+      ValueOrDie(primary->Execute(ServiceQuery(), kSteps), "primary warm");
+  QueryOutcome f_warm =
+      ValueOrDie(follower->Execute(ServiceQuery(), kSteps), "follower warm");
+  out.primary_answers = p_warm.answers.size();
+  out.follower_answers = f_warm.answers.size();
+  out.answers_match = p_warm.answers == f_warm.answers &&
+                      primary->epoch() == follower->epoch();
+  constexpr int kReads = 200;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReads; ++i) {
+    (void)ValueOrDie(primary->Execute(ServiceQuery(), kSteps),
+                     "primary read");
+  }
+  double primary_ms = MillisSince(start);
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kReads; ++i) {
+    (void)ValueOrDie(follower->Execute(ServiceQuery(), kSteps),
+                     "follower read");
+  }
+  double follower_ms = MillisSince(start);
+  out.primary_reads_per_s = primary_ms > 0 ? 1000.0 * kReads / primary_ms : 0;
+  out.follower_reads_per_s =
+      follower_ms > 0 ? 1000.0 * kReads / follower_ms : 0;
+
+  // Failover: one acknowledged write the follower never pulls, kill the
+  // primary, PROMOTE with its WAL directory. The drain must leave the
+  // promoted node byte-identical to the dead primary's final state.
+  (void)ValueOrDie(primary->Ingest(IngestBatch(kHistoryBatches + kBurstBatches)),
+                   "failover write");
+  std::string dead_state = primary->RenderStateText();
+  primary.reset();
+  Status promoted = follower->Promote(p_dir.path);
+  if (!promoted.ok()) {
+    std::fprintf(stderr, "replication arm: promote failed: %s\n",
+                 promoted.ToString().c_str());
+    std::abort();
+  }
+  out.failover_write_survived = follower->RenderStateText() == dead_state;
+  out.divergences = replicator.Progress().quarantined ? 1 : 0;
   return out;
 }
 
@@ -621,6 +753,22 @@ void PrintAndMaybeWriteJson(bool json) {
                   : "MISMATCH",
               retract.retract_resumes);
 
+  ReplicationArmResult rep = MeasureReplicationArm();
+  std::printf("=== replication: WAL-shipped follower vs primary ===\n");
+  std::printf("bootstrap %.3f ms (snapshots=%ld), tail drain %.3f ms "
+              "(records=%ld, max lag %ld)\n",
+              rep.bootstrap_ms, rep.snapshots_installed, rep.tail_drain_ms,
+              rep.records_applied, rep.max_lag_records);
+  std::printf("reads/s: primary %.0f, follower %.0f (%.2fx); answers %zu "
+              "vs %zu (%s); divergences=%ld; failover write %s\n\n",
+              rep.primary_reads_per_s, rep.follower_reads_per_s,
+              rep.primary_reads_per_s > 0
+                  ? rep.follower_reads_per_s / rep.primary_reads_per_s
+                  : 0.0,
+              rep.primary_answers, rep.follower_answers,
+              rep.answers_match ? "match" : "MISMATCH", rep.divergences,
+              rep.failover_write_survived ? "survived" : "LOST");
+
   std::string load_section;
   RunLoadSweep(&load_section);
 
@@ -674,6 +822,22 @@ void PrintAndMaybeWriteJson(bool json) {
                                                              : "false",
       retract.retract_resumes);
   out += retract_json;
+  char replication_json[768];
+  std::snprintf(
+      replication_json, sizeof(replication_json),
+      "  \"replication\": {\"bootstrap_ms\": %.3f, "
+      "\"tail_drain_ms\": %.3f, \"records_applied\": %ld, "
+      "\"snapshots_installed\": %ld, \"max_lag_records\": %ld, "
+      "\"primary_reads_per_s\": %.1f, \"follower_reads_per_s\": %.1f, "
+      "\"primary_answers\": %zu, \"follower_answers\": %zu, "
+      "\"answers_match\": %s, \"divergences\": %ld, "
+      "\"failover_write_survived\": %s},\n",
+      rep.bootstrap_ms, rep.tail_drain_ms, rep.records_applied,
+      rep.snapshots_installed, rep.max_lag_records, rep.primary_reads_per_s,
+      rep.follower_reads_per_s, rep.primary_answers, rep.follower_answers,
+      rep.answers_match ? "true" : "false", rep.divergences,
+      rep.failover_write_survived ? "true" : "false");
+  out += replication_json;
   out += load_section;
   out += "}\n";
   FILE* f = std::fopen("BENCH_service.json", "w");

@@ -1,0 +1,69 @@
+#ifndef CQLOPT_SERVICE_CLIENT_H_
+#define CQLOPT_SERVICE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cqlopt {
+
+/// A line-protocol client connection with real deadlines: every connect,
+/// write, and read is bounded by a caller-supplied timeout, surfaced as a
+/// typed DEADLINE_EXCEEDED error — distinct from a server `ERR` response
+/// (which is a successful exchange whose payload says no) and from a lost
+/// connection (UNAVAILABLE, retryable against another endpoint). cqlc and
+/// the Replicator's remote source are both built on this; the pre-§15 cqlc
+/// blocked forever on an unreachable or hung host.
+///
+/// The socket stays non-blocking for its whole life; progress is driven by
+/// poll(2) against an absolute deadline, so a peer that sends half a
+/// response and stalls still trips the timeout.
+class LineClient {
+ public:
+  /// One parsed response: every line through (excluding) the terminating
+  /// `END`. `is_error` mirrors the protocol's `ERR ` prefix on any line.
+  struct Response {
+    std::vector<std::string> lines;
+    bool is_error = false;
+  };
+
+  /// Connects to a unix-domain socket path. `connect_timeout_ms` <= 0 waits
+  /// forever (not recommended); a refused/absent socket is UNAVAILABLE.
+  static Result<std::unique_ptr<LineClient>> ConnectUnix(
+      const std::string& path, int connect_timeout_ms);
+
+  /// Connects over TCP, trying each resolved address until one accepts
+  /// within the deadline. Resolution failure is INVALID_ARGUMENT; nobody
+  /// accepting is UNAVAILABLE; running out of time is DEADLINE_EXCEEDED.
+  static Result<std::unique_ptr<LineClient>> ConnectTcp(
+      const std::string& host, const std::string& port,
+      int connect_timeout_ms);
+
+  ~LineClient();
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Writes `line` + '\n' fully within the deadline.
+  Status SendLine(const std::string& line, int timeout_ms);
+
+  /// Reads one response through its `END` line. The deadline covers the
+  /// whole response, not each chunk.
+  Status ReadResponse(int timeout_ms, Response* out);
+
+  /// SendLine + ReadResponse with one deadline each.
+  Status Exchange(const std::string& line, int timeout_ms, Response* out);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit LineClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last consumed line
+};
+
+}  // namespace cqlopt
+
+#endif  // CQLOPT_SERVICE_CLIENT_H_

@@ -92,6 +92,29 @@ void EmitSchedulerStats(const SchedulerStats& sched,
   }
 }
 
+std::string Hex8(uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", value);
+  return buf;
+}
+
+/// Client-originated mutations are refused on a follower at the protocol
+/// boundary; the Replicator applies the shipped stream through direct
+/// service calls, so replication itself is never gated. True when the line
+/// was refused (response already emitted).
+bool RejectFollowerWrite(QueryService& service, const std::string& verb,
+                         std::vector<std::string>* out) {
+  if (service.role() != NodeRole::kFollower) return false;
+  EmitError(
+      Status::FailedPrecondition(
+          verb +
+          " refused: this node is a read-only follower — send writes to "
+          "the primary, or PROMOTE this node"),
+      out);
+  out->push_back("END");
+  return true;
+}
+
 }  // namespace
 
 ProtocolAction HandleLine(QueryService& service, const std::string& line,
@@ -122,6 +145,21 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
       out->push_back("END");
       return ProtocolAction::kContinue;
     }
+    // `QUERY <steps> <query> ASOF <epoch>` — epoch-consistent follower
+    // read: the suffix is only stripped when its argument is a clean
+    // non-negative integer, so query text containing the word ASOF is
+    // never misparsed.
+    int64_t min_epoch = -1;
+    if (command == "QUERY") {
+      size_t pos = query.rfind(" ASOF ");
+      if (pos != std::string::npos) {
+        int64_t parsed = -1;
+        if (ParseInt64(Trim(query.substr(pos + 6)), &parsed) && parsed >= 0) {
+          min_epoch = parsed;
+          query = Trim(query.substr(0, pos));
+        }
+      }
+    }
     if (command == "PREPARE") {
       bool cached = false;
       Result<uint64_t> fingerprint = service.Prepare(query, steps, &cached);
@@ -132,7 +170,7 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
                        " cached=" + (cached ? "1" : "0"));
       }
     } else {
-      Result<QueryOutcome> result = service.Execute(query, steps);
+      Result<QueryOutcome> result = service.Execute(query, steps, min_epoch);
       if (!result.ok()) {
         EmitError(result.status(), out);
       } else {
@@ -151,6 +189,9 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
   }
 
   if (command == "INGEST") {
+    if (RejectFollowerWrite(service, command, out)) {
+      return ProtocolAction::kContinue;
+    }
     // `INGEST TTL <ms> <facts>` commits facts that expire once the logical
     // clock (TICK) passes now + ms; bare `INGEST <facts>` is permanent.
     int64_t ttl_ms = 0;
@@ -189,6 +230,9 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
   }
 
   if (command == "RETRACT") {
+    if (RejectFollowerWrite(service, command, out)) {
+      return ProtocolAction::kContinue;
+    }
     if (rest.empty()) {
       EmitError(Status::InvalidArgument("RETRACT needs `.`-terminated facts"),
                 out);
@@ -220,6 +264,11 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
       out->push_back("END");
       return ProtocolAction::kContinue;
     }
+    // A bare TICK (or TICK 0) reads the clock — allowed anywhere; only an
+    // actual advance is a write.
+    if (delta_ms > 0 && RejectFollowerWrite(service, command, out)) {
+      return ProtocolAction::kContinue;
+    }
     Result<TickOutcome> result = service.AdvanceClock(delta_ms);
     if (!result.ok()) {
       EmitError(result.status(), out);
@@ -249,6 +298,105 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
     return ProtocolAction::kContinue;
   }
 
+  if (command == "REPLICATE") {
+    // REPLICATE <base_epoch> <index> [<max_records>] — one pull of the
+    // primary's feed. Records ship hex-encoded with a per-record CRC so a
+    // torn wire record is detected and refetched, never applied.
+    std::string base_word;
+    std::string tail;
+    SplitWord(rest, &base_word, &tail);
+    std::string index_word;
+    std::string max_word;
+    SplitWord(tail, &index_word, &max_word);
+    int64_t base_epoch = 0;
+    int64_t index = 0;
+    int64_t max_records = 64;
+    if (!ParseInt64(base_word, &base_epoch) ||
+        !ParseInt64(index_word, &index) || index < 0 ||
+        (!max_word.empty() &&
+         (!ParseInt64(max_word, &max_records) || max_records <= 0))) {
+      EmitError(Status::InvalidArgument(
+                    "REPLICATE needs <base_epoch> <index> [<max_records>] "
+                    "(bootstrap with base_epoch -1, index 0)"),
+                out);
+      out->push_back("END");
+      return ProtocolAction::kContinue;
+    }
+    ReplicationBatch batch;
+    Status fetched = service.FetchReplication(
+        base_epoch, static_cast<uint64_t>(index),
+        static_cast<size_t>(max_records), &batch);
+    if (!fetched.ok()) {
+      EmitError(fetched, out);
+      out->push_back("END");
+      return ProtocolAction::kContinue;
+    }
+    std::string header =
+        "OK base=" + std::to_string(batch.base_epoch) +
+        " next=" + std::to_string(batch.next_index) +
+        " feed=" + std::to_string(batch.feed_size) +
+        " epoch=" + std::to_string(batch.primary_epoch) +
+        " clock_ms=" + std::to_string(batch.primary_clock_ms) +
+        " crc=" + Hex8(batch.state_crc);
+    if (batch.snapshot) {
+      header += " snapshot=1 snap_epoch=" + std::to_string(batch.snap.epoch) +
+                " snap_clock_ms=" + std::to_string(batch.snap.now_ms) +
+                " deadlines=" + std::to_string(batch.snap.deadlines.size());
+      out->push_back(std::move(header));
+      for (const auto& [deadline_ms, statement] : batch.snap.deadlines) {
+        out->push_back("D " + std::to_string(deadline_ms) + " " +
+                       HexEncode(statement));
+      }
+      out->push_back("S " + HexEncode(batch.snap.statements));
+    } else {
+      header += " records=" + std::to_string(batch.records.size());
+      out->push_back(std::move(header));
+      for (const std::string& record : batch.records) {
+        out->push_back("R " + Hex8(WalCrc32(record)) + " " +
+                       HexEncode(record));
+      }
+    }
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "HEALTH") {
+    HealthInfo health = service.Health();
+    out->push_back(std::string("OK role=") + NodeRoleName(health.role) +
+                   " epoch=" + std::to_string(health.epoch) +
+                   " clock_ms=" + std::to_string(health.clock_ms) +
+                   " quarantined=" + (health.quarantined ? "1" : "0") +
+                   " lag=" + std::to_string(health.lag_records) +
+                   " primary_epoch=" + std::to_string(health.primary_epoch) +
+                   " applied=" + std::to_string(health.records_applied) +
+                   " snapshots=" +
+                   std::to_string(health.snapshots_installed));
+    if (health.quarantined) {
+      std::string reason = health.quarantine_reason;
+      for (char& c : reason) {
+        if (c == '\n' || c == '\r') c = ' ';
+      }
+      out->push_back("quarantine_reason=" + reason);
+    }
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
+  if (command == "PROMOTE") {
+    // PROMOTE [<dead-primary-wal-dir>] — operator failover. With a WAL
+    // directory argument the registered handler replays the dead primary's
+    // surviving records first, so no acknowledged write is lost.
+    Status promoted = service.Promote(rest);
+    if (!promoted.ok()) {
+      EmitError(promoted, out);
+    } else {
+      out->push_back("OK role=primary epoch=" +
+                     std::to_string(service.epoch()));
+    }
+    out->push_back("END");
+    return ProtocolAction::kContinue;
+  }
+
   if (command == "STATS") {
     ServiceStats stats = service.Stats();
     out->push_back("OK");
@@ -271,6 +419,14 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
     out->push_back("ticks=" + std::to_string(stats.ticks));
     out->push_back("expired_facts=" + std::to_string(stats.expired_facts));
     out->push_back("clock_ms=" + std::to_string(stats.clock_ms));
+    out->push_back("replication_fetches=" +
+                   std::to_string(stats.replication_fetches));
+    out->push_back("replication_records=" +
+                   std::to_string(stats.replication_records));
+    out->push_back("replication_snapshots=" +
+                   std::to_string(stats.replication_snapshots));
+    out->push_back("replicated_applies=" +
+                   std::to_string(stats.replicated_applies));
     out->push_back("epoch=" + std::to_string(stats.epoch));
     out->push_back("prepared_entries=" +
                    std::to_string(stats.prepared_entries));
@@ -287,7 +443,8 @@ ProtocolAction HandleLine(QueryService& service, const std::string& line,
 
   EmitError(Status::InvalidArgument("unknown command '" + command +
                                     "' (expected PREPARE, QUERY, INGEST, "
-                                    "RETRACT, TICK, PRIORITY, STATS, or "
+                                    "RETRACT, TICK, PRIORITY, STATS, "
+                                    "REPLICATE, HEALTH, PROMOTE, or "
                                     "SHUTDOWN)"),
             out);
   out->push_back("END");

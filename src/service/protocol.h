@@ -17,6 +17,10 @@ namespace cqlopt {
 ///
 ///   PREPARE <steps> <query>     memoize the rewrite pipeline
 ///   QUERY <steps> <query>       serve a query; answers follow, one per line
+///   QUERY <steps> <query> ASOF <epoch>
+///                               epoch-consistent read: fails with a typed
+///                               ERR UNAVAILABLE until this node's head has
+///                               reached <epoch> (replication lag — retry)
 ///   INGEST <facts>              commit `.`-terminated facts as a new epoch
 ///   INGEST TTL <ms> <facts>     commit facts that expire once the logical
 ///                               clock passes now + <ms>
@@ -27,7 +31,23 @@ namespace cqlopt {
 ///   PRIORITY <class>            set this connection's scheduling class
 ///                               (interactive | normal | batch)
 ///   STATS                       one `key=value` line per service counter
+///   REPLICATE <base> <idx> [<max>]
+///                               pull one replication cut (DESIGN.md §15):
+///                               `R <crc8> <hex>` record lines, or — on a
+///                               coordinate mismatch — a full snapshot as
+///                               `D <ms> <hex>` deadline lines plus one
+///                               `S <hex>` statements line
+///   HEALTH                      role / epoch / clock / quarantine /
+///                               replication lag, one line
+///   PROMOTE [<wal-dir>]         fail this node over to primary, first
+///                               replaying the dead primary's surviving WAL
+///                               when a directory is given
 ///   SHUTDOWN                    acknowledge and stop the server
+///
+/// On a follower, INGEST / RETRACT / TICK <delta> are refused with
+/// `ERR FAILED_PRECONDITION` (reads, HEALTH, and bare TICK stay open); a
+/// quarantined (diverged) node refuses QUERY with `ERR DATA_LOSS` rather
+/// than serve possibly-wrong answers.
 ///
 /// Under overload the server refuses work instead of stalling: a request
 /// past the admission bound is answered `ERR RESOURCE_EXHAUSTED ...` +

@@ -31,6 +31,16 @@ bool IsGovernedAbort(StatusCode code) {
 
 }  // namespace
 
+const char* NodeRoleName(NodeRole role) {
+  switch (role) {
+    case NodeRole::kPrimary:
+      return "primary";
+    case NodeRole::kFollower:
+      return "follower";
+  }
+  return "?";
+}
+
 const char* ServePathName(ServePath path) {
   switch (path) {
     case ServePath::kCold:
@@ -180,7 +190,24 @@ bool QueryService::CollectDeltas(const EpochSnapshot& head, int64_t from,
 }
 
 Result<QueryOutcome> QueryService::Execute(const std::string& query_text,
-                                           const std::string& steps_spec) {
+                                           const std::string& steps_spec,
+                                           int64_t min_epoch) {
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    if (quarantined_) {
+      return Status::DataLoss("node quarantined after divergence: " +
+                              quarantine_reason_);
+    }
+    if (min_epoch >= 0 && head_->id < min_epoch) {
+      // The ASOF consistency token: the caller read/ingested at min_epoch on
+      // the primary and this node has not replicated that far yet. Typed so
+      // clients retry with backoff instead of reading stale state.
+      return Status::Unavailable(
+          "ASOF epoch " + std::to_string(min_epoch) +
+          " not reached yet (head at " + std::to_string(head_->id) +
+          "); replication lag — retry");
+    }
+  }
   bool prepared_hit = false;
   CQLOPT_ASSIGN_OR_RETURN(std::shared_ptr<PreparedEntry> entry,
                           PrepareEntry(query_text, steps_spec, &prepared_hit));
@@ -444,18 +471,22 @@ Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
       return out;
     }
     const bool log_this = wal_ != nullptr && !replaying_;
+    // Plain inserts keep the legacy bare-text payload (byte-identical to
+    // pre-§14 logs); TTL'd inserts carry the clock and TTL so replay
+    // re-registers the same deadlines. Computed whenever a WAL exists —
+    // replay skips the disk append but still feeds the replication stream
+    // (re-encoding a decoded record reproduces its bytes exactly).
+    std::string payload;
+    if (wal_ != nullptr) {
+      payload = ttl_ms > 0
+                    ? EncodeWalRecord({WalRecord::Kind::kInsertTtl, now_ms_,
+                                       ttl_ms, statements})
+                    : statements;
+    }
     if (log_this) {
       // Durability barrier: the record must be on disk before any reader
       // can observe the new epoch. An append failure (real or injected)
-      // aborts the commit — the epoch never existed. Plain inserts keep
-      // the legacy bare-text payload (byte-identical to pre-§14 logs);
-      // TTL'd inserts carry the clock and TTL so replay re-registers the
-      // same deadlines.
-      std::string payload =
-          ttl_ms > 0
-              ? EncodeWalRecord({WalRecord::Kind::kInsertTtl, now_ms_, ttl_ms,
-                                 statements})
-              : statements;
+      // aborts the commit — the epoch never existed.
       CQLOPT_RETURN_IF_ERROR(wal_->Append(payload));
       if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
         return Status::Internal(
@@ -484,6 +515,7 @@ Result<IngestOutcome> QueryService::CommitBatch(const std::vector<Fact>& batch,
         deadlines_.emplace(now_ms_ + ttl_ms, fact);
       }
     }
+    if (wal_ != nullptr) FeedAppendLocked(std::move(payload));
     if (log_this) {
       wal_bytes = wal_->log_bytes();
       compact_due = options_.wal_compact_bytes > 0 &&
@@ -578,9 +610,12 @@ Result<RetractOutcome> QueryService::CommitRetract(
       return out;
     }
     const bool log_this = wal_ != nullptr && !replaying_;
+    std::string payload;
+    if (wal_ != nullptr) {
+      payload = EncodeWalRecord({WalRecord::Kind::kRetract, 0, 0, statements});
+    }
     if (log_this) {
-      CQLOPT_RETURN_IF_ERROR(wal_->Append(
-          EncodeWalRecord({WalRecord::Kind::kRetract, 0, 0, statements})));
+      CQLOPT_RETURN_IF_ERROR(wal_->Append(payload));
       if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
         return Status::Internal(
             std::string("injected crash between WAL append and epoch "
@@ -603,6 +638,7 @@ Result<RetractOutcome> QueryService::CommitRetract(
     // Pending deadlines for the removed facts are left in place: the sweep
     // skips entries whose fact is no longer stored, so they age out as
     // harmless no-ops — cheaper than a multimap scan per retraction.
+    if (wal_ != nullptr) FeedAppendLocked(std::move(payload));
     if (log_this) {
       wal_bytes = wal_->log_bytes();
       compact_due = options_.wal_compact_bytes > 0 &&
@@ -685,13 +721,17 @@ Result<TickOutcome> QueryService::AdvanceClockTo(int64_t target_now_ms) {
     out.expired = static_cast<int>(expired.size());
     const bool log_this = wal_ != nullptr && !replaying_;
     if (expired.empty()) {
+      std::string payload;
+      if (wal_ != nullptr) {
+        payload = EncodeWalRecord(
+            {WalRecord::Kind::kTick, target_now_ms, 0, std::string()});
+      }
       if (log_this) {
         // The clock itself is durable state: without the tick record a
         // recovered service would run behind and re-expire nothing early,
         // but RenderStateText (and thus the crash differential) would
         // diverge on clock_ms.
-        CQLOPT_RETURN_IF_ERROR(wal_->Append(EncodeWalRecord(
-            {WalRecord::Kind::kTick, target_now_ms, 0, std::string()})));
+        CQLOPT_RETURN_IF_ERROR(wal_->Append(payload));
         logged = true;
         wal_bytes = wal_->log_bytes();
         if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
@@ -705,13 +745,15 @@ Result<TickOutcome> QueryService::AdvanceClockTo(int64_t target_now_ms) {
       now_ms_ = target_now_ms;
       out.now_ms = now_ms_;
       out.epoch = head_->id;
+      if (wal_ != nullptr) FeedAppendLocked(std::move(payload));
       if (log_this && failpoint::ShouldFail(failpoint::kWalCrashAfterCommit)) {
         return Status::Internal(
             std::string("injected crash after epoch commit (failpoint ") +
             failpoint::kWalCrashAfterCommit + ")");
       }
     } else {
-      if (log_this) {
+      std::string payload;
+      if (wal_ != nullptr) {
         std::string statements;
         {
           // Lock order: head_mutex_ > symbols_mutex_.
@@ -721,8 +763,11 @@ Result<TickOutcome> QueryService::AdvanceClockTo(int64_t target_now_ms) {
             statements += '\n';
           }
         }
-        CQLOPT_RETURN_IF_ERROR(wal_->Append(EncodeWalRecord(
-            {WalRecord::Kind::kExpire, target_now_ms, 0, statements})));
+        payload = EncodeWalRecord(
+            {WalRecord::Kind::kExpire, target_now_ms, 0, statements});
+      }
+      if (log_this) {
+        CQLOPT_RETURN_IF_ERROR(wal_->Append(payload));
         logged = true;
         if (failpoint::ShouldFail(failpoint::kWalCrashBeforeCommit)) {
           return Status::Internal(
@@ -746,6 +791,7 @@ Result<TickOutcome> QueryService::AdvanceClockTo(int64_t target_now_ms) {
       now_ms_ = target_now_ms;
       out.now_ms = now_ms_;
       out.epoch = head_->id;
+      if (wal_ != nullptr) FeedAppendLocked(std::move(payload));
       if (log_this) {
         wal_bytes = wal_->log_bytes();
         if (failpoint::ShouldFail(failpoint::kWalCrashAfterCommit)) {
@@ -843,6 +889,10 @@ Status QueryService::Recover(RecoverOutcome* out) {
       head_ = std::move(head);
       now_ms_ = snapshot.now_ms;
       deadlines_ = std::move(deadlines);
+      // The snapshot starts a feed generation: replication coordinates are
+      // stable across restarts because this base is re-derived, not counted.
+      feed_.clear();
+      feed_base_epoch_ = snapshot.epoch;
     }
     recovered.snapshot_loaded = true;
     recovered.snapshot_epoch = snapshot.epoch;
@@ -903,6 +953,10 @@ Status QueryService::Compact() {
     // redundant; a crash between the two leaves snapshot + stale log, and
     // replaying the stale records is harmless (they dedup to no-ops).
     CQLOPT_RETURN_IF_ERROR(wal_->Reset());
+    // New feed generation: followers holding pre-compaction coordinates
+    // renegotiate via snapshot on their next fetch.
+    feed_.clear();
+    feed_base_epoch_ = snapshot.epoch;
     // Captured here because log_bytes_ is only stable under head_mutex_
     // (concurrent commits mutate it).
     wal_bytes = wal_->log_bytes();
@@ -915,25 +969,230 @@ Status QueryService::Compact() {
   return Status::OK();
 }
 
-std::string QueryService::RenderStateText() const {
-  std::shared_ptr<const EpochSnapshot> head;
-  int64_t clock_ms = 0;
-  std::vector<std::pair<int64_t, Fact>> deadlines;
-  {
-    std::lock_guard<std::mutex> lock(head_mutex_);
-    head = head_;
-    clock_ms = now_ms_;
-    deadlines.assign(deadlines_.begin(), deadlines_.end());
-  }
+std::string QueryService::RenderStateTextLocked() const {
+  // Caller holds head_mutex_; lock order head_mutex_ > symbols_mutex_.
   std::lock_guard<std::mutex> lock(symbols_mutex_);
-  std::string text = "epoch=" + std::to_string(head->id) + "\nclock_ms=" +
-                     std::to_string(clock_ms) + "\n" +
-                     RenderDatabaseText(head->edb, *program_.symbols);
-  for (const auto& [deadline_ms, fact] : deadlines) {
+  std::string text = "epoch=" + std::to_string(head_->id) + "\nclock_ms=" +
+                     std::to_string(now_ms_) + "\n" +
+                     RenderDatabaseText(head_->edb, *program_.symbols);
+  for (const auto& [deadline_ms, fact] : deadlines_) {
     text += "# ttl " + std::to_string(deadline_ms) + " " +
             RenderFactStatement(fact, *program_.symbols) + "\n";
   }
   return text;
+}
+
+std::string QueryService::RenderStateText() const {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  return RenderStateTextLocked();
+}
+
+void QueryService::FeedAppendLocked(std::string payload) {
+  feed_.push_back(std::move(payload));
+}
+
+Status QueryService::FetchReplication(int64_t base_epoch, uint64_t index,
+                                      size_t max_records,
+                                      ReplicationBatch* out) {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "replication requires a WAL (start the primary with --wal-dir)");
+  }
+  if (failpoint::ShouldFail(failpoint::kReplicaFetch)) {
+    return Status::Unavailable(
+        std::string("injected replication fetch drop (failpoint ") +
+        failpoint::kReplicaFetch + ")");
+  }
+  *out = ReplicationBatch();
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    out->base_epoch = feed_base_epoch_;
+    out->feed_size = feed_.size();
+    out->primary_epoch = head_->id;
+    out->primary_clock_ms = now_ms_;
+    // The CRC and the cut are atomic: a follower whose applied prefix
+    // reaches feed_size must reproduce these exact bytes.
+    out->state_crc = WalCrc32(RenderStateTextLocked());
+    if (base_epoch != feed_base_epoch_ || index > feed_.size()) {
+      // Renegotiation: the follower's coordinates predate this generation
+      // (compaction), come from another log, or are a bootstrap probe.
+      // Ship the head state outright with the coordinates to resume from.
+      out->snapshot = true;
+      out->next_index = feed_.size();
+      out->snap.epoch = head_->id;
+      out->snap.now_ms = now_ms_;
+      {
+        std::lock_guard<std::mutex> sym(symbols_mutex_);
+        out->snap.statements =
+            RenderDatabaseText(head_->edb, *program_.symbols);
+        for (const auto& [deadline_ms, fact] : deadlines_) {
+          out->snap.deadlines.emplace_back(
+              deadline_ms, RenderFactStatement(fact, *program_.symbols));
+        }
+      }
+    } else {
+      size_t end = std::min(feed_.size(), index + max_records);
+      out->records.assign(feed_.begin() + index, feed_.begin() + end);
+      out->next_index = end;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.replication_fetches;
+    stats_.replication_records += static_cast<long>(out->records.size());
+    if (out->snapshot) ++stats_.replication_snapshots;
+  }
+  return Status::OK();
+}
+
+Status QueryService::ApplyReplicated(const std::string& payload) {
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    if (quarantined_) {
+      return Status::DataLoss("node quarantined after divergence: " +
+                              quarantine_reason_);
+    }
+  }
+  CQLOPT_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+  CQLOPT_RETURN_IF_ERROR(ReplayRecord(record));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.replicated_applies;
+  }
+  return Status::OK();
+}
+
+Status QueryService::InstallSnapshot(const WalSnapshot& snapshot) {
+  Database edb;
+  std::multimap<int64_t, Fact> deadlines;
+  {
+    std::lock_guard<std::mutex> lock(symbols_mutex_);
+    Result<int> loaded =
+        LoadDatabaseText(snapshot.statements, program_.symbols, &edb);
+    if (!loaded.ok()) {
+      return Status::Internal("replication snapshot failed to load: " +
+                              loaded.status().ToString());
+    }
+    for (const auto& [deadline_ms, statement] : snapshot.deadlines) {
+      Database one;
+      Result<int> fact_loaded =
+          LoadDatabaseText(statement, program_.symbols, &one);
+      if (!fact_loaded.ok() || one.TotalFacts() != 1) {
+        return Status::Internal(
+            "replication snapshot deadline entry failed to load: " +
+            statement);
+      }
+      for (const Fact& fact : FactsOf(one)) {
+        deadlines.emplace(deadline_ms, fact);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    auto deltas = std::make_shared<EpochDelta>();
+    deltas->id = snapshot.epoch;  // chain bottoms out at the snapshot
+    auto head = std::make_shared<EpochSnapshot>();
+    head->id = snapshot.epoch;
+    head->edb = std::move(edb);
+    head->edb.set_epoch(snapshot.epoch);
+    head->deltas = std::move(deltas);
+    head_ = std::move(head);
+    now_ms_ = snapshot.now_ms;
+    deadlines_ = std::move(deadlines);
+    // This node's own feed restarts at the installed snapshot, mirroring
+    // what Compact() would produce — chained replication stays consistent.
+    feed_.clear();
+    feed_base_epoch_ = snapshot.epoch;
+    if (wal_ != nullptr) {
+      // Persist: a follower restart must recover to (at least) the
+      // installed state from its own disk, without the primary.
+      CQLOPT_RETURN_IF_ERROR(wal_->WriteSnapshot(snapshot));
+      CQLOPT_RETURN_IF_ERROR(wal_->Reset());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.epoch = snapshot.epoch;
+    if (wal_ != nullptr) stats_.wal_bytes = wal_->log_bytes();
+  }
+  return Status::OK();
+}
+
+NodeRole QueryService::role() const {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  return role_;
+}
+
+void QueryService::SetRole(NodeRole role) {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  role_ = role;
+}
+
+void QueryService::Quarantine(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  quarantined_ = true;
+  quarantine_reason_ = reason;
+}
+
+bool QueryService::quarantined() const {
+  std::lock_guard<std::mutex> lock(head_mutex_);
+  return quarantined_;
+}
+
+HealthInfo QueryService::Health() const {
+  HealthInfo info;
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    info.role = role_;
+    info.epoch = head_->id;
+    info.clock_ms = now_ms_;
+    info.quarantined = quarantined_;
+    info.quarantine_reason = quarantine_reason_;
+  }
+  std::function<void(HealthInfo*)> augmenter;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    augmenter = health_augmenter_;
+  }
+  // Invoked outside every service lock: the augmenter (a Replicator) takes
+  // its own, and must not call back into this service.
+  if (augmenter) augmenter(&info);
+  return info;
+}
+
+void QueryService::SetHealthAugmenter(
+    std::function<void(HealthInfo*)> augmenter) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  health_augmenter_ = std::move(augmenter);
+}
+
+Status QueryService::Promote(const std::string& arg) {
+  {
+    std::lock_guard<std::mutex> lock(head_mutex_);
+    if (quarantined_) {
+      return Status::FailedPrecondition(
+          "refusing to promote a quarantined (diverged) follower: " +
+          quarantine_reason_);
+    }
+    if (role_ == NodeRole::kPrimary) return Status::OK();  // idempotent
+  }
+  std::function<Status(const std::string&)> handler;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    handler = promote_handler_;
+  }
+  // The handler (the Replicator) stops pulling and runs the final
+  // catch-up from the dead primary's surviving WAL — its failure aborts
+  // the promotion so a half-caught-up node never starts taking writes.
+  if (handler) CQLOPT_RETURN_IF_ERROR(handler(arg));
+  SetRole(NodeRole::kPrimary);
+  return Status::OK();
+}
+
+void QueryService::SetPromoteHandler(
+    std::function<Status(const std::string&)> handler) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  promote_handler_ = std::move(handler);
 }
 
 ServiceStats QueryService::Stats() const {

@@ -40,6 +40,65 @@ struct ServiceOptions {
   long wal_compact_bytes = 0;
 };
 
+/// A node's replication role (DESIGN.md §15). Primaries accept writes and
+/// ship their WAL; followers apply the shipped stream and serve reads only.
+enum class NodeRole {
+  kPrimary,
+  kFollower,
+};
+
+const char* NodeRoleName(NodeRole role);
+
+/// One cut of the primary's replication feed, the unit a follower pulls
+/// with `REPLICATE <base_epoch> <index>` (QueryService::FetchReplication).
+///
+/// The feed's coordinate system is (base_epoch, index): `base_epoch` is the
+/// epoch of the generation-starting snapshot — 0 for a virgin log — and
+/// `index` counts records committed since it. Compaction starts a new
+/// generation, so a follower holding pre-compaction coordinates gets a
+/// snapshot renegotiation instead of records: install `snap`, then resume
+/// pulling from (base_epoch, next_index).
+struct ReplicationBatch {
+  /// The primary's current feed identity.
+  int64_t base_epoch = 0;
+  /// Coordinate to pull next (index past the shipped records, or the feed
+  /// position the renegotiation snapshot corresponds to).
+  uint64_t next_index = 0;
+  /// Feed length at the cut; next_index == feed_size means the batch (or
+  /// snapshot) brings the follower level with this cut, so the state CRC is
+  /// comparable after applying it.
+  uint64_t feed_size = 0;
+  /// Raw WAL payload bytes (exactly what Append logged), commit order.
+  std::vector<std::string> records;
+  /// True when the requested coordinates were unserveable (identity mismatch
+  /// or out-of-range index): `snap` holds the primary's full state instead.
+  bool snapshot = false;
+  WalSnapshot snap;
+  /// Head epoch and logical clock at the cut.
+  int64_t primary_epoch = 0;
+  int64_t primary_clock_ms = 0;
+  /// CRC-32 (wal.h WalCrc32) of the primary's RenderStateText at the cut —
+  /// the per-epoch integrity digest a caught-up follower must reproduce.
+  uint32_t state_crc = 0;
+};
+
+/// What the HEALTH verb reports: the node's own role/epoch/clock, plus
+/// replication-side fields a registered augmenter (the Replicator) fills.
+struct HealthInfo {
+  NodeRole role = NodeRole::kPrimary;
+  int64_t epoch = 0;
+  int64_t clock_ms = 0;
+  bool quarantined = false;
+  std::string quarantine_reason;
+  /// Follower only (set by the Replicator augmenter): feed records fetched
+  /// but not yet known-applied relative to the last primary cut, and the
+  /// primary epoch of that cut. -1 when no replication is attached.
+  long lag_records = -1;
+  int64_t primary_epoch = -1;
+  long records_applied = 0;
+  long snapshots_installed = 0;
+};
+
 /// Which serving path answered a query.
 enum class ServePath {
   /// Pipeline prepared and program evaluated from scratch this call.
@@ -196,6 +255,11 @@ struct ServiceStats {
   /// Materialization catch-ups that applied at least one retraction delta
   /// (subset of `resumes`).
   long retract_resumes = 0;
+  // Replication counters (DESIGN.md §15; zero when nothing replicates).
+  long replication_fetches = 0;    // REPLICATE cuts served
+  long replication_records = 0;    // feed records shipped
+  long replication_snapshots = 0;  // renegotiation snapshots shipped
+  long replicated_applies = 0;     // shipped records applied on this node
   /// Admission/scheduling counters of the attached scheduler, if any.
   SchedulerStats scheduler;
 };
@@ -244,8 +308,15 @@ class QueryService {
 
   /// Serves a query: prepare (or reuse), pick the cheapest evaluation path
   /// against the current epoch, extract and render the answers.
+  ///
+  /// `min_epoch` >= 0 is the `QUERY ... ASOF <epoch>` consistency token: the
+  /// head must have reached at least that epoch, or the call fails with a
+  /// typed UNAVAILABLE error (the replication-lag signal a client retries
+  /// on). Serving happens at the head — the token is read-your-writes, not
+  /// time travel; historical snapshots are not retained.
   Result<QueryOutcome> Execute(const std::string& query_text,
-                               const std::string& steps_spec);
+                               const std::string& steps_spec,
+                               int64_t min_epoch = -1);
 
   /// Parses facts in the loader syntax and commits them as a new epoch.
   /// Readers holding older snapshots are unaffected. With a WAL configured,
@@ -326,6 +397,56 @@ class QueryService {
   ServiceStats Stats() const;
   const Program& program() const { return program_; }
 
+  // ---- Replication (DESIGN.md §15) -------------------------------------
+
+  /// Serves one replication cut to a follower positioned at (base_epoch,
+  /// index): up to `max_records` feed records, or — when the coordinates
+  /// don't match this node's feed generation (compaction happened, or the
+  /// follower is bootstrapping with base_epoch = -1) — a full state snapshot
+  /// plus the coordinates to resume from. Requires a WAL (replication IS
+  /// WAL shipping); honours the "replica/fetch" drop failpoint with a typed
+  /// UNAVAILABLE error. Everything in the batch, state CRC included, is cut
+  /// atomically under the commit lock.
+  Status FetchReplication(int64_t base_epoch, uint64_t index,
+                          size_t max_records, ReplicationBatch* out);
+
+  /// Applies one shipped WAL payload through the normal commit paths — the
+  /// follower side of WAL shipping. Unlike Recover's replay, the commit IS
+  /// logged to this node's own WAL, so per-node crash recovery (and chained
+  /// replication off this node's feed) keeps working.
+  Status ApplyReplicated(const std::string& payload);
+
+  /// Installs a replication snapshot as this node's entire state — epoch,
+  /// clock, pending TTL deadlines, EDB — discarding what it had (the
+  /// bootstrap / renegotiation path; the caller only installs snapshots at
+  /// or ahead of its own epoch). Persisted to this node's own WAL
+  /// (WriteSnapshot + Reset) when one is configured, so a follower restart
+  /// recovers to the installed state without the primary.
+  Status InstallSnapshot(const WalSnapshot& snapshot);
+
+  NodeRole role() const;
+  void SetRole(NodeRole role);
+
+  /// Marks this node diverged: every subsequent Execute fails with a typed
+  /// DATA_LOSS error carrying `reason` until the process is rebuilt from a
+  /// fresh snapshot. Never serves wrong answers silently.
+  void Quarantine(const std::string& reason);
+  bool quarantined() const;
+
+  /// Fills role/epoch/clock/quarantine and invokes the registered health
+  /// augmenter (the Replicator's lag report) — the HEALTH verb's source.
+  HealthInfo Health() const;
+  void SetHealthAugmenter(std::function<void(HealthInfo*)> augmenter);
+
+  /// Operator failover: flips this node to primary. On a primary it is an
+  /// idempotent no-op; on a follower the registered promote handler (the
+  /// Replicator's stop-pulling + final-catch-up-from-the-dead-primary's-WAL
+  /// path) runs first and its failure aborts the promotion. `arg` is the
+  /// handler's argument (the dead primary's WAL directory, possibly empty).
+  /// Refused with FAILED_PRECONDITION on a quarantined node.
+  Status Promote(const std::string& arg);
+  void SetPromoteHandler(std::function<Status(const std::string&)> handler);
+
   /// Registers a hook that Stats() invokes on every snapshot (after the
   /// service counters are filled) — how an attached Scheduler injects its
   /// SchedulerStats without the service depending on the scheduler. Pass
@@ -404,8 +525,19 @@ class QueryService {
   Result<TickOutcome> AdvanceClockTo(int64_t target_now_ms);
 
   /// Applies one decoded WAL record through the normal commit paths —
-  /// Recover's replay switch.
+  /// Recover's replay switch, shared with ApplyReplicated.
   Status ReplayRecord(const WalRecord& record);
+
+  /// RenderStateText's body; head_mutex_ must be held (takes symbols_mutex_
+  /// inside — lock order head > symbols). FetchReplication digests state
+  /// with this so the CRC and the feed cut are atomic.
+  std::string RenderStateTextLocked() const;
+
+  /// Appends one committed record's payload bytes to the in-memory
+  /// replication feed. head_mutex_ must be held; called from every commit
+  /// path (replay included — re-encoding a decoded record reproduces its
+  /// bytes exactly, so recovery rebuilds the same feed).
+  void FeedAppendLocked(std::string payload);
 
   Program program_;
   const ServiceOptions options_;
@@ -428,6 +560,23 @@ class QueryService {
   /// Guarded by head_mutex_.
   std::multimap<int64_t, Fact> deadlines_;
 
+  /// In-memory replication feed: the exact WAL payload bytes of every
+  /// record committed since the feed's base snapshot, commit order.
+  /// `feed_base_epoch_` is the epoch of the generation-starting snapshot (0
+  /// for a virgin log) — the stable "log identity" REPLICATE coordinates
+  /// are relative to, reconstructible across restarts because Recover
+  /// derives it from the compaction snapshot. Compact() clears the feed and
+  /// starts a new generation. Guarded by head_mutex_; only maintained when
+  /// a WAL is configured (replication is WAL shipping).
+  std::vector<std::string> feed_;
+  int64_t feed_base_epoch_ = 0;
+
+  /// Replication role + divergence quarantine, guarded by head_mutex_ (they
+  /// gate commits and reads the same way the head does).
+  NodeRole role_ = NodeRole::kPrimary;
+  bool quarantined_ = false;
+  std::string quarantine_reason_;
+
   /// Durability (null when ServiceOptions::wal_dir is empty). Appends
   /// happen under head_mutex_ — the WAL and the epoch chain advance in
   /// lockstep. Lock order when both are needed: head_mutex_ >
@@ -443,6 +592,12 @@ class QueryService {
   mutable std::mutex stats_mutex_;
   ServiceStats stats_;
   std::function<void(ServiceStats*)> stats_augmenter_;  // guarded by stats_mutex_
+  /// Replication hooks, same pattern as the stats augmenter: the health
+  /// augmenter injects the Replicator's lag into Health() snapshots; the
+  /// promote handler runs the Replicator's failover path inside Promote().
+  /// Both guarded by stats_mutex_ (cold paths; no reason for another lock).
+  std::function<void(HealthInfo*)> health_augmenter_;
+  std::function<Status(const std::string&)> promote_handler_;
 };
 
 }  // namespace cqlopt

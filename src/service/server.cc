@@ -7,6 +7,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <time.h>
+
 #include <cerrno>
 #include <cstring>
 #include <istream>
@@ -73,7 +75,14 @@ constexpr size_t kMaxLineBytes = 1 << 20;
 constexpr uint64_t kUnixListenerTag = 0;
 constexpr uint64_t kTcpListenerTag = 1;
 constexpr uint64_t kEventFdTag = 2;
+constexpr uint64_t kDrainFdTag = 3;
 constexpr uint64_t kFirstConnId = 16;
+
+int64_t MonotonicMs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
 
 struct Listener {
   int fd = -1;
@@ -197,12 +206,24 @@ class EventLoop {
     if (tcp_listener_.fd >= 0) {
       CQLOPT_RETURN_IF_ERROR(Watch(tcp_listener_.fd, kTcpListenerTag, EPOLLIN));
     }
+    if (options_.drain_fd >= 0) {
+      CQLOPT_RETURN_IF_ERROR(Watch(options_.drain_fd, kDrainFdTag, EPOLLIN));
+    }
     scheduler_.Attach(&service_);
     if (options_.on_ready) options_.on_ready(endpoints);
 
     epoll_event events[64];
     while (running_) {
-      int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      int timeout = -1;
+      if (draining_ && drain_deadline_ms_ >= 0) {
+        int64_t left = drain_deadline_ms_ - MonotonicMs();
+        if (left <= 0) {
+          // Deadline spent: connections still owed bytes are dropped.
+          break;
+        }
+        timeout = left > 1 << 30 ? 1 << 30 : static_cast<int>(left);
+      }
+      int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
       if (n < 0) {
         if (errno == EINTR) continue;
         return Status::Internal(std::string("epoll_wait: ") +
@@ -215,6 +236,8 @@ class EventLoop {
           AcceptAll(unix_listener_.fd);
         } else if (tag == kTcpListenerTag) {
           AcceptAll(tcp_listener_.fd);
+        } else if (tag == kDrainFdTag) {
+          BeginDrain();
         } else if (tag == kEventFdTag) {
           DrainCompletions();
         } else {
@@ -230,6 +253,10 @@ class EventLoop {
           if (mask & EPOLLOUT) TryWrite(it->second);
         }
       }
+      // A drain is complete once every connection has flushed everything it
+      // is owed — responses still in workers show as next_seq > flush_seq,
+      // so idle-but-open clients cannot hold the exit hostage.
+      if (draining_ && running_ && ConnsIdle()) break;
     }
     return Status::OK();
   }
@@ -351,6 +378,14 @@ class EventLoop {
               action == ProtocolAction::kShutdown);
       return;
     }
+    if (draining_) {
+      // Work admitted before the drain began still completes; new work is
+      // refused so the drain is bounded by what is already in flight.
+      Deliver(conn, seq,
+              "ERR UNAVAILABLE server draining: request refused\nEND\n",
+              /*shutdown=*/false);
+      return;
+    }
     uint64_t conn_id = conn.id;
     PriorityClass priority = conn.priority;
     Scheduler::Task task;
@@ -448,6 +483,41 @@ class EventLoop {
     if (stop_conn_id_ == conn.id) running_ = false;
   }
 
+  /// Starts the graceful drain (idempotent): eat the self-pipe bytes, stop
+  /// accepting by closing the listeners outright, and arm the deadline.
+  void BeginDrain() {
+    char buf[64];
+    while (::read(options_.drain_fd, buf, sizeof(buf)) > 0) {
+    }
+    if (draining_) return;
+    draining_ = true;
+    for (Listener* l : {&unix_listener_, &tcp_listener_}) {
+      if (l->fd < 0) continue;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, l->fd, nullptr);
+      ::close(l->fd);
+      l->fd = -1;
+      if (!l->unix_path.empty()) {
+        ::unlink(l->unix_path.c_str());
+        l->unix_path.clear();
+      }
+    }
+    drain_deadline_ms_ = options_.drain_timeout_ms > 0
+                             ? MonotonicMs() + options_.drain_timeout_ms
+                             : -1;
+  }
+
+  /// True when no connection is owed anything: no request dispatched but
+  /// not yet delivered, no response waiting its turn, no bytes unflushed.
+  bool ConnsIdle() const {
+    for (const auto& [id, conn] : conns_) {
+      if (conn.next_seq != conn.flush_seq || !conn.ready.empty() ||
+          !conn.out.empty()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   void SetWantWrite(Conn& conn, bool want) {
     if (conn.want_write == want) return;
     conn.want_write = want;
@@ -481,6 +551,11 @@ class EventLoop {
   /// Connection whose drained output buffer ends the serve loop (set when
   /// a SHUTDOWN acknowledgment is queued on it).
   uint64_t stop_conn_id_ = 0;
+  /// Graceful drain in progress (ServerOptions::drain_fd fired): listeners
+  /// are gone, new request lines are refused, the loop exits once
+  /// ConnsIdle() or the deadline passes.
+  bool draining_ = false;
+  int64_t drain_deadline_ms_ = -1;
 };
 
 }  // namespace

@@ -42,6 +42,20 @@ struct ServerOptions {
   /// and before the first accept — how tests and cqld learn the ephemeral
   /// TCP port. May be empty.
   std::function<void(const ServerEndpoints&)> on_ready;
+  /// Graceful-drain trigger: when >= 0, the loop watches this fd and a
+  /// readable event (one byte on a signal self-pipe — cqld's SIGTERM /
+  /// SIGINT handlers write it) starts a drain. The listeners close
+  /// immediately (no new connections), requests already admitted or in
+  /// flight finish and flush, new request lines on surviving connections
+  /// are refused with `ERR UNAVAILABLE server draining`, and once every
+  /// connection's responses have reached its socket — or
+  /// `drain_timeout_ms` elapses, whichever is first — ServeLoop returns OK.
+  /// The WAL needs no extra flush here: every commit fsynced before it was
+  /// acknowledged. The fd is borrowed, not owned.
+  int drain_fd = -1;
+  /// Upper bound on the drain, in milliseconds (connections still owed
+  /// bytes after it are dropped). <= 0 means drain without a deadline.
+  int drain_timeout_ms = 5000;
 };
 
 /// Serves the line protocol over a non-blocking epoll event loop: one

@@ -131,6 +131,40 @@ Status FsyncDir(const std::string& dir) {
 
 }  // namespace
 
+uint32_t WalCrc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+std::string HexEncode(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+bool HexDecode(const std::string& hex, std::string* out) {
+  if (hex.size() % 2 != 0) return false;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
 std::string RenderFactStatement(const Fact& fact, const SymbolTable& symbols) {
   // Rebuild the fact as the body-free rule the loader parses facts from:
   // fresh rule variables W1..Wk (ids above the 1..arity position range —

@@ -24,6 +24,19 @@ std::string RenderFactStatement(const Fact& fact, const SymbolTable& symbols);
 /// body Compact() writes.
 std::string RenderDatabaseText(const Database& db, const SymbolTable& symbols);
 
+/// The IEEE CRC-32 the WAL checksums records with, exposed so replication
+/// can reuse the exact same polynomial for wire-record checksums and
+/// per-epoch state digests (a follower's state CRC is comparable to the
+/// primary's only because both sides hash identical bytes identically).
+uint32_t WalCrc32(const std::string& data);
+
+/// Lowercase hex of arbitrary bytes — how binary WAL payloads ride the
+/// line-framed text protocol (REPLICATE responses).
+std::string HexEncode(const std::string& bytes);
+
+/// Inverse of HexEncode; false on odd length or a non-hex character.
+bool HexDecode(const std::string& hex, std::string* out);
+
 /// One decoded WAL record — the unit QueryService commits and replays.
 ///
 /// On disk a record payload is either bare statement text (the pre-§14

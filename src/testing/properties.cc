@@ -17,6 +17,7 @@
 #include "eval/retract.h"
 #include "service/protocol.h"
 #include "service/query_service.h"
+#include "service/replica.h"
 #include "service/scheduler.h"
 #include "testing/oracle.h"
 #include "transform/pipeline.h"
@@ -1205,6 +1206,452 @@ PropertyOutcome CrashRecovery(const FuzzCase& c, const FuzzOptions& fo) {
 }
 
 // ---------------------------------------------------------------------------
+// replica_vs_primary: WAL-shipped replication under injected link faults.
+
+/// One level of indirection between the Replicator and "the primary", so the
+/// property can crash and re-open the primary service without rebuilding the
+/// follower's Replicator — the stable-coordinates contract a real follower
+/// relies on across a primary restart (recovery rebuilds the feed
+/// byte-identically, so (base, index) stays valid).
+class SlotReplicationSource : public ReplicationSource {
+ public:
+  explicit SlotReplicationSource(std::unique_ptr<QueryService>* slot)
+      : slot_(slot) {}
+  Status Fetch(int64_t base_epoch, uint64_t index, size_t max_records,
+               ReplicationBatch* out) override {
+    if (slot_->get() == nullptr) {
+      return Status::Unavailable("primary is down");
+    }
+    LocalReplicationSource local(slot_->get());
+    return local.Fetch(base_epoch, index, max_records, out);
+  }
+
+ private:
+  std::unique_ptr<QueryService>* slot_;
+};
+
+/// The replication metamorphic property (DESIGN.md §15): run the crash-
+/// recovery op script (insert, insert-ttl, retract, expire — every WAL
+/// record kind) on a WAL-backed primary while a follower pulls the feed
+/// through a seeded fault schedule — dropped fetches, torn records, crashes
+/// before / mid / after apply, full follower restarts (recover own WAL,
+/// re-bootstrap), primary crash-and-recovery, and mid-run compaction
+/// (snapshot renegotiation). After every op the caught-up follower must be
+/// BYTE-IDENTICAL to the primary (RenderStateText — epoch, clock, facts,
+/// TTL deadlines) and at the end must serve the same answers, with ASOF
+/// tokens at the head honoured and past it refused UNAVAILABLE. Then the
+/// primary is killed with the follower one acknowledged write behind:
+/// PROMOTE must drain the dead WAL's unconsumed suffix and land on the dead
+/// primary's exact final state. Finally a deliberately tampered follower
+/// must be quarantined by the next divergence check — reads refused with
+/// typed DATA_LOSS, promotion refused — never serving wrong answers.
+PropertyOutcome ReplicaVsPrimary(const FuzzCase& c, const FuzzOptions& fo) {
+  // EDB partition + op script: same shape as crash_recovery, fresh salt so
+  // the two properties stress different partitions of the same case.
+  Rng rng(Rng::DeriveSeed(c.seed, 0x5EED5));
+  std::vector<Fact> initial;
+  std::vector<std::vector<Fact>> raw(3);
+  for (const Fact& fact : c.edb) {
+    if (rng.Chance(30)) {
+      initial.push_back(fact);
+    } else {
+      raw[static_cast<size_t>(rng.Uniform(0, 2))].push_back(fact);
+    }
+  }
+  Database seen;
+  Database base_db;
+  for (const Fact& fact : initial) {
+    if (seen.AddFact(fact) == InsertOutcome::kInserted) base_db.AddFact(fact);
+  }
+  std::vector<std::vector<Fact>> batches;
+  for (std::vector<Fact>& candidates : raw) {
+    std::vector<Fact> fresh;
+    for (const Fact& fact : candidates) {
+      if (seen.AddFact(fact) == InsertOutcome::kInserted) {
+        fresh.push_back(fact);
+      }
+    }
+    if (!fresh.empty()) batches.push_back(std::move(fresh));
+  }
+  if (batches.empty()) {
+    return PropertyOutcome::Skip("EDB too small to form an ingest batch");
+  }
+  struct RepOp {
+    enum class Kind { kIngest, kIngestTtl, kRetract, kTick };
+    Kind kind;
+    const std::vector<Fact>* facts = nullptr;
+    int64_t ms = 0;
+  };
+  std::vector<Fact> ttl_head;
+  std::vector<RepOp> ops;
+  ops.push_back({RepOp::Kind::kIngest, &batches[0], 0});
+  if (batches.size() > 1) {
+    ops.push_back({RepOp::Kind::kIngestTtl, &batches[1], 100});
+  }
+  ops.push_back({RepOp::Kind::kRetract, &batches[0], 0});
+  if (batches.size() > 1 && batches[1].size() > 1) {
+    ttl_head.push_back(batches[1].front());
+    ops.push_back({RepOp::Kind::kRetract, &ttl_head, 0});
+  }
+  ops.push_back({RepOp::Kind::kTick, nullptr, 150});
+  if (batches.size() > 2) {
+    ops.push_back({RepOp::Kind::kIngest, &batches[2], 0});
+  }
+  auto apply_op = [](QueryService& service, const RepOp& op) -> Status {
+    switch (op.kind) {
+      case RepOp::Kind::kIngest:
+        return service.IngestFacts(*op.facts).status();
+      case RepOp::Kind::kIngestTtl:
+        return service.IngestTtlFacts(*op.facts, op.ms).status();
+      case RepOp::Kind::kRetract:
+        return service.RetractFacts(*op.facts).status();
+      case RepOp::Kind::kTick:
+        return service.AdvanceClock(op.ms - service.now_ms()).status();
+    }
+    return Status::OK();
+  };
+
+  failpoint::DisarmAll();
+
+  TempWalDir p_dir;
+  TempWalDir f_dir;
+  if (p_dir.path.empty() || f_dir.path.empty()) {
+    return PropertyOutcome::Fail("mkdtemp failed for a replication WAL");
+  }
+  // Destruction order matters: the Replicator's destructor unhooks itself
+  // from the follower, so it must be declared after (die before) it.
+  std::unique_ptr<QueryService> primary;
+  std::unique_ptr<QueryService> follower;
+  std::unique_ptr<Replicator> replicator;
+  {
+    auto made = MakeWalService(c, fo, base_db, p_dir.path);
+    if (!made.ok()) {
+      return PropertyOutcome::Fail("primary FromParts failed: " +
+                                   made.status().message());
+    }
+    primary = std::move(*made);
+  }
+  // The follower starts empty — everything it knows arrives by replication
+  // (bootstrap installs the primary's snapshot, base EDB included).
+  auto make_follower = [&]() -> Status {
+    auto made = MakeWalService(c, fo, Database(), f_dir.path);
+    if (!made.ok()) return made.status();
+    follower = std::move(*made);
+    CQLOPT_RETURN_IF_ERROR(follower->Recover());
+    ReplicatorOptions ropts;
+    ropts.max_records = static_cast<size_t>(rng.Uniform(1, 4));
+    replicator = std::make_unique<Replicator>(
+        follower.get(), std::make_unique<SlotReplicationSource>(&primary),
+        ropts);
+    replicator->AttachHooks();
+    return Status::OK();
+  };
+  {
+    Status made = make_follower();
+    if (!made.ok()) {
+      return PropertyOutcome::Fail("follower FromParts failed: " +
+                                   made.message());
+    }
+  }
+  // Drives Step() until a fetch returns level (0 records); injected faults
+  // surface as retryable errors and are simply retried, which is exactly
+  // what the backoff loop does minus the sleeping. Divergence (DATA_LOSS)
+  // is never expected here and fails the property.
+  auto catch_up = [&]() -> Status {
+    for (int i = 0; i < 64; ++i) {
+      Result<int> stepped = replicator->Step();
+      if (!stepped.ok()) {
+        if (stepped.status().code() == StatusCode::kDataLoss) {
+          return stepped.status();
+        }
+        continue;
+      }
+      if (*stepped == 0) return Status::OK();
+    }
+    return Status::DeadlineExceeded("follower did not catch up in 64 steps");
+  };
+
+  for (size_t k = 0; k < ops.size(); ++k) {
+    Rng srng(Rng::DeriveSeed(c.seed, 0x5EED00 + k));
+    std::string where = "op " + std::to_string(k);
+    // Seeded pre-op compaction: the follower's coordinates go stale and the
+    // next fetch must renegotiate a snapshot.
+    if (srng.Chance(25)) {
+      Status compacted = primary->Compact();
+      if (!compacted.ok()) {
+        return PropertyOutcome::Fail(where + ": Compact failed: " +
+                                     compacted.message());
+      }
+    }
+    Status committed = apply_op(*primary, ops[k]);
+    if (!committed.ok()) {
+      return PropertyOutcome::Fail(where + ": primary op failed: " +
+                                   committed.message());
+    }
+    // The fault schedule for this op's catch-up.
+    const int fault = srng.Uniform(0, 8);
+    switch (fault) {
+      case 2:
+        failpoint::Arm(failpoint::kReplicaFetch, /*skip=*/0,
+                       /*times=*/srng.Uniform(1, 2));
+        break;
+      case 3:
+        failpoint::Arm(failpoint::kReplicaTornRecord, /*skip=*/0, /*times=*/1);
+        break;
+      case 4:
+        failpoint::Arm(failpoint::kReplicaCrashBeforeApply, /*skip=*/0,
+                       /*times=*/1);
+        break;
+      case 5:
+        failpoint::Arm(failpoint::kReplicaCrashMidApply, /*skip=*/0,
+                       /*times=*/1);
+        break;
+      case 6:
+        failpoint::Arm(failpoint::kReplicaCrashAfterApply, /*skip=*/0,
+                       /*times=*/1);
+        break;
+      case 7: {
+        // Primary crash: pulls while it is down must fail cleanly (typed,
+        // not quarantine), and recovery must rebuild the feed so the
+        // follower's coordinates keep working.
+        std::string pre_crash = primary->RenderStateText();
+        primary.reset();
+        Result<int> down = replicator->Step();
+        if (down.ok() ||
+            down.status().code() == StatusCode::kDataLoss) {
+          return PropertyOutcome::Fail(
+              where + ": pull against a dead primary " +
+              (down.ok() ? std::string("succeeded")
+                         : "quarantined: " + down.status().message()));
+        }
+        auto revived = MakeWalService(c, fo, base_db, p_dir.path);
+        if (!revived.ok()) {
+          return PropertyOutcome::Fail(where + ": primary revive failed: " +
+                                       revived.status().message());
+        }
+        primary = std::move(*revived);
+        Status recovered = primary->Recover();
+        if (!recovered.ok()) {
+          return PropertyOutcome::Fail(where + ": primary recovery failed: " +
+                                       recovered.message());
+        }
+        if (primary->RenderStateText() != pre_crash) {
+          return PropertyOutcome::Fail(
+              where + ": recovered primary differs from its pre-crash state");
+        }
+        break;
+      }
+      case 8: {
+        // Follower crash: only its own WAL survives; the rebuilt follower
+        // recovers from it and re-bootstraps (fresh coordinates).
+        replicator.reset();
+        follower.reset();
+        Status made = make_follower();
+        if (!made.ok()) {
+          return PropertyOutcome::Fail(where + ": follower rebuild failed: " +
+                                       made.message());
+        }
+        break;
+      }
+      default:
+        break;  // 0, 1: fault-free catch-up
+    }
+    Status caught = catch_up();
+    failpoint::DisarmAll();
+    if (!caught.ok()) {
+      return PropertyOutcome::Fail(where + " (fault " + std::to_string(fault) +
+                                   "): catch-up failed: " + caught.message());
+    }
+    // A crash-site fault sometimes also restarts the follower afterwards —
+    // the records applied before the "crash" must be durable in its WAL.
+    if (fault >= 4 && fault <= 6 && srng.Chance(50)) {
+      replicator.reset();
+      follower.reset();
+      Status made = make_follower();
+      if (!made.ok()) {
+        return PropertyOutcome::Fail(where + ": post-crash rebuild failed: " +
+                                     made.message());
+      }
+      caught = catch_up();
+      if (!caught.ok()) {
+        return PropertyOutcome::Fail(where + ": post-crash catch-up failed: " +
+                                     caught.message());
+      }
+    }
+    std::string want = primary->RenderStateText();
+    std::string got = follower->RenderStateText();
+    if (got != want) {
+      return PropertyOutcome::Fail(
+          where + " (fault " + std::to_string(fault) +
+          "): caught-up follower differs from primary (follower " +
+          got.substr(0, got.find('\n')) + ", primary " +
+          want.substr(0, want.find('\n')) + ")");
+    }
+    ReplicatorProgress progress = replicator->Progress();
+    if (progress.lag_records != 0 || progress.quarantined) {
+      return PropertyOutcome::Fail(
+          where + ": progress after catch-up reports lag " +
+          std::to_string(progress.lag_records) +
+          (progress.quarantined ? " and quarantine" : ""));
+    }
+  }
+
+  // Caught-up answers: byte-identical at the same epoch, and the ASOF
+  // read-your-writes token honoured at the head / refused past it.
+  std::string query_line = RenderQuery(c.query, *c.program.symbols);
+  std::vector<std::string> primary_answers;
+  std::vector<std::string> follower_answers;
+  bool capped = false;
+  std::string error;
+  if (!ServiceQuery(*primary, query_line, &primary_answers, &capped, &error)) {
+    return PropertyOutcome::Fail("primary query: " + error);
+  }
+  if (capped) {
+    return PropertyOutcome::Skip("iteration cap hit before fixpoint");
+  }
+  if (!ServiceQuery(*follower, query_line, &follower_answers, &capped,
+                    &error)) {
+    return PropertyOutcome::Fail("follower query: " + error);
+  }
+  if (!capped && follower_answers != primary_answers) {
+    return PropertyOutcome::Fail(
+        "follower answers differ from the primary's at the same epoch: " +
+        std::to_string(follower_answers.size()) + " vs " +
+        std::to_string(primary_answers.size()));
+  }
+  auto asof_ok = follower->Execute(query_line, "", primary->epoch());
+  if (!asof_ok.ok()) {
+    return PropertyOutcome::Fail("ASOF at the caught-up epoch refused: " +
+                                 asof_ok.status().message());
+  }
+  auto asof_ahead = follower->Execute(query_line, "", primary->epoch() + 1);
+  if (asof_ahead.ok() ||
+      asof_ahead.status().code() != StatusCode::kUnavailable) {
+    return PropertyOutcome::Fail(
+        "ASOF past the head should be typed UNAVAILABLE, got " +
+        (asof_ahead.ok() ? std::string("OK")
+                         : asof_ahead.status().ToString()));
+  }
+
+  // Failover: one more acknowledged write the follower never pulls, then
+  // the primary dies. PROMOTE drains the dead WAL's unconsumed suffix —
+  // the promoted node must land on the dead primary's exact final state
+  // (epoch, clock, facts, and TTL deadlines; batch 0 was retracted above,
+  // so re-ingesting it burns a real epoch and a real record).
+  Status lag_write = apply_op(*primary, {RepOp::Kind::kIngest, &batches[0], 0});
+  if (!lag_write.ok()) {
+    return PropertyOutcome::Fail("lag write failed: " + lag_write.message());
+  }
+  std::string dead_state = primary->RenderStateText();
+  std::vector<std::string> dead_answers;
+  if (!ServiceQuery(*primary, query_line, &dead_answers, &capped, &error)) {
+    return PropertyOutcome::Fail("pre-failover query: " + error);
+  }
+  primary.reset();
+  Status promoted = follower->Promote(p_dir.path);
+  if (!promoted.ok()) {
+    return PropertyOutcome::Fail("PROMOTE failed: " + promoted.message());
+  }
+  if (follower->role() != NodeRole::kPrimary) {
+    return PropertyOutcome::Fail("promoted node still reports role " +
+                                 std::string(NodeRoleName(follower->role())));
+  }
+  if (follower->RenderStateText() != dead_state) {
+    std::string got = follower->RenderStateText();
+    return PropertyOutcome::Fail(
+        "promoted state differs from the dead primary's final state "
+        "(promoted " +
+        got.substr(0, got.find('\n')) + ", dead " +
+        dead_state.substr(0, dead_state.find('\n')) +
+        ") — an acknowledged write was lost or resurrected");
+  }
+  std::vector<std::string> promoted_answers;
+  if (!ServiceQuery(*follower, query_line, &promoted_answers, &capped,
+                    &error)) {
+    return PropertyOutcome::Fail("post-promote query: " + error);
+  }
+  if (!capped && promoted_answers != dead_answers) {
+    return PropertyOutcome::Fail(
+        "post-promote answers differ from the dead primary's: " +
+        std::to_string(promoted_answers.size()) + " vs " +
+        std::to_string(dead_answers.size()));
+  }
+  Status again = follower->Promote("");
+  if (!again.ok()) {
+    return PropertyOutcome::Fail("PROMOTE on a primary should be a no-op: " +
+                                 again.message());
+  }
+
+  // Divergence detection: a second follower replicates from the promoted
+  // node, is deliberately tampered with (a local clock tick the primary
+  // never saw), and the very next level fetch must quarantine it — reads
+  // fail typed DATA_LOSS, promotion is refused, pulls stay dead.
+  std::unique_ptr<QueryService> tampered;
+  {
+    ServiceOptions plain;
+    plain.eval = EngineOptions(fo, EvalStrategy::kStratified);
+    auto made = QueryService::FromParts(c.program, Database(), plain);
+    if (!made.ok()) {
+      return PropertyOutcome::Fail("tamper follower FromParts failed: " +
+                                   made.status().message());
+    }
+    tampered = std::move(*made);
+  }
+  Replicator tamper_rep(tampered.get(),
+                        std::make_unique<SlotReplicationSource>(&follower));
+  tamper_rep.AttachHooks();
+  for (int i = 0; i < 64; ++i) {
+    Result<int> stepped = tamper_rep.Step();
+    if (!stepped.ok()) {
+      return PropertyOutcome::Fail("tamper follower catch-up failed: " +
+                                   stepped.status().message());
+    }
+    if (*stepped == 0) break;
+  }
+  auto tampered_tick = tampered->AdvanceClock(1);
+  if (!tampered_tick.ok()) {
+    return PropertyOutcome::Fail("tamper tick failed: " +
+                                 tampered_tick.status().message());
+  }
+  Result<int> caught_diverging = tamper_rep.Step();
+  if (caught_diverging.ok() ||
+      caught_diverging.status().code() != StatusCode::kDataLoss) {
+    return PropertyOutcome::Fail(
+        "divergence went undetected: Step after tampering returned " +
+        (caught_diverging.ok() ? std::string("OK")
+                               : caught_diverging.status().ToString()));
+  }
+  if (!tampered->quarantined() || !tamper_rep.Progress().quarantined) {
+    return PropertyOutcome::Fail(
+        "diverged follower is not quarantined everywhere");
+  }
+  auto refused_read = tampered->Execute(query_line, "");
+  if (refused_read.ok() ||
+      refused_read.status().code() != StatusCode::kDataLoss) {
+    return PropertyOutcome::Fail(
+        "quarantined follower should refuse reads with DATA_LOSS, got " +
+        (refused_read.ok() ? std::string("OK")
+                           : refused_read.status().ToString()));
+  }
+  Status refused_promote = tampered->Promote("");
+  if (refused_promote.ok() ||
+      refused_promote.code() != StatusCode::kFailedPrecondition) {
+    return PropertyOutcome::Fail(
+        "quarantined follower should refuse PROMOTE with "
+        "FAILED_PRECONDITION, got " +
+        (refused_promote.ok() ? std::string("OK")
+                              : refused_promote.ToString()));
+  }
+  Result<int> dead_pull = tamper_rep.Step();
+  if (dead_pull.ok() ||
+      dead_pull.status().code() != StatusCode::kDataLoss) {
+    return PropertyOutcome::Fail(
+        "quarantined follower should never pull again");
+  }
+  return PropertyOutcome::Ok();
+}
+
+// ---------------------------------------------------------------------------
 // prepass_equiv: the interval prepass never changes an answer.
 
 /// Evaluates the case twice — interval prepass on, then off — and demands
@@ -1395,6 +1842,11 @@ const std::vector<PropertyInfo>& AllProperties() {
            "WAL recovery after an injected crash at every fail-point site "
            "reproduces the never-crashed run",
            &CrashRecovery},
+          {"replica_vs_primary",
+           "a caught-up follower is byte-identical to the primary under any "
+           "fault schedule, failover loses no acknowledged write, and "
+           "divergence is always quarantined",
+           &ReplicaVsPrimary},
           {"prepass_equiv",
            "interval prepass on vs off: byte-identical facts, births, "
            "traces, and core stats",

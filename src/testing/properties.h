@@ -36,6 +36,18 @@ namespace testing {
 ///                       never-crashed run — WAL batches whose record is
 ///                       durable survive, a torn tail is truncated, and the
 ///                       recovered service keeps serving (cqlfuzz --faults)
+///   replica_vs_primary  a follower pulling the primary's WAL feed through
+///                       any seeded fault schedule (dropped fetches, torn
+///                       records, crashes around apply, node restarts,
+///                       compaction renegotiation) is byte-identical to the
+///                       primary once caught up — same RenderStateText,
+///                       same answers at the same epoch, ASOF honoured at
+///                       the head and typed UNAVAILABLE past it; PROMOTE
+///                       after a primary kill drains the dead WAL's
+///                       unconsumed suffix (no acknowledged write lost or
+///                       resurrected); a tampered follower is quarantined
+///                       at the next divergence check and refuses reads
+///                       with typed DATA_LOSS (DESIGN.md §15)
 ///   prepass_equiv       evaluation with the interval prepass on ≡ off —
 ///                       byte-identical facts, births, traces, and core
 ///                       stats (the two-tier decision procedure of

@@ -27,9 +27,18 @@ Registry& GetRegistry() {
 
 const std::vector<std::string>& AllSites() {
   static const std::vector<std::string>* sites = new std::vector<std::string>{
-      kWalShortWrite,       kWalFsync,         kWalCrashBeforeCommit,
-      kWalCrashAfterCommit, kServerShortWrite, kEvalRuleAlloc,
+      kWalShortWrite,
+      kWalFsync,
+      kWalCrashBeforeCommit,
+      kWalCrashAfterCommit,
+      kServerShortWrite,
+      kEvalRuleAlloc,
       kSchedulerWorkerHold,
+      kReplicaFetch,
+      kReplicaTornRecord,
+      kReplicaCrashBeforeApply,
+      kReplicaCrashMidApply,
+      kReplicaCrashAfterApply,
   };
   return *sites;
 }

@@ -40,6 +40,23 @@ inline constexpr const char* kEvalRuleAlloc = "eval/rule-alloc";
 /// Scheduler workers spin (without dequeuing) while this is armed, so tests
 /// can fill the admission queue and observe deterministic shed counts.
 inline constexpr const char* kSchedulerWorkerHold = "scheduler/worker-hold";
+// Replication link sites (DESIGN.md section 15.5). Ship side: the primary's
+// FetchReplication drops the batch (simulating a lost response or a
+// partition); the follower sees an Unavailable fetch and retries.
+inline constexpr const char* kReplicaFetch = "replica/fetch";
+/// A record arrives torn on the wire: the follower's decoder flips a byte
+/// before the per-record CRC check, which must reject it and refetch.
+inline constexpr const char* kReplicaTornRecord = "replica/torn-record";
+/// Follower crashes after fetching a batch but before applying any of it.
+inline constexpr const char* kReplicaCrashBeforeApply =
+    "replica/crash-before-apply";
+/// Follower crashes between applying records of one batch (some committed —
+/// and WAL-logged — locally, the rest lost; catch-up must resume cleanly).
+inline constexpr const char* kReplicaCrashMidApply = "replica/crash-mid-apply";
+/// Follower crashes after applying the whole batch but before acknowledging
+/// progress to its caller.
+inline constexpr const char* kReplicaCrashAfterApply =
+    "replica/crash-after-apply";
 
 /// Every registered site name, in the order above.
 const std::vector<std::string>& AllSites();

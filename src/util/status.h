@@ -26,6 +26,17 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// The evaluation's CancelToken was cancelled by another thread.
   kCancelled,
+  /// The service cannot answer right now but a retry may succeed — e.g. a
+  /// follower asked for `ASOF <epoch>` it has not replicated yet.
+  kUnavailable,
+  /// The operation is valid in general but not in the node's current state —
+  /// e.g. a write sent to a read-only follower, or PROMOTE on a quarantined
+  /// replica. Retrying without an operator action will not help.
+  kFailedPrecondition,
+  /// Unrecoverable integrity loss: a follower's per-epoch state checksum
+  /// disagreed with the primary's at the same epoch. The node quarantines
+  /// itself rather than serve possibly-wrong answers.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "PARSE_ERROR", ...).
@@ -69,6 +80,15 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -32,7 +32,7 @@ TEST_F(FailpointTest, DisarmedNeverFires) {
 
 TEST_F(FailpointTest, CatalogueMatchesTheNamedConstants) {
   const std::vector<std::string>& sites = failpoint::AllSites();
-  ASSERT_EQ(sites.size(), 7u);
+  ASSERT_EQ(sites.size(), 12u);
   EXPECT_EQ(sites[0], failpoint::kWalShortWrite);
   EXPECT_EQ(sites[1], failpoint::kWalFsync);
   EXPECT_EQ(sites[2], failpoint::kWalCrashBeforeCommit);
@@ -40,6 +40,11 @@ TEST_F(FailpointTest, CatalogueMatchesTheNamedConstants) {
   EXPECT_EQ(sites[4], failpoint::kServerShortWrite);
   EXPECT_EQ(sites[5], failpoint::kEvalRuleAlloc);
   EXPECT_EQ(sites[6], failpoint::kSchedulerWorkerHold);
+  EXPECT_EQ(sites[7], failpoint::kReplicaFetch);
+  EXPECT_EQ(sites[8], failpoint::kReplicaTornRecord);
+  EXPECT_EQ(sites[9], failpoint::kReplicaCrashBeforeApply);
+  EXPECT_EQ(sites[10], failpoint::kReplicaCrashMidApply);
+  EXPECT_EQ(sites[11], failpoint::kReplicaCrashAfterApply);
 }
 
 TEST_F(FailpointTest, ArmFiresOnceThenAutoDisarms) {

@@ -1,0 +1,429 @@
+// Tests for WAL-shipped replication (src/service/replica.h): follower
+// bootstrap via snapshot, live tailing of the primary's feed, retryable
+// link faults (dropped fetches, torn records, crashes around apply),
+// snapshot renegotiation across compaction, per-cut divergence quarantine,
+// and PROMOTE failover draining the dead primary's WAL. The invariant under
+// test is DESIGN.md §15's: a caught-up follower is byte-identical to its
+// primary (RenderStateText — epoch, clock, facts, TTL deadlines), and a
+// follower that cannot be identical is quarantined, never silently wrong.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/replica.h"
+#include "service/server.h"
+#include "util/failpoint.h"
+
+namespace cqlopt {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+std::string ProgramPath(const std::string& name) {
+  return std::string(CQLOPT_PROGRAMS_DIR) + "/" + name;
+}
+
+/// mkdtemp'd WAL directory, removed with its known files on scope exit.
+struct TempWalDir {
+  std::string path;
+  TempWalDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                       "/cqlopt-rep-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) path.assign(buf.data());
+  }
+  ~TempWalDir() {
+    if (path.empty()) return;
+    for (const char* name :
+         {"/wal.log", "/snapshot.cql", "/snapshot.tmp", "/cqld.sock"}) {
+      ::unlink((path + name).c_str());
+    }
+    ::rmdir(path.c_str());
+  }
+};
+
+const char kFlightsQuery[] = "?- cheaporshort(msn, sea, Time, Cost).";
+
+/// A flights primary with a WAL; the follower variant starts on an EMPTY
+/// EDB — everything it knows must arrive by replication.
+std::unique_ptr<QueryService> DurableFlights(const std::string& wal_dir,
+                                             bool empty_edb = false) {
+  ServiceOptions options;
+  options.wal_dir = wal_dir;
+  auto service = QueryService::FromText(
+      ReadFile(ProgramPath("flights.cql")),
+      empty_edb ? "" : ReadFile(ProgramPath("flights_edb.cql")), options);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return std::move(*service);
+}
+
+/// Steps until a fetch comes back level (0 records), tolerating retryable
+/// injected faults exactly like the Replicator's own backoff loop.
+Status CatchUp(Replicator& replicator, int max_steps = 64) {
+  for (int i = 0; i < max_steps; ++i) {
+    Result<int> stepped = replicator.Step();
+    if (!stepped.ok()) {
+      if (stepped.status().code() == StatusCode::kDataLoss) {
+        return stepped.status();
+      }
+      continue;
+    }
+    if (*stepped == 0) return Status::OK();
+  }
+  return Status::DeadlineExceeded("no catch-up in max_steps");
+}
+
+TEST(ReplicatorTest, FollowerBootstrapsAndTailsThePrimary) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  ASSERT_FALSE(p_dir.path.empty());
+  ASSERT_FALSE(f_dir.path.empty());
+  auto primary = DurableFlights(p_dir.path);
+  ASSERT_TRUE(primary->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  Replicator replicator(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator.AttachHooks();
+  EXPECT_EQ(follower->role(), NodeRole::kFollower);
+
+  // Bootstrap: the mismatched coordinates (-1) renegotiate a full snapshot,
+  // which lands the follower level with the cut in one step.
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  EXPECT_EQ(replicator.Progress().snapshots_installed, 1);
+  EXPECT_EQ(follower->RenderStateText(), primary->RenderStateText());
+
+  // Live tail: every record kind ships as exact WAL payload bytes.
+  ASSERT_TRUE(primary->Ingest("singleleg(sea, msn, 210, 140).\n").ok());
+  ASSERT_TRUE(primary->IngestTtl("singleleg(den, jfk, 240, 160).\n", 100).ok());
+  ASSERT_TRUE(primary->AdvanceClock(150).ok());  // expires the TTL batch
+  ASSERT_TRUE(primary->Retract("singleleg(sea, msn, 210, 140).\n").ok());
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  EXPECT_EQ(follower->RenderStateText(), primary->RenderStateText());
+  ReplicatorProgress progress = replicator.Progress();
+  EXPECT_EQ(progress.lag_records, 0);
+  EXPECT_EQ(progress.records_applied, 4);
+  EXPECT_GT(progress.divergence_checks, 0);
+  EXPECT_FALSE(progress.quarantined);
+
+  // The health augmenter reports replication through the follower's HEALTH.
+  HealthInfo health = follower->Health();
+  EXPECT_EQ(health.role, NodeRole::kFollower);
+  EXPECT_EQ(health.lag_records, 0);
+  EXPECT_EQ(health.primary_epoch, primary->epoch());
+  EXPECT_FALSE(health.quarantined);
+}
+
+TEST(ReplicatorTest, AsOfReadsGateOnTheFollowerEpoch) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  auto primary = DurableFlights(p_dir.path);
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  Replicator replicator(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator.AttachHooks();
+  ASSERT_TRUE(primary->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+  ASSERT_TRUE(CatchUp(replicator).ok());
+
+  auto at_head = follower->Execute(kFlightsQuery, "", primary->epoch());
+  EXPECT_TRUE(at_head.ok()) << at_head.status().ToString();
+  auto ahead = follower->Execute(kFlightsQuery, "", primary->epoch() + 1);
+  ASSERT_FALSE(ahead.ok());
+  EXPECT_EQ(ahead.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ReplicatorTest, DroppedFetchesAndTornRecordsAreRetryable) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  auto primary = DurableFlights(p_dir.path);
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  Replicator replicator(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator.AttachHooks();
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  ASSERT_TRUE(primary->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+
+  // A dropped fetch is typed UNAVAILABLE and leaves the coordinates alone.
+  failpoint::Arm(failpoint::kReplicaFetch, /*skip=*/0, /*times=*/1);
+  Result<int> dropped = replicator.Step();
+  ASSERT_FALSE(dropped.ok());
+  EXPECT_EQ(dropped.status().code(), StatusCode::kUnavailable);
+
+  // A torn record rejects the whole batch the same way; the refetch then
+  // applies it cleanly. Nothing is partially surfaced.
+  failpoint::Arm(failpoint::kReplicaTornRecord, /*skip=*/0, /*times=*/1);
+  Result<int> torn = replicator.Step();
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kUnavailable);
+  failpoint::DisarmAll();
+
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  EXPECT_EQ(follower->RenderStateText(), primary->RenderStateText());
+  ReplicatorProgress progress = replicator.Progress();
+  EXPECT_EQ(progress.fetch_failures, 2);
+  EXPECT_FALSE(progress.quarantined);
+}
+
+TEST(ReplicatorTest, CompactionRenegotiatesTheSnapshot) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  auto primary = DurableFlights(p_dir.path);
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  Replicator replicator(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator.AttachHooks();
+  ASSERT_TRUE(primary->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  ASSERT_EQ(replicator.Progress().snapshots_installed, 1);
+
+  // Compaction starts a new feed generation: the follower's coordinates go
+  // stale and the next fetch must renegotiate a snapshot, then tail the
+  // records committed after it.
+  ASSERT_TRUE(primary->Compact().ok());
+  ASSERT_TRUE(primary->Ingest("singleleg(sea, msn, 210, 140).\n").ok());
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  EXPECT_EQ(replicator.Progress().snapshots_installed, 2);
+  EXPECT_EQ(follower->RenderStateText(), primary->RenderStateText());
+}
+
+TEST(ReplicatorTest, CrashedFollowerRecoversFromItsOwnWal) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  auto primary = DurableFlights(p_dir.path);
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  auto replicator = std::make_unique<Replicator>(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator->AttachHooks();
+  ASSERT_TRUE(CatchUp(*replicator).ok());
+
+  // Three pending records; the injected crash fires after the first one of
+  // the batch commits — which by then is durable in the FOLLOWER's WAL.
+  ASSERT_TRUE(primary->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+  ASSERT_TRUE(primary->Ingest("singleleg(sea, msn, 210, 140).\n").ok());
+  ASSERT_TRUE(primary->Ingest("singleleg(den, jfk, 240, 160).\n").ok());
+  failpoint::Arm(failpoint::kReplicaCrashMidApply, /*skip=*/0, /*times=*/1);
+  Result<int> crashed = replicator->Step();
+  failpoint::DisarmAll();
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_EQ(crashed.status().code(), StatusCode::kInternal);
+
+  // "Crash": drop the replicator and the service; only f_dir survives.
+  ASSERT_GT(replicator->Progress().records_applied, 0);
+  int64_t epoch_at_crash = follower->epoch();
+  replicator.reset();
+  follower.reset();
+
+  follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  ASSERT_TRUE(follower->Recover().ok());
+  // Everything applied before the crash recovered without the primary.
+  EXPECT_EQ(follower->epoch(), epoch_at_crash);
+
+  replicator = std::make_unique<Replicator>(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator->AttachHooks();
+  ASSERT_TRUE(CatchUp(*replicator).ok());
+  EXPECT_EQ(follower->RenderStateText(), primary->RenderStateText());
+}
+
+TEST(ReplicatorTest, DivergenceQuarantinesTheFollower) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  auto primary = DurableFlights(p_dir.path);
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  Replicator replicator(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator.AttachHooks();
+  ASSERT_TRUE(primary->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+  ASSERT_TRUE(CatchUp(replicator).ok());
+
+  // Tamper: a local clock tick the primary never saw. Epochs still match,
+  // so only the state CRC at the cut can catch it.
+  ASSERT_TRUE(follower->AdvanceClock(1).ok());
+  Result<int> diverged = replicator.Step();
+  ASSERT_FALSE(diverged.ok());
+  EXPECT_EQ(diverged.status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(follower->quarantined());
+  EXPECT_TRUE(replicator.Progress().quarantined);
+
+  // Quarantine is load-bearing: reads refuse with typed DATA_LOSS,
+  // promotion refuses, and the pull loop stays dead.
+  auto read = follower->Execute(kFlightsQuery, "");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+  Status promote = follower->Promote("");
+  ASSERT_FALSE(promote.ok());
+  EXPECT_EQ(promote.code(), StatusCode::kFailedPrecondition);
+  Result<int> pull = replicator.Step();
+  ASSERT_FALSE(pull.ok());
+  EXPECT_EQ(pull.status().code(), StatusCode::kDataLoss);
+
+  // HEALTH carries the quarantine so operators see it without a log dive.
+  HealthInfo health = follower->Health();
+  EXPECT_TRUE(health.quarantined);
+  EXPECT_FALSE(health.quarantine_reason.empty());
+}
+
+TEST(ReplicatorTest, PromoteDrainsTheDeadPrimarysWal) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  auto primary = DurableFlights(p_dir.path);
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  Replicator replicator(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator.AttachHooks();
+
+  // History with an expired TTL batch: a naive promote that re-applied the
+  // whole dead WAL would resurrect it with a fresh deadline computed from
+  // the current clock — byte-identity below is the regression gate.
+  ASSERT_TRUE(primary->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+  ASSERT_TRUE(primary->IngestTtl("singleleg(den, jfk, 240, 160).\n", 100).ok());
+  ASSERT_TRUE(primary->AdvanceClock(150).ok());
+  ASSERT_TRUE(CatchUp(replicator).ok());
+
+  // One more acknowledged write the follower never pulls, then the crash.
+  // (A new destination, not a return leg: a singleleg cycle would make the
+  // recursive flights program derive unboundedly growing itineraries.)
+  ASSERT_TRUE(primary->Ingest("singleleg(sea, pdx, 210, 140).\n").ok());
+  std::string dead_state = primary->RenderStateText();
+  int64_t dead_epoch = primary->epoch();
+  primary.reset();
+
+  // PROMOTE through the service runs the replicator's handler first; its
+  // drain replays exactly the unconsumed suffix of the dead WAL.
+  ASSERT_TRUE(follower->Promote(p_dir.path).ok());
+  EXPECT_EQ(follower->role(), NodeRole::kPrimary);
+  EXPECT_EQ(follower->epoch(), dead_epoch);
+  EXPECT_EQ(follower->RenderStateText(), dead_state);
+
+  // Promotion of a primary is an idempotent no-op, and the promoted node
+  // serves and accepts writes.
+  EXPECT_TRUE(follower->Promote("").ok());
+  EXPECT_TRUE(follower->Execute(kFlightsQuery, "").ok());
+  EXPECT_TRUE(follower->Ingest("singleleg(jfk, den, 250, 170).\n").ok());
+}
+
+TEST(ReplicatorTest, PromoteWithoutADeadWalJustFlipsTheRole) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  auto primary = DurableFlights(p_dir.path);
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  Replicator replicator(
+      follower.get(), std::make_unique<LocalReplicationSource>(primary.get()));
+  replicator.AttachHooks();
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  std::string before = follower->RenderStateText();
+  ASSERT_TRUE(follower->Promote("").ok());
+  EXPECT_EQ(follower->role(), NodeRole::kPrimary);
+  EXPECT_EQ(follower->RenderStateText(), before);
+}
+
+// ---------------------------------------------------------------------------
+// The wire path: REPLICATE over a real socket through RemoteReplicationSource.
+
+TEST(RemoteReplicationTest, ShipsSnapshotAndRecordsOverTheWire) {
+  failpoint::DisarmAll();
+  TempWalDir p_dir, f_dir;
+  auto primary = DurableFlights(p_dir.path);
+  ASSERT_TRUE(primary->Ingest("singleleg(msn, sea, 150, 80).\n").ok());
+
+  ServerOptions options;
+  options.socket_path = p_dir.path + "/cqld.sock";
+  std::promise<ServerEndpoints> promise;
+  std::future<ServerEndpoints> future = promise.get_future();
+  options.on_ready = [&promise](const ServerEndpoints& endpoints) {
+    promise.set_value(endpoints);
+  };
+  Status serve_status = Status::OK();
+  std::thread server([&] { serve_status = ServeLoop(*primary, options); });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(20)),
+            std::future_status::ready);
+  const std::string socket_path = future.get().socket_path;
+
+  auto follower = DurableFlights(f_dir.path, /*empty_edb=*/true);
+  auto source = std::make_unique<RemoteReplicationSource>(
+      nullptr,
+      [socket_path]() { return LineClient::ConnectUnix(socket_path, 2000); },
+      /*io_timeout_ms=*/5000);
+  Replicator replicator(follower.get(), std::move(source));
+  replicator.AttachHooks();
+
+  // Bootstrap (snapshot header + D/S lines) then a live tail (R lines),
+  // every record CRC-verified client-side before it is applied.
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  EXPECT_EQ(replicator.Progress().snapshots_installed, 1);
+  EXPECT_EQ(follower->RenderStateText(), primary->RenderStateText());
+
+  ASSERT_TRUE(primary->IngestTtl("singleleg(den, jfk, 240, 160).\n", 100).ok());
+  ASSERT_TRUE(primary->AdvanceClock(150).ok());
+  ASSERT_TRUE(CatchUp(replicator).ok());
+  EXPECT_EQ(follower->RenderStateText(), primary->RenderStateText());
+
+  auto shutdown = LineClient::ConnectUnix(socket_path, 2000);
+  ASSERT_TRUE(shutdown.ok()) << shutdown.status().ToString();
+  LineClient::Response bye;
+  EXPECT_TRUE((*shutdown)->Exchange("SHUTDOWN", 5000, &bye).ok());
+  server.join();
+  EXPECT_TRUE(serve_status.ok()) << serve_status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// LineClient deadlines: timeouts are typed client-side errors.
+
+TEST(LineClientTest, ConnectToAMissingSocketIsUnavailable) {
+  auto conn = LineClient::ConnectUnix("/nonexistent/cqld.sock", 500);
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(LineClientTest, SilentServerTimesOutWithDeadlineExceeded) {
+  TempWalDir scratch;
+  ASSERT_FALSE(scratch.path.empty());
+  const std::string path = scratch.path + "/cqld.sock";
+  // A listener that accepts but never answers: the read deadline, not the
+  // transport, must end the exchange — typed DEADLINE_EXCEEDED, distinct
+  // from both a server ERR response and a lost connection.
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+
+  auto conn = LineClient::ConnectUnix(path, 1000);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  LineClient::Response response;
+  Status timed_out = (*conn)->Exchange("STATS", 200, &response);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.code(), StatusCode::kDeadlineExceeded);
+  ::close(listener);
+}
+
+}  // namespace
+}  // namespace cqlopt

@@ -6,6 +6,7 @@
 // program corpus, all three subsumption modes, and 1/2/8 worker threads.
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -761,6 +762,139 @@ TEST(WalRecoveryTest, IngestsAfterRecoveryAppendToTheLog) {
 }
 
 // ---------------------------------------------------------------------------
+// Replication at the protocol boundary: ASOF reads, follower write
+// rejection, the REPLICATE feed framing, HEALTH, and PROMOTE (DESIGN.md
+// §15). The Replicator end of these verbs is exercised in test_replica.cc;
+// here the contract under test is the line framing itself.
+
+TEST(ProtocolTest, AsOfQueryGatesOnTheEpoch) {
+  auto service = FlightsService();
+  std::vector<std::string> out;
+  HandleLine(*service,
+             std::string("QUERY pred,qrp,mg ") + kFlightsQuery + " ASOF 0",
+             &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("OK path=", 0), 0u) << out.front();
+
+  // A floor past the head is a typed UNAVAILABLE — the client retries or
+  // redirects, never silently reads stale state.
+  out.clear();
+  HandleLine(*service,
+             std::string("QUERY pred,qrp,mg ") + kFlightsQuery + " ASOF 3",
+             &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("ERR UNAVAILABLE", 0), 0u) << out.front();
+
+  // Once the head catches up, the identical line is serveable and the
+  // response names the epoch that answered.
+  for (int i = 0; i < 3; ++i) {
+    out.clear();
+    HandleLine(*service,
+               "INGEST singleleg(asof" + std::to_string(i) + ", q, 90, 40).",
+               &out);
+    ASSERT_EQ(out.front().rfind("OK accepted=", 0), 0u) << out.front();
+  }
+  out.clear();
+  HandleLine(*service,
+             std::string("QUERY pred,qrp,mg ") + kFlightsQuery + " ASOF 3",
+             &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("OK path=", 0), 0u) << out.front();
+  EXPECT_NE(out.front().find(" epoch=3 "), std::string::npos) << out.front();
+}
+
+TEST(ProtocolTest, FollowerRefusesWritesUntilPromoted) {
+  auto service = FlightsService();
+  service->SetRole(NodeRole::kFollower);
+  const char* writes[] = {
+      "INGEST singleleg(x, y, 100, 50).",
+      "RETRACT singleleg(msn, sea, 150, 80).",
+      "TICK 25",
+  };
+  for (const char* line : writes) {
+    std::vector<std::string> out;
+    HandleLine(*service, line, &out);
+    ASSERT_EQ(out.size(), 2u) << line;
+    EXPECT_EQ(out.front().rfind("ERR FAILED_PRECONDITION", 0), 0u)
+        << line << " -> " << out.front();
+    EXPECT_NE(out.front().find("read-only follower"), std::string::npos)
+        << out.front();
+  }
+  // Reads are never role-gated, and a bare TICK only reads the clock.
+  std::vector<std::string> read;
+  HandleLine(*service, std::string("QUERY pred,qrp,mg ") + kFlightsQuery,
+             &read);
+  ASSERT_FALSE(read.empty());
+  EXPECT_EQ(read.front().rfind("OK path=", 0), 0u) << read.front();
+  read.clear();
+  HandleLine(*service, "TICK", &read);
+  ASSERT_FALSE(read.empty());
+  EXPECT_EQ(read.front().rfind("OK now_ms=", 0), 0u) << read.front();
+
+  // PROMOTE flips the role and the same write is accepted.
+  std::vector<std::string> promote;
+  HandleLine(*service, "PROMOTE", &promote);
+  ASSERT_FALSE(promote.empty());
+  EXPECT_EQ(promote.front(), "OK role=primary epoch=0");
+  std::vector<std::string> write;
+  HandleLine(*service, "INGEST singleleg(x, y, 100, 50).", &write);
+  ASSERT_FALSE(write.empty());
+  EXPECT_EQ(write.front().rfind("OK accepted=", 0), 0u) << write.front();
+}
+
+TEST(ProtocolTest, ReplicateShipsTheFeedAndHealthReportsTheRole) {
+  TempWalDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto service = DurableFlights(dir.path);
+
+  // Bootstrap probe: base -1 can never match a generation, so the reply is
+  // a full snapshot cut at the head.
+  std::vector<std::string> out;
+  HandleLine(*service, "REPLICATE -1 0", &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("OK base=0", 0), 0u) << out.front();
+  EXPECT_NE(out.front().find(" snapshot=1"), std::string::npos) << out.front();
+
+  // A committed batch ships as an R line — wire CRC + hex payload — whose
+  // bytes decode to a well-formed WAL record and re-hash to the stated CRC.
+  ASSERT_TRUE(service->Ingest("singleleg(rep, wire, 100, 50).\n").ok());
+  out.clear();
+  HandleLine(*service, "REPLICATE 0 0 8", &out);
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out.front().rfind("OK base=0 next=1 feed=1 epoch=1", 0), 0u)
+      << out.front();
+  ASSERT_EQ(out[1].rfind("R ", 0), 0u) << out[1];
+  std::istringstream framed(out[1]);
+  std::string tag, crc_hex, payload_hex;
+  framed >> tag >> crc_hex >> payload_hex;
+  std::string payload;
+  ASSERT_TRUE(HexDecode(payload_hex, &payload));
+  char expected_crc[16];
+  std::snprintf(expected_crc, sizeof(expected_crc), "%08x",
+                WalCrc32(payload));
+  EXPECT_EQ(crc_hex, expected_crc);
+  Result<WalRecord> record = DecodeWalRecord(payload);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_EQ(record->kind, WalRecord::Kind::kInsert);
+
+  // Malformed coordinates are a typed INVALID_ARGUMENT naming the shape.
+  out.clear();
+  HandleLine(*service, "REPLICATE zero 0", &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("ERR INVALID_ARGUMENT", 0), 0u) << out.front();
+
+  // HEALTH on a healthy primary: role/epoch/clock, no quarantine, no lag
+  // fields (-1: no replicator attached).
+  out.clear();
+  HandleLine(*service, "HEALTH", &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front().rfind("OK role=primary epoch=1", 0), 0u)
+      << out.front();
+  EXPECT_NE(out.front().find(" quarantined=0"), std::string::npos);
+  EXPECT_NE(out.front().find(" lag=-1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Socket I/O: WriteFull against short writes and injected faults.
 
 TEST(ServerIoTest, WriteFullSurvivesInjectedShortWrites) {
@@ -1107,6 +1241,81 @@ TEST(ServeLoopTest, OverloadShedsTypedErrorsWithoutStallingAccept) {
   ::close(b);
   server.thread.join();
   EXPECT_TRUE(server.status.ok()) << server.status.ToString();
+}
+
+TEST(ServeLoopTest, DrainMidPipelineFinishesInFlightRefusesNewAndExitsOk) {
+  ServerFixtureDirs scratch;
+  auto service = FlightsService();
+  // The SIGTERM self-pipe exactly as cqld wires it (tools/cqld.cc).
+  int drain_pipe[2] = {-1, -1};
+  ASSERT_EQ(::pipe2(drain_pipe, O_NONBLOCK | O_CLOEXEC), 0);
+  ServerOptions options;
+  options.socket_path = scratch.SocketPath();
+  options.scheduler.workers = 1;
+  options.scheduler.queue_depth = 256;  // the whole pipeline must admit
+  options.drain_fd = drain_pipe[0];
+  options.drain_timeout_ms = 30000;
+  TestServer server(*service, options);
+  ASSERT_TRUE(server.ready);
+
+  // A deep pipeline of alternating unique ingests and resumed queries: one
+  // worker chews through it for long enough that the drain below lands
+  // squarely mid-flight.
+  constexpr int kPairs = 40;
+  std::string pipeline;
+  for (int i = 0; i < kPairs; ++i) {
+    pipeline += "INGEST singleleg(drain" + std::to_string(i) +
+                ", sea, 150, 80).\n";
+    pipeline += std::string("QUERY pred,qrp,mg ") + kFlightsQuery + "\n";
+  }
+  int fd = ConnectUnix(scratch.SocketPath());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(fd, pipeline));
+  std::string buffer;
+  std::vector<std::string> first = ReadResponse(fd, &buffer);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.front().rfind("OK accepted=", 0), 0u) << first.front();
+
+  // Fire the drain. Its observable leading edge is the listener closing.
+  char byte = 1;
+  ASSERT_EQ(::write(drain_pipe[1], &byte, 1), 1);
+  bool listener_closed = false;
+  for (int i = 0; i < 1500; ++i) {
+    int probe = ConnectUnix(scratch.SocketPath());
+    if (probe < 0) {
+      listener_closed = true;
+      break;
+    }
+    ::close(probe);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(listener_closed);
+
+  // A line arriving during the drain is refused with a typed UNAVAILABLE,
+  // delivered after every response admitted before it — never interleaved.
+  ASSERT_TRUE(
+      SendAll(fd, std::string("QUERY pred,qrp,mg ") + kFlightsQuery + "\n"));
+  int ok_responses = 1;  // the first, read above
+  std::string refused;
+  for (int i = 0; i < 2 * kPairs + 1 && refused.empty(); ++i) {
+    std::vector<std::string> response = ReadResponse(fd, &buffer);
+    ASSERT_FALSE(response.empty()) << "response " << i;
+    if (response.front().rfind("OK ", 0) == 0u) {
+      ++ok_responses;
+      continue;
+    }
+    refused = response.front();
+  }
+  EXPECT_EQ(ok_responses, 2 * kPairs);
+  EXPECT_EQ(refused, "ERR UNAVAILABLE server draining: request refused");
+
+  // With everything owed flushed, the loop exits 0 on its own — the drain
+  // path never needs a SHUTDOWN verb.
+  ::close(fd);
+  server.thread.join();
+  EXPECT_TRUE(server.status.ok()) << server.status.ToString();
+  ::close(drain_pipe[0]);
+  ::close(drain_pipe[1]);
 }
 
 TEST(ServeLoopTest, ConcurrentClientsMatchSerialReplay) {

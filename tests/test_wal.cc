@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "eval/loader.h"
+#include "service/query_service.h"
 #include "service/wal.h"
 #include "util/failpoint.h"
 
@@ -478,6 +479,129 @@ TEST(WalSnapshotTest, LegacyV1SnapshotIsStillReadable) {
   EXPECT_EQ(snapshot.now_ms, 0);
   EXPECT_TRUE(snapshot.deadlines.empty());
   EXPECT_EQ(snapshot.statements, "a(1).\nb(2).\n");
+}
+
+// ---------------------------------------------------------------------------
+// Log identity: the byte sequence a follower's feed coordinates index into.
+
+TEST(WalIdentityTest, ReopenedLogIsByteIdenticalWithTheSameOffsets) {
+  // Replication coordinates (base_epoch, index) survive a primary restart
+  // only because the log's identity survives: a reopened handle must see
+  // exactly the payload bytes, order, and byte offsets the dying handle
+  // acknowledged. One record per batch kind, binary control bytes included.
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto wal = OpenWal(dir.path);
+  WalRecord retract;
+  retract.kind = WalRecord::Kind::kRetract;
+  retract.statements = "p(a).\n";
+  WalRecord ttl;
+  ttl.kind = WalRecord::Kind::kInsertTtl;
+  ttl.now_ms = 5;
+  ttl.ttl_ms = 100;
+  ttl.statements = "q(b).\n";
+  WalRecord tick;
+  tick.kind = WalRecord::Kind::kTick;
+  tick.now_ms = 40;
+  std::vector<std::string> payloads = {
+      "p(a).\n",  // legacy bare-insert encoding
+      EncodeWalRecord(retract),
+      EncodeWalRecord(ttl),
+      EncodeWalRecord(tick),
+  };
+  long expected_bytes = 8;  // magic header
+  for (const std::string& payload : payloads) {
+    Status appended = wal->Append(payload);
+    ASSERT_TRUE(appended.ok()) << appended.ToString();
+    expected_bytes += 8 + static_cast<long>(payload.size());  // [len][crc]
+    EXPECT_EQ(wal->log_bytes(), expected_bytes);
+  }
+  auto first = wal->ReadAll();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->payloads, payloads);
+  wal.reset();
+
+  auto reopened = OpenWal(dir.path);
+  EXPECT_EQ(reopened->log_bytes(), expected_bytes);
+  EXPECT_EQ(FileSize(dir.path + "/wal.log"), expected_bytes);
+  auto second = reopened->ReadAll();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->payloads, payloads);
+  EXPECT_EQ(second->truncated_bytes, 0);
+  EXPECT_TRUE(second->warning.empty());
+
+  // A round through decode/encode preserves every payload byte-for-byte —
+  // the feed ships these bytes verbatim, so re-encoding must be identity.
+  for (const std::string& payload : second->payloads) {
+    Result<WalRecord> record = DecodeWalRecord(payload);
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    EXPECT_EQ(EncodeWalRecord(*record), payload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compaction boundaries: a replication reader parked in the pre-compaction
+// log, and feed coordinates across a crash that straddles the boundary.
+
+std::unique_ptr<QueryService> TinyDurableService(const std::string& wal_dir) {
+  ServiceOptions options;
+  options.wal_dir = wal_dir;
+  auto service = QueryService::FromText(
+      "reach(X, Y) :- edge(X, Y).\n"
+      "reach(X, Z) :- reach(X, Y), edge(Y, Z).\n",
+      "edge(a, b).\n", options);
+  EXPECT_TRUE(service.ok()) << service.status().ToString();
+  return std::move(*service);
+}
+
+TEST(WalFeedTest, ReaderInThePreCompactionLogRenegotiatesCleanly) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path.empty());
+  auto service = TinyDurableService(dir.path);
+  ASSERT_TRUE(service->Ingest("edge(b, c).\n").ok());
+  ASSERT_TRUE(service->Ingest("edge(c, d).\n").ok());
+  ASSERT_TRUE(service->Ingest("edge(d, e).\n").ok());
+
+  // A reader parked mid-log on the virgin generation (base 0, index 1).
+  ReplicationBatch mid;
+  ASSERT_TRUE(service->FetchReplication(0, 1, 1, &mid).ok());
+  EXPECT_FALSE(mid.snapshot);
+  ASSERT_EQ(mid.records.size(), 1u);
+  EXPECT_EQ(mid.next_index, 2u);
+  EXPECT_EQ(mid.feed_size, 3u);
+
+  // Compaction retires that generation. The parked coordinates must not be
+  // served stale records or an error loop — the fetch renegotiates with a
+  // full snapshot positioned at the new generation's head.
+  ASSERT_TRUE(service->Compact().ok());
+  const int64_t generation = service->epoch();
+  ReplicationBatch reneg;
+  ASSERT_TRUE(service->FetchReplication(0, 2, 8, &reneg).ok());
+  EXPECT_TRUE(reneg.snapshot);
+  EXPECT_EQ(reneg.base_epoch, generation);
+  EXPECT_EQ(reneg.snap.epoch, generation);
+  EXPECT_EQ(reneg.next_index, reneg.feed_size);
+
+  // New commits land in the new generation; a crash+recover across the
+  // boundary must rebuild the identical feed, keeping the renegotiated
+  // coordinates valid.
+  ASSERT_TRUE(service->Ingest("edge(e, f).\n").ok());
+  ReplicationBatch before_crash;
+  ASSERT_TRUE(service->FetchReplication(generation, 0, 8, &before_crash).ok());
+  ASSERT_FALSE(before_crash.snapshot);
+  service.reset();
+
+  auto recovered = TinyDurableService(dir.path);
+  RecoverOutcome outcome;
+  ASSERT_TRUE(recovered->Recover(&outcome).ok());
+  EXPECT_TRUE(outcome.snapshot_loaded);
+  EXPECT_EQ(outcome.batches_replayed, 1);
+  ReplicationBatch after_crash;
+  ASSERT_TRUE(recovered->FetchReplication(generation, 0, 8, &after_crash).ok());
+  ASSERT_FALSE(after_crash.snapshot);
+  EXPECT_EQ(after_crash.records, before_crash.records);
+  EXPECT_EQ(after_crash.feed_size, before_crash.feed_size);
+  EXPECT_EQ(after_crash.state_crc, before_crash.state_crc);
 }
 
 TEST(WalTest, RenderedFactStatementsReparseToTheSameFacts) {

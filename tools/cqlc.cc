@@ -7,102 +7,90 @@
 //        "QUERY pred,qrp,mg ?- cheaporshort(msn, sea, T, C)."
 //        "STATS" "SHUTDOWN"
 //   cqlc --tcp localhost:7777 "STATS"
-//   cqlc --socket /tmp/cqld.sock "INGEST TTL 5000 reading(s1, 42)." \
-//        "TICK 5000" "RETRACT flight(msn, ord, 80, 95)."
+//   cqlc --tcp primary:7777,replica:7778 --retries 4 "QUERY - ?- p(X)."
+//
+// Transport robustness (DESIGN.md §15.6): every connect, write, and read is
+// bounded by a deadline; a deadline or lost connection is a *client-side*
+// error, reported distinctly from a server `ERR` response and retried with
+// jittered exponential backoff across the (comma-separated) endpoint list.
+// Exit codes: 0 all responses OK, 1 some response was a server ERR, 2
+// usage, 3 transport gave out (timeout / no endpoint reachable) — scripts
+// can tell "the server answered no" from "no server answered".
+//
+// Retrying a request after a torn exchange may deliver it twice; every
+// protocol verb is idempotent on re-delivery (duplicate inserts dedup,
+// retracts of absent facts count as misses, TICK re-advances a monotone
+// clock by the same delta at most once per ack loss).
 
-#include <csignal>
-#include <netdb.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
+#include <chrono>
+#include <csignal>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "service/client.h"
 
 namespace {
 
+using cqlopt::LineClient;
+using cqlopt::Status;
+using cqlopt::StatusCode;
+
+constexpr int kExitServerErr = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitTransport = 3;
+
 int Usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " (--socket <path> | --tcp <host:port>) [request ...]\n"
-            << "       (requests from stdin when none are given)\n";
-  return 2;
+  std::cerr
+      << "usage: " << argv0
+      << " (--socket <path[,path...]> | --tcp <host:port[,host:port...]>)"
+      << " [request ...]\n"
+      << "       [--connect-timeout-ms N] [--read-timeout-ms N]\n"
+      << "       [--retries N] [--retry-backoff-ms N]\n"
+      << "       (requests from stdin when none are given)\n";
+  return kExitUsage;
 }
 
-/// Connects to host:port over TCP; -1 (with a message on stderr) on
-/// failure.
-int ConnectTcp(const std::string& endpoint) {
-  size_t colon = endpoint.rfind(':');
-  if (colon == std::string::npos || colon == 0 ||
-      colon + 1 == endpoint.size()) {
-    std::cerr << "cqlc: --tcp needs host:port, got '" << endpoint << "'\n";
-    return -1;
-  }
-  std::string host = endpoint.substr(0, colon);
-  std::string port = endpoint.substr(colon + 1);
-  addrinfo hints{};
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  addrinfo* results = nullptr;
-  int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
-  if (rc != 0) {
-    std::cerr << "cqlc: resolve " << endpoint << ": " << ::gai_strerror(rc)
-              << "\n";
-    return -1;
-  }
-  int fd = -1;
-  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
-    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    ::close(fd);
-    fd = -1;
-  }
-  ::freeaddrinfo(results);
-  if (fd < 0) {
-    std::cerr << "cqlc: connect " << endpoint << ": " << std::strerror(errno)
-              << "\n";
-  }
-  return fd;
-}
+/// One place to dial: a unix path or a host:port, from the comma-separated
+/// endpoint list. Failover walks the list round-robin.
+struct Endpoint {
+  bool tcp = false;
+  std::string path_or_host;
+  std::string port;
+  std::string label;  // for error messages
+};
 
-bool WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+bool ParseEndpoints(const std::string& list, bool tcp,
+                    std::vector<Endpoint>* out) {
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (item.empty()) return false;
+    Endpoint endpoint;
+    endpoint.tcp = tcp;
+    endpoint.label = item;
+    if (tcp) {
+      size_t colon = item.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == item.size()) {
+        return false;
+      }
+      endpoint.path_or_host = item.substr(0, colon);
+      endpoint.port = item.substr(colon + 1);
+    } else {
+      endpoint.path_or_host = item;
     }
-    sent += static_cast<size_t>(n);
+    out->push_back(std::move(endpoint));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
-  return true;
-}
-
-/// Sends one request and echoes the response through the END line.
-/// Returns 0 on OK, 1 on an ERR response, -1 on transport failure.
-int Exchange(int fd, const std::string& request, std::string* buffer) {
-  if (!WriteAll(fd, request + "\n")) return -1;
-  bool saw_err = false;
-  while (true) {
-    size_t newline = buffer->find('\n');
-    if (newline == std::string::npos) {
-      char chunk[4096];
-      ssize_t n = ::read(fd, chunk, sizeof(chunk));
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return -1;
-      buffer->append(chunk, static_cast<size_t>(n));
-      continue;
-    }
-    std::string line = buffer->substr(0, newline);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    buffer->erase(0, newline + 1);
-    if (line == "END") return saw_err ? 1 : 0;
-    if (line.rfind("ERR ", 0) == 0) saw_err = true;
-    std::cout << line << "\n";
-  }
+  return !out->empty();
 }
 
 }  // namespace
@@ -111,56 +99,118 @@ int main(int argc, char** argv) {
   // A server that dies mid-exchange must surface as "connection lost", not
   // kill the client: writes to the closed socket get EPIPE instead.
   std::signal(SIGPIPE, SIG_IGN);
-  std::string socket_path;
-  std::string tcp_endpoint;
+  std::string socket_list;
+  std::string tcp_list;
+  int connect_timeout_ms = 3000;
+  int read_timeout_ms = 10000;
+  int retries = 2;
+  int retry_backoff_ms = 100;
   std::vector<std::string> requests;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
     if (arg == "--socket") {
-      if (i + 1 >= argc) return Usage(argv[0]);
-      socket_path = argv[++i];
+      if (const char* v = next()) socket_list = v; else return Usage(argv[0]);
     } else if (arg == "--tcp") {
-      if (i + 1 >= argc) return Usage(argv[0]);
-      tcp_endpoint = argv[++i];
+      if (const char* v = next()) tcp_list = v; else return Usage(argv[0]);
+    } else if (arg == "--connect-timeout-ms") {
+      if (const char* v = next()) connect_timeout_ms = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--read-timeout-ms") {
+      if (const char* v = next()) read_timeout_ms = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--retries") {
+      if (const char* v = next()) retries = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--retry-backoff-ms") {
+      if (const char* v = next()) retry_backoff_ms = std::atoi(v);
+      else return Usage(argv[0]);
     } else {
       requests.push_back(arg);
     }
   }
-  if (socket_path.empty() == tcp_endpoint.empty()) return Usage(argv[0]);
+  if (socket_list.empty() == tcp_list.empty()) return Usage(argv[0]);
+  if (retries < 0) retries = 0;
 
-  int fd;
-  if (!tcp_endpoint.empty()) {
-    fd = ConnectTcp(tcp_endpoint);
-    if (fd < 0) return 1;
-  } else {
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-      std::cerr << "cqlc: socket: " << std::strerror(errno) << "\n";
-      return 1;
-    }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, socket_path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-      std::cerr << "cqlc: connect " << socket_path << ": "
-                << std::strerror(errno) << "\n";
-      ::close(fd);
-      return 1;
-    }
+  std::vector<Endpoint> endpoints;
+  if (!ParseEndpoints(tcp_list.empty() ? socket_list : tcp_list,
+                      !tcp_list.empty(), &endpoints)) {
+    std::cerr << "cqlc: bad endpoint list '"
+              << (tcp_list.empty() ? socket_list : tcp_list) << "'\n";
+    return Usage(argv[0]);
   }
 
-  int exit_code = 0;
-  std::string buffer;
-  auto run = [&](const std::string& request) {
-    int rc = Exchange(fd, request, &buffer);
-    if (rc < 0) {
-      std::cerr << "cqlc: connection lost\n";
-      exit_code = 1;
-      return false;
+  std::unique_ptr<LineClient> client;
+  size_t endpoint_index = 0;  // next endpoint to dial (round-robin failover)
+  uint64_t jitter = 0x9e3779b97f4a7c15ull;  // deterministic xorshift stream
+
+  // Dials endpoints round-robin until one accepts; cycles the whole list
+  // once per call. Returns the last failure when none did.
+  auto connect_somewhere = [&]() -> Status {
+    Status last = Status::Unavailable("no endpoints");
+    for (size_t attempt = 0; attempt < endpoints.size(); ++attempt) {
+      const Endpoint& endpoint = endpoints[endpoint_index];
+      endpoint_index = (endpoint_index + 1) % endpoints.size();
+      cqlopt::Result<std::unique_ptr<LineClient>> conn =
+          endpoint.tcp
+              ? LineClient::ConnectTcp(endpoint.path_or_host, endpoint.port,
+                                       connect_timeout_ms)
+              : LineClient::ConnectUnix(endpoint.path_or_host,
+                                        connect_timeout_ms);
+      if (conn.ok()) {
+        client = std::move(*conn);
+        return Status::OK();
+      }
+      last = conn.status();
+      std::cerr << "cqlc: " << endpoint.label << ": "
+                << conn.status().ToString() << "\n";
     }
-    if (rc > 0) exit_code = 1;
-    return true;
+    return last;
+  };
+
+  int exit_code = 0;
+  // Runs one request with retry/backoff/failover; returns false when the
+  // transport is exhausted (exit_code already set to kExitTransport).
+  auto run = [&](const std::string& request) {
+    Status last = Status::OK();
+    for (int attempt = 0; attempt <= retries; ++attempt) {
+      if (attempt > 0) {
+        // Jittered exponential backoff: full backoff doubling with a
+        // deterministic jitter in the upper half, so stampedes decorrelate
+        // but runs reproduce.
+        int64_t base = static_cast<int64_t>(retry_backoff_ms)
+                       << (attempt - 1 > 20 ? 20 : attempt - 1);
+        jitter ^= jitter >> 12;
+        jitter ^= jitter << 25;
+        jitter ^= jitter >> 27;
+        int64_t delay = base / 2 + 1 +
+                        static_cast<int64_t>(jitter % (base / 2 + 1));
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+      if (client == nullptr) {
+        last = connect_somewhere();
+        if (!last.ok()) continue;
+      }
+      LineClient::Response response;
+      last = client->Exchange(request, read_timeout_ms, &response);
+      if (last.ok()) {
+        for (const std::string& line : response.lines) {
+          std::cout << line << "\n";
+        }
+        if (response.is_error) exit_code = kExitServerErr;
+        return true;
+      }
+      // Transport failure: the connection is in an unknown state, drop it
+      // and fail over to the next endpoint on the retry.
+      client.reset();
+      std::cerr << "cqlc: " << last.ToString() << "\n";
+    }
+    std::cerr << "cqlc: giving up after " << (retries + 1)
+              << " attempt(s): " << last.ToString() << "\n";
+    exit_code = kExitTransport;
+    return false;
   };
 
   if (!requests.empty()) {
@@ -173,6 +223,5 @@ int main(int argc, char** argv) {
       if (!run(line)) break;
     }
   }
-  ::close(fd);
   return exit_code;
 }

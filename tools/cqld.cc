@@ -24,7 +24,21 @@
 //                            with ERR RESOURCE_EXHAUSTED (default 64)
 //   --listen-backlog N       listen(2) backlog for both listeners
 //   --priority-weights A,B,C stride weights for interactive,normal,batch
+//
+// Replication and lifecycle (DESIGN.md §15, README runbook):
+//   --follow ENDPOINT        run as a read-only follower pulling the WAL
+//                            feed from the primary at ENDPOINT (host:port,
+//                            or a unix socket path containing '/')
+//   --replica-timeout-ms N   per-fetch I/O deadline on the replication
+//                            link (default 3000)
+//   --drain-timeout-ms N     bound on the SIGTERM/SIGINT graceful drain
+//                            (default 5000); in-flight requests finish and
+//                            flush, new ones are refused, then exit 0
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,6 +46,7 @@
 #include <sstream>
 #include <string>
 
+#include "service/replica.h"
 #include "service/server.h"
 
 namespace {
@@ -47,8 +62,21 @@ int Usage(const char* argv0) {
       << " [--wal-compact-bytes N]\n"
       << "       [--query-deadline-ms N] [--max-derived-facts N]\n"
       << "       [--workers N] [--queue-depth N] [--listen-backlog N]\n"
-      << "       [--priority-weights A,B,C]\n";
+      << "       [--priority-weights A,B,C]\n"
+      << "       [--follow ENDPOINT] [--replica-timeout-ms N]\n"
+      << "       [--drain-timeout-ms N]\n";
   return 2;
+}
+
+/// Write end of the SIGTERM/SIGINT self-pipe; the handler only writes one
+/// byte (the only async-signal-safe thing worth doing) and the serve loop
+/// reads it as the graceful-drain trigger.
+int g_drain_pipe_write = -1;
+
+void OnShutdownSignal(int) {
+  char byte = 1;
+  ssize_t ignored = ::write(g_drain_pipe_write, &byte, 1);
+  (void)ignored;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -66,6 +94,8 @@ int main(int argc, char** argv) {
   std::string program_path;
   std::string edb_path;
   std::string socket_path;
+  std::string follow_endpoint;
+  int replica_timeout_ms = 3000;
   bool stdio = false;
   cqlopt::ServiceOptions options;
   cqlopt::ServerOptions server;
@@ -133,6 +163,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-derived-facts") {
       if (const char* v = next()) options.eval.max_derived_facts = std::atol(v);
       else return Usage(argv[0]);
+    } else if (arg == "--follow") {
+      if (const char* v = next()) follow_endpoint = v;
+      else return Usage(argv[0]);
+    } else if (arg == "--replica-timeout-ms") {
+      if (const char* v = next()) replica_timeout_ms = std::atoi(v);
+      else return Usage(argv[0]);
+    } else if (arg == "--drain-timeout-ms") {
+      if (const char* v = next()) server.drain_timeout_ms = std::atoi(v);
+      else return Usage(argv[0]);
     } else if (arg == "--subsumption") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -195,10 +234,58 @@ int main(int argc, char** argv) {
               << recovered.batches_replayed << " replayed batch(es))\n";
   }
 
+  // Follower mode: pull the primary's WAL feed in the background, serve
+  // reads (and HEALTH / PROMOTE) locally. The replicator is declared after
+  // the service so it detaches its hooks and joins its thread first.
+  std::unique_ptr<cqlopt::Replicator> replicator;
+  if (!follow_endpoint.empty()) {
+    auto reconnect = [follow_endpoint, replica_timeout_ms]()
+        -> cqlopt::Result<std::unique_ptr<cqlopt::LineClient>> {
+      if (follow_endpoint.find('/') != std::string::npos) {
+        return cqlopt::LineClient::ConnectUnix(follow_endpoint,
+                                               replica_timeout_ms);
+      }
+      size_t colon = follow_endpoint.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == follow_endpoint.size()) {
+        return cqlopt::Status::InvalidArgument(
+            "--follow needs host:port or a socket path, got '" +
+            follow_endpoint + "'");
+      }
+      return cqlopt::LineClient::ConnectTcp(
+          follow_endpoint.substr(0, colon), follow_endpoint.substr(colon + 1),
+          replica_timeout_ms);
+    };
+    auto source = std::make_unique<cqlopt::RemoteReplicationSource>(
+        nullptr, reconnect, replica_timeout_ms);
+    replicator = std::make_unique<cqlopt::Replicator>(service->get(),
+                                                      std::move(source));
+    replicator->AttachHooks();
+    replicator->Start();
+    std::cerr << "cqld: following " << follow_endpoint
+              << " (read-only until PROMOTE)\n";
+  }
+
   cqlopt::Status served;
   if (stdio) {
     served = cqlopt::ServeStreams(**service, std::cin, std::cout);
   } else {
+    // Graceful drain on SIGTERM/SIGINT via a self-pipe the serve loop
+    // watches; a second signal during the drain falls back to the default
+    // disposition (immediate death) so a wedged drain cannot trap the
+    // operator.
+    int drain_pipe[2] = {-1, -1};
+    if (::pipe2(drain_pipe, O_NONBLOCK | O_CLOEXEC) == 0) {
+      g_drain_pipe_write = drain_pipe[1];
+      struct sigaction action {};
+      action.sa_handler = OnShutdownSignal;
+      action.sa_flags = SA_RESETHAND;
+      ::sigaction(SIGTERM, &action, nullptr);
+      ::sigaction(SIGINT, &action, nullptr);
+      server.drain_fd = drain_pipe[0];
+    } else {
+      std::cerr << "cqld: pipe2 failed, serving without graceful drain\n";
+    }
     server.socket_path = socket_path;
     server.on_ready = [](const cqlopt::ServerEndpoints& endpoints) {
       std::cerr << "cqld: serving on";
@@ -211,7 +298,10 @@ int main(int argc, char** argv) {
       std::cerr << "\n";
     };
     served = cqlopt::ServeLoop(**service, server);
+    if (drain_pipe[0] >= 0) ::close(drain_pipe[0]);
+    if (drain_pipe[1] >= 0) ::close(drain_pipe[1]);
   }
+  if (replicator != nullptr) replicator->Stop();
   if (!served.ok()) {
     std::cerr << "cqld: " << served.ToString() << "\n";
     return 1;
